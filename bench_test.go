@@ -1,0 +1,210 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (see DESIGN.md's experiment index and EXPERIMENTS.md for recorded runs).
+// Each Benchmark function corresponds to one table or figure; sub-benchmarks
+// are the table rows. Custom metrics report the paper's columns:
+// partA/partB medians (ms), wire bytes, handshakes per 60 s.
+package pqtls_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"pqtls/internal/harness"
+	"pqtls/internal/netsim"
+	"pqtls/internal/tls13"
+)
+
+func reportCampaign(b *testing.B, r *harness.CampaignResult) {
+	b.ReportMetric(float64(r.PartAMedian)/1e6, "partA-ms")
+	b.ReportMetric(float64(r.PartBMedian)/1e6, "partB-ms")
+	b.ReportMetric(float64(r.Handshakes60s), "hs/60s")
+	b.ReportMetric(float64(r.ClientBytes), "client-B")
+	b.ReportMetric(float64(r.ServerBytes), "server-B")
+}
+
+// BenchmarkTable2a regenerates Table 2a: one row per key agreement,
+// combined with rsa:2048. Each iteration is one full simulated handshake.
+func BenchmarkTable2a(b *testing.B) {
+	for _, kemName := range harness.Table2aKEMs {
+		b.Run(kemName, func(b *testing.B) {
+			r, err := harness.RunCampaign(harness.CampaignOptions{
+				KEM: kemName, Sig: harness.BaselineSig, Link: harness.ScenarioTestbed,
+				Buffer: tls13.BufferImmediate, Samples: max(b.N, 3), Seed: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			reportCampaign(b, r)
+		})
+	}
+}
+
+// BenchmarkTable2b regenerates Table 2b: one row per signature algorithm,
+// combined with X25519.
+func BenchmarkTable2b(b *testing.B) {
+	for _, sigName := range harness.Table2bSigs {
+		b.Run(sigName, func(b *testing.B) {
+			r, err := harness.RunCampaign(harness.CampaignOptions{
+				KEM: harness.BaselineKEM, Sig: sigName, Link: harness.ScenarioTestbed,
+				Buffer: tls13.BufferImmediate, Samples: max(b.N, 3), Seed: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			reportCampaign(b, r)
+		})
+	}
+}
+
+// BenchmarkFigure3a regenerates the deviation analysis under the default
+// (stock OpenSSL) buffering; the reported metric is the largest absolute
+// deviation from the KA/SA-independence prediction.
+func BenchmarkFigure3a(b *testing.B) {
+	benchDeviation(b, tls13.BufferDefault)
+}
+
+// BenchmarkFigure3b is the same analysis under the optimized buffering.
+func BenchmarkFigure3b(b *testing.B) {
+	benchDeviation(b, tls13.BufferImmediate)
+}
+
+func benchDeviation(b *testing.B, policy tls13.BufferPolicy) {
+	for i := 0; i < b.N; i++ {
+		devs, err := harness.RunDeviation(3, policy)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var maxAbs time.Duration
+		for _, d := range devs {
+			abs := d.Deviation
+			if abs < 0 {
+				abs = -abs
+			}
+			if abs > maxAbs {
+				maxAbs = abs
+			}
+		}
+		b.ReportMetric(float64(maxAbs)/1e6, "max-dev-ms")
+		b.ReportMetric(float64(len(devs)), "combinations")
+	}
+}
+
+// BenchmarkFigure3c regenerates the buffering-improvement figure; the
+// metric is the largest latency gain from pushing the ServerHello early.
+func BenchmarkFigure3c(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		imps, err := harness.RunBufferImprovement(3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var maxGain time.Duration
+		for _, im := range imps {
+			if im.Gain > maxGain {
+				maxGain = im.Gain
+			}
+		}
+		b.ReportMetric(float64(maxGain)/1e6, "max-gain-ms")
+	}
+}
+
+// BenchmarkTable3 regenerates the white-box table; metrics report the
+// extremes of server CPU cost and handshake rate across the selection.
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.RunTable3(3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var maxSrvCPU time.Duration
+		var maxRate float64
+		for _, r := range rows {
+			if r.ServerCPU > maxSrvCPU {
+				maxSrvCPU = r.ServerCPU
+			}
+			if rate := r.HandshakeRate(); rate > maxRate {
+				maxRate = rate
+			}
+		}
+		b.ReportMetric(float64(maxSrvCPU)/1e6, "max-srv-cpu-ms")
+		b.ReportMetric(maxRate, "max-hs/s")
+	}
+}
+
+// BenchmarkTable4a regenerates the constrained-environment table for the
+// key agreements (one sub-benchmark per scenario, on a representative
+// subset per level to keep a single iteration tractable; the full table is
+// `pqbench all-kem-scenarios`).
+func BenchmarkTable4a(b *testing.B) {
+	kems := []string{"x25519", "kyber512", "hqc128", "p256_kyber512", "kyber768", "hqc256"}
+	benchScenarios(b, kems, nil)
+}
+
+// BenchmarkTable4b is the signature-algorithm half of Table 4.
+func BenchmarkTable4b(b *testing.B) {
+	sigs := []string{"rsa:2048", "falcon512", "dilithium2", "rsa3072_dilithium2", "dilithium5", "sphincs128"}
+	benchScenarios(b, nil, sigs)
+}
+
+func benchScenarios(b *testing.B, kems, sigs []string) {
+	suites := kems
+	fixedSig := true
+	if suites == nil {
+		suites = sigs
+		fixedSig = false
+	}
+	for _, sc := range netsim.Scenarios() {
+		for _, name := range suites {
+			kemName, sigName := name, harness.BaselineSig
+			if !fixedSig {
+				kemName, sigName = harness.BaselineKEM, name
+			}
+			b.Run(fmt.Sprintf("%s/%s", sc.Name, name), func(b *testing.B) {
+				r, err := harness.RunCampaign(harness.CampaignOptions{
+					KEM: kemName, Sig: sigName, Link: sc,
+					Buffer: tls13.BufferImmediate, Samples: max(b.N, 3), Seed: 5,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(r.TotalMedian)/1e6, "median-ms")
+			})
+		}
+	}
+}
+
+// BenchmarkFigure4 regenerates the log-scaled ranking; the metric is the
+// spread between the fastest and slowest algorithm.
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		kemResults, err := harness.RunTable2a(3, tls13.BufferImmediate)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ranks := harness.RankFromResults(kemResults, func(r *harness.CampaignResult) string { return r.KEM })
+		b.ReportMetric(float64(ranks[len(ranks)-1].Total)/float64(ranks[0].Total), "spread-x")
+	}
+}
+
+// BenchmarkSection55Attack quantifies the attack-surface analysis; metrics
+// are the worst amplification factor and CPU asymmetry observed.
+func BenchmarkSection55Attack(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, err := harness.RunTable2b(3, tls13.BufferImmediate)
+		if err != nil {
+			b.Fatal(err)
+		}
+		surfaces := harness.AttackSurfaceFromResults(results)
+		var maxAmp, maxAsym float64
+		for _, s := range surfaces {
+			if s.Amplification > maxAmp {
+				maxAmp = s.Amplification
+			}
+			if s.CPUAsymmetry > maxAsym {
+				maxAsym = s.CPUAsymmetry
+			}
+		}
+		b.ReportMetric(maxAmp, "max-amplification-x")
+		b.ReportMetric(maxAsym, "max-cpu-asymmetry-x")
+	}
+}

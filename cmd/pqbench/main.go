@@ -1,0 +1,426 @@
+// Command pqbench regenerates the paper's tables and figures. Subcommands
+// follow the artifact's experiment naming (Appendix B):
+//
+//	pqbench all-kem                  Table 2a (KAs with rsa:2048)
+//	pqbench all-sig                  Table 2b (SAs with X25519)
+//	pqbench deviation -buffer=...    Figure 3a (default) / 3b (immediate)
+//	pqbench improvement              Figure 3c (optimized vs default)
+//	pqbench whitebox                 Table 3 (CPU profile)
+//	pqbench all-kem-scenarios        Table 4a (KAs across emulations)
+//	pqbench all-sig-scenarios        Table 4b (SAs across emulations)
+//	pqbench rank                     Figure 4 (log-scaled ranking)
+//	pqbench attack                   Section 5.5 (amplification/asymmetry)
+//	pqbench list                     registered suites
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"pqtls/internal/harness"
+	"pqtls/internal/kem"
+	"pqtls/internal/netsim"
+	"pqtls/internal/nettap"
+	"pqtls/internal/perf"
+	"pqtls/internal/sig"
+	"pqtls/internal/tls13"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	samples := fs.Int("samples", 9, "handshakes per suite")
+	buffer := fs.String("buffer", "immediate", "server buffering: default|immediate")
+	csvPath := fs.String("csv", "", "also write results as CSV (latencies.csv layout) to this file")
+	fs.Parse(os.Args[2:])
+	csvFile = *csvPath
+
+	policy := tls13.BufferImmediate
+	if *buffer == "default" {
+		policy = tls13.BufferDefault
+	}
+
+	var err error
+	switch cmd {
+	case "all-kem":
+		err = runTable2a(*samples, policy)
+	case "all-sig":
+		err = runTable2b(*samples, policy)
+	case "deviation":
+		err = runDeviation(*samples, policy)
+	case "improvement":
+		err = runImprovement(*samples)
+	case "whitebox":
+		err = runWhitebox(*samples)
+	case "all-kem-scenarios":
+		err = runScenarios(*samples, true)
+	case "all-sig-scenarios":
+		err = runScenarios(*samples, false)
+	case "rank":
+		err = runRank(*samples, policy)
+	case "attack":
+		err = runAttack(*samples)
+	case "cwnd":
+		err = runCWND(*samples)
+	case "all-sphincs":
+		err = runAllSphincs(*samples)
+	case "hrr":
+		err = runHRR(*samples)
+	case "chains":
+		err = runChains(*samples)
+	case "resumption":
+		err = runResumption(*samples)
+	case "capture":
+		err = runCapture(fs.Args())
+	case "list":
+		runList()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pqbench:", err)
+		os.Exit(1)
+	}
+}
+
+// csvFile, when non-empty, receives a CSV copy of table-shaped results.
+var csvFile string
+
+// writeCSV writes rows via emit to csvFile if requested.
+func writeCSV(emit func(w io.Writer) error) error {
+	if csvFile == "" {
+		return nil
+	}
+	f, err := os.Create(csvFile)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := emit(f); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "pqbench: CSV written to", csvFile)
+	return nil
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: pqbench <command> [-samples N] [-buffer default|immediate]
+
+commands: all-kem all-sig deviation improvement whitebox
+          all-kem-scenarios all-sig-scenarios rank attack
+          cwnd all-sphincs hrr chains resumption capture list`)
+}
+
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d)/float64(time.Millisecond))
+}
+
+func runTable2a(samples int, policy tls13.BufferPolicy) error {
+	results, err := harness.RunTable2a(samples, policy)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Table 2a: KAs combined with rsa:2048 as SA")
+	printTable2(results, true)
+	return writeCSV(func(w io.Writer) error { return harness.WriteLatenciesCSV(w, results) })
+}
+
+func runTable2b(samples int, policy tls13.BufferPolicy) error {
+	results, err := harness.RunTable2b(samples, policy)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Table 2b: SAs combined with x25519 as KA")
+	printTable2(results, false)
+	return writeCSV(func(w io.Writer) error { return harness.WriteLatenciesCSV(w, results) })
+}
+
+func printTable2(results []*harness.CampaignResult, byKEM bool) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Algorithm\tPartA(ms)\tPartB(ms)\t#Total(60s)\tClient(B)\tServer(B)")
+	for _, r := range results {
+		name := r.KEM
+		if !byKEM {
+			name = r.Sig
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%d\t%d\t%d\n",
+			name, ms(r.PartAMedian), ms(r.PartBMedian), r.Handshakes60s, r.ClientBytes, r.ServerBytes)
+	}
+	w.Flush()
+}
+
+func runDeviation(samples int, policy tls13.BufferPolicy) error {
+	figure := "3b (optimized OpenSSL behavior)"
+	if policy == tls13.BufferDefault {
+		figure = "3a (default OpenSSL behavior)"
+	}
+	devs, err := harness.RunDeviation(samples, policy)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Figure %s: deviation E(k,s)-M(k,s); positive = faster than predicted\n", figure)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Level\tKA\tSA\tExpected(ms)\tMeasured(ms)\tDeviation(ms)")
+	for _, d := range devs {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\n",
+			d.Level, d.KEM, d.Sig, ms(d.Expected), ms(d.Measured), ms(d.Deviation))
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return writeCSV(func(w io.Writer) error { return harness.WriteDeviationsCSV(w, devs) })
+}
+
+func runImprovement(samples int) error {
+	imps, err := harness.RunBufferImprovement(samples)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 3c: latency improvement of the optimized buffering")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Level\tKA\tSA\tDefault(ms)\tOptimized(ms)\tGain(ms)")
+	for _, im := range imps {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\n",
+			im.Level, im.KEM, im.Sig, ms(im.Default), ms(im.Opt), ms(im.Gain))
+	}
+	return w.Flush()
+}
+
+func runWhitebox(samples int) error {
+	results, err := harness.RunTable3(samples)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Table 3: white-box measurements")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "KA\tSA\tHS(1/s)\tCPU srv(ms)\tCPU cli(ms)\tPkts srv\tPkts cli\tServer libs\tClient libs")
+	for _, r := range results {
+		fmt.Fprintf(w, "%s\t%s\t%.0f\t%s\t%s\t%d\t%d\t%s\t%s\n",
+			r.KEM, r.Sig, r.HandshakeRate(), ms(r.ServerCPU), ms(r.ClientCPU),
+			r.ServerPackets, r.ClientPackets,
+			distString(r.ServerProfile), distString(r.ClientProfile))
+	}
+	return w.Flush()
+}
+
+func distString(s perf.Snapshot) string {
+	var parts []string
+	for _, bs := range s.Distribution() {
+		if bs.Share < 0.01 {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s %.0f%%", bs.Lib, bs.Share*100))
+	}
+	return strings.Join(parts, " ")
+}
+
+func runScenarios(samples int, kems bool) error {
+	var rows []harness.ScenarioRow
+	var err error
+	if kems {
+		fmt.Println("Table 4a: KAs combined with rsa:2048, per network scenario (median ms)")
+		rows, err = harness.RunScenarios(harness.Table2aKEMs, nil, samples)
+	} else {
+		fmt.Println("Table 4b: SAs combined with x25519, per network scenario (median ms)")
+		rows, err = harness.RunScenarios(nil, harness.Table4bSigs, samples)
+	}
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	names := []string{}
+	for _, sc := range netsim.Scenarios() {
+		names = append(names, sc.Name)
+	}
+	fmt.Fprintf(w, "Algorithm\t%s\n", strings.Join(names, "\t"))
+	for _, row := range rows {
+		name := row.KEM
+		if !kems {
+			name = row.Sig
+		}
+		cells := []string{name}
+		for _, sc := range names {
+			cells = append(cells, ms(row.Latency[sc]))
+		}
+		fmt.Fprintln(w, strings.Join(cells, "\t"))
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return writeCSV(func(w io.Writer) error { return harness.WriteScenariosCSV(w, rows) })
+}
+
+func runRank(samples int, policy tls13.BufferPolicy) error {
+	kemResults, err := harness.RunTable2a(samples, policy)
+	if err != nil {
+		return err
+	}
+	sigResults, err := harness.RunTable2b(samples, policy)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 4: log-scaled latency ranking [0=fastest .. 10=slowest]")
+	fmt.Println("Key agreements:")
+	for _, r := range harness.RankFromResults(kemResults, func(r *harness.CampaignResult) string { return r.KEM }) {
+		fmt.Printf("  %2d  %-16s %s ms\n", r.Score, r.Name, ms(r.Total))
+	}
+	fmt.Println("Signature algorithms:")
+	for _, r := range harness.RankFromResults(sigResults, func(r *harness.CampaignResult) string { return r.Sig }) {
+		fmt.Printf("  %2d  %-18s %s ms\n", r.Score, r.Name, ms(r.Total))
+	}
+	return nil
+}
+
+func runAttack(samples int) error {
+	results, err := harness.RunTable2b(samples, tls13.BufferImmediate)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Section 5.5: attack surface (amplification = server/client bytes)")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "KA\tSA\tAmplification\tCPU asymmetry (srv/cli)")
+	for _, a := range harness.AttackSurfaceFromResults(results) {
+		fmt.Fprintf(w, "%s\t%s\t%.1fx\t%.1fx\n", a.KEM, a.Sig, a.Amplification, a.CPUAsymmetry)
+	}
+	return w.Flush()
+}
+
+func runCWND(samples int) error {
+	results, err := harness.RunCWNDSweep(nil, samples)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Initial-CWND tuning sweep at 1s RTT (the conclusion's knob):")
+	fmt.Println("median full-handshake latency; RTTs column shows the CWND cliff")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "KA\tSA\tCWND\tMedian(ms)\tRTTs")
+	for _, r := range results {
+		fmt.Fprintf(w, "%s\t%s\t%d\t%s\t%.2f\n", r.KEM, r.Sig, r.CWND, ms(r.Total), r.RTTs)
+	}
+	return w.Flush()
+}
+
+func runAllSphincs(samples int) error {
+	results, err := harness.RunAllSphincs(samples)
+	if err != nil {
+		return err
+	}
+	fmt.Println("all-sphincs: fast (f) vs small (s) variants with x25519")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Variant\tPartA(ms)\tPartB(ms)\tServer(B)\t#Total(60s)")
+	for _, r := range results {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%d\t%d\n",
+			r.Sig, ms(r.PartAMedian), ms(r.PartBMedian), r.ServerBytes, r.Handshakes60s)
+	}
+	return w.Flush()
+}
+
+func runHRR(samples int) error {
+	fmt.Println("HelloRetryRequest (2-RTT fallback) penalty — what the paper's")
+	fmt.Println("'fallback never occurred' configuration avoided")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "KA\t"+"Scenario\t"+"Direct(ms)\t"+"Fallback(ms)\t"+"Penalty(ms)")
+	for _, link := range []netsim.LinkConfig{harness.ScenarioTestbed, netsim.Scenario5G} {
+		results, err := harness.RunHRRComparison(nil, link, samples)
+		if err != nil {
+			return err
+		}
+		for _, r := range results {
+			fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\n",
+				r.KEM, r.Scenario, ms(r.Direct), ms(r.Fallback), ms(r.Penalty))
+		}
+	}
+	return w.Flush()
+}
+
+func runChains(samples int) error {
+	results, err := harness.RunChainDepth(nil, samples)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Certificate-chain depth sweep (x25519 KA): every extra PQ")
+	fmt.Println("certificate costs a full public key + signature on the wire")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "SA\tDepth\tMedian(ms)\tServer(B)")
+	for _, r := range results {
+		fmt.Fprintf(w, "%s\t%d\t%s\t%d\n", r.Sig, r.Depth, ms(r.Total), r.ServerBytes)
+	}
+	return w.Flush()
+}
+
+// runCapture records one simulated handshake per suite to libpcap files
+// (the artifact publishes PCAPs of its runs). Usage: capture [kem] [sig].
+func runCapture(args []string) error {
+	kemName, sigName := harness.BaselineKEM, harness.BaselineSig
+	if len(args) > 0 {
+		kemName = args[0]
+	}
+	if len(args) > 1 {
+		sigName = args[1]
+	}
+	name := fmt.Sprintf("%s_%s.pcap", kemName, strings.ReplaceAll(sigName, ":", ""))
+	f, err := os.Create(name)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	pw, err := nettap.NewPcapWriter(f)
+	if err != nil {
+		return err
+	}
+	res, err := harness.RunHandshake(harness.RunOptions{
+		KEM: kemName, Sig: sigName, Link: harness.ScenarioTestbed,
+		Buffer: tls13.BufferImmediate, Seed: 1, Pcap: pw,
+	})
+	if err != nil {
+		return err
+	}
+	if pw.Err() != nil {
+		return pw.Err()
+	}
+	fmt.Printf("wrote %s: %d packets, handshake %s ms (evaluate with pqtls-eval)\n",
+		name, res.ClientPackets+res.ServerPackets, ms(res.Phases.Total()))
+	return nil
+}
+
+func runResumption(samples int) error {
+	results, err := harness.RunResumptionComparison(samples)
+	if err != nil {
+		return err
+	}
+	fmt.Println("PSK resumption: a resumed handshake skips Certificate +")
+	fmt.Println("CertificateVerify, amortizing the PQ authentication cost")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "KA\t"+"SA\t"+"Full(ms)\t"+"Resumed(ms)\t"+"Full srv(B)\t"+"Resumed srv(B)")
+	for _, r := range results {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%d\t%d\n",
+			r.KEM, r.Sig, ms(r.Full), ms(r.Resumed), r.FullBytes, r.ResumeBytes)
+	}
+	return w.Flush()
+}
+
+func runList() {
+	fmt.Println("Key agreements (Table 2a):")
+	names := kem.Names()
+	sort.Strings(names)
+	for _, n := range names {
+		k, _ := kem.ByName(n)
+		fmt.Printf("  %-16s level %d  pk %5dB  ct %5dB\n", n, k.Level(), k.PublicKeySize(), k.CiphertextSize())
+	}
+	fmt.Println("Signature algorithms (Tables 2b/4b):")
+	for _, n := range sig.Names() {
+		s, _ := sig.ByName(n)
+		fmt.Printf("  %-20s level %d  pk %5dB  sig %5dB\n", n, s.Level(), s.PublicKeySize(), s.SignatureSize())
+	}
+}

@@ -1,0 +1,64 @@
+// Command pqtls-client is the reproduction's analog of `openssl s_client`:
+// it performs PQ TLS 1.3 handshakes against cmd/pqtls-server over real TCP
+// and reports per-handshake latency (repeat with -n for a quick benchmark).
+//
+//	pqtls-client -connect 127.0.0.1:8443 -kem kyber512 -sig dilithium2 -root root.cert -n 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"sort"
+	"time"
+
+	"pqtls"
+	"pqtls/internal/pki"
+)
+
+func main() {
+	addr := flag.String("connect", "127.0.0.1:8443", "server address")
+	kemName := flag.String("kem", "x25519", "key agreement")
+	sigName := flag.String("sig", "rsa:2048", "expected certificate algorithm")
+	rootFile := flag.String("root", "root.cert", "trusted root certificate file")
+	n := flag.Int("n", 1, "number of sequential handshakes")
+	flag.Parse()
+
+	rootBytes, err := os.ReadFile(*rootFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	root, err := pki.Unmarshal(rootBytes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := &pqtls.Config{
+		KEMName: *kemName, SigName: *sigName, ServerName: "server.example",
+		Roots: pqtls.NewCertPool(root),
+	}
+
+	var latencies []time.Duration
+	for i := 0; i < *n; i++ {
+		conn, err := net.Dial("tcp", *addr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		cli, err := pqtls.ClientHandshake(conn, cfg)
+		if err != nil {
+			log.Fatalf("handshake %d: %v", i, err)
+		}
+		d := time.Since(start)
+		latencies = append(latencies, d)
+		conn.Close()
+		if i == 0 {
+			fmt.Printf("connected: %s certificate for %q\n",
+				cli.ServerCert.Algorithm, cli.ServerCert.Subject)
+		}
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	fmt.Printf("%d handshakes: median %v, min %v, max %v\n",
+		*n, latencies[len(latencies)/2], latencies[0], latencies[len(latencies)-1])
+}

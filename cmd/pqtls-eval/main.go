@@ -1,0 +1,69 @@
+// Command pqtls-eval implements the artifact's offline-evaluation workflow:
+// it reads libpcap captures (as produced by `pqbench capture` or any
+// tcpdump of a pqtls handshake on the simulated addressing scheme),
+// reconstructs the TCP streams, and extracts the paper's black-box
+// handshake phases without any key material — exactly what the paper's
+// timestamper node does.
+//
+//	pqtls-eval handshake.pcap [more.pcap ...]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"pqtls/internal/netsim"
+	"pqtls/internal/nettap"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: pqtls-eval <capture.pcap> [...]")
+		os.Exit(2)
+	}
+	fmt.Println("file,partA_ms,partB_ms,partAll_ms,packets")
+	for _, path := range os.Args[1:] {
+		if err := evaluate(path); err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+	}
+}
+
+func evaluate(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	frames, times, err := nettap.ReadPcap(f)
+	if err != nil {
+		return err
+	}
+	ts := nettap.NewTimestamper()
+	for i, frame := range frames {
+		ts.Tap(directionOf(frame), times[i], frame)
+	}
+	phases, ok := ts.Phases()
+	if !ok {
+		return fmt.Errorf("capture does not contain a complete handshake (%d decode errors)", ts.DecodeErrors())
+	}
+	fmt.Printf("%s,%.4f,%.4f,%.4f,%d\n", path,
+		msf(phases.PartA), msf(phases.PartB), msf(phases.Total()), len(frames))
+	return nil
+}
+
+// directionOf classifies a frame by its source IP (10.0.0.1 = client).
+func directionOf(frame []byte) netsim.Direction {
+	var eth nettap.Ethernet
+	var ip nettap.IPv4
+	if eth.DecodeFromBytes(frame) == nil && ip.DecodeFromBytes(eth.LayerPayload()) == nil {
+		if ip.SrcIP == [4]byte{10, 0, 0, 2} {
+			return netsim.ServerToClient
+		}
+	}
+	return netsim.ClientToServer
+}
+
+func msf(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -1,0 +1,77 @@
+// Command pqtls-server is the reproduction's analog of `openssl s_server`:
+// it answers PQ TLS 1.3 handshakes over real TCP sockets. The matching
+// client is cmd/pqtls-client. The root certificate is written to a file the
+// client loads.
+//
+//	pqtls-server -listen :8443 -kem kyber512 -sig dilithium2 -root root.cert
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"os"
+	"time"
+
+	"pqtls"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:8443", "listen address")
+	kemName := flag.String("kem", "x25519", "key agreement (see pqbench list)")
+	sigName := flag.String("sig", "rsa:2048", "certificate signature algorithm")
+	rootOut := flag.String("root", "root.cert", "file to write the root certificate to")
+	buffer := flag.String("buffer", "immediate", "flight buffering: default|immediate")
+	flag.Parse()
+
+	root, rootPriv, err := pqtls.SelfSigned("PQTLS Root CA", *sigName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scheme, err := pqtls.SignatureByName(*sigName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	leafPub, leafPriv, err := scheme.GenerateKey(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	leaf, err := pqtls.IssueCertificate(2, "server.example", *sigName, leafPub, root, rootPriv)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*rootOut, root.Marshal(), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("root certificate written to %s", *rootOut)
+
+	policy := pqtls.BufferImmediate
+	if *buffer == "default" {
+		policy = pqtls.BufferDefault
+	}
+	cfg := &pqtls.Config{
+		KEMName: *kemName, SigName: *sigName, ServerName: "server.example",
+		Chain: []*pqtls.Certificate{leaf}, PrivateKey: leafPriv, Buffer: policy,
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on %s (kem=%s sig=%s)", *listen, *kemName, *sigName)
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Fatal(err)
+		}
+		go func(conn net.Conn) {
+			defer conn.Close()
+			start := time.Now()
+			if _, err := pqtls.ServerHandshake(conn, cfg); err != nil {
+				log.Printf("%s: handshake failed: %v", conn.RemoteAddr(), err)
+				return
+			}
+			log.Printf("%s: handshake complete in %v", conn.RemoteAddr(), time.Since(start))
+		}(conn)
+	}
+}

@@ -1,0 +1,57 @@
+// Hybrid-migration example: quantify the paper's core recommendation.
+//
+// Section 6 concludes that hybrid algorithms (classical + PQ combined so an
+// attacker must break both) carry essentially no performance penalty on
+// NIST level 1, while on higher levels the classical component becomes the
+// bottleneck. This example measures pure-classical, pure-PQ, and hybrid
+// suites at each level and prints the overhead of going hybrid.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"pqtls"
+)
+
+func measure(kem, sig string) time.Duration {
+	r, err := pqtls.RunCampaign(pqtls.CampaignOptions{
+		KEM: kem, Sig: sig, Link: pqtls.ScenarioTestbed,
+		Buffer: pqtls.BufferImmediate, Samples: 9, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return r.TotalMedian
+}
+
+func main() {
+	fmt.Println("Hybrid key agreement overhead (median handshake, rsa:2048 certificates)")
+	fmt.Println()
+	levels := []struct {
+		level                 int
+		classical, pq, hybrid string
+	}{
+		{1, "p256", "kyber512", "p256_kyber512"},
+		{3, "p384", "kyber768", "p384_kyber768"},
+		{5, "p521", "kyber1024", "p521_kyber1024"},
+	}
+	fmt.Printf("%-6s %-12s %-12s %-12s %s\n", "level", "classical", "pure PQ", "hybrid", "hybrid vs PQ")
+	for _, l := range levels {
+		c := measure(l.classical, "rsa:2048")
+		p := measure(l.pq, "rsa:2048")
+		h := measure(l.hybrid, "rsa:2048")
+		overhead := float64(h-p) / float64(p) * 100
+		fmt.Printf("L%-5d %-12s %-12s %-12s %+.0f%%\n",
+			l.level,
+			c.Round(10*time.Microsecond),
+			p.Round(10*time.Microsecond),
+			h.Round(10*time.Microsecond),
+			overhead)
+	}
+	fmt.Println()
+	fmt.Println("Reading: on level 1 the hybrid is nearly free; on levels 3/5 the")
+	fmt.Println("classical ECDH becomes the bottleneck and pure PQ pulls ahead —")
+	fmt.Println("exactly the pattern in the paper's Table 2a and Figure 4.")
+}

@@ -1,0 +1,3 @@
+module pqtls
+
+go 1.22

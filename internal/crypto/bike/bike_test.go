@@ -1,0 +1,155 @@
+package bike
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSizes(t *testing.T) {
+	t.Parallel()
+	if got := BikeL1.PublicKeySize(); got != 1541 {
+		t.Errorf("bikel1 pk size %d, want 1541", got)
+	}
+	if got := BikeL1.CiphertextSize(); got != 1573 {
+		t.Errorf("bikel1 ct size %d, want 1573", got)
+	}
+	if got := BikeL3.PublicKeySize(); got != 3083 {
+		t.Errorf("bikel3 pk size %d, want 3083", got)
+	}
+	if got := BikeL3.CiphertextSize(); got != 3115 {
+		t.Errorf("bikel3 ct size %d, want 3115", got)
+	}
+}
+
+func TestRoundtripL1(t *testing.T) {
+	t.Parallel()
+	testRoundtrip(t, BikeL1, 5)
+}
+
+func TestRoundtripL3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	t.Parallel()
+	testRoundtrip(t, BikeL3, 2)
+}
+
+func testRoundtrip(t *testing.T, p *Params, encaps int) {
+	pk, sk, err := p.GenerateKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pk) != p.PublicKeySize() || len(sk) != p.PrivateKeySize() {
+		t.Fatalf("key sizes pk=%d sk=%d", len(pk), len(sk))
+	}
+	// The bit-flipping decoder is probabilistic; every honest encapsulation
+	// must still decapsulate to the same secret.
+	for i := 0; i < encaps; i++ {
+		ct, ss1, err := p.Encapsulate(nil, pk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ct) != p.CiphertextSize() {
+			t.Fatalf("ct size %d, want %d", len(ct), p.CiphertextSize())
+		}
+		ss2, err := p.Decapsulate(sk, ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ss1, ss2) {
+			t.Fatalf("encapsulation %d: shared secrets differ (decoder failure)", i)
+		}
+	}
+}
+
+func TestImplicitRejection(t *testing.T) {
+	t.Parallel()
+	p := BikeL1
+	pk, sk, err := p.GenerateKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, ss1, err := p.Encapsulate(nil, pk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit of c1 (the masked message): decoding succeeds but the FO
+	// re-derivation check must fail, yielding a different, deterministic key.
+	bad := bytes.Clone(ct)
+	bad[len(bad)-1] ^= 1
+	ssA, err := p.Decapsulate(sk, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(ss1, ssA) {
+		t.Error("tampered ciphertext produced the honest shared secret")
+	}
+	ssB, err := p.Decapsulate(sk, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ssA, ssB) {
+		t.Error("implicit rejection is not deterministic")
+	}
+}
+
+func TestErrorDerivationWeight(t *testing.T) {
+	t.Parallel()
+	for _, p := range []*Params{BikeL1, BikeL3} {
+		m := bytes.Repeat([]byte{0xab}, 32)
+		e0, e1 := p.deriveErrors(m)
+		if len(e0)+len(e1) != p.T {
+			t.Errorf("%s: error weight %d, want %d", p.Name, len(e0)+len(e1), p.T)
+		}
+		// Deterministic in m.
+		f0, f1 := p.deriveErrors(m)
+		if len(f0) != len(e0) || len(f1) != len(e1) {
+			t.Errorf("%s: error derivation not deterministic", p.Name)
+		}
+	}
+}
+
+func TestWrongSizesRejected(t *testing.T) {
+	t.Parallel()
+	p := BikeL1
+	if _, _, err := p.Encapsulate(nil, make([]byte, 8)); err == nil {
+		t.Error("short public key accepted")
+	}
+	_, sk, _ := p.GenerateKey(nil)
+	if _, err := p.Decapsulate(sk, make([]byte, 8)); err == nil {
+		t.Error("short ciphertext accepted")
+	}
+	if _, err := p.Decapsulate(sk[:9], make([]byte, p.CiphertextSize())); err == nil {
+		t.Error("short private key accepted")
+	}
+}
+
+func BenchmarkBikeL1(b *testing.B) {
+	p := BikeL1
+	pk, sk, err := p.GenerateKey(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("keygen", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := p.GenerateKey(nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("encaps", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := p.Encapsulate(nil, pk); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	ct, _, _ := p.Encapsulate(nil, pk)
+	b.Run("decaps", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Decapsulate(sk, ct); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,197 @@
+package falcon
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestNTTRoundtrip(t *testing.T) {
+	t.Parallel()
+	for _, p := range []*Params{Falcon512, Falcon1024} {
+		v := make([]int32, p.N)
+		s := int64(1)
+		for i := range v {
+			s = s*6364136223846793005 + 1442695040888963407
+			v[i] = int32(uint64(s) >> 40 % Q)
+		}
+		orig := append([]int32{}, v...)
+		nttN(v, p.LogN)
+		invNTTN(v, p.LogN)
+		for i := range v {
+			if v[i] != orig[i] {
+				t.Fatalf("%s: NTT roundtrip differs at %d", p.Name, i)
+			}
+		}
+	}
+}
+
+// NTT multiplication must match schoolbook multiplication in the negacyclic
+// ring (x^n = -1).
+func TestNTTMulMatchesSchoolbook(t *testing.T) {
+	t.Parallel()
+	p := Falcon512
+	a := make([]int32, p.N)
+	b := make([]int32, p.N)
+	for i := range a {
+		a[i] = int32((i*31 + 5) % Q)
+		b[i] = int32((i*77 + 1) % Q)
+	}
+	want := make([]int64, p.N)
+	for i := range a {
+		for j := range b {
+			prod := int64(a[i]) * int64(b[j]) % Q
+			k := i + j
+			if k >= p.N {
+				k -= p.N
+				prod = Q - prod
+			}
+			want[k] = (want[k] + prod) % Q
+		}
+	}
+	na := append([]int32{}, a...)
+	nb := append([]int32{}, b...)
+	nttN(na, p.LogN)
+	nttN(nb, p.LogN)
+	got := make([]int32, p.N)
+	for i := range got {
+		got[i] = fqmul(na[i], nb[i])
+	}
+	invNTTN(got, p.LogN)
+	for i := range got {
+		if int64(got[i]) != want[i]%Q {
+			t.Fatalf("mismatch at %d: got %d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSizes(t *testing.T) {
+	t.Parallel()
+	// These are real Falcon's exact wire sizes; Table 2b's data volumes
+	// depend on them.
+	if Falcon512.PublicKeySize() != 897 || Falcon512.SignatureSize() != 666 {
+		t.Errorf("falcon512 sizes: pk=%d sig=%d", Falcon512.PublicKeySize(), Falcon512.SignatureSize())
+	}
+	if Falcon1024.PublicKeySize() != 1793 || Falcon1024.SignatureSize() != 1280 {
+		t.Errorf("falcon1024 sizes: pk=%d sig=%d", Falcon1024.PublicKeySize(), Falcon1024.SignatureSize())
+	}
+}
+
+func TestSignVerify(t *testing.T) {
+	t.Parallel()
+	for _, p := range []*Params{Falcon512, Falcon1024} {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			pk, sk, err := p.GenerateKey(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(pk) != p.PublicKeySize() || len(sk) != p.PrivateKeySize() {
+				t.Fatalf("key sizes pk=%d sk=%d", len(pk), len(sk))
+			}
+			msg := []byte("CertificateVerify payload")
+			sig, err := p.Sign(sk, msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(sig) != p.SignatureSize() {
+				t.Fatalf("sig size %d, want %d", len(sig), p.SignatureSize())
+			}
+			if !p.Verify(pk, msg, sig) {
+				t.Fatal("valid signature rejected")
+			}
+			if p.Verify(pk, []byte("wrong message"), sig) {
+				t.Error("signature verified for wrong message")
+			}
+		})
+	}
+}
+
+func TestTamperedSignatureRejected(t *testing.T) {
+	t.Parallel()
+	p := Falcon512
+	pk, sk, _ := p.GenerateKey(nil)
+	msg := []byte("m")
+	sig, err := p.Sign(sk, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pos := range []int{0, 1, 30, 400, 664} {
+		bad := bytes.Clone(sig)
+		bad[pos] ^= 0x08
+		if p.Verify(pk, msg, bad) {
+			t.Errorf("tampered signature (byte %d) accepted", pos)
+		}
+	}
+	// Non-zero padding must be rejected.
+	bad := bytes.Clone(sig)
+	bad[len(bad)-1] = 0x01
+	if p.Verify(pk, msg, bad) {
+		t.Error("signature with non-zero padding accepted")
+	}
+}
+
+func TestWrongKeyRejected(t *testing.T) {
+	t.Parallel()
+	p := Falcon512
+	pk1, _, _ := p.GenerateKey(nil)
+	_, sk2, _ := p.GenerateKey(nil)
+	sig, err := p.Sign(sk2, []byte("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Verify(pk1, []byte("m"), sig) {
+		t.Error("signature verified under unrelated key")
+	}
+}
+
+func TestManySignatures(t *testing.T) {
+	t.Parallel()
+	// The abort loop must terminate quickly and always produce verifiable
+	// signatures across many messages.
+	p := Falcon512
+	pk, sk, _ := p.GenerateKey(nil)
+	for i := 0; i < 25; i++ {
+		msg := []byte{byte(i), byte(i >> 8), 0xAA}
+		sig, err := p.Sign(sk, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.Verify(pk, msg, sig) {
+			t.Fatalf("signature %d rejected", i)
+		}
+	}
+}
+
+func TestHighBitsRange(t *testing.T) {
+	t.Parallel()
+	for r := int32(0); r < Q; r++ {
+		h := highBits(r)
+		if h < 0 || h > 3 {
+			t.Fatalf("highBits(%d) = %d out of range", r, h)
+		}
+	}
+}
+
+func benchFalcon(b *testing.B, p *Params) {
+	pk, sk, _ := p.GenerateKey(nil)
+	msg := make([]byte, 64)
+	b.Run("sign", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Sign(sk, msg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	sig, _ := p.Sign(sk, msg)
+	b.Run("verify", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if !p.Verify(pk, msg, sig) {
+				b.Fatal("verify failed")
+			}
+		}
+	})
+}
+
+func BenchmarkFalcon512(b *testing.B)  { benchFalcon(b, Falcon512) }
+func BenchmarkFalcon1024(b *testing.B) { benchFalcon(b, Falcon1024) }

@@ -1,0 +1,109 @@
+package falcon
+
+import "sync"
+
+// aOnce caches the fixed public ring elements per degree.
+var aOnce = struct {
+	mu sync.Mutex
+	m  map[int][]int32
+}{m: map[int][]int32{}}
+
+func fqmul(a, b int32) int32 {
+	return int32(int64(a) * int64(b) % Q)
+}
+
+func freduce(a int32) int32 {
+	a %= Q
+	if a < 0 {
+		a += Q
+	}
+	return a
+}
+
+func modpow(b, e int64) int32 {
+	r := int64(1)
+	b %= Q
+	for ; e > 0; e >>= 1 {
+		if e&1 == 1 {
+			r = r * b % Q
+		}
+		b = b * b % Q
+	}
+	return int32(r)
+}
+
+// zetaTables caches the bit-reversed powers of the 2n-th root of unity for
+// each supported degree.
+var zetaTables = struct {
+	mu sync.Mutex
+	m  map[int][]int32
+}{m: map[int][]int32{}}
+
+// primitiveRoot finds a generator of Z_q^* (q-1 = 2^12 * 3).
+func primitiveRoot() int32 {
+	for g := int32(2); ; g++ {
+		if modpow(int64(g), (Q-1)/2) != 1 && modpow(int64(g), (Q-1)/3) != 1 {
+			return g
+		}
+	}
+}
+
+func zetasFor(n int, logn uint) []int32 {
+	zetaTables.mu.Lock()
+	defer zetaTables.mu.Unlock()
+	if z, ok := zetaTables.m[n]; ok {
+		return z
+	}
+	g := primitiveRoot()
+	psi := modpow(int64(g), int64((Q-1)/(2*n))) // primitive 2n-th root
+	z := make([]int32, n)
+	for i := 0; i < n; i++ {
+		br := 0
+		for b := uint(0); b < logn; b++ {
+			br |= (i >> b & 1) << (logn - 1 - b)
+		}
+		z[i] = modpow(int64(psi), int64(br))
+	}
+	zetaTables.m[n] = z
+	return z
+}
+
+// nttN transforms p (length 2^logn) into the negacyclic NTT domain.
+func nttN(p []int32, logn uint) {
+	n := len(p)
+	zetas := zetasFor(n, logn)
+	k := 1
+	for l := n / 2; l >= 1; l >>= 1 {
+		for start := 0; start < n; start += 2 * l {
+			zeta := zetas[k]
+			k++
+			for j := start; j < start+l; j++ {
+				t := fqmul(zeta, p[j+l])
+				p[j+l] = freduce(p[j] - t)
+				p[j] = freduce(p[j] + t)
+			}
+		}
+	}
+}
+
+// invNTTN is the inverse transform (reflected-zeta Gentleman-Sande form).
+func invNTTN(p []int32, logn uint) {
+	n := len(p)
+	zetas := zetasFor(n, logn)
+	k := n - 1
+	for l := 1; l <= n/2; l <<= 1 {
+		for start := 0; start < n; start += 2 * l {
+			zeta := zetas[k]
+			k--
+			for j := start; j < start+l; j++ {
+				t := p[j]
+				p[j] = freduce(t + p[j+l])
+				p[j+l] = fqmul(zeta, freduce(p[j+l]-t+Q))
+			}
+		}
+	}
+	nInv := modpow(int64(n), Q-2)
+	for i := range p {
+		p[i] = fqmul(p[i], nInv)
+	}
+}

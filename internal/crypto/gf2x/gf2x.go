@@ -1,0 +1,281 @@
+// Package gf2x implements dense and sparse polynomial arithmetic over
+// GF(2)[x]/(x^r - 1), the quasi-cyclic rings underlying the code-based KEMs
+// HQC and BIKE. Polynomials are bit vectors packed into uint64 words.
+package gf2x
+
+import (
+	"io"
+	"math/bits"
+)
+
+// Poly is a dense polynomial modulo x^r - 1. The unused high bits of the
+// last word are always zero.
+type Poly struct {
+	w []uint64
+	r int
+}
+
+// New returns the zero polynomial in the ring of size r.
+func New(r int) *Poly {
+	return &Poly{w: make([]uint64, (r+63)/64), r: r}
+}
+
+// R returns the ring size (number of coefficient bits).
+func (p *Poly) R() int { return p.r }
+
+// Clone returns a deep copy of p.
+func (p *Poly) Clone() *Poly {
+	q := New(p.r)
+	copy(q.w, p.w)
+	return q
+}
+
+// SetBit sets coefficient i to 1.
+func (p *Poly) SetBit(i int) { p.w[i/64] |= 1 << (i % 64) }
+
+// FlipBit toggles coefficient i.
+func (p *Poly) FlipBit(i int) { p.w[i/64] ^= 1 << (i % 64) }
+
+// Bit returns coefficient i.
+func (p *Poly) Bit(i int) int { return int(p.w[i/64] >> (i % 64) & 1) }
+
+// Xor adds q into p (GF(2) addition).
+func (p *Poly) Xor(q *Poly) {
+	for i, w := range q.w {
+		p.w[i] ^= w
+	}
+}
+
+// Weight returns the Hamming weight of p.
+func (p *Poly) Weight() int {
+	n := 0
+	for _, w := range p.w {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// IsZero reports whether p is the zero polynomial.
+func (p *Poly) IsZero() bool {
+	for _, w := range p.w {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether p and q are identical.
+func (p *Poly) Equal(q *Poly) bool {
+	if p.r != q.r {
+		return false
+	}
+	for i, w := range p.w {
+		if w != q.w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// mask clears the unused bits above r in the last word.
+func (p *Poly) mask() {
+	if p.r%64 != 0 {
+		p.w[len(p.w)-1] &= 1<<(p.r%64) - 1
+	}
+}
+
+// RotateInto sets dst = p * x^k (cyclic left rotation of the coefficient
+// vector by k positions). dst must not alias p.
+func (p *Poly) RotateInto(dst *Poly, k int) {
+	k %= p.r
+	if k < 0 {
+		k += p.r
+	}
+	wide := make([]uint64, (2*p.r+63)/64)
+	p.rotateIntoScratch(dst, k, wide)
+}
+
+// rotateIntoScratch is RotateInto with a caller-provided scratch buffer of
+// at least (2r+63)/64 words, allowing hot loops to avoid allocation.
+func (p *Poly) rotateIntoScratch(dst *Poly, k int, wide []uint64) {
+	for i := range wide {
+		wide[i] = 0
+	}
+	// p has degree < r and k < r, so p * x^k fits in 2r bits; one fold of
+	// the bits at positions [r, 2r) back to [0, r) completes the reduction
+	// modulo x^r - 1.
+	xorShifted(wide, p.w, k)
+	for i := range dst.w {
+		dst.w[i] = wide[i]
+	}
+	dst.mask()
+	foldHigh(dst, wide, p.r)
+}
+
+// foldHigh XORs the bits of wide at positions [r, 2r) into dst at [0, r).
+func foldHigh(dst *Poly, wide []uint64, r int) {
+	wordShift, bitShift := r/64, uint(r%64)
+	for i := 0; i < len(dst.w); i++ {
+		var w uint64
+		if i+wordShift < len(wide) {
+			w = wide[i+wordShift] >> bitShift
+		}
+		if bitShift != 0 && i+wordShift+1 < len(wide) {
+			w |= wide[i+wordShift+1] << (64 - bitShift)
+		}
+		dst.w[i] ^= w
+	}
+	dst.mask()
+}
+
+// MulSparse sets dst = p * q where q is given by its support positions.
+// dst must not alias p.
+func (p *Poly) MulSparse(dst *Poly, support []int) {
+	for i := range dst.w {
+		dst.w[i] = 0
+	}
+	tmp := New(p.r)
+	wide := make([]uint64, (2*p.r+63)/64)
+	for _, pos := range support {
+		p.rotateIntoScratch(tmp, pos, wide)
+		dst.Xor(tmp)
+	}
+}
+
+// Bytes serializes p little-endian (bit i of the ring is bit i%8 of byte
+// i/8), producing ceil(r/8) bytes.
+func (p *Poly) Bytes() []byte {
+	out := make([]byte, (p.r+7)/8)
+	for i := range out {
+		out[i] = byte(p.w[i/8] >> (8 * (i % 8)))
+	}
+	return out
+}
+
+// FromBytes deserializes the encoding produced by Bytes. Extra bits beyond
+// r are cleared.
+func FromBytes(data []byte, r int) *Poly {
+	p := New(r)
+	for i, b := range data {
+		if i/8 >= len(p.w) {
+			break
+		}
+		p.w[i/8] |= uint64(b) << (8 * (i % 8))
+	}
+	p.mask()
+	return p
+}
+
+// Random fills p with uniform bits from rng.
+func Random(rng io.Reader, r int) (*Poly, error) {
+	buf := make([]byte, (r+7)/8)
+	if _, err := io.ReadFull(rng, buf); err != nil {
+		return nil, err
+	}
+	return FromBytes(buf, r), nil
+}
+
+// RandomSupport samples weight distinct positions in [0, r) from the random
+// stream (rejection sampling on 32-bit values), returning a sorted-free list.
+func RandomSupport(rng io.Reader, r, weight int) ([]int, error) {
+	seen := make(map[int]bool, weight)
+	out := make([]int, 0, weight)
+	var buf [4]byte
+	// Rejection bound: accept only below the largest multiple of r so that
+	// the reduced value is uniform.
+	limit := uint32(1<<32 - uint64(1<<32)%uint64(r))
+	for len(out) < weight {
+		if _, err := io.ReadFull(rng, buf[:]); err != nil {
+			return nil, err
+		}
+		v := uint32(buf[0]) | uint32(buf[1])<<8 | uint32(buf[2])<<16 | uint32(buf[3])<<24
+		if limit != 0 && v >= limit {
+			continue
+		}
+		pos := int(v % uint32(r))
+		if !seen[pos] {
+			seen[pos] = true
+			out = append(out, pos)
+		}
+	}
+	return out, nil
+}
+
+// degree returns the degree of the polynomial stored in w (-1 for zero).
+func degree(w []uint64) int {
+	for i := len(w) - 1; i >= 0; i-- {
+		if w[i] != 0 {
+			return 64*i + 63 - bits.LeadingZeros64(w[i])
+		}
+	}
+	return -1
+}
+
+// xorShifted computes dst ^= src << k for word slices.
+func xorShifted(dst, src []uint64, k int) {
+	wordShift, bitShift := k/64, uint(k%64)
+	for i := len(src) - 1; i >= 0; i-- {
+		if src[i] == 0 {
+			continue
+		}
+		lo := i + wordShift
+		if lo < len(dst) {
+			dst[lo] ^= src[i] << bitShift
+		}
+		if bitShift != 0 && lo+1 < len(dst) {
+			dst[lo+1] ^= src[i] >> (64 - bitShift)
+		}
+	}
+}
+
+// Inverse computes p^-1 mod (x^r - 1) using the extended Euclidean
+// algorithm over GF(2)[x]. It returns ok=false when p is not invertible
+// (gcd(p, x^r-1) != 1).
+func (p *Poly) Inverse() (*Poly, bool) {
+	r := p.r
+	words := (r + 1 + 63) / 64 // room for x^r itself
+
+	u := make([]uint64, words)
+	copy(u, p.w)
+	v := make([]uint64, words)
+	v[r/64] |= 1 << (r % 64) // x^r
+	v[0] |= 1                // + 1  (x^r - 1 == x^r + 1 over GF(2))
+
+	g1 := make([]uint64, words)
+	g1[0] = 1
+	g2 := make([]uint64, words)
+
+	du, dv := degree(u), degree(v)
+	if du < 0 {
+		return nil, false
+	}
+	for du > 0 {
+		if du < dv {
+			u, v = v, u
+			g1, g2 = g2, g1
+			du, dv = dv, du
+		}
+		shift := du - dv
+		xorShifted(u, v, shift)
+		xorShifted(g1, g2, shift)
+		du = degree(u)
+		if du < 0 {
+			return nil, false // gcd has degree > 0
+		}
+	}
+	// u is the unit 1, so g1 is the inverse; reduce g1 mod x^r - 1 (its
+	// degree is already < r by construction, but the top word may carry).
+	inv := New(r)
+	copy(inv.w, g1[:len(inv.w)])
+	if deg := degree(g1); deg >= r {
+		// Fold any overflow bits back (x^r == 1).
+		for i := r; i <= deg; i++ {
+			if g1[i/64]>>(i%64)&1 == 1 {
+				inv.FlipBit(i - r)
+			}
+		}
+	}
+	inv.mask()
+	return inv, true
+}

@@ -1,0 +1,198 @@
+package gf2x
+
+import (
+	"crypto/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Small odd ring sizes plus the real HQC/BIKE sizes.
+var testRings = []int{7, 64, 65, 127, 12323, 17669}
+
+func TestRotateSmall(t *testing.T) {
+	t.Parallel()
+	// In the ring of size 7: x^3 * x^5 = x^8 = x.
+	p := New(7)
+	p.SetBit(3)
+	q := New(7)
+	p.RotateInto(q, 5)
+	if q.Bit(1) != 1 || q.Weight() != 1 {
+		t.Errorf("x^3 * x^5 mod x^7-1: got weight %d, bit1=%d", q.Weight(), q.Bit(1))
+	}
+}
+
+func TestRotateIsBijective(t *testing.T) {
+	t.Parallel()
+	for _, r := range []int{7, 64, 65, 127} {
+		p, err := Random(rand.Reader, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int{0, 1, r - 1, r / 2} {
+			q := New(r)
+			p.RotateInto(q, k)
+			back := New(r)
+			q.RotateInto(back, r-k)
+			if !back.Equal(p) {
+				t.Errorf("r=%d k=%d: rotate forward+back is not identity", r, k)
+			}
+			if q.Weight() != p.Weight() {
+				t.Errorf("r=%d k=%d: rotation changed weight %d -> %d", r, k, p.Weight(), q.Weight())
+			}
+		}
+	}
+}
+
+// Property: rotation agrees with the naive bit-by-bit rotation.
+func TestQuickRotateMatchesNaive(t *testing.T) {
+	t.Parallel()
+	f := func(seed []byte, kRaw uint16) bool {
+		r := 131
+		p := FromBytes(seed, r)
+		k := int(kRaw) % r
+		got := New(r)
+		p.RotateInto(got, k)
+		want := New(r)
+		for i := 0; i < r; i++ {
+			if p.Bit(i) == 1 {
+				want.FlipBit((i + k) % r)
+			}
+		}
+		return got.Equal(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBytesRoundtrip(t *testing.T) {
+	t.Parallel()
+	for _, r := range testRings {
+		p, err := Random(rand.Reader, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := FromBytes(p.Bytes(), r)
+		if !q.Equal(p) {
+			t.Errorf("r=%d: Bytes/FromBytes roundtrip failed", r)
+		}
+		if len(p.Bytes()) != (r+7)/8 {
+			t.Errorf("r=%d: encoding is %d bytes, want %d", r, len(p.Bytes()), (r+7)/8)
+		}
+	}
+}
+
+func TestMulSparseDistributes(t *testing.T) {
+	t.Parallel()
+	r := 127
+	p, _ := Random(rand.Reader, r)
+	// p * (x^a + x^b) == rot(p,a) + rot(p,b)
+	got := New(r)
+	p.MulSparse(got, []int{3, 77})
+	wa, wb := New(r), New(r)
+	p.RotateInto(wa, 3)
+	p.RotateInto(wb, 77)
+	wa.Xor(wb)
+	if !got.Equal(wa) {
+		t.Error("sparse multiplication does not distribute over rotations")
+	}
+}
+
+func TestInverseSmall(t *testing.T) {
+	t.Parallel()
+	// In GF(2)[x]/(x^7-1): invert x (inverse is x^6).
+	p := New(7)
+	p.SetBit(1)
+	inv, ok := p.Inverse()
+	if !ok {
+		t.Fatal("x should be invertible mod x^7-1")
+	}
+	if inv.Bit(6) != 1 || inv.Weight() != 1 {
+		t.Errorf("inverse of x: got weight %d", inv.Weight())
+	}
+}
+
+func TestInverseRoundtrip(t *testing.T) {
+	t.Parallel()
+	// BIKE-style: random odd-weight polynomial in the real L1 ring size.
+	r := 12323
+	support, err := RandomSupport(rand.Reader, r, 71)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := New(r)
+	for _, pos := range support {
+		h.SetBit(pos)
+	}
+	inv, ok := h.Inverse()
+	if !ok {
+		t.Fatal("odd-weight polynomial should be invertible for BIKE's r")
+	}
+	// h * inv must be 1: multiply inv (dense) by h (sparse support).
+	prod := New(r)
+	inv.MulSparse(prod, support)
+	if prod.Weight() != 1 || prod.Bit(0) != 1 {
+		t.Errorf("h * h^-1 != 1 (weight %d)", prod.Weight())
+	}
+}
+
+func TestNonInvertible(t *testing.T) {
+	t.Parallel()
+	// Even-weight polynomials are divisible by x+1, hence not invertible.
+	p := New(127)
+	p.SetBit(0)
+	p.SetBit(5)
+	if _, ok := p.Inverse(); ok {
+		t.Error("even-weight polynomial reported invertible")
+	}
+	if _, ok := New(127).Inverse(); ok {
+		t.Error("zero polynomial reported invertible")
+	}
+}
+
+func TestRandomSupport(t *testing.T) {
+	t.Parallel()
+	sup, err := RandomSupport(rand.Reader, 12323, 134)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sup) != 134 {
+		t.Fatalf("got %d positions, want 134", len(sup))
+	}
+	seen := map[int]bool{}
+	for _, pos := range sup {
+		if pos < 0 || pos >= 12323 {
+			t.Fatalf("position %d out of range", pos)
+		}
+		if seen[pos] {
+			t.Fatalf("duplicate position %d", pos)
+		}
+		seen[pos] = true
+	}
+}
+
+func BenchmarkInverse12323(b *testing.B) {
+	r := 12323
+	support, _ := RandomSupport(rand.Reader, r, 71)
+	h := New(r)
+	for _, pos := range support {
+		h.SetBit(pos)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := h.Inverse(); !ok {
+			b.Fatal("not invertible")
+		}
+	}
+}
+
+func BenchmarkMulSparse17669(b *testing.B) {
+	r := 17669
+	p, _ := Random(rand.Reader, r)
+	support, _ := RandomSupport(rand.Reader, r, 66)
+	dst := New(r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.MulSparse(dst, support)
+	}
+}

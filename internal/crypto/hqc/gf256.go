@@ -1,0 +1,69 @@
+package hqc
+
+// GF(256) arithmetic for the Reed-Solomon outer code, using the AES-adjacent
+// primitive polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11D) with generator 2,
+// as in the HQC reference implementation.
+
+const gfPoly = 0x11D
+
+var (
+	gfExp [512]byte // doubled to avoid mod-255 in mul
+	gfLog [256]byte
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		gfExp[i] = byte(x)
+		gfLog[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= gfPoly
+		}
+	}
+	for i := 255; i < 512; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+}
+
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+int(gfLog[b])]
+}
+
+func gfDiv(a, b byte) byte {
+	if a == 0 {
+		return 0
+	}
+	if b == 0 {
+		panic("hqc: division by zero in GF(256)")
+	}
+	return gfExp[int(gfLog[a])+255-int(gfLog[b])]
+}
+
+func gfInv(a byte) byte {
+	if a == 0 {
+		panic("hqc: inverse of zero in GF(256)")
+	}
+	return gfExp[255-int(gfLog[a])]
+}
+
+// gfPow returns alpha^e for the field generator alpha = 2.
+func gfPow(e int) byte {
+	e %= 255
+	if e < 0 {
+		e += 255
+	}
+	return gfExp[e]
+}
+
+// polyEval evaluates p (coefficients low-to-high) at x.
+func polyEval(p []byte, x byte) byte {
+	var y byte
+	for i := len(p) - 1; i >= 0; i-- {
+		y = gfMul(y, x) ^ p[i]
+	}
+	return y
+}

@@ -1,0 +1,224 @@
+package hqc
+
+import (
+	"bytes"
+	"testing"
+)
+
+var allParams = []*Params{HQC128, HQC192, HQC256}
+
+// Wire sizes must match the HQC specification tables exactly (these drive
+// the paper's data-volume results).
+func TestSizes(t *testing.T) {
+	t.Parallel()
+	want := []struct {
+		p      *Params
+		pk, ct int
+	}{
+		{HQC128, 2249, 4481},
+		{HQC192, 4522, 9026},
+		{HQC256, 7245, 14469},
+	}
+	for _, w := range want {
+		if got := w.p.PublicKeySize(); got != w.pk {
+			t.Errorf("%s: pk size %d, want %d", w.p.Name, got, w.pk)
+		}
+		if got := w.p.CiphertextSize(); got != w.ct {
+			t.Errorf("%s: ct size %d, want %d", w.p.Name, got, w.ct)
+		}
+		if got := w.p.SharedSecretSize(); got != 64 {
+			t.Errorf("%s: ss size %d, want 64", w.p.Name, got)
+		}
+	}
+}
+
+func TestRoundtripAll(t *testing.T) {
+	t.Parallel()
+	for _, p := range allParams {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			pk, sk, err := p.GenerateKey(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 3; i++ {
+				ct, ss1, err := p.Encapsulate(nil, pk)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(ct) != p.CiphertextSize() {
+					t.Fatalf("ct size %d, want %d", len(ct), p.CiphertextSize())
+				}
+				ss2, err := p.Decapsulate(sk, ct)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(ss1, ss2) {
+					t.Fatal("shared secrets differ")
+				}
+			}
+		})
+	}
+}
+
+func TestImplicitRejection(t *testing.T) {
+	t.Parallel()
+	p := HQC128
+	pk, sk, err := p.GenerateKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, ss1, err := p.Encapsulate(nil, pk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pos := range []int{0, 2209, len(ct) - 1} { // u, v, and d parts
+		bad := bytes.Clone(ct)
+		bad[pos] ^= 1
+		ssA, err := p.Decapsulate(sk, bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Equal(ss1, ssA) {
+			t.Errorf("tampered ciphertext (byte %d) produced the honest secret", pos)
+		}
+		ssB, err := p.Decapsulate(sk, bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ssA, ssB) {
+			t.Errorf("implicit rejection not deterministic (byte %d)", pos)
+		}
+	}
+}
+
+func TestDeriveVectorsDeterministic(t *testing.T) {
+	t.Parallel()
+	p := HQC128
+	theta := bytes.Repeat([]byte{7}, 64)
+	r1a, r2a, ea := p.deriveVectors(theta)
+	r1b, r2b, eb := p.deriveVectors(theta)
+	for _, pair := range [][2][]int{{r1a, r1b}, {r2a, r2b}, {ea, eb}} {
+		if len(pair[0]) != p.Wr {
+			t.Fatalf("support weight %d, want %d", len(pair[0]), p.Wr)
+		}
+		for i := range pair[0] {
+			if pair[0][i] != pair[1][i] {
+				t.Fatal("deriveVectors is not deterministic")
+			}
+		}
+	}
+	// The three vectors must be mutually distinct (independent XOF labels).
+	same := 0
+	for i := range r1a {
+		if r1a[i] == r2a[i] {
+			same++
+		}
+	}
+	if same == len(r1a) {
+		t.Error("r1 and r2 identical: domain separation broken")
+	}
+}
+
+// The decoder must remove the real decryption noise across many
+// encapsulations — the paper-relevant correctness property (DFR ~ 2^-128
+// at spec parameters; any implementation slip shows up here immediately).
+func TestDecoderRemovesNoise(t *testing.T) {
+	t.Parallel()
+	p := HQC128
+	pk, sk, err := p.GenerateKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		ct, ss1, err := p.Encapsulate(nil, pk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ss2, err := p.Decapsulate(sk, ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ss1, ss2) {
+			t.Fatalf("decoding failure at encapsulation %d", i)
+		}
+	}
+}
+
+// The concatenated code must survive the worst-case noise density the
+// scheme produces (~0.34 per bit for hqc-128).
+func TestConcatCodeUnderBernoulliNoise(t *testing.T) {
+	t.Parallel()
+	p := HQC128
+	code := p.concat()
+	msg := []byte("sixteen byte msg")
+	clean := code.encode(msg)
+	rng := newXorshift(42)
+	for trial := 0; trial < 10; trial++ {
+		noisy := append([]byte{}, clean...)
+		for i := range noisy {
+			for b := 0; b < 8; b++ {
+				// p = 0.34 via threshold on 10-bit uniform.
+				if rng.next()%1024 < 348 {
+					noisy[i] ^= 1 << b
+				}
+			}
+		}
+		got, ok := code.decode(noisy)
+		if !ok || !bytes.Equal(got, msg) {
+			t.Fatalf("trial %d: decode failed under design-density noise", trial)
+		}
+	}
+}
+
+type xorshift struct{ s uint64 }
+
+func newXorshift(seed uint64) *xorshift { return &xorshift{s: seed} }
+
+func (x *xorshift) next() uint64 {
+	x.s ^= x.s << 13
+	x.s ^= x.s >> 7
+	x.s ^= x.s << 17
+	return x.s
+}
+
+func TestWrongSizesRejected(t *testing.T) {
+	t.Parallel()
+	p := HQC128
+	if _, _, err := p.Encapsulate(nil, make([]byte, 8)); err == nil {
+		t.Error("short public key accepted")
+	}
+	_, sk, _ := p.GenerateKey(nil)
+	if _, err := p.Decapsulate(sk, make([]byte, 8)); err == nil {
+		t.Error("short ciphertext accepted")
+	}
+	if _, err := p.Decapsulate(sk[:11], make([]byte, p.CiphertextSize())); err == nil {
+		t.Error("short private key accepted")
+	}
+}
+
+func benchHQC(b *testing.B, p *Params) {
+	pk, sk, err := p.GenerateKey(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("encaps", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := p.Encapsulate(nil, pk); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	ct, _, _ := p.Encapsulate(nil, pk)
+	b.Run("decaps", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Decapsulate(sk, ct); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkHQC128(b *testing.B) { benchHQC(b, HQC128) }
+func BenchmarkHQC256(b *testing.B) { benchHQC(b, HQC256) }

@@ -1,0 +1,106 @@
+package hqc
+
+// Duplicated Reed-Muller RM(1,7) — HQC's inner code. Each GF(256) symbol
+// (one byte) is encoded into a 128-bit first-order Reed-Muller codeword,
+// repeated `mult` times (3 for hqc-128, 5 for hqc-192/256). Decoding
+// accumulates the duplicates into per-position counters and runs a fast
+// Hadamard transform, picking the affine function with the largest
+// correlation — maximum-likelihood decoding for this code.
+
+const rmBits = 128 // RM(1,7) codeword length
+
+// rmEncode writes the mult-duplicated codeword of b into dst (a bit slice
+// of mult*128 bits, packed LSB-first into bytes).
+func rmEncode(b byte, mult int, dst []byte, bitOff int) {
+	// c_i = b0 XOR <a, i> with a = b>>1 (7 linear coefficients).
+	b0 := b & 1
+	a := b >> 1
+	for i := 0; i < rmBits; i++ {
+		bit := b0
+		x := a & byte(i)
+		// Parity of x.
+		x ^= x >> 4
+		x ^= x >> 2
+		x ^= x >> 1
+		bit ^= x & 1
+		if bit == 1 {
+			for d := 0; d < mult; d++ {
+				pos := bitOff + d*rmBits + i
+				dst[pos/8] |= 1 << (pos % 8)
+			}
+		}
+	}
+}
+
+// rmDecode reads mult*128 bits from src at bitOff and returns the
+// maximum-likelihood byte.
+func rmDecode(src []byte, bitOff, mult int) byte {
+	// Counter per position: +1 for bit 0, -1 for bit 1, across duplicates.
+	var counters [rmBits]int32
+	for d := 0; d < mult; d++ {
+		for i := 0; i < rmBits; i++ {
+			pos := bitOff + d*rmBits + i
+			if src[pos/8]>>(pos%8)&1 == 0 {
+				counters[i]++
+			} else {
+				counters[i]--
+			}
+		}
+	}
+	// Fast Walsh-Hadamard transform: W[a] = sum_i counters[i] * (-1)^<a,i>.
+	for step := 1; step < rmBits; step <<= 1 {
+		for i := 0; i < rmBits; i += step << 1 {
+			for j := i; j < i+step; j++ {
+				u, v := counters[j], counters[j+step]
+				counters[j] = u + v
+				counters[j+step] = u - v
+			}
+		}
+	}
+	best := 0
+	bestMag := int32(-1)
+	for a := 0; a < rmBits; a++ {
+		mag := counters[a]
+		if mag < 0 {
+			mag = -mag
+		}
+		if mag > bestMag {
+			bestMag = mag
+			best = a
+		}
+	}
+	b0 := byte(0)
+	if counters[best] < 0 {
+		b0 = 1
+	}
+	return byte(best)<<1 | b0
+}
+
+// concatCode is the full concatenated RMRS code of one parameter set.
+type concatCode struct {
+	rs   *rsCode
+	mult int
+}
+
+// encodedBits is the total payload length n1*n2.
+func (c *concatCode) encodedBits() int { return c.rs.n * c.mult * rmBits }
+
+// encode maps a k-byte message to the n1*n2-bit payload.
+func (c *concatCode) encode(msg []byte) []byte {
+	cw := c.rs.encode(msg)
+	out := make([]byte, c.encodedBits()/8)
+	for i, sym := range cw {
+		rmEncode(sym, c.mult, out, i*c.mult*rmBits)
+	}
+	return out
+}
+
+// decode recovers the message from a noisy payload; ok reports whether the
+// outer code accepted the inner decisions.
+func (c *concatCode) decode(payload []byte) ([]byte, bool) {
+	cw := make([]byte, c.rs.n)
+	for i := range cw {
+		cw[i] = rmDecode(payload, i*c.mult*rmBits, c.mult)
+	}
+	return c.rs.decode(cw)
+}

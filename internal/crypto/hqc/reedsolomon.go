@@ -1,0 +1,167 @@
+package hqc
+
+// Shortened Reed-Solomon codes over GF(256) — HQC's outer code. The three
+// parameter sets use [46,16,31], [56,24,33] and [90,32,59], correcting 15,
+// 16 and 29 symbol errors respectively.
+
+type rsCode struct {
+	n, k int    // code length and dimension in symbols
+	t    int    // correctable symbol errors: (n-k)/2
+	gen  []byte // generator polynomial, degree n-k, low-to-high
+}
+
+func newRS(n, k int) *rsCode {
+	rs := &rsCode{n: n, k: k, t: (n - k) / 2}
+	// g(x) = prod_{i=1}^{n-k} (x - alpha^i)
+	g := []byte{1}
+	for i := 1; i <= n-k; i++ {
+		root := gfPow(i)
+		next := make([]byte, len(g)+1)
+		for j, c := range g {
+			next[j] ^= gfMul(c, root) // multiply by (x + root): root*c term
+			next[j+1] ^= c            // x*c term
+		}
+		g = next
+	}
+	rs.gen = g
+	return rs
+}
+
+// encode produces the systematic codeword: msg (k symbols) || parity.
+func (rs *rsCode) encode(msg []byte) []byte {
+	if len(msg) != rs.k {
+		panic("hqc: rs encode: wrong message length")
+	}
+	parityLen := rs.n - rs.k
+	// Polynomial division of msg(x) * x^(n-k) by gen(x); remainder = parity.
+	rem := make([]byte, parityLen)
+	for i := rs.k - 1; i >= 0; i-- {
+		factor := msg[i] ^ rem[parityLen-1]
+		copy(rem[1:], rem[:parityLen-1])
+		rem[0] = 0
+		if factor != 0 {
+			for j := 0; j < parityLen; j++ {
+				rem[j] ^= gfMul(rs.gen[j], factor)
+			}
+		}
+	}
+	out := make([]byte, rs.n)
+	copy(out, rem) // parity in the low positions, message in the high
+	copy(out[parityLen:], msg)
+	return out
+}
+
+// decode corrects up to t symbol errors in place and returns the message
+// part, reporting failure when the error weight exceeds t.
+func (rs *rsCode) decode(codeword []byte) ([]byte, bool) {
+	if len(codeword) != rs.n {
+		return nil, false
+	}
+	// Syndromes S_j = c(alpha^j), j = 1..n-k. The codeword polynomial is
+	// indexed low-to-high: position i has weight alpha^(j*i).
+	nk := rs.n - rs.k
+	synd := make([]byte, nk)
+	allZero := true
+	for j := 1; j <= nk; j++ {
+		s := polyEval(codeword, gfPow(j))
+		synd[j-1] = s
+		if s != 0 {
+			allZero = false
+		}
+	}
+	msg := make([]byte, rs.k)
+	if allZero {
+		copy(msg, codeword[nk:])
+		return msg, true
+	}
+
+	// Berlekamp-Massey: find the error locator sigma(x).
+	sigma := []byte{1}
+	prev := []byte{1}
+	l := 0
+	m := 1
+	var b byte = 1
+	for i := 0; i < nk; i++ {
+		// Discrepancy.
+		var d byte
+		for j := 0; j <= l && j < len(sigma); j++ {
+			d ^= gfMul(sigma[j], synd[i-j])
+		}
+		if d == 0 {
+			m++
+			continue
+		}
+		if 2*l <= i {
+			tmp := append([]byte{}, sigma...)
+			coef := gfDiv(d, b)
+			sigma = polyAddShifted(sigma, prev, coef, m)
+			prev = tmp
+			l = i + 1 - l
+			b = d
+			m = 1
+		} else {
+			coef := gfDiv(d, b)
+			sigma = polyAddShifted(sigma, prev, coef, m)
+			m++
+		}
+	}
+	if l > rs.t {
+		return nil, false // too many errors
+	}
+
+	// Chien search: roots of sigma are X_i^-1 = alpha^-pos.
+	var positions []int
+	for pos := 0; pos < rs.n; pos++ {
+		if polyEval(sigma, gfPow(-pos)) == 0 {
+			positions = append(positions, pos)
+		}
+	}
+	if len(positions) != l {
+		return nil, false // locator does not split over the positions
+	}
+
+	// Forney: error values from Omega(x) = S(x)*sigma(x) mod x^(n-k).
+	omega := make([]byte, nk)
+	for i := 0; i < nk; i++ {
+		var v byte
+		for j := 0; j <= i && j < len(sigma); j++ {
+			v ^= gfMul(sigma[j], synd[i-j])
+		}
+		omega[i] = v
+	}
+	// Formal derivative of sigma: over GF(2^m) only odd-degree terms
+	// survive (d/dx x^j = j*x^(j-1) and j mod 2 kills even j).
+	deriv := make([]byte, len(sigma))
+	for j := 1; j < len(sigma); j += 2 {
+		deriv[j-1] = sigma[j]
+	}
+	for _, pos := range positions {
+		xInv := gfPow(-pos)
+		den := polyEval(deriv, xInv)
+		if den == 0 {
+			return nil, false
+		}
+		// e_i = X_i^(1-b) * Omega(X_i^-1) / sigma'(X_i^-1); with the
+		// alpha^1..alpha^(n-k) root convention b = 1, the X factor is 1.
+		mag := gfDiv(polyEval(omega, xInv), den)
+		codeword[pos] ^= mag
+	}
+	// Verify the correction took (guards miscorrection at weight > t).
+	for j := 1; j <= nk; j++ {
+		if polyEval(codeword, gfPow(j)) != 0 {
+			return nil, false
+		}
+	}
+	copy(msg, codeword[nk:])
+	return msg, true
+}
+
+// polyAddShifted returns a + coef * x^shift * b.
+func polyAddShifted(a, b []byte, coef byte, shift int) []byte {
+	out := make([]byte, max(len(a), len(b)+shift))
+	copy(out, a)
+	for i, c := range b {
+		out[i+shift] ^= gfMul(c, coef)
+	}
+	return out
+}

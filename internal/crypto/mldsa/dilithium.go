@@ -1,0 +1,404 @@
+package mldsa
+
+import (
+	"crypto/rand"
+	"crypto/subtle"
+	"errors"
+	"fmt"
+	"io"
+
+	"pqtls/internal/crypto/sha3"
+)
+
+// Params describes one Dilithium parameter set.
+type Params struct {
+	Name       string
+	K, L       int   // matrix dimensions
+	Eta        int32 // secret coefficient range
+	Tau        int   // challenge weight
+	Beta       int32 // tau * eta
+	Gamma1     int32 // mask range
+	Gamma1Bits uint  // bits per packed z coefficient
+	Gamma2     int32 // low-order rounding range
+	Omega      int   // maximum hint weight
+	W1Bits     uint  // bits per packed w1 coefficient
+	exp        expander
+}
+
+// The six parameter sets benchmarked by the paper.
+var (
+	Dilithium2 = &Params{Name: "dilithium2", K: 4, L: 4, Eta: 2, Tau: 39, Beta: 78,
+		Gamma1: 1 << 17, Gamma1Bits: 18, Gamma2: (Q - 1) / 88, Omega: 80, W1Bits: 6, exp: shakeExpander{}}
+	Dilithium3 = &Params{Name: "dilithium3", K: 6, L: 5, Eta: 4, Tau: 49, Beta: 196,
+		Gamma1: 1 << 19, Gamma1Bits: 20, Gamma2: (Q - 1) / 32, Omega: 55, W1Bits: 4, exp: shakeExpander{}}
+	Dilithium5 = &Params{Name: "dilithium5", K: 8, L: 7, Eta: 2, Tau: 60, Beta: 120,
+		Gamma1: 1 << 19, Gamma1Bits: 20, Gamma2: (Q - 1) / 32, Omega: 75, W1Bits: 4, exp: shakeExpander{}}
+	Dilithium2AES = aesVariant(Dilithium2, "dilithium2_aes")
+	Dilithium3AES = aesVariant(Dilithium3, "dilithium3_aes")
+	Dilithium5AES = aesVariant(Dilithium5, "dilithium5_aes")
+)
+
+func aesVariant(p *Params, name string) *Params {
+	v := *p
+	v.Name = name
+	v.exp = aesExpander{}
+	return &v
+}
+
+func (p *Params) etaBits() uint {
+	if p.Eta == 2 {
+		return 3
+	}
+	return 4
+}
+
+// PublicKeySize returns the public-key length (rho || t1).
+func (p *Params) PublicKeySize() int { return 32 + p.K*320 }
+
+// PrivateKeySize returns the private-key length.
+func (p *Params) PrivateKeySize() int {
+	return 32 + 32 + 32 + (p.K+p.L)*N*int(p.etaBits())/8 + p.K*416
+}
+
+// SignatureSize returns the signature length (c-tilde || z || hints).
+func (p *Params) SignatureSize() int {
+	return 32 + p.L*N*int(p.Gamma1Bits)/8 + p.Omega + p.K
+}
+
+// GenerateKey creates a key pair from rng (crypto/rand if nil).
+func (p *Params) GenerateKey(rng io.Reader) (pk, sk []byte, err error) {
+	if rng == nil {
+		rng = rand.Reader
+	}
+	var zeta [32]byte
+	if _, err := io.ReadFull(rng, zeta[:]); err != nil {
+		return nil, nil, fmt.Errorf("mldsa: reading key seed: %w", err)
+	}
+	pk, sk = p.deriveKey(zeta)
+	return pk, sk, nil
+}
+
+func (p *Params) deriveKey(zeta [32]byte) (pk, sk []byte) {
+	seeds := sha3.ShakeSum256(128, zeta[:])
+	rho, rhoPrime, key := seeds[:32], seeds[32:96], seeds[96:128]
+
+	a := p.expandA(rho)
+	s1 := make([]poly, p.L)
+	s2 := make([]poly, p.K)
+	for i := range s1 {
+		sampleEta(&s1[i], p.exp.Stream256(rhoPrime, uint16(i)), p.Eta)
+	}
+	for i := range s2 {
+		sampleEta(&s2[i], p.exp.Stream256(rhoPrime, uint16(p.L+i)), p.Eta)
+	}
+
+	// t = A*s1 + s2.
+	s1Hat := make([]poly, p.L)
+	for i := range s1Hat {
+		s1Hat[i] = s1[i]
+		s1Hat[i].ntt()
+	}
+	t1 := make([]poly, p.K)
+	t0 := make([]poly, p.K)
+	for i := 0; i < p.K; i++ {
+		var t poly
+		for j := 0; j < p.L; j++ {
+			mulAcc(&t, &a[i*p.L+j], &s1Hat[j])
+		}
+		t.invNTT()
+		t.add(&s2[i])
+		for n := 0; n < N; n++ {
+			hi, lo := power2Round(t[n])
+			t1[i][n] = hi
+			t0[i][n] = freduce(lo + Q)
+		}
+	}
+
+	pk = make([]byte, 0, p.PublicKeySize())
+	pk = append(pk, rho...)
+	for i := range t1 {
+		pk = append(pk, packBits(&t1[i], 10, func(c int32) uint32 { return uint32(c) })...)
+	}
+	tr := sha3.ShakeSum256(32, pk)
+
+	sk = make([]byte, 0, p.PrivateKeySize())
+	sk = append(sk, rho...)
+	sk = append(sk, key...)
+	sk = append(sk, tr...)
+	for i := range s1 {
+		sk = append(sk, p.packEta(&s1[i])...)
+	}
+	for i := range s2 {
+		sk = append(sk, p.packEta(&s2[i])...)
+	}
+	for i := range t0 {
+		sk = append(sk, packBits(&t0[i], 13, func(c int32) uint32 {
+			return uint32(1<<(D-1) - centered(c))
+		})...)
+	}
+	return pk, sk
+}
+
+func (p *Params) packEta(s *poly) []byte {
+	eta := p.Eta
+	return packBits(s, p.etaBits(), func(c int32) uint32 { return uint32(eta - centered(c)) })
+}
+
+func (p *Params) unpackEta(s *poly, in []byte) {
+	eta := p.Eta
+	unpackBits(s, in, p.etaBits(), func(t uint32) int32 { return freduce(eta - int32(t) + Q) })
+}
+
+// expandA derives the K×L matrix in the NTT domain.
+func (p *Params) expandA(rho []byte) []poly {
+	a := make([]poly, p.K*p.L)
+	for i := 0; i < p.K; i++ {
+		for j := 0; j < p.L; j++ {
+			sampleUniform(&a[i*p.L+j], p.exp.Stream128(rho, uint16(i<<8|j)))
+		}
+	}
+	return a
+}
+
+// Sign produces a deterministic signature over msg.
+func (p *Params) Sign(sk, msg []byte) ([]byte, error) {
+	if len(sk) != p.PrivateKeySize() {
+		return nil, fmt.Errorf("mldsa: private key is %d bytes, want %d", len(sk), p.PrivateKeySize())
+	}
+	rho := sk[:32]
+	key := sk[32:64]
+	tr := sk[64:96]
+	off := 96
+	etaLen := N * int(p.etaBits()) / 8
+	s1Hat := make([]poly, p.L)
+	for i := range s1Hat {
+		p.unpackEta(&s1Hat[i], sk[off:off+etaLen])
+		off += etaLen
+		s1Hat[i].ntt()
+	}
+	s2Hat := make([]poly, p.K)
+	for i := range s2Hat {
+		p.unpackEta(&s2Hat[i], sk[off:off+etaLen])
+		off += etaLen
+		s2Hat[i].ntt()
+	}
+	t0Hat := make([]poly, p.K)
+	for i := range t0Hat {
+		unpackBits(&t0Hat[i], sk[off:off+416], 13, func(t uint32) int32 {
+			return freduce(1<<(D-1) - int32(t) + Q)
+		})
+		off += 416
+		t0Hat[i].ntt()
+	}
+
+	a := p.expandA(rho)
+	mu := sha3.ShakeSum256(64, tr, msg)
+	rhoPrime := sha3.ShakeSum256(64, key, mu)
+
+	for kappa := uint16(0); ; kappa += uint16(p.L) {
+		// Sample the mask vector y and compute w = A*y.
+		y := make([]poly, p.L)
+		yHat := make([]poly, p.L)
+		for i := range y {
+			sampleMask(&y[i], p.exp.Stream256(rhoPrime, kappa+uint16(i)), p.Gamma1, p.Gamma1Bits)
+			yHat[i] = y[i]
+			yHat[i].ntt()
+		}
+		w := make([]poly, p.K)
+		w1 := make([]poly, p.K)
+		w1Packed := make([]byte, 0, p.K*N*int(p.W1Bits)/8)
+		for i := 0; i < p.K; i++ {
+			for j := 0; j < p.L; j++ {
+				mulAcc(&w[i], &a[i*p.L+j], &yHat[j])
+			}
+			w[i].invNTT()
+			for n := 0; n < N; n++ {
+				w1[i][n] = highBits(w[i][n], p.Gamma2)
+			}
+			w1Packed = append(w1Packed, packBits(&w1[i], p.W1Bits, func(c int32) uint32 { return uint32(c) })...)
+		}
+		cTilde := sha3.ShakeSum256(32, mu, w1Packed)
+		c := sampleInBall(cTilde, p.Tau)
+		cHat := c
+		cHat.ntt()
+
+		// z = y + c*s1, rejected if too large.
+		z := make([]poly, p.L)
+		ok := true
+		for i := range z {
+			var cs1 poly
+			mulAcc(&cs1, &cHat, &s1Hat[i])
+			cs1.invNTT()
+			z[i] = y[i]
+			z[i].add(&cs1)
+			if z[i].normExceeds(p.Gamma1 - p.Beta) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+
+		// Check the low bits of w - c*s2 and build the hint against c*t0.
+		hints := make([]poly, p.K)
+		hintCount := 0
+		for i := 0; i < p.K && ok; i++ {
+			var cs2, ct0 poly
+			mulAcc(&cs2, &cHat, &s2Hat[i])
+			cs2.invNTT()
+			mulAcc(&ct0, &cHat, &t0Hat[i])
+			ct0.invNTT()
+			if ct0.normExceeds(p.Gamma2) {
+				ok = false
+				break
+			}
+			wcs2 := w[i]
+			wcs2.sub(&cs2)
+			for n := 0; n < N; n++ {
+				_, r0 := decompose(wcs2[n], p.Gamma2)
+				if abs32(r0) >= p.Gamma2-p.Beta {
+					ok = false
+					break
+				}
+				with := freduce(wcs2[n] + ct0[n])
+				if highBits(with, p.Gamma2) != highBits(wcs2[n], p.Gamma2) {
+					hints[i][n] = 1
+					hintCount++
+				}
+			}
+		}
+		if !ok || hintCount > p.Omega {
+			continue
+		}
+
+		sig := make([]byte, 0, p.SignatureSize())
+		sig = append(sig, cTilde...)
+		for i := range z {
+			g1 := p.Gamma1
+			sig = append(sig, packBits(&z[i], p.Gamma1Bits, func(c int32) uint32 {
+				return uint32(g1 - centered(c))
+			})...)
+		}
+		sig = append(sig, p.packHints(hints)...)
+		return sig, nil
+	}
+}
+
+func abs32(x int32) int32 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// packHints encodes hint positions into omega+K bytes.
+func (p *Params) packHints(h []poly) []byte {
+	out := make([]byte, p.Omega+p.K)
+	idx := 0
+	for i := range h {
+		for n := 0; n < N; n++ {
+			if h[i][n] != 0 {
+				out[idx] = byte(n)
+				idx++
+			}
+		}
+		out[p.Omega+i] = byte(idx)
+	}
+	return out
+}
+
+// unpackHints decodes the hint section, returning false on malformed input.
+func (p *Params) unpackHints(in []byte) ([]poly, bool) {
+	h := make([]poly, p.K)
+	idx := 0
+	for i := 0; i < p.K; i++ {
+		end := int(in[p.Omega+i])
+		if end < idx || end > p.Omega {
+			return nil, false
+		}
+		prev := -1
+		for ; idx < end; idx++ {
+			pos := int(in[idx])
+			if pos <= prev { // positions must strictly increase
+				return nil, false
+			}
+			prev = pos
+			h[i][pos] = 1
+		}
+	}
+	for ; idx < p.Omega; idx++ {
+		if in[idx] != 0 { // unused slots must be zero
+			return nil, false
+		}
+	}
+	return h, true
+}
+
+// Verify reports whether sig is a valid signature of msg under pk.
+func (p *Params) Verify(pk, msg, sig []byte) bool {
+	if len(pk) != p.PublicKeySize() || len(sig) != p.SignatureSize() {
+		return false
+	}
+	rho := pk[:32]
+	t1 := make([]poly, p.K)
+	for i := range t1 {
+		unpackBits(&t1[i], pk[32+320*i:32+320*(i+1)], 10, func(t uint32) int32 { return int32(t) })
+	}
+	cTilde := sig[:32]
+	zLen := N * int(p.Gamma1Bits) / 8
+	z := make([]poly, p.L)
+	g1 := p.Gamma1
+	for i := range z {
+		unpackBits(&z[i], sig[32+zLen*i:32+zLen*(i+1)], p.Gamma1Bits, func(t uint32) int32 {
+			return freduce(g1 - int32(t) + Q)
+		})
+		if z[i].normExceeds(p.Gamma1 - p.Beta) {
+			return false
+		}
+	}
+	hints, ok := p.unpackHints(sig[32+zLen*p.L:])
+	if !ok {
+		return false
+	}
+
+	a := p.expandA(rho)
+	tr := sha3.ShakeSum256(32, pk)
+	mu := sha3.ShakeSum256(64, tr, msg)
+	c := sampleInBall(cTilde, p.Tau)
+	cHat := c
+	cHat.ntt()
+
+	zHat := make([]poly, p.L)
+	for i := range zHat {
+		zHat[i] = z[i]
+		zHat[i].ntt()
+	}
+	w1Packed := make([]byte, 0, p.K*N*int(p.W1Bits)/8)
+	for i := 0; i < p.K; i++ {
+		var az poly
+		for j := 0; j < p.L; j++ {
+			mulAcc(&az, &a[i*p.L+j], &zHat[j])
+		}
+		// az - c * (t1 * 2^D)
+		var t1Shift poly
+		for n := 0; n < N; n++ {
+			t1Shift[n] = freduce(t1[i][n] << D)
+		}
+		t1Shift.ntt()
+		var ct1 poly
+		mulAcc(&ct1, &cHat, &t1Shift)
+		az.sub(&ct1)
+		az.invNTT()
+		var w1 poly
+		for n := 0; n < N; n++ {
+			w1[n] = useHint(hints[i][n], az[n], p.Gamma2)
+		}
+		w1Packed = append(w1Packed, packBits(&w1, p.W1Bits, func(c int32) uint32 { return uint32(c) })...)
+	}
+	want := sha3.ShakeSum256(32, mu, w1Packed)
+	return subtle.ConstantTimeCompare(cTilde, want) == 1
+}
+
+// ErrBadKey reports malformed key material.
+var ErrBadKey = errors.New("mldsa: malformed key material")

@@ -1,0 +1,271 @@
+package mldsa
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+var allParams = []*Params{Dilithium2, Dilithium3, Dilithium5, Dilithium2AES, Dilithium3AES, Dilithium5AES}
+
+func TestNTTRoundtrip(t *testing.T) {
+	t.Parallel()
+	f := func(seed int64) bool {
+		var p, orig poly
+		s := seed
+		for i := range p {
+			s = s*6364136223846793005 + 1442695040888963407
+			p[i] = int32(uint64(s) >> 33 % Q)
+		}
+		orig = p
+		p.ntt()
+		p.invNTT()
+		return p == orig
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNTTMulMatchesSchoolbook(t *testing.T) {
+	t.Parallel()
+	var a, b poly
+	for i := range a {
+		a[i] = int32((i*2654435761 + 17) % Q)
+		b[i] = int32((i*40503 + 99) % Q)
+	}
+	var want poly
+	for i := 0; i < N; i++ {
+		for j := 0; j < N; j++ {
+			prod := int64(a[i]) * int64(b[j]) % Q
+			k := i + j
+			if k >= N {
+				k -= N
+				prod = Q - prod
+			}
+			want[k] = int32((int64(want[k]) + prod) % Q)
+		}
+	}
+	na, nb := a, b
+	na.ntt()
+	nb.ntt()
+	var got poly
+	mulAcc(&got, &na, &nb)
+	got.invNTT()
+	if got != want {
+		t.Error("NTT product differs from schoolbook product")
+	}
+}
+
+func TestSizes(t *testing.T) {
+	t.Parallel()
+	want := []struct {
+		p           *Params
+		pk, sk, sig int
+	}{
+		{Dilithium2, 1312, 2528, 2420},
+		{Dilithium3, 1952, 4000, 3293},
+		{Dilithium5, 2592, 4864, 4595},
+		{Dilithium2AES, 1312, 2528, 2420},
+	}
+	for _, w := range want {
+		if got := w.p.PublicKeySize(); got != w.pk {
+			t.Errorf("%s: pk size %d, want %d", w.p.Name, got, w.pk)
+		}
+		if got := w.p.PrivateKeySize(); got != w.sk {
+			t.Errorf("%s: sk size %d, want %d", w.p.Name, got, w.sk)
+		}
+		if got := w.p.SignatureSize(); got != w.sig {
+			t.Errorf("%s: sig size %d, want %d", w.p.Name, got, w.sig)
+		}
+	}
+}
+
+func TestSignVerifyAll(t *testing.T) {
+	t.Parallel()
+	for _, p := range allParams {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			pk, sk, err := p.GenerateKey(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			msg := []byte("TLS 1.3, server CertificateVerify")
+			sig, err := p.Sign(sk, msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(sig) != p.SignatureSize() {
+				t.Fatalf("sig size %d, want %d", len(sig), p.SignatureSize())
+			}
+			if !p.Verify(pk, msg, sig) {
+				t.Fatal("valid signature rejected")
+			}
+			if p.Verify(pk, []byte("other message"), sig) {
+				t.Error("signature verified for wrong message")
+			}
+		})
+	}
+}
+
+func TestTamperedSignatureRejected(t *testing.T) {
+	t.Parallel()
+	p := Dilithium2
+	pk, sk, err := p.GenerateKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("msg")
+	sig, err := p.Sign(sk, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pos := range []int{0, 31, 32, len(sig) / 2, len(sig) - 1} {
+		bad := bytes.Clone(sig)
+		bad[pos] ^= 0x40
+		if p.Verify(pk, msg, bad) {
+			t.Errorf("tampered signature (byte %d) accepted", pos)
+		}
+	}
+}
+
+func TestDeterministicSigning(t *testing.T) {
+	t.Parallel()
+	p := Dilithium2
+	_, sk, err := p.GenerateKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("determinism check")
+	s1, _ := p.Sign(sk, msg)
+	s2, _ := p.Sign(sk, msg)
+	if !bytes.Equal(s1, s2) {
+		t.Error("signing is not deterministic")
+	}
+}
+
+func TestWrongKeyRejected(t *testing.T) {
+	t.Parallel()
+	p := Dilithium2
+	pk1, _, _ := p.GenerateKey(nil)
+	_, sk2, _ := p.GenerateKey(nil)
+	msg := []byte("cross-key")
+	sig, err := p.Sign(sk2, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Verify(pk1, msg, sig) {
+		t.Error("signature verified under an unrelated public key")
+	}
+}
+
+func TestMalformedInputs(t *testing.T) {
+	t.Parallel()
+	p := Dilithium2
+	pk, sk, _ := p.GenerateKey(nil)
+	if _, err := p.Sign(sk[:40], []byte("m")); err == nil {
+		t.Error("short private key accepted")
+	}
+	if p.Verify(pk, []byte("m"), make([]byte, 10)) {
+		t.Error("short signature accepted")
+	}
+	if p.Verify(pk[:16], []byte("m"), make([]byte, p.SignatureSize())) {
+		t.Error("short public key accepted")
+	}
+	// An all-ones hint section has non-monotonic positions; must be rejected.
+	sig, _ := p.Sign(sk, []byte("m"))
+	for i := len(sig) - p.Omega - p.K; i < len(sig); i++ {
+		sig[i] = 0xFF
+	}
+	if p.Verify(pk, []byte("m"), sig) {
+		t.Error("garbage hint section accepted")
+	}
+}
+
+func TestRoundingIdentities(t *testing.T) {
+	t.Parallel()
+	f := func(raw uint32) bool {
+		r := int32(raw % Q)
+		r1, r0 := power2Round(r)
+		if freduce(r1<<D+r0+Q) != r {
+			return false
+		}
+		if r0 <= -(1<<(D-1)) || r0 > 1<<(D-1) {
+			return false
+		}
+		for _, gamma2 := range []int32{(Q - 1) / 88, (Q - 1) / 32} {
+			h1, h0 := decompose(r, gamma2)
+			if freduce(h1*2*gamma2+h0+2*Q) != r {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: useHint(makeHint(z, r), r) equals highBits(r+z) for small z.
+func TestQuickHintIdentity(t *testing.T) {
+	t.Parallel()
+	gamma2 := int32((Q - 1) / 88)
+	f := func(rRaw uint32, zRaw int16) bool {
+		r := int32(rRaw % Q)
+		z := int32(zRaw) % gamma2
+		zq := freduce(z + Q)
+		h := makeHint(zq, r, gamma2)
+		return useHint(h, r, gamma2) == highBits(freduce(r+zq), gamma2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChallengeWeight(t *testing.T) {
+	t.Parallel()
+	for _, p := range []*Params{Dilithium2, Dilithium3, Dilithium5} {
+		c := sampleInBall(bytes.Repeat([]byte{0x5a}, 32), p.Tau)
+		weight := 0
+		for _, x := range c {
+			switch x {
+			case 0:
+			case 1, Q - 1:
+				weight++
+			default:
+				t.Fatalf("%s: challenge coefficient %d out of {-1,0,1}", p.Name, x)
+			}
+		}
+		if weight != p.Tau {
+			t.Errorf("%s: challenge weight %d, want %d", p.Name, weight, p.Tau)
+		}
+	}
+}
+
+func benchSig(b *testing.B, p *Params) {
+	pk, sk, err := p.GenerateKey(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := make([]byte, 64)
+	b.Run("sign", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Sign(sk, msg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	sig, _ := p.Sign(sk, msg)
+	b.Run("verify", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if !p.Verify(pk, msg, sig) {
+				b.Fatal("verify failed")
+			}
+		}
+	})
+}
+
+func BenchmarkDilithium2(b *testing.B) { benchSig(b, Dilithium2) }
+func BenchmarkDilithium3(b *testing.B) { benchSig(b, Dilithium3) }
+func BenchmarkDilithium5(b *testing.B) { benchSig(b, Dilithium5) }

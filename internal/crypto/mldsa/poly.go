@@ -1,0 +1,184 @@
+// Package mldsa implements the Dilithium signature scheme (round-3
+// parameters, as benchmarked by the paper via liboqs) for security levels
+// 2, 3 and 5 and the AES-sampled variants (dilithium*_aes).
+package mldsa
+
+const (
+	// N is the polynomial degree of the ring Z_q[X]/(X^256+1).
+	N = 256
+	// Q is the Dilithium modulus.
+	Q = 8380417
+	// D is the number of bits dropped from the public vector t.
+	D = 13
+	// root is a primitive 512th root of unity mod Q.
+	root = 1753
+	// inv256 is 256^-1 mod Q, the inverse-NTT scaling factor.
+	inv256 = 8347681
+)
+
+type poly [N]int32
+
+// zetas[i] = root^bitrev8(i) mod Q.
+var zetas [N]int32
+
+func init() {
+	pow := func(b, e int64) int64 {
+		r := int64(1)
+		b %= Q
+		for ; e > 0; e >>= 1 {
+			if e&1 == 1 {
+				r = r * b % Q
+			}
+			b = b * b % Q
+		}
+		return r
+	}
+	for i := 0; i < N; i++ {
+		br := 0
+		for b := 0; b < 8; b++ {
+			br |= (i >> b & 1) << (7 - b)
+		}
+		zetas[i] = int32(pow(root, int64(br)))
+	}
+	if int32(pow(256, Q-2)) != inv256 {
+		panic("mldsa: inv256 constant is wrong")
+	}
+}
+
+func fqmul(a, b int32) int32 {
+	return int32(int64(a) * int64(b) % Q)
+}
+
+func freduce(a int32) int32 {
+	a %= Q
+	if a < 0 {
+		a += Q
+	}
+	return a
+}
+
+// centered maps a residue in [0, Q) to its representative in (-Q/2, Q/2].
+func centered(a int32) int32 {
+	if a > Q/2 {
+		return a - Q
+	}
+	return a
+}
+
+// ntt transforms p into the (complete, 8-layer) NTT domain.
+func (p *poly) ntt() {
+	k := 1
+	for l := 128; l >= 1; l >>= 1 {
+		for start := 0; start < N; start += 2 * l {
+			zeta := zetas[k]
+			k++
+			for j := start; j < start+l; j++ {
+				t := fqmul(zeta, p[j+l])
+				p[j+l] = freduce(p[j] - t)
+				p[j] = freduce(p[j] + t)
+			}
+		}
+	}
+}
+
+// invNTT is the inverse transform; same reflected-zeta trick as mlkem.
+func (p *poly) invNTT() {
+	k := 255
+	for l := 1; l <= 128; l <<= 1 {
+		for start := 0; start < N; start += 2 * l {
+			zeta := zetas[k]
+			k--
+			for j := start; j < start+l; j++ {
+				t := p[j]
+				p[j] = freduce(t + p[j+l])
+				p[j+l] = fqmul(zeta, freduce(p[j+l]-t+Q))
+			}
+		}
+	}
+	for i := range p {
+		p[i] = fqmul(p[i], inv256)
+	}
+}
+
+// mulAcc accumulates the pointwise NTT-domain product a*b into r.
+func mulAcc(r, a, b *poly) {
+	for i := range r {
+		r[i] = freduce(r[i] + fqmul(a[i], b[i]))
+	}
+}
+
+func (p *poly) add(a *poly) {
+	for i := range p {
+		p[i] = freduce(p[i] + a[i])
+	}
+}
+
+func (p *poly) sub(a *poly) {
+	for i := range p {
+		p[i] = freduce(p[i] - a[i] + Q)
+	}
+}
+
+// normExceeds reports whether any centered coefficient has |c| >= bound.
+func (p *poly) normExceeds(bound int32) bool {
+	for _, x := range p {
+		c := centered(x)
+		if c < 0 {
+			c = -c
+		}
+		if c >= bound {
+			return true
+		}
+	}
+	return false
+}
+
+// power2Round splits each coefficient r = r1*2^D + r0 with centered r0.
+func power2Round(r int32) (r1, r0 int32) {
+	r0 = r & (1<<D - 1)
+	if r0 > 1<<(D-1) {
+		r0 -= 1 << D
+	}
+	return (r - r0) >> D, r0
+}
+
+// decompose splits r = r1*alpha + r0 (alpha = 2*gamma2, centered r0) with
+// the q-1 wraparound fix from the spec.
+func decompose(r, gamma2 int32) (r1, r0 int32) {
+	alpha := 2 * gamma2
+	r0 = r % alpha
+	if r0 > gamma2 {
+		r0 -= alpha
+	}
+	if r-r0 == Q-1 {
+		return 0, r0 - 1
+	}
+	return (r - r0) / alpha, r0
+}
+
+// highBits returns the r1 part of decompose.
+func highBits(r, gamma2 int32) int32 {
+	r1, _ := decompose(r, gamma2)
+	return r1
+}
+
+// makeHint returns 1 when adding z to r changes the high bits.
+func makeHint(z, r, gamma2 int32) int32 {
+	if highBits(r, gamma2) != highBits(freduce(r+z), gamma2) {
+		return 1
+	}
+	return 0
+}
+
+// useHint recovers the high bits of r+z from r and the hint bit.
+func useHint(h, r, gamma2 int32) int32 {
+	m := (Q - 1) / (2 * gamma2)
+	r1, r0 := decompose(r, gamma2)
+	if h == 0 {
+		return r1
+	}
+	if r0 > 0 {
+		return (r1 + 1) % int32(m)
+	}
+	return (r1 - 1 + int32(m)) % int32(m)
+}

@@ -1,0 +1,258 @@
+package mlkem
+
+import (
+	"crypto/rand"
+	"crypto/subtle"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Params describes one Kyber parameter set.
+type Params struct {
+	Name string
+	K    int  // module rank
+	Eta1 int  // noise parameter for secret/error vectors
+	Eta2 int  // noise parameter for encryption noise
+	Du   uint // ciphertext compression (vector part)
+	Dv   uint // ciphertext compression (scalar part)
+	sym  symmetric
+}
+
+// The six parameter sets benchmarked by the paper.
+var (
+	Kyber512     = &Params{Name: "kyber512", K: 2, Eta1: 3, Eta2: 2, Du: 10, Dv: 4, sym: shakeSymmetric{}}
+	Kyber768     = &Params{Name: "kyber768", K: 3, Eta1: 2, Eta2: 2, Du: 10, Dv: 4, sym: shakeSymmetric{}}
+	Kyber1024    = &Params{Name: "kyber1024", K: 4, Eta1: 2, Eta2: 2, Du: 11, Dv: 5, sym: shakeSymmetric{}}
+	Kyber90s512  = &Params{Name: "kyber90s512", K: 2, Eta1: 3, Eta2: 2, Du: 10, Dv: 4, sym: aesSymmetric{}}
+	Kyber90s768  = &Params{Name: "kyber90s768", K: 3, Eta1: 2, Eta2: 2, Du: 10, Dv: 4, sym: aesSymmetric{}}
+	Kyber90s1024 = &Params{Name: "kyber90s1024", K: 4, Eta1: 2, Eta2: 2, Du: 11, Dv: 5, sym: aesSymmetric{}}
+)
+
+// PublicKeySize returns the encapsulation-key length in bytes (384k+32).
+func (p *Params) PublicKeySize() int { return 384*p.K + 32 }
+
+// PrivateKeySize returns the decapsulation-key length in bytes (768k+96).
+func (p *Params) PrivateKeySize() int { return 768*p.K + 96 }
+
+// CiphertextSize returns the ciphertext length in bytes (32(du·k+dv)).
+func (p *Params) CiphertextSize() int { return 32 * (int(p.Du)*p.K + int(p.Dv)) }
+
+// SharedSecretSize is the length of the shared secret in bytes.
+func (p *Params) SharedSecretSize() int { return 32 }
+
+// GenerateKey creates a fresh key pair from rng (crypto/rand if nil).
+func (p *Params) GenerateKey(rng io.Reader) (pk, sk []byte, err error) {
+	if rng == nil {
+		rng = rand.Reader
+	}
+	var seed [64]byte // d || z
+	if _, err := io.ReadFull(rng, seed[:]); err != nil {
+		return nil, nil, fmt.Errorf("mlkem: reading key seed: %w", err)
+	}
+	pk, sk = p.deriveKey(seed)
+	return pk, sk, nil
+}
+
+// deriveKey deterministically expands (d, z) into a key pair.
+func (p *Params) deriveKey(seed [64]byte) (pk, sk []byte) {
+	g := p.sym.G(seed[:32])
+	rho, sigma := g[:32], g[32:]
+
+	a := p.expandMatrix(rho, false)
+	s := make([]poly, p.K)
+	e := make([]poly, p.K)
+	nonce := byte(0)
+	for i := range s {
+		sampleCBD(&s[i], p.sym.PRF(sigma, nonce, 64*p.Eta1), p.Eta1)
+		nonce++
+		s[i].ntt()
+	}
+	for i := range e {
+		sampleCBD(&e[i], p.sym.PRF(sigma, nonce, 64*p.Eta1), p.Eta1)
+		nonce++
+		e[i].ntt()
+	}
+	// t = A*s + e (all in the NTT domain).
+	t := make([]poly, p.K)
+	for i := 0; i < p.K; i++ {
+		for j := 0; j < p.K; j++ {
+			basemulAcc(&t[i], &a[i*p.K+j], &s[j])
+		}
+		t[i].add(&e[i])
+	}
+
+	pk = make([]byte, 0, p.PublicKeySize())
+	for i := range t {
+		var buf [384]byte
+		t[i].pack(12, buf[:])
+		pk = append(pk, buf[:]...)
+	}
+	pk = append(pk, rho...)
+
+	h := p.sym.H(pk)
+	sk = make([]byte, 0, p.PrivateKeySize())
+	for i := range s {
+		var buf [384]byte
+		s[i].pack(12, buf[:])
+		sk = append(sk, buf[:]...)
+	}
+	sk = append(sk, pk...)
+	sk = append(sk, h[:]...)
+	sk = append(sk, seed[32:]...)
+	return pk, sk
+}
+
+// expandMatrix derives the k×k matrix A (or its transpose) from rho.
+func (p *Params) expandMatrix(rho []byte, transpose bool) []poly {
+	a := make([]poly, p.K*p.K)
+	for i := 0; i < p.K; i++ {
+		for j := 0; j < p.K; j++ {
+			x, y := byte(j), byte(i) // A[i][j] uses XOF(rho, j, i)
+			if transpose {
+				x, y = y, x
+			}
+			sampleUniform(&a[i*p.K+j], p.sym.XOF(rho, x, y))
+		}
+	}
+	return a
+}
+
+// Encapsulate generates a shared secret and its encapsulation against pk.
+func (p *Params) Encapsulate(rng io.Reader, pk []byte) (ct, ss []byte, err error) {
+	if len(pk) != p.PublicKeySize() {
+		return nil, nil, fmt.Errorf("mlkem: public key is %d bytes, want %d", len(pk), p.PublicKeySize())
+	}
+	if rng == nil {
+		rng = rand.Reader
+	}
+	var m [32]byte
+	if _, err := io.ReadFull(rng, m[:]); err != nil {
+		return nil, nil, fmt.Errorf("mlkem: reading message: %w", err)
+	}
+	// Round-3 Kyber hashes the raw randomness first: m = H(m).
+	m = p.sym.H(m[:])
+	h := p.sym.H(pk)
+	g := p.sym.G(m[:], h[:])
+	kBar, r := g[:32], g[32:]
+	ct = p.pkeEncrypt(pk, m[:], r)
+	hc := p.sym.H(ct)
+	k := p.sym.KDF(kBar, hc[:])
+	return ct, k[:], nil
+}
+
+// Decapsulate recovers the shared secret from ct, applying the
+// Fujisaki-Okamoto re-encryption check with implicit rejection.
+func (p *Params) Decapsulate(sk, ct []byte) ([]byte, error) {
+	if len(sk) != p.PrivateKeySize() {
+		return nil, fmt.Errorf("mlkem: private key is %d bytes, want %d", len(sk), p.PrivateKeySize())
+	}
+	if len(ct) != p.CiphertextSize() {
+		return nil, fmt.Errorf("mlkem: ciphertext is %d bytes, want %d", len(ct), p.CiphertextSize())
+	}
+	skPKE := sk[:384*p.K]
+	pk := sk[384*p.K : 768*p.K+32]
+	h := sk[768*p.K+32 : 768*p.K+64]
+	z := sk[768*p.K+64:]
+
+	m := p.pkeDecrypt(skPKE, ct)
+	g := p.sym.G(m, h)
+	kBar, r := g[:32], g[32:]
+	ct2 := p.pkeEncrypt(pk, m, r)
+	hc := p.sym.H(ct)
+	k := p.sym.KDF(kBar, hc[:])
+	kFail := p.sym.KDF(z, hc[:])
+	// Constant-time select: on re-encryption mismatch return the implicit
+	// rejection key derived from z.
+	same := subtle.ConstantTimeCompare(ct, ct2)
+	out := make([]byte, 32)
+	subtle.ConstantTimeCopy(same, out, k[:])
+	subtle.ConstantTimeCopy(1-same, out, kFail[:])
+	return out, nil
+}
+
+// pkeEncrypt is the inner IND-CPA encryption K-PKE.Encrypt(pk, m; r).
+func (p *Params) pkeEncrypt(pk, m, coins []byte) []byte {
+	t := make([]poly, p.K)
+	for i := range t {
+		t[i].unpack(12, pk[384*i:384*(i+1)])
+	}
+	rho := pk[384*p.K:]
+	at := p.expandMatrix(rho, true)
+
+	rv := make([]poly, p.K)
+	e1 := make([]poly, p.K)
+	var e2 poly
+	nonce := byte(0)
+	for i := range rv {
+		sampleCBD(&rv[i], p.sym.PRF(coins, nonce, 64*p.Eta1), p.Eta1)
+		nonce++
+		rv[i].ntt()
+	}
+	for i := range e1 {
+		sampleCBD(&e1[i], p.sym.PRF(coins, nonce, 64*p.Eta2), p.Eta2)
+		nonce++
+	}
+	sampleCBD(&e2, p.sym.PRF(coins, nonce, 64*p.Eta2), p.Eta2)
+
+	// u = invNTT(A^T * r) + e1
+	u := make([]poly, p.K)
+	for i := 0; i < p.K; i++ {
+		for j := 0; j < p.K; j++ {
+			basemulAcc(&u[i], &at[i*p.K+j], &rv[j])
+		}
+		u[i].invNTT()
+		u[i].add(&e1[i])
+	}
+	// v = invNTT(t^T * r) + e2 + Decompress1(m)
+	var v, mu poly
+	for j := 0; j < p.K; j++ {
+		basemulAcc(&v, &t[j], &rv[j])
+	}
+	v.invNTT()
+	v.add(&e2)
+	mu.fromMsg(m)
+	v.add(&mu)
+
+	ct := make([]byte, 0, p.CiphertextSize())
+	for i := range u {
+		u[i].compress(p.Du)
+		buf := make([]byte, 32*p.Du)
+		u[i].pack(p.Du, buf)
+		ct = append(ct, buf...)
+	}
+	v.compress(p.Dv)
+	buf := make([]byte, 32*p.Dv)
+	v.pack(p.Dv, buf)
+	return append(ct, buf...)
+}
+
+// pkeDecrypt is the inner IND-CPA decryption K-PKE.Decrypt(sk, ct).
+func (p *Params) pkeDecrypt(skPKE, ct []byte) []byte {
+	u := make([]poly, p.K)
+	for i := range u {
+		u[i].unpack(p.Du, ct[32*int(p.Du)*i:32*int(p.Du)*(i+1)])
+		u[i].decompress(p.Du)
+		u[i].ntt()
+	}
+	var v poly
+	v.unpack(p.Dv, ct[32*int(p.Du)*p.K:])
+	v.decompress(p.Dv)
+
+	s := make([]poly, p.K)
+	for i := range s {
+		s[i].unpack(12, skPKE[384*i:384*(i+1)])
+	}
+	var w poly
+	for j := 0; j < p.K; j++ {
+		basemulAcc(&w, &s[j], &u[j])
+	}
+	w.invNTT()
+	v.sub(&w)
+	m := make([]byte, 32)
+	v.toMsg(m)
+	return m
+}
+
+// ErrBadKey reports a malformed key or ciphertext.
+var ErrBadKey = errors.New("mlkem: malformed key material")

@@ -1,0 +1,202 @@
+// Package mlkem implements the Kyber / ML-KEM lattice key-encapsulation
+// mechanism (round-3 Kyber as benchmarked by the paper via liboqs) for the
+// three NIST parameter sets and their "90s" variants, from scratch on top of
+// the internal SHA-3 package and the standard library's AES/SHA-2.
+package mlkem
+
+const (
+	// N is the polynomial degree of the Kyber ring R_q = Z_q[X]/(X^256+1).
+	N = 256
+	// Q is the Kyber modulus.
+	Q = 3329
+	// qInv128 is 128^-1 mod q, the scaling factor of the inverse NTT.
+	qInv128 = 3303
+)
+
+// poly is a polynomial with coefficients in Z_q. Coefficients are kept in
+// [0, q) at API boundaries; intermediate values may be any int16 residue.
+type poly [N]int16
+
+// zetas[i] = 17^bitrev7(i) mod q; 17 is a principal 256th root of unity.
+// zetasInv[i] is the modular inverse of zetas[i], used by the
+// Gentleman-Sande butterflies of the inverse transform.
+var (
+	zetas    [128]int16
+	zetasInv [128]int16
+)
+
+func init() {
+	pow := func(b, e int) int {
+		r := 1
+		for ; e > 0; e >>= 1 {
+			if e&1 == 1 {
+				r = r * b % Q
+			}
+			b = b * b % Q
+		}
+		return r
+	}
+	for i := 0; i < 128; i++ {
+		br := 0
+		for b := 0; b < 7; b++ {
+			br |= (i >> b & 1) << (6 - b)
+		}
+		zetas[i] = int16(pow(17, br))
+		zetasInv[i] = int16(pow(int(zetas[i]), Q-2))
+	}
+}
+
+// fqmul multiplies two residues and reduces mod q.
+func fqmul(a, b int16) int16 {
+	return int16(int32(a) * int32(b) % Q)
+}
+
+// freduce maps any int16 residue into [0, q).
+func freduce(a int16) int16 {
+	a %= Q
+	if a < 0 {
+		a += Q
+	}
+	return a
+}
+
+// ntt transforms p in place into the (incomplete, 7-layer) NTT domain.
+func (p *poly) ntt() {
+	k := 1
+	for l := 128; l >= 2; l >>= 1 {
+		for start := 0; start < N; start += 2 * l {
+			zeta := zetas[k]
+			k++
+			for j := start; j < start+l; j++ {
+				t := fqmul(zeta, p[j+l])
+				p[j+l] = freduce(p[j] - t)
+				p[j] = freduce(p[j] + t)
+			}
+		}
+	}
+}
+
+// invNTT transforms p in place back into the coefficient domain.
+func (p *poly) invNTT() {
+	// Gentleman-Sande butterflies. Walking the forward zeta table backwards
+	// while negating the difference term works because of the reflection
+	// identity -zetas[127-m] = zetas[64+m]^-1 (17^128 = -1 mod q), exactly
+	// as in the Kyber reference implementation.
+	k := 127
+	for l := 2; l <= 128; l <<= 1 {
+		for start := 0; start < N; start += 2 * l {
+			zeta := zetas[k]
+			k--
+			for j := start; j < start+l; j++ {
+				t := p[j]
+				p[j] = freduce(t + p[j+l])
+				p[j+l] = fqmul(zeta, freduce(p[j+l]-t+Q))
+			}
+		}
+	}
+	for i := range p {
+		p[i] = freduce(fqmul(p[i], qInv128))
+	}
+}
+
+// basemulAcc accumulates a*b (NTT domain, pairwise products modulo
+// X^2 - zeta) into r.
+func basemulAcc(r, a, b *poly) {
+	for i := 0; i < 64; i++ {
+		z := int32(zetas[64+i])
+		mul := func(off int, zeta int32) {
+			a0, a1 := int32(a[off]), int32(a[off+1])
+			b0, b1 := int32(b[off]), int32(b[off+1])
+			c0 := (a0*b0 + a1*b1%Q*zeta) % Q
+			c1 := (a0*b1 + a1*b0) % Q
+			r[off] = freduce(r[off] + int16(c0))
+			r[off+1] = freduce(r[off+1] + int16(c1))
+		}
+		mul(4*i, z)
+		mul(4*i+2, Q-z)
+	}
+}
+
+func (p *poly) add(a *poly) {
+	for i := range p {
+		p[i] = freduce(p[i] + a[i])
+	}
+}
+
+func (p *poly) sub(a *poly) {
+	for i := range p {
+		p[i] = freduce(p[i] - a[i] + Q)
+	}
+}
+
+// compress maps each coefficient to d bits: round(2^d/q * x) mod 2^d.
+func (p *poly) compress(d uint) {
+	for i, x := range p {
+		p[i] = int16((uint32(x)<<d + Q/2) / Q & (1<<d - 1))
+	}
+}
+
+// decompress maps d-bit values back: round(q/2^d * y).
+func (p *poly) decompress(d uint) {
+	for i, y := range p {
+		p[i] = int16((uint32(y)*Q + 1<<(d-1)) >> d)
+	}
+}
+
+// pack serializes the low d bits of every coefficient, little-endian bit
+// order, into out (len must be 32*d).
+func (p *poly) pack(d uint, out []byte) {
+	var acc uint32
+	var bits uint
+	j := 0
+	for _, x := range p {
+		acc |= uint32(x) & (1<<d - 1) << bits
+		bits += d
+		for bits >= 8 {
+			out[j] = byte(acc)
+			acc >>= 8
+			bits -= 8
+			j++
+		}
+	}
+}
+
+// unpack reverses pack.
+func (p *poly) unpack(d uint, in []byte) {
+	var acc uint32
+	var bits uint
+	j := 0
+	for i := range p {
+		for bits < d {
+			acc |= uint32(in[j]) << bits
+			bits += 8
+			j++
+		}
+		p[i] = int16(acc & (1<<d - 1))
+		acc >>= d
+		bits -= d
+	}
+}
+
+// fromMsg maps a 32-byte message to a polynomial with coefficients in
+// {0, ceil(q/2)} (decompress with d=1).
+func (p *poly) fromMsg(msg []byte) {
+	for i := 0; i < N; i++ {
+		if msg[i/8]>>(i%8)&1 == 1 {
+			p[i] = (Q + 1) / 2
+		} else {
+			p[i] = 0
+		}
+	}
+}
+
+// toMsg maps a polynomial back to a 32-byte message (compress with d=1).
+func (p *poly) toMsg(msg []byte) {
+	for i := range msg {
+		msg[i] = 0
+	}
+	for i, x := range p {
+		bit := (uint32(x)<<1 + Q/2) / Q & 1
+		msg[i/8] |= byte(bit << (i % 8))
+	}
+}

@@ -1,0 +1,166 @@
+package mlkem
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/sha256"
+	"crypto/sha512"
+	"io"
+
+	"pqtls/internal/crypto/sha3"
+)
+
+// symmetric bundles the hash/XOF primitives a Kyber variant is instantiated
+// with: SHAKE/SHA-3 for the standard sets, AES-256-CTR/SHA-2 for the "90s"
+// sets the paper benchmarks as kyber90s*.
+type symmetric interface {
+	// XOF returns the stream used to expand the matrix A from seed rho at
+	// position (i, j).
+	XOF(rho []byte, i, j byte) io.Reader
+	// PRF expands (sigma, nonce) into l bytes of noise-sampling randomness.
+	PRF(sigma []byte, nonce byte, l int) []byte
+	// H is the 32-byte hash (SHA3-256 / SHA-256).
+	H(data []byte) [32]byte
+	// G is the 64-byte hash (SHA3-512 / SHA-512).
+	G(data ...[]byte) [64]byte
+	// KDF derives the 32-byte shared secret (SHAKE256 / SHA-256).
+	KDF(data ...[]byte) [32]byte
+}
+
+// shakeSymmetric is the standard (round-3) Kyber instantiation.
+type shakeSymmetric struct{}
+
+func (shakeSymmetric) XOF(rho []byte, i, j byte) io.Reader {
+	x := sha3.NewShake128()
+	x.Write(rho)
+	x.Write([]byte{i, j})
+	return readerFunc(x.Read)
+}
+
+func (shakeSymmetric) PRF(sigma []byte, nonce byte, l int) []byte {
+	return sha3.ShakeSum256(l, sigma, []byte{nonce})
+}
+
+func (shakeSymmetric) H(data []byte) [32]byte { return sha3.Sum256(data) }
+
+func (shakeSymmetric) G(data ...[]byte) [64]byte {
+	return sha3.Sum512(concat(data...))
+}
+
+func (shakeSymmetric) KDF(data ...[]byte) [32]byte {
+	var out [32]byte
+	copy(out[:], sha3.ShakeSum256(32, concat(data...)))
+	return out
+}
+
+// aesSymmetric is the 90s instantiation: AES-256-CTR as XOF/PRF, SHA-2 as H/G.
+type aesSymmetric struct{}
+
+func aesCTR(key []byte, iv [16]byte) cipher.Stream {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		panic("mlkem: bad AES key size: " + err.Error())
+	}
+	return cipher.NewCTR(block, iv[:])
+}
+
+func (aesSymmetric) XOF(rho []byte, i, j byte) io.Reader {
+	var iv [16]byte
+	iv[0], iv[1] = j, i // spec order: nonce = j || i || 0...
+	stream := aesCTR(rho, iv)
+	return readerFunc(func(p []byte) (int, error) {
+		for k := range p {
+			p[k] = 0
+		}
+		stream.XORKeyStream(p, p)
+		return len(p), nil
+	})
+}
+
+func (aesSymmetric) PRF(sigma []byte, nonce byte, l int) []byte {
+	var iv [16]byte
+	iv[0] = nonce
+	out := make([]byte, l)
+	aesCTR(sigma, iv).XORKeyStream(out, out)
+	return out
+}
+
+func (aesSymmetric) H(data []byte) [32]byte { return sha256.Sum256(data) }
+
+func (aesSymmetric) G(data ...[]byte) [64]byte {
+	return sha512.Sum512(concat(data...))
+}
+
+func (aesSymmetric) KDF(data ...[]byte) [32]byte {
+	return sha256.Sum256(concat(data...))
+}
+
+type readerFunc func(p []byte) (int, error)
+
+func (f readerFunc) Read(p []byte) (int, error) { return f(p) }
+
+func concat(data ...[]byte) []byte {
+	n := 0
+	for _, d := range data {
+		n += len(d)
+	}
+	out := make([]byte, 0, n)
+	for _, d := range data {
+		out = append(out, d...)
+	}
+	return out
+}
+
+// sampleUniform fills p with coefficients rejection-sampled from the XOF
+// stream (SampleNTT): consecutive 3-byte groups yield two 12-bit candidates.
+func sampleUniform(p *poly, r io.Reader) {
+	var buf [3 * 168]byte // one SHAKE128 block's worth of candidates
+	i := 0
+	for i < N {
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			panic("mlkem: xof read: " + err.Error())
+		}
+		for j := 0; j+3 <= len(buf) && i < N; j += 3 {
+			d1 := int16(buf[j]) | int16(buf[j+1]&0x0F)<<8
+			d2 := int16(buf[j+1]>>4) | int16(buf[j+2])<<4
+			if d1 < Q {
+				p[i] = d1
+				i++
+			}
+			if d2 < Q && i < N {
+				p[i] = d2
+				i++
+			}
+		}
+	}
+}
+
+// sampleCBD fills p from the centered binomial distribution with parameter
+// eta (2 or 3), consuming 64*eta bytes of PRF output.
+func sampleCBD(p *poly, buf []byte, eta int) {
+	switch eta {
+	case 2:
+		for i := 0; i < N/8; i++ {
+			t := uint32(buf[4*i]) | uint32(buf[4*i+1])<<8 |
+				uint32(buf[4*i+2])<<16 | uint32(buf[4*i+3])<<24
+			d := t&0x55555555 + t>>1&0x55555555
+			for j := 0; j < 8; j++ {
+				a := int16(d >> (4 * j) & 3)
+				b := int16(d >> (4*j + 2) & 3)
+				p[8*i+j] = freduce(a - b + Q)
+			}
+		}
+	case 3:
+		for i := 0; i < N/4; i++ {
+			t := uint32(buf[3*i]) | uint32(buf[3*i+1])<<8 | uint32(buf[3*i+2])<<16
+			d := t&0x00249249 + t>>1&0x00249249 + t>>2&0x00249249
+			for j := 0; j < 4; j++ {
+				a := int16(d >> (6 * j) & 7)
+				b := int16(d >> (6*j + 3) & 7)
+				p[4*i+j] = freduce(a - b + Q)
+			}
+		}
+	default:
+		panic("mlkem: unsupported eta")
+	}
+}

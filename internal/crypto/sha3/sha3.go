@@ -1,0 +1,230 @@
+// Package sha3 implements the SHA-3 fixed-output hash functions and the
+// SHAKE extendable-output functions (FIPS 202) from scratch.
+//
+// The Go standard library (as pinned by this module) does not ship SHA-3, and
+// every lattice- and hash-based scheme in this repository (ML-KEM, Dilithium,
+// SPHINCS+, the Falcon-shaped signature) is defined in terms of SHAKE, so the
+// sponge lives here as a shared substrate.
+package sha3
+
+import "math/bits"
+
+// roundConstants are the 24 iota-step constants of Keccak-f[1600].
+var roundConstants = [24]uint64{
+	0x0000000000000001, 0x0000000000008082, 0x800000000000808A, 0x8000000080008000,
+	0x000000000000808B, 0x0000000080000001, 0x8000000080008081, 0x8000000000008009,
+	0x000000000000008A, 0x0000000000000088, 0x0000000080008009, 0x000000008000000A,
+	0x000000008000808B, 0x800000000000008B, 0x8000000000008089, 0x8000000000008003,
+	0x8000000000008002, 0x8000000000000080, 0x000000000000800A, 0x800000008000000A,
+	0x8000000080008081, 0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
+}
+
+// rotc[i] is the rho rotation of the lane consumed at step i of the chained
+// rho-pi loop (the triangular numbers (i+1)(i+2)/2 mod 64).
+var rotc = [24]int{
+	1, 3, 6, 10, 15, 21, 28, 36, 45, 55, 2, 14,
+	27, 41, 56, 8, 25, 43, 62, 18, 39, 61, 20, 44,
+}
+
+// piln[i] is the pi-step destination lane at step i of the chained loop.
+var piln = [24]int{
+	10, 7, 11, 17, 18, 3, 5, 16, 8, 21, 24, 4,
+	15, 23, 19, 13, 12, 2, 20, 14, 22, 9, 6, 1,
+}
+
+// keccakF1600 is the readable reference permutation; the sponge uses the
+// generated keccakF1600Unrolled (see keccakf_unrolled.go), and the test
+// suite checks the two against each other.
+func keccakF1600(a *[25]uint64) {
+	var bc [5]uint64
+	for round := 0; round < 24; round++ {
+		// Theta.
+		for x := 0; x < 5; x++ {
+			bc[x] = a[x] ^ a[x+5] ^ a[x+10] ^ a[x+15] ^ a[x+20]
+		}
+		for x := 0; x < 5; x++ {
+			d := bc[(x+4)%5] ^ bits.RotateLeft64(bc[(x+1)%5], 1)
+			for y := 0; y < 25; y += 5 {
+				a[y+x] ^= d
+			}
+		}
+		// Rho and pi.
+		t := a[1]
+		for i := 0; i < 24; i++ {
+			j := piln[i]
+			bc[0] = a[j]
+			a[j] = bits.RotateLeft64(t, rotc[i])
+			t = bc[0]
+		}
+		// Chi.
+		for y := 0; y < 25; y += 5 {
+			for x := 0; x < 5; x++ {
+				bc[x] = a[y+x]
+			}
+			for x := 0; x < 5; x++ {
+				a[y+x] = bc[x] ^ (^bc[(x+1)%5] & bc[(x+2)%5])
+			}
+		}
+		// Iota.
+		a[0] ^= roundConstants[round]
+	}
+}
+
+// state is a Keccak sponge with a fixed rate and domain-separation byte.
+type state struct {
+	a      [25]uint64
+	buf    [200]byte // rate-sized staging area for absorb/squeeze
+	n      int       // bytes currently buffered
+	rate   int
+	dsbyte byte
+	// squeezing reports whether the sponge has been padded and switched to
+	// output mode; further Write calls are a programming error.
+	squeezing bool
+}
+
+func newState(rate int, dsbyte byte) *state {
+	return &state{rate: rate, dsbyte: dsbyte}
+}
+
+// Write absorbs p into the sponge. It panics if called after reading output,
+// mirroring the contract of the x/crypto implementation.
+func (s *state) Write(p []byte) (int, error) {
+	if s.squeezing {
+		panic("sha3: Write after Read")
+	}
+	n := len(p)
+	for len(p) > 0 {
+		c := copy(s.buf[s.n:s.rate], p)
+		s.n += c
+		p = p[c:]
+		if s.n == s.rate {
+			s.absorbBuf()
+		}
+	}
+	return n, nil
+}
+
+func (s *state) absorbBuf() {
+	for i := 0; i < s.rate/8; i++ {
+		s.a[i] ^= le64(s.buf[8*i:])
+	}
+	keccakF1600Unrolled(&s.a)
+	s.n = 0
+}
+
+func (s *state) pad() {
+	for i := s.n; i < s.rate; i++ {
+		s.buf[i] = 0
+	}
+	s.buf[s.n] ^= s.dsbyte
+	s.buf[s.rate-1] ^= 0x80
+	s.n = s.rate
+	s.absorbBuf()
+	s.squeezing = true
+	s.fillOutput()
+}
+
+func (s *state) fillOutput() {
+	for i := 0; i < s.rate/8; i++ {
+		putLE64(s.buf[8*i:], s.a[i])
+	}
+	s.n = 0 // bytes of buf already consumed by Read
+}
+
+// Read squeezes len(p) bytes of output, padding the sponge on first use.
+func (s *state) Read(p []byte) (int, error) {
+	if !s.squeezing {
+		s.pad()
+	}
+	n := len(p)
+	for len(p) > 0 {
+		if s.n == s.rate {
+			keccakF1600Unrolled(&s.a)
+			s.fillOutput()
+		}
+		c := copy(p, s.buf[s.n:s.rate])
+		s.n += c
+		p = p[c:]
+	}
+	return n, nil
+}
+
+// Reset returns the sponge to its initial empty state.
+func (s *state) Reset() {
+	s.a = [25]uint64{}
+	s.n = 0
+	s.squeezing = false
+}
+
+func le64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putLE64(b []byte, v uint64) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}
+
+// XOF is an extendable-output function: absorb with Write, squeeze with Read.
+type XOF interface {
+	Write(p []byte) (int, error)
+	Read(p []byte) (int, error)
+	Reset()
+}
+
+// NewShake128 returns a SHAKE128 XOF (rate 168, domain 0x1F).
+func NewShake128() XOF { return newState(168, 0x1F) }
+
+// NewShake256 returns a SHAKE256 XOF (rate 136, domain 0x1F).
+func NewShake256() XOF { return newState(136, 0x1F) }
+
+func digest(rate int, ds byte, size int, data []byte) []byte {
+	s := newState(rate, ds)
+	s.Write(data)
+	out := make([]byte, size)
+	s.Read(out)
+	return out
+}
+
+// Sum256 computes SHA3-256(data).
+func Sum256(data []byte) [32]byte {
+	var out [32]byte
+	copy(out[:], digest(136, 0x06, 32, data))
+	return out
+}
+
+// Sum512 computes SHA3-512(data).
+func Sum512(data []byte) [64]byte {
+	var out [64]byte
+	copy(out[:], digest(72, 0x06, 64, data))
+	return out
+}
+
+// ShakeSum128 squeezes size bytes of SHAKE128 over the concatenation of data.
+func ShakeSum128(size int, data ...[]byte) []byte {
+	s := NewShake128()
+	for _, d := range data {
+		s.Write(d)
+	}
+	out := make([]byte, size)
+	s.Read(out)
+	return out
+}
+
+// ShakeSum256 squeezes size bytes of SHAKE256 over the concatenation of data.
+func ShakeSum256(size int, data ...[]byte) []byte {
+	s := NewShake256()
+	for _, d := range data {
+		s.Write(d)
+	}
+	out := make([]byte, size)
+	s.Read(out)
+	return out
+}

@@ -1,0 +1,199 @@
+package sha3
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+// Known-answer tests for the empty input (FIPS 202 reference vectors).
+func TestEmptyVectors(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name string
+		got  []byte
+		want string
+	}{
+		{"SHA3-256", firstN(Sum256(nil)), "a7ffc6f8bf1ed76651c14756a061d662f580ff4de43b49fa82d80a4b80f8434a"},
+		{"SHA3-512", firstN(Sum512(nil)), "a69f73cca23a9ac5c8b567dc185a756e97c982164fe25859e0d1dcc1475c80a615b2123af1f5f94c11e3e9402c3ac558f500199d95b6d3e301758586281dcd26"},
+		{"SHAKE128", ShakeSum128(32, nil), "7f9c2ba4e88f827d616045507605853ed73b8093f6efbc88eb1a6eacfa66ef26"},
+		{"SHAKE256", ShakeSum256(32, nil), "46b9dd2b0ba88d13233b3feb743eeb243fcd52ea62b81b82b50c27646ed5762f"},
+	}
+	for _, c := range cases {
+		want, err := hex.DecodeString(c.want)
+		if err != nil {
+			t.Fatalf("%s: bad vector: %v", c.name, err)
+		}
+		if !bytes.Equal(c.got, want) {
+			t.Errorf("%s(\"\") = %x, want %x", c.name, c.got, want)
+		}
+	}
+}
+
+func firstN[T [32]byte | [64]byte](a T) []byte {
+	switch v := any(a).(type) {
+	case [32]byte:
+		return v[:]
+	case [64]byte:
+		return v[:]
+	}
+	panic("unreachable")
+}
+
+// SHA3-256 of "abc" (FIPS 202 example value).
+func TestABC(t *testing.T) {
+	t.Parallel()
+	got := Sum256([]byte("abc"))
+	want := "3a985da74fe225b2045c172d6bd390bd855f086e3e9d525b46bfe24511431532"
+	if hex.EncodeToString(got[:]) != want {
+		t.Errorf("SHA3-256(abc) = %x, want %s", got, want)
+	}
+}
+
+// Squeezing in many small reads must equal one large read.
+func TestIncrementalSqueeze(t *testing.T) {
+	t.Parallel()
+	msg := []byte("the quick brown fox")
+	one := ShakeSum128(500, msg)
+
+	x := NewShake128()
+	x.Write(msg)
+	var parts []byte
+	buf := make([]byte, 7)
+	for len(parts) < 500 {
+		n := min(7, 500-len(parts))
+		x.Read(buf[:n])
+		parts = append(parts, buf[:n]...)
+	}
+	if !bytes.Equal(one, parts) {
+		t.Error("incremental squeeze differs from single squeeze")
+	}
+}
+
+// Absorbing in many small writes must equal one large write.
+func TestIncrementalAbsorb(t *testing.T) {
+	t.Parallel()
+	msg := bytes.Repeat([]byte{0xa3}, 1000)
+	one := ShakeSum256(64, msg)
+
+	x := NewShake256()
+	for i := 0; i < len(msg); i += 13 {
+		x.Write(msg[i:min(i+13, len(msg))])
+	}
+	two := make([]byte, 64)
+	x.Read(two)
+	if !bytes.Equal(one, two) {
+		t.Error("incremental absorb differs from single absorb")
+	}
+}
+
+func TestReset(t *testing.T) {
+	t.Parallel()
+	x := NewShake128()
+	x.Write([]byte("state to discard"))
+	out := make([]byte, 16)
+	x.Read(out)
+	x.Reset()
+	x.Write(nil)
+	x.Read(out)
+	if !bytes.Equal(out, ShakeSum128(16, nil)) {
+		t.Error("Reset did not restore the initial state")
+	}
+}
+
+func TestWriteAfterReadPanics(t *testing.T) {
+	t.Parallel()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on Write after Read")
+		}
+	}()
+	x := NewShake128()
+	x.Read(make([]byte, 1))
+	x.Write([]byte{1})
+}
+
+// Property: splitting the input at any point never changes the digest.
+func TestQuickSplitInvariance(t *testing.T) {
+	t.Parallel()
+	f := func(data []byte, split uint8) bool {
+		i := int(split)
+		if i > len(data) {
+			i = len(data)
+		}
+		x := NewShake256()
+		x.Write(data[:i])
+		x.Write(data[i:])
+		got := make([]byte, 32)
+		x.Read(got)
+		return bytes.Equal(got, ShakeSum256(32, data))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: different inputs produce different SHAKE streams (collision
+// resistance smoke test over random small inputs).
+func TestQuickNoTrivialCollisions(t *testing.T) {
+	t.Parallel()
+	f := func(a, b []byte) bool {
+		if bytes.Equal(a, b) {
+			return true
+		}
+		return !bytes.Equal(ShakeSum128(16, a), ShakeSum128(16, b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkKeccakF1600(b *testing.B) {
+	var a [25]uint64
+	b.SetBytes(200)
+	for i := 0; i < b.N; i++ {
+		keccakF1600(&a)
+	}
+}
+
+func BenchmarkShake128_1KiB(b *testing.B) {
+	msg := make([]byte, 1024)
+	out := make([]byte, 32)
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		x := NewShake128()
+		x.Write(msg)
+		x.Read(out)
+	}
+}
+
+// The unrolled permutation must agree with the reference loop on random
+// states.
+func TestUnrolledMatchesReference(t *testing.T) {
+	t.Parallel()
+	var a, b [25]uint64
+	s := uint64(0x9E3779B97F4A7C15)
+	for i := range a {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		a[i] = s
+		b[i] = s
+	}
+	for round := 0; round < 10; round++ {
+		keccakF1600(&a)
+		keccakF1600Unrolled(&b)
+		if a != b {
+			t.Fatalf("unrolled diverges from reference after %d applications", round+1)
+		}
+	}
+}
+
+func BenchmarkKeccakF1600Unrolled(b *testing.B) {
+	var a [25]uint64
+	b.SetBytes(200)
+	for i := 0; i < b.N; i++ {
+		keccakF1600Unrolled(&a)
+	}
+}

@@ -1,0 +1,502 @@
+// Package sphincs implements the SPHINCS+ stateless hash-based signature
+// scheme (round-3 structure: FORS + WOTS+ hypertree) with the SHA-256
+// "simple" tweakable hash construction, for the three fast ("f") parameter
+// sets the paper benchmarks as sphincs128/192/256.
+//
+// Substitution note (see DESIGN.md): the paper uses the haraka-f-simple
+// instantiation, whose speed depends on AES-NI; we instantiate the identical
+// structure with SHA-256. Signature and key sizes are exactly those of the
+// corresponding sha256-f-simple sets, and the scheme remains hash-bound and
+// orders of magnitude slower than the lattice signatures — the behaviour the
+// paper reports.
+package sphincs
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Params describes one SPHINCS+ parameter set.
+type Params struct {
+	Name string
+	N    int // hash output bytes
+	H    int // hypertree height
+	D    int // hypertree layers
+	A    int // FORS tree height
+	K    int // number of FORS trees
+	// WOTS+ uses w=16 throughout; len1 = 2n, len2 = 3, len = len1+len2.
+}
+
+// The three fast ("f") parameter sets the paper's tables use, plus the
+// small ("s") sets: the artifact's all-sphincs experiment sweeps variants
+// to pick the fastest, trading signature size against signing time.
+var (
+	SPHINCS128f = &Params{Name: "sphincs128", N: 16, H: 66, D: 22, A: 6, K: 33}
+	SPHINCS192f = &Params{Name: "sphincs192", N: 24, H: 66, D: 22, A: 8, K: 33}
+	SPHINCS256f = &Params{Name: "sphincs256", N: 32, H: 68, D: 17, A: 9, K: 35}
+	SPHINCS128s = &Params{Name: "sphincs128s", N: 16, H: 63, D: 7, A: 12, K: 14}
+	SPHINCS192s = &Params{Name: "sphincs192s", N: 24, H: 63, D: 7, A: 14, K: 17}
+	SPHINCS256s = &Params{Name: "sphincs256s", N: 32, H: 64, D: 8, A: 14, K: 22}
+)
+
+const wotsW = 16
+
+func (p *Params) len1() int    { return 2 * p.N }
+func (p *Params) len2() int    { return 3 }
+func (p *Params) wotsLen() int { return p.len1() + p.len2() }
+func (p *Params) hPrime() int  { return p.H / p.D }
+
+// PublicKeySize returns the public-key length (PK.seed || PK.root).
+func (p *Params) PublicKeySize() int { return 2 * p.N }
+
+// PrivateKeySize returns the private-key length (SK.seed || SK.prf || PK).
+func (p *Params) PrivateKeySize() int { return 4 * p.N }
+
+// SignatureSize returns the signature length (R || FORS || HT).
+func (p *Params) SignatureSize() int {
+	return p.N * (1 + p.K*(p.A+1) + p.D*(p.wotsLen()+p.hPrime()))
+}
+
+// address is the 32-byte hash-domain separator of SPHINCS+.
+type address [32]byte
+
+// Address word types.
+const (
+	adrsWOTSHash  = 0
+	adrsWOTSPK    = 1
+	adrsTree      = 2
+	adrsFORSTree  = 3
+	adrsFORSRoots = 4
+	adrsWOTSPRF   = 5
+	adrsFORSPRF   = 6
+)
+
+func (a *address) setLayer(l uint32) { binary.BigEndian.PutUint32(a[0:], l) }
+func (a *address) setTree(t uint64)  { binary.BigEndian.PutUint64(a[8:], t) }
+func (a *address) setType(t uint32) {
+	binary.BigEndian.PutUint32(a[16:], t)
+	for i := 20; i < 32; i++ {
+		a[i] = 0
+	}
+}
+func (a *address) setKeyPair(k uint32)    { binary.BigEndian.PutUint32(a[20:], k) }
+func (a *address) setChain(c uint32)      { binary.BigEndian.PutUint32(a[24:], c) }
+func (a *address) setHash(h uint32)       { binary.BigEndian.PutUint32(a[28:], h) }
+func (a *address) setTreeHeight(h uint32) { binary.BigEndian.PutUint32(a[24:], h) }
+func (a *address) setTreeIndex(i uint32)  { binary.BigEndian.PutUint32(a[28:], i) }
+
+// compressed returns the 22-byte SHA-256 address encoding.
+func (a *address) compressed() [22]byte {
+	var c [22]byte
+	c[0] = a[3]           // layer
+	copy(c[1:9], a[8:16]) // tree (low 8 bytes)
+	c[9] = a[19]          // type
+	copy(c[10:22], a[20:32])
+	return c
+}
+
+// thash is the "simple" tweakable hash: SHA-256(PK.seed || ADRSc || M)[:n].
+func (p *Params) thash(pkSeed []byte, adrs *address, msg ...[]byte) []byte {
+	h := sha256.New()
+	h.Write(pkSeed)
+	c := adrs.compressed()
+	h.Write(c[:])
+	for _, m := range msg {
+		h.Write(m)
+	}
+	return h.Sum(nil)[:p.N]
+}
+
+// prf derives secret chain/leaf values: SHA-256(PK.seed || ADRSc || SK.seed).
+func (p *Params) prf(pkSeed, skSeed []byte, adrs *address) []byte {
+	h := sha256.New()
+	h.Write(pkSeed)
+	c := adrs.compressed()
+	h.Write(c[:])
+	h.Write(skSeed)
+	return h.Sum(nil)[:p.N]
+}
+
+// prfMsg computes the randomizer R = HMAC-SHA256(SK.prf, optRand || M)[:n].
+func (p *Params) prfMsg(skPRF, optRand, msg []byte) []byte {
+	m := hmac.New(sha256.New, skPRF)
+	m.Write(optRand)
+	m.Write(msg)
+	return m.Sum(nil)[:p.N]
+}
+
+// hashMsg expands (R, PK, M) into the FORS digest and tree/leaf indices.
+func (p *Params) hashMsg(r, pkSeed, pkRoot, msg []byte) (md []byte, treeIdx uint64, leafIdx uint32) {
+	seed := sha256.New()
+	seed.Write(r)
+	seed.Write(pkSeed)
+	seed.Write(pkRoot)
+	seed.Write(msg)
+	digest := seed.Sum(nil)
+
+	mdLen := (p.K*p.A + 7) / 8
+	treeBits := p.H - p.hPrime()
+	treeLen := (treeBits + 7) / 8
+	leafLen := (p.hPrime() + 7) / 8
+	out := mgf1(append(append([]byte{}, r...), digest...), mdLen+treeLen+leafLen)
+
+	md = out[:mdLen]
+	var tb [8]byte
+	copy(tb[8-treeLen:], out[mdLen:mdLen+treeLen])
+	treeIdx = binary.BigEndian.Uint64(tb[:])
+	if treeBits < 64 {
+		treeIdx &= 1<<treeBits - 1
+	}
+	var lb [4]byte
+	copy(lb[4-leafLen:], out[mdLen+treeLen:])
+	leafIdx = binary.BigEndian.Uint32(lb[:]) & (1<<p.hPrime() - 1)
+	return md, treeIdx, leafIdx
+}
+
+// mgf1 is the MGF1-SHA256 mask generation function.
+func mgf1(seed []byte, outLen int) []byte {
+	var out []byte
+	var ctr [4]byte
+	for i := uint32(0); len(out) < outLen; i++ {
+		binary.BigEndian.PutUint32(ctr[:], i)
+		h := sha256.Sum256(append(append([]byte{}, seed...), ctr[:]...))
+		out = append(out, h[:]...)
+	}
+	return out[:outLen]
+}
+
+// chain applies the WOTS+ chaining function count times starting at index
+// start.
+func (p *Params) chain(x []byte, start, count int, pkSeed []byte, adrs *address) []byte {
+	out := x
+	for i := start; i < start+count; i++ {
+		adrs.setHash(uint32(i))
+		out = p.thash(pkSeed, adrs, out)
+	}
+	return out
+}
+
+// baseW converts msg into outLen base-16 digits.
+func baseW(msg []byte, outLen int) []int {
+	out := make([]int, 0, outLen)
+	for _, b := range msg {
+		out = append(out, int(b>>4), int(b&0x0F))
+		if len(out) >= outLen {
+			break
+		}
+	}
+	return out[:outLen]
+}
+
+// wotsDigits maps an n-byte message to len digits including the checksum.
+func (p *Params) wotsDigits(msg []byte) []int {
+	digits := baseW(msg, p.len1())
+	csum := 0
+	for _, d := range digits {
+		csum += wotsW - 1 - d
+	}
+	// Checksum in len2 big-endian base-w digits (12 bits is enough for all sets).
+	csum <<= 4 // left-shift so the top bits align as in the spec
+	csBytes := []byte{byte(csum >> 8), byte(csum)}
+	digits = append(digits, baseW(csBytes, p.len2())...)
+	return digits
+}
+
+// wotsPKFromSig recomputes the WOTS+ public key implied by a signature.
+func (p *Params) wotsPKFromSig(sig, msg, pkSeed []byte, adrs *address) []byte {
+	digits := p.wotsDigits(msg)
+	tmp := make([]byte, 0, p.wotsLen()*p.N)
+	for i, d := range digits {
+		adrs.setChain(uint32(i))
+		part := p.chain(sig[i*p.N:(i+1)*p.N], d, wotsW-1-d, pkSeed, adrs)
+		tmp = append(tmp, part...)
+	}
+	wotspkADRS := *adrs
+	wotspkADRS.setType(adrsWOTSPK)
+	wotspkADRS.setKeyPair(binary.BigEndian.Uint32(adrs[20:]))
+	return p.thash(pkSeed, &wotspkADRS, tmp)
+}
+
+// wotsSign signs an n-byte message, returning len*n bytes.
+func (p *Params) wotsSign(msg, skSeed, pkSeed []byte, adrs *address) []byte {
+	digits := p.wotsDigits(msg)
+	sig := make([]byte, 0, p.wotsLen()*p.N)
+	for i, d := range digits {
+		skADRS := *adrs
+		skADRS.setType(adrsWOTSPRF)
+		skADRS.setKeyPair(binary.BigEndian.Uint32(adrs[20:]))
+		skADRS.setChain(uint32(i))
+		sk := p.prf(pkSeed, skSeed, &skADRS)
+		adrs.setChain(uint32(i))
+		sig = append(sig, p.chain(sk, 0, d, pkSeed, adrs)...)
+	}
+	return sig
+}
+
+// wotsPKGen computes a WOTS+ public key (the compressed root value).
+func (p *Params) wotsPKGen(skSeed, pkSeed []byte, adrs *address) []byte {
+	tmp := make([]byte, 0, p.wotsLen()*p.N)
+	for i := 0; i < p.wotsLen(); i++ {
+		skADRS := *adrs
+		skADRS.setType(adrsWOTSPRF)
+		skADRS.setKeyPair(binary.BigEndian.Uint32(adrs[20:]))
+		skADRS.setChain(uint32(i))
+		sk := p.prf(pkSeed, skSeed, &skADRS)
+		adrs.setChain(uint32(i))
+		tmp = append(tmp, p.chain(sk, 0, wotsW-1, pkSeed, adrs)...)
+	}
+	wotspkADRS := *adrs
+	wotspkADRS.setType(adrsWOTSPK)
+	wotspkADRS.setKeyPair(binary.BigEndian.Uint32(adrs[20:]))
+	return p.thash(pkSeed, &wotspkADRS, tmp)
+}
+
+// xmssNode computes the node at (height, index) of an XMSS subtree.
+func (p *Params) xmssNode(skSeed, pkSeed []byte, idx, height uint32, adrs *address) []byte {
+	if height == 0 {
+		wotsADRS := *adrs
+		wotsADRS.setType(adrsWOTSHash)
+		wotsADRS.setKeyPair(idx)
+		return p.wotsPKGen(skSeed, pkSeed, &wotsADRS)
+	}
+	left := p.xmssNode(skSeed, pkSeed, 2*idx, height-1, adrs)
+	right := p.xmssNode(skSeed, pkSeed, 2*idx+1, height-1, adrs)
+	nodeADRS := *adrs
+	nodeADRS.setType(adrsTree)
+	nodeADRS.setTreeHeight(height)
+	nodeADRS.setTreeIndex(idx)
+	return p.thash(pkSeed, &nodeADRS, left, right)
+}
+
+// xmssSign produces a WOTS+ signature plus authentication path for leaf idx.
+func (p *Params) xmssSign(msg, skSeed, pkSeed []byte, idx uint32, adrs *address) []byte {
+	sig := make([]byte, 0, (p.wotsLen()+p.hPrime())*p.N)
+	wotsADRS := *adrs
+	wotsADRS.setType(adrsWOTSHash)
+	wotsADRS.setKeyPair(idx)
+	sig = append(sig, p.wotsSign(msg, skSeed, pkSeed, &wotsADRS)...)
+	for h := uint32(0); h < uint32(p.hPrime()); h++ {
+		sibling := (idx >> h) ^ 1
+		sig = append(sig, p.xmssNode(skSeed, pkSeed, sibling, h, adrs)...)
+	}
+	return sig
+}
+
+// xmssPKFromSig recomputes the subtree root from a leaf signature.
+func (p *Params) xmssPKFromSig(idx uint32, sig, msg, pkSeed []byte, adrs *address) []byte {
+	wotsADRS := *adrs
+	wotsADRS.setType(adrsWOTSHash)
+	wotsADRS.setKeyPair(idx)
+	node := p.wotsPKFromSig(sig[:p.wotsLen()*p.N], msg, pkSeed, &wotsADRS)
+	auth := sig[p.wotsLen()*p.N:]
+	nodeADRS := *adrs
+	nodeADRS.setType(adrsTree)
+	for h := 0; h < p.hPrime(); h++ {
+		nodeADRS.setTreeHeight(uint32(h + 1))
+		nodeADRS.setTreeIndex(idx >> (h + 1))
+		sib := auth[h*p.N : (h+1)*p.N]
+		if idx>>h&1 == 0 {
+			node = p.thash(pkSeed, &nodeADRS, node, sib)
+		} else {
+			node = p.thash(pkSeed, &nodeADRS, sib, node)
+		}
+	}
+	return node
+}
+
+// forsNode computes a FORS tree node.
+func (p *Params) forsNode(skSeed, pkSeed []byte, idx, height uint32, adrs *address) []byte {
+	if height == 0 {
+		skADRS := *adrs
+		skADRS.setType(adrsFORSPRF)
+		skADRS.setKeyPair(binary.BigEndian.Uint32(adrs[20:]))
+		skADRS.setTreeIndex(idx)
+		sk := p.prf(pkSeed, skSeed, &skADRS)
+		leafADRS := *adrs
+		leafADRS.setTreeHeight(0)
+		leafADRS.setTreeIndex(idx)
+		return p.thash(pkSeed, &leafADRS, sk)
+	}
+	left := p.forsNode(skSeed, pkSeed, 2*idx, height-1, adrs)
+	right := p.forsNode(skSeed, pkSeed, 2*idx+1, height-1, adrs)
+	nodeADRS := *adrs
+	nodeADRS.setTreeHeight(height)
+	nodeADRS.setTreeIndex(idx)
+	return p.thash(pkSeed, &nodeADRS, left, right)
+}
+
+// forsIndices splits the message digest into k a-bit indices.
+func (p *Params) forsIndices(md []byte) []uint32 {
+	idx := make([]uint32, p.K)
+	bit := 0
+	for i := 0; i < p.K; i++ {
+		v := uint32(0)
+		for j := 0; j < p.A; j++ {
+			v = v<<1 | uint32(md[bit/8]>>(7-bit%8)&1)
+			bit++
+		}
+		idx[i] = v
+	}
+	return idx
+}
+
+// forsSign produces the FORS part of the signature.
+func (p *Params) forsSign(md, skSeed, pkSeed []byte, adrs *address) []byte {
+	indices := p.forsIndices(md)
+	sig := make([]byte, 0, p.K*(p.A+1)*p.N)
+	for i, idx := range indices {
+		treeOff := uint32(i) << p.A
+		skADRS := *adrs
+		skADRS.setType(adrsFORSPRF)
+		skADRS.setKeyPair(binary.BigEndian.Uint32(adrs[20:]))
+		skADRS.setTreeIndex(treeOff + idx)
+		sig = append(sig, p.prf(pkSeed, skSeed, &skADRS)...)
+		for h := uint32(0); h < uint32(p.A); h++ {
+			sibling := (treeOff>>h + idx>>h) ^ 1
+			// Note: tree i occupies indices [i*2^a, (i+1)*2^a) at height 0;
+			// at height h its nodes start at (i*2^a)>>h.
+			sig = append(sig, p.forsNode(skSeed, pkSeed, sibling, h, adrs)...)
+		}
+	}
+	return sig
+}
+
+// forsPKFromSig recomputes the FORS public key from a signature.
+func (p *Params) forsPKFromSig(sig, md, pkSeed []byte, adrs *address) []byte {
+	indices := p.forsIndices(md)
+	roots := make([]byte, 0, p.K*p.N)
+	off := 0
+	for i, idx := range indices {
+		treeOff := uint32(i) << p.A
+		sk := sig[off : off+p.N]
+		off += p.N
+		leafADRS := *adrs
+		leafADRS.setTreeHeight(0)
+		leafADRS.setTreeIndex(treeOff + idx)
+		node := p.thash(pkSeed, &leafADRS, sk)
+		pos := treeOff + idx
+		for h := 0; h < p.A; h++ {
+			sib := sig[off : off+p.N]
+			off += p.N
+			nodeADRS := *adrs
+			nodeADRS.setTreeHeight(uint32(h + 1))
+			nodeADRS.setTreeIndex(pos >> (h + 1))
+			if pos>>h&1 == 0 {
+				node = p.thash(pkSeed, &nodeADRS, node, sib)
+			} else {
+				node = p.thash(pkSeed, &nodeADRS, sib, node)
+			}
+		}
+		roots = append(roots, node...)
+	}
+	pkADRS := *adrs
+	pkADRS.setType(adrsFORSRoots)
+	pkADRS.setKeyPair(binary.BigEndian.Uint32(adrs[20:]))
+	return p.thash(pkSeed, &pkADRS, roots)
+}
+
+// GenerateKey creates a key pair from rng (crypto/rand if nil).
+func (p *Params) GenerateKey(rng io.Reader) (pk, sk []byte, err error) {
+	if rng == nil {
+		rng = rand.Reader
+	}
+	seeds := make([]byte, 3*p.N) // SK.seed || SK.prf || PK.seed
+	if _, err := io.ReadFull(rng, seeds); err != nil {
+		return nil, nil, fmt.Errorf("sphincs: reading key seed: %w", err)
+	}
+	skSeed, pkSeed := seeds[:p.N], seeds[2*p.N:]
+	var adrs address
+	adrs.setLayer(uint32(p.D - 1))
+	root := p.xmssNode(skSeed, pkSeed, 0, uint32(p.hPrime()), &adrs)
+	pk = append(append([]byte{}, pkSeed...), root...)
+	sk = append(append([]byte{}, seeds...), root...)
+	return pk, sk, nil
+}
+
+// Sign produces a SPHINCS+ signature over msg.
+func (p *Params) Sign(sk, msg []byte) ([]byte, error) {
+	if len(sk) != p.PrivateKeySize() {
+		return nil, fmt.Errorf("sphincs: private key is %d bytes, want %d", len(sk), p.PrivateKeySize())
+	}
+	skSeed, skPRF := sk[:p.N], sk[p.N:2*p.N]
+	pkSeed, pkRoot := sk[2*p.N:3*p.N], sk[3*p.N:]
+
+	r := p.prfMsg(skPRF, pkSeed, msg) // deterministic: optRand = PK.seed
+	md, treeIdx, leafIdx := p.hashMsg(r, pkSeed, pkRoot, msg)
+
+	sig := make([]byte, 0, p.SignatureSize())
+	sig = append(sig, r...)
+
+	var adrs address
+	adrs.setLayer(0)
+	adrs.setTree(treeIdx)
+	adrs.setType(adrsFORSTree)
+	adrs.setKeyPair(leafIdx)
+	sig = append(sig, p.forsSign(md, skSeed, pkSeed, &adrs)...)
+	node := p.forsPKFromSig(sig[p.N:], md, pkSeed, &adrs)
+
+	// Hypertree signature over the FORS public key.
+	sig = append(sig, p.htSign(node, skSeed, pkSeed, treeIdx, leafIdx)...)
+	return sig, nil
+}
+
+// htSign signs root through the hypertree layers.
+func (p *Params) htSign(msg, skSeed, pkSeed []byte, treeIdx uint64, leafIdx uint32) []byte {
+	sig := make([]byte, 0, p.D*(p.wotsLen()+p.hPrime())*p.N)
+	node := msg
+	idx := leafIdx
+	tree := treeIdx
+	for layer := 0; layer < p.D; layer++ {
+		var adrs address
+		adrs.setLayer(uint32(layer))
+		adrs.setTree(tree)
+		part := p.xmssSign(node, skSeed, pkSeed, idx, &adrs)
+		sig = append(sig, part...)
+		node = p.xmssPKFromSig(idx, part, node, pkSeed, &adrs)
+		idx = uint32(tree & uint64(1<<p.hPrime()-1))
+		tree >>= p.hPrime()
+	}
+	return sig
+}
+
+// Verify reports whether sig is a valid signature of msg under pk.
+func (p *Params) Verify(pk, msg, sig []byte) bool {
+	if len(pk) != p.PublicKeySize() || len(sig) != p.SignatureSize() {
+		return false
+	}
+	pkSeed, pkRoot := pk[:p.N], pk[p.N:]
+	r := sig[:p.N]
+	md, treeIdx, leafIdx := p.hashMsg(r, pkSeed, pkRoot, msg)
+
+	var adrs address
+	adrs.setLayer(0)
+	adrs.setTree(treeIdx)
+	adrs.setType(adrsFORSTree)
+	adrs.setKeyPair(leafIdx)
+	forsLen := p.K * (p.A + 1) * p.N
+	node := p.forsPKFromSig(sig[p.N:p.N+forsLen], md, pkSeed, &adrs)
+
+	off := p.N + forsLen
+	xmssLen := (p.wotsLen() + p.hPrime()) * p.N
+	idx := leafIdx
+	tree := treeIdx
+	for layer := 0; layer < p.D; layer++ {
+		var ta address
+		ta.setLayer(uint32(layer))
+		ta.setTree(tree)
+		node = p.xmssPKFromSig(idx, sig[off:off+xmssLen], node, pkSeed, &ta)
+		off += xmssLen
+		idx = uint32(tree & uint64(1<<p.hPrime()-1))
+		tree >>= p.hPrime()
+	}
+	return subtle.ConstantTimeCompare(node, pkRoot) == 1
+}
+
+// ErrBadKey reports malformed key material.
+var ErrBadKey = errors.New("sphincs: malformed key material")

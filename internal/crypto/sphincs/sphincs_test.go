@@ -1,0 +1,210 @@
+package sphincs
+
+import (
+	"bytes"
+	"testing"
+)
+
+var allParams = []*Params{SPHINCS128f, SPHINCS192f, SPHINCS256f}
+
+func TestSizes(t *testing.T) {
+	t.Parallel()
+	want := []struct {
+		p           *Params
+		pk, sk, sig int
+	}{
+		{SPHINCS128f, 32, 64, 17088},
+		{SPHINCS192f, 48, 96, 35664},
+		{SPHINCS256f, 64, 128, 49856},
+	}
+	for _, w := range want {
+		if got := w.p.PublicKeySize(); got != w.pk {
+			t.Errorf("%s: pk size %d, want %d", w.p.Name, got, w.pk)
+		}
+		if got := w.p.PrivateKeySize(); got != w.sk {
+			t.Errorf("%s: sk size %d, want %d", w.p.Name, got, w.sk)
+		}
+		if got := w.p.SignatureSize(); got != w.sig {
+			t.Errorf("%s: sig size %d, want %d", w.p.Name, got, w.sig)
+		}
+	}
+}
+
+func TestSignVerify128(t *testing.T) {
+	t.Parallel()
+	testSignVerify(t, SPHINCS128f)
+}
+
+func TestSignVerify192(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	t.Parallel()
+	testSignVerify(t, SPHINCS192f)
+}
+
+func TestSignVerify256(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	t.Parallel()
+	testSignVerify(t, SPHINCS256f)
+}
+
+func testSignVerify(t *testing.T, p *Params) {
+	pk, sk, err := p.GenerateKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("TLS CertificateVerify content")
+	sig, err := p.Sign(sk, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sig) != p.SignatureSize() {
+		t.Fatalf("sig size %d, want %d", len(sig), p.SignatureSize())
+	}
+	if !p.Verify(pk, msg, sig) {
+		t.Fatal("valid signature rejected")
+	}
+	if p.Verify(pk, []byte("different message"), sig) {
+		t.Error("signature verified for wrong message")
+	}
+}
+
+func TestTamperedSignatureRejected(t *testing.T) {
+	t.Parallel()
+	p := SPHINCS128f
+	pk, sk, err := p.GenerateKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("m")
+	sig, err := p.Sign(sk, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tamper with the randomizer, a FORS leaf, an auth-path node, and the
+	// final WOTS+ chain.
+	for _, pos := range []int{0, p.N + 3, p.N + p.K*(p.A+1)*p.N + 5, len(sig) - 1} {
+		bad := bytes.Clone(sig)
+		bad[pos] ^= 0x01
+		if p.Verify(pk, msg, bad) {
+			t.Errorf("tampered signature (byte %d) accepted", pos)
+		}
+	}
+}
+
+func TestDeterministicSigning(t *testing.T) {
+	t.Parallel()
+	p := SPHINCS128f
+	_, sk, err := p.GenerateKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, _ := p.Sign(sk, []byte("same"))
+	s2, _ := p.Sign(sk, []byte("same"))
+	if !bytes.Equal(s1, s2) {
+		t.Error("signing is not deterministic")
+	}
+}
+
+func TestWrongKeyRejected(t *testing.T) {
+	t.Parallel()
+	p := SPHINCS128f
+	pk1, _, _ := p.GenerateKey(nil)
+	_, sk2, _ := p.GenerateKey(nil)
+	sig, err := p.Sign(sk2, []byte("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Verify(pk1, []byte("m"), sig) {
+		t.Error("signature verified under an unrelated public key")
+	}
+}
+
+func TestForsIndicesInRange(t *testing.T) {
+	t.Parallel()
+	for _, p := range allParams {
+		md := bytes.Repeat([]byte{0xFF}, (p.K*p.A+7)/8)
+		for i, idx := range p.forsIndices(md) {
+			if idx >= 1<<p.A {
+				t.Errorf("%s: index %d = %d out of range", p.Name, i, idx)
+			}
+		}
+	}
+}
+
+func TestWotsDigits(t *testing.T) {
+	t.Parallel()
+	p := SPHINCS128f
+	msg := make([]byte, p.N) // all-zero message: digits 0, max checksum
+	digits := p.wotsDigits(msg)
+	if len(digits) != p.wotsLen() {
+		t.Fatalf("got %d digits, want %d", len(digits), p.wotsLen())
+	}
+	for i := 0; i < p.len1(); i++ {
+		if digits[i] != 0 {
+			t.Fatalf("digit %d = %d, want 0", i, digits[i])
+		}
+	}
+	// Checksum = len1 * 15 = 480 = 0x1E0, shifted <<4 = 0x1E00:
+	// digits (4-bit, big-endian) = 1, 14, 0.
+	cs := digits[p.len1():]
+	if cs[0] != 1 || cs[1] != 14 || cs[2] != 0 {
+		t.Errorf("checksum digits = %v, want [1 14 0]", cs)
+	}
+}
+
+func BenchmarkSPHINCS128fSign(b *testing.B) {
+	p := SPHINCS128f
+	_, sk, _ := p.GenerateKey(nil)
+	msg := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Sign(sk, msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSPHINCS128fVerify(b *testing.B) {
+	p := SPHINCS128f
+	pk, sk, _ := p.GenerateKey(nil)
+	msg := make([]byte, 64)
+	sig, _ := p.Sign(sk, msg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !p.Verify(pk, msg, sig) {
+			b.Fatal("verify failed")
+		}
+	}
+}
+
+// Small-variant wire sizes per the SPHINCS+ round-3 specification.
+func TestSmallVariantSizes(t *testing.T) {
+	t.Parallel()
+	want := []struct {
+		p   *Params
+		sig int
+	}{
+		{SPHINCS128s, 7856},
+		{SPHINCS192s, 16224},
+		{SPHINCS256s, 29792},
+	}
+	for _, w := range want {
+		if got := w.p.SignatureSize(); got != w.sig {
+			t.Errorf("%s: sig size %d, want %d", w.p.Name, got, w.sig)
+		}
+	}
+}
+
+// The s-variants trade signature size for signing time; one full
+// sign/verify exercises the deeper hypertree (h'=9) path.
+func TestSignVerify128s(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow variant in short mode")
+	}
+	t.Parallel()
+	testSignVerify(t, SPHINCS128s)
+}

@@ -1,0 +1,217 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"pqtls/internal/netsim"
+	"pqtls/internal/stats"
+	"pqtls/internal/tls13"
+)
+
+// This file holds the extension experiments beyond the paper's tables:
+// the initial-CWND tuning sweep the paper's conclusion calls out as "an
+// important tuning factor for PQ TLS", and the all-sphincs variant sweep
+// the artifact uses to pick the fastest SPHINCS+ configuration.
+
+// CWNDResult is one cell of the CWND sweep: a suite's high-delay latency
+// under a given initial congestion window.
+type CWNDResult struct {
+	KEM, Sig string
+	CWND     int
+	// Total is the median full-handshake latency at 1 s RTT; RTTs is the
+	// latency expressed in round trips (the cliff metric).
+	Total time.Duration
+	RTTs  float64
+}
+
+// CWNDSweepSuites are flights around and beyond the default 10xMSS window.
+var CWNDSweepSuites = []struct{ KEM, Sig string }{
+	{"x25519", "rsa:2048"},   // well under one window
+	{"x25519", "dilithium3"}, // just under
+	{"x25519", "dilithium5"}, // just over: the paper's 2-RTT example
+	{"x25519", "sphincs128"}, // ~2 windows
+	{"x25519", "sphincs256"}, // ~4 windows
+}
+
+// RunCWNDSweep measures the sweep suites at 1 s RTT for each initial CWND,
+// demonstrating that raising the window restores 1-RTT handshakes for PQ
+// flights (the conclusion's tuning recommendation).
+func RunCWNDSweep(cwnds []int, samples int) ([]CWNDResult, error) {
+	if len(cwnds) == 0 {
+		cwnds = []int{10, 20, 40, 80}
+	}
+	var out []CWNDResult
+	for _, suite := range CWNDSweepSuites {
+		for _, cwnd := range cwnds {
+			r, err := RunCampaign(CampaignOptions{
+				KEM: suite.KEM, Sig: suite.Sig, Link: netsim.ScenarioHighDelay,
+				Buffer: tls13.BufferImmediate, Samples: samples, Seed: 6, CWND: cwnd,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("cwnd sweep %s/%s cwnd=%d: %w", suite.KEM, suite.Sig, cwnd, err)
+			}
+			out = append(out, CWNDResult{
+				KEM: suite.KEM, Sig: suite.Sig, CWND: cwnd,
+				Total: r.TotalMedian,
+				RTTs:  float64(r.TotalMedian) / float64(netsim.ScenarioHighDelay.RTT),
+			})
+		}
+	}
+	return out, nil
+}
+
+// SphincsVariants are the registered SPHINCS+ configurations: the fast
+// sets used in the paper's tables and the small sets the all-sphincs
+// experiment compares them against.
+var SphincsVariants = []string{
+	"sphincs128", "sphincs128s",
+	"sphincs192", "sphincs192s",
+	"sphincs256", "sphincs256s",
+}
+
+// RunAllSphincs reproduces the artifact's all-sphincs experiment: measure
+// every SPHINCS+ variant (with X25519) and report latency vs. data volume,
+// identifying the fastest configuration per level.
+func RunAllSphincs(samples int) ([]*CampaignResult, error) {
+	var out []*CampaignResult
+	for _, v := range SphincsVariants {
+		r, err := RunCampaign(CampaignOptions{
+			KEM: BaselineKEM, Sig: v, Link: ScenarioTestbed,
+			Buffer: tls13.BufferImmediate, Samples: samples, Seed: 8,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("all-sphincs %s: %w", v, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// HRRResult compares a direct 1-RTT handshake against the 2-RTT
+// HelloRetryRequest fallback for the same server-required group.
+type HRRResult struct {
+	KEM      string
+	Scenario string
+	Direct   time.Duration // client guessed the right group
+	Fallback time.Duration // client guessed x25519, server forced KEM
+	Penalty  time.Duration
+}
+
+// RunHRRComparison quantifies what the paper's "2-RTT fallback never
+// occurred" configuration avoided: for each PQ group, measure the
+// handshake with a correct key-share guess and with an x25519 guess that
+// the server rejects via HelloRetryRequest.
+func RunHRRComparison(kems []string, link netsim.LinkConfig, samples int) ([]HRRResult, error) {
+	if len(kems) == 0 {
+		kems = []string{"kyber512", "hqc128", "p256_kyber512", "kyber768"}
+	}
+	var out []HRRResult
+	for _, k := range kems {
+		direct, err := RunCampaign(CampaignOptions{
+			KEM: k, Sig: BaselineSig, Link: link, Buffer: tls13.BufferImmediate,
+			Samples: samples, Seed: 9,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("hrr direct %s: %w", k, err)
+		}
+		var totals []time.Duration
+		for i := 0; i < samples; i++ {
+			res, err := RunHandshake(RunOptions{
+				KEM: k, Sig: BaselineSig, Link: link, Buffer: tls13.BufferImmediate,
+				Seed: 9 + int64(i)*7919, ClientKEM: "x25519", ClientSupported: []string{k},
+			})
+			if err != nil {
+				return nil, fmt.Errorf("hrr fallback %s: %w", k, err)
+			}
+			totals = append(totals, res.Phases.Total())
+		}
+		fallback := stats.Median(totals)
+		out = append(out, HRRResult{
+			KEM: k, Scenario: link.Name,
+			Direct: direct.TotalMedian, Fallback: fallback,
+			Penalty: fallback - direct.TotalMedian,
+		})
+	}
+	return out, nil
+}
+
+// ChainDepthResult measures how the presented chain length scales the
+// handshake — PQ signatures make every extra certificate expensive, the
+// motivation behind mixed-PKI proposals the paper cites (Paul et al.).
+type ChainDepthResult struct {
+	Sig         string
+	Depth       int
+	Total       time.Duration
+	ServerBytes int
+}
+
+// RunChainDepth sweeps chain depths 1..3 for the given SAs over the
+// testbed link.
+func RunChainDepth(sigs []string, samples int) ([]ChainDepthResult, error) {
+	if len(sigs) == 0 {
+		sigs = []string{"rsa:2048", "dilithium2", "falcon512"}
+	}
+	var out []ChainDepthResult
+	for _, s := range sigs {
+		for depth := 1; depth <= 3; depth++ {
+			r, err := RunCampaign(CampaignOptions{
+				KEM: BaselineKEM, Sig: s, Link: ScenarioTestbed,
+				Buffer: tls13.BufferImmediate, Samples: samples, Seed: 10,
+				ChainDepth: depth,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("chain depth %s/%d: %w", s, depth, err)
+			}
+			out = append(out, ChainDepthResult{
+				Sig: s, Depth: depth, Total: r.TotalMedian, ServerBytes: r.ServerBytes,
+			})
+		}
+	}
+	return out, nil
+}
+
+// ResumptionResult compares a full handshake with a PSK-resumed one for the
+// same suite: resumption removes the Certificate/CertificateVerify flight,
+// amortizing the PQ authentication cost entirely.
+type ResumptionResult struct {
+	KEM, Sig    string
+	Full        time.Duration
+	Resumed     time.Duration
+	FullBytes   int // server wire bytes, full handshake
+	ResumeBytes int // server wire bytes, resumed handshake
+}
+
+// RunResumptionComparison measures full vs resumed handshakes per suite.
+func RunResumptionComparison(samples int) ([]ResumptionResult, error) {
+	suites := []struct{ k, s string }{
+		{"x25519", "rsa:2048"},
+		{"kyber512", "dilithium2"},
+		{"kyber512", "falcon512"},
+		{"kyber512", "sphincs128"},
+		{"p256_kyber512", "p256_dilithium2"},
+	}
+	var out []ResumptionResult
+	for _, suite := range suites {
+		full, err := RunCampaign(CampaignOptions{
+			KEM: suite.k, Sig: suite.s, Link: ScenarioTestbed,
+			Buffer: tls13.BufferImmediate, Samples: samples, Seed: 12,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("resumption full %s/%s: %w", suite.k, suite.s, err)
+		}
+		resumed, err := RunCampaign(CampaignOptions{
+			KEM: suite.k, Sig: suite.s, Link: ScenarioTestbed,
+			Buffer: tls13.BufferImmediate, Samples: samples, Seed: 12, Resume: true,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("resumption resumed %s/%s: %w", suite.k, suite.s, err)
+		}
+		out = append(out, ResumptionResult{
+			KEM: suite.k, Sig: suite.s,
+			Full: full.TotalMedian, Resumed: resumed.TotalMedian,
+			FullBytes: full.ServerBytes, ResumeBytes: resumed.ServerBytes,
+		})
+	}
+	return out, nil
+}

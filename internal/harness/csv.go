@@ -1,0 +1,80 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// CSV emitters mirroring the paper artifact's evaluation outputs: the
+// published scripts produce a latencies.csv whose partAMedian, partBMedian
+// and partAllMedian columns feed Tables 2 and 4, and a deviations.csv that
+// feeds Figure 3.
+
+// WriteLatenciesCSV writes campaign rows in the artifact's latencies.csv
+// column layout.
+func WriteLatenciesCSV(w io.Writer, results []*CampaignResult) error {
+	if _, err := fmt.Fprintln(w,
+		"kem,sig,scenario,samples,partAMedian,partBMedian,partAllMedian,handshakes60s,clientBytes,serverBytes,clientPackets,serverPackets"); err != nil {
+		return err
+	}
+	for _, r := range results {
+		_, err := fmt.Fprintf(w, "%s,%s,%s,%d,%s,%s,%s,%d,%d,%d,%d,%d\n",
+			csvEscape(r.KEM), csvEscape(r.Sig), csvEscape(r.Link), r.Samples,
+			msCSV(r.PartAMedian), msCSV(r.PartBMedian), msCSV(r.TotalMedian),
+			r.Handshakes60s, r.ClientBytes, r.ServerBytes, r.ClientPackets, r.ServerPackets)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteDeviationsCSV writes Figure 3 cells in the artifact's
+// deviations.csv layout.
+func WriteDeviationsCSV(w io.Writer, devs []Deviation) error {
+	if _, err := fmt.Fprintln(w, "level,kem,sig,expected,measured,deviation"); err != nil {
+		return err
+	}
+	for _, d := range devs {
+		_, err := fmt.Fprintf(w, "%s,%s,%s,%s,%s,%s\n",
+			csvEscape(d.Level), csvEscape(d.KEM), csvEscape(d.Sig),
+			msCSV(d.Expected), msCSV(d.Measured), msCSV(d.Deviation))
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteScenariosCSV writes Table 4 rows: one line per suite and scenario.
+func WriteScenariosCSV(w io.Writer, rows []ScenarioRow) error {
+	if _, err := fmt.Fprintln(w, "kem,sig,scenario,partAllMedian"); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		for scenario, latency := range row.Latency {
+			_, err := fmt.Fprintf(w, "%s,%s,%s,%s\n",
+				csvEscape(row.KEM), csvEscape(row.Sig), csvEscape(scenario), msCSV(latency))
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// msCSV renders a duration as fractional milliseconds.
+func msCSV(d time.Duration) string {
+	return fmt.Sprintf("%.4f", float64(d)/float64(time.Millisecond))
+}
+
+// csvEscape guards against separators in names (none of ours contain any,
+// but the emitter should not silently corrupt output if one ever does).
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

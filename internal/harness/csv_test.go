@@ -1,0 +1,99 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriteLatenciesCSV(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	err := WriteLatenciesCSV(&buf, []*CampaignResult{{
+		KEM: "kyber512", Sig: "rsa:2048", Link: "testbed", Samples: 9,
+		PartAMedian: 200 * time.Microsecond, PartBMedian: 1780 * time.Microsecond,
+		TotalMedian: 1980 * time.Microsecond, Handshakes60s: 20800,
+		ClientBytes: 1457, ServerBytes: 2191, ClientPackets: 7, ServerPackets: 9,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "kem,sig,scenario,samples,partAMedian,partBMedian,partAllMedian") {
+		t.Errorf("header = %q", lines[0])
+	}
+	want := "kyber512,rsa:2048,testbed,9,0.2000,1.7800,1.9800,20800,1457,2191,7,9"
+	if lines[1] != want {
+		t.Errorf("row = %q, want %q", lines[1], want)
+	}
+}
+
+func TestWriteDeviationsCSV(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	err := WriteDeviationsCSV(&buf, []Deviation{{
+		Level: "level1", KEM: "bikel1", Sig: "sphincs128",
+		Expected: 18 * time.Millisecond, Measured: 17 * time.Millisecond,
+		Deviation: time.Millisecond,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "level1,bikel1,sphincs128,18.0000,17.0000,1.0000") {
+		t.Errorf("output = %q", buf.String())
+	}
+}
+
+func TestWriteScenariosCSV(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	err := WriteScenariosCSV(&buf, []ScenarioRow{{
+		KEM: "x25519", Sig: "rsa:2048",
+		Latency: map[string]time.Duration{"lte-m": 214 * time.Millisecond},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "x25519,rsa:2048,lte-m,214.0000") {
+		t.Errorf("output = %q", buf.String())
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	t.Parallel()
+	if got := csvEscape(`evil,"name`); got != `"evil,""name"` {
+		t.Errorf("csvEscape = %q", got)
+	}
+	if got := csvEscape("plain"); got != "plain" {
+		t.Errorf("csvEscape(plain) = %q", got)
+	}
+}
+
+// The CWND sweep must show the paper's predicted effect: a larger initial
+// window removes round trips for over-window flights.
+func TestCWNDSweepRemovesRTTs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep in short mode")
+	}
+	t.Parallel()
+	results, err := RunCWNDSweep([]int{10, 80}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]CWNDResult{}
+	for _, r := range results {
+		byKey[r.Sig+"/"+string(rune('0'+r.CWND/10))] = r
+	}
+	lo := byKey["dilithium5/1"]
+	hi := byKey["dilithium5/8"]
+	if lo.RTTs < 1.9 {
+		t.Errorf("dilithium5 at CWND 10 took %.2f RTTs, want ~2 (the cliff)", lo.RTTs)
+	}
+	if hi.RTTs > 1.5 {
+		t.Errorf("dilithium5 at CWND 80 took %.2f RTTs, want ~1 (cliff removed)", hi.RTTs)
+	}
+}

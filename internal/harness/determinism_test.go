@@ -1,0 +1,142 @@
+package harness
+
+import (
+	"testing"
+
+	"pqtls/internal/netsim"
+	"pqtls/internal/tls13"
+)
+
+// Wire volumes and packet counts are protocol-determined: two runs of the
+// same suite with the same seed must agree byte-for-byte, and even across
+// seeds the volumes on a loss-free link must be identical. This is what
+// makes the Table 2 data columns reproducible.
+func TestWireVolumeDeterminism(t *testing.T) {
+	t.Parallel()
+	run := func(seed int64) *HandshakeResult {
+		res, err := RunHandshake(RunOptions{
+			KEM: "kyber512", Sig: "rsa:2048", Link: ScenarioTestbed,
+			Buffer: tls13.BufferImmediate, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(1), run(2)
+	if a.ClientBytes != b.ClientBytes || a.ServerBytes != b.ServerBytes {
+		t.Errorf("loss-free volumes differ across seeds: %d/%d vs %d/%d",
+			a.ClientBytes, a.ServerBytes, b.ClientBytes, b.ServerBytes)
+	}
+	if a.ClientPackets != b.ClientPackets || a.ServerPackets != b.ServerPackets {
+		t.Errorf("loss-free packet counts differ: %d/%d vs %d/%d",
+			a.ClientPackets, a.ServerPackets, b.ClientPackets, b.ServerPackets)
+	}
+}
+
+// Under loss, the same seed must reproduce the same retransmission pattern
+// (and therefore the same wire volume).
+func TestLossDeterminismPerSeed(t *testing.T) {
+	t.Parallel()
+	run := func() *HandshakeResult {
+		res, err := RunHandshake(RunOptions{
+			KEM: "x25519", Sig: "rsa:2048", Link: netsim.ScenarioLTEM,
+			Buffer: tls13.BufferImmediate, Seed: 77,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.ClientBytes != b.ClientBytes || a.ServerBytes != b.ServerBytes {
+		t.Errorf("same-seed lossy volumes differ: %d/%d vs %d/%d",
+			a.ClientBytes, a.ServerBytes, b.ClientBytes, b.ServerBytes)
+	}
+	if a.Phases.Total() != b.Phases.Total() {
+		// Network time is fully virtual, so even the latency is exact up
+		// to real crypto-compute jitter; only assert the network part.
+		diff := a.Phases.Total() - b.Phases.Total()
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > a.Phases.Total()/2 {
+			t.Errorf("same-seed latencies wildly differ: %v vs %v",
+				a.Phases.Total(), b.Phases.Total())
+		}
+	}
+}
+
+// A resumed handshake must never ship a certificate, for any SA.
+func TestResumedFlightHasNoCertificate(t *testing.T) {
+	t.Parallel()
+	for _, sigName := range []string{"rsa:2048", "dilithium2"} {
+		full, err := RunHandshake(RunOptions{
+			KEM: "kyber512", Sig: sigName, Link: ScenarioTestbed,
+			Buffer: tls13.BufferImmediate, Seed: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunHandshake(RunOptions{
+			KEM: "kyber512", Sig: sigName, Link: ScenarioTestbed,
+			Buffer: tls13.BufferImmediate, Seed: 3, Resume: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ServerBytes >= full.ServerBytes {
+			t.Errorf("%s: resumed flight (%dB) not smaller than full (%dB)",
+				sigName, res.ServerBytes, full.ServerBytes)
+		}
+		if res.ServerBytes > 2000 {
+			t.Errorf("%s: resumed server flight %dB, certificate not skipped?",
+				sigName, res.ServerBytes)
+		}
+	}
+}
+
+// Chain depth monotonically increases the server flight.
+func TestChainDepthMonotonic(t *testing.T) {
+	t.Parallel()
+	var prev int
+	for depth := 1; depth <= 3; depth++ {
+		res, err := RunHandshake(RunOptions{
+			KEM: "x25519", Sig: "falcon512", Link: ScenarioTestbed,
+			Buffer: tls13.BufferImmediate, Seed: 4, ChainDepth: depth,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ServerBytes <= prev {
+			t.Errorf("depth %d: server bytes %d not above depth %d's %d",
+				depth, res.ServerBytes, depth-1, prev)
+		}
+		prev = res.ServerBytes
+	}
+}
+
+// The HRR fallback costs a round trip under a delayed link.
+func TestHRRFallbackCostsRTT(t *testing.T) {
+	t.Parallel()
+	link := netsim.LinkConfig{Name: "rtt", RTT: 100 * 1000 * 1000} // 100ms
+	direct, err := RunHandshake(RunOptions{
+		KEM: "kyber512", Sig: "rsa:2048", Link: link,
+		Buffer: tls13.BufferImmediate, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fallback, err := RunHandshake(RunOptions{
+		KEM: "kyber512", Sig: "rsa:2048", Link: link,
+		Buffer: tls13.BufferImmediate, Seed: 5,
+		ClientKEM: "x25519", ClientSupported: []string{"kyber512"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := fallback.Phases.Total() - direct.Phases.Total()
+	if extra < 80*1000*1000 || extra > 150*1000*1000 {
+		t.Errorf("HRR penalty %v, want ~1 RTT (100ms)", extra)
+	}
+}

@@ -1,0 +1,332 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"pqtls/internal/netsim"
+	"pqtls/internal/tls13"
+)
+
+// The suite lists of the paper's tables, in presentation order.
+
+// Table2aKEMs are the 23 key agreements of Table 2a, grouped by level.
+var Table2aKEMs = []string{
+	"x25519", "bikel1", "hqc128", "kyber512", "kyber90s512",
+	"p256", "p256_bikel1", "p256_hqc128", "p256_kyber512",
+	"bikel3", "hqc192", "kyber768", "kyber90s768",
+	"p384", "p384_bikel3", "p384_hqc192", "p384_kyber768",
+	"hqc256", "kyber1024", "kyber90s1024",
+	"p521", "p521_hqc256", "p521_kyber1024",
+}
+
+// Table2bSigs are the signature algorithms of Table 2b.
+var Table2bSigs = []string{
+	"rsa:1024", "rsa:2048",
+	"falcon512", "rsa:3072", "rsa:4096", "sphincs128", "p256_falcon512", "p256_sphincs128",
+	"dilithium2", "dilithium2_aes", "p256_dilithium2",
+	"dilithium3", "dilithium3_aes", "sphincs192", "p384_dilithium3", "p384_sphincs192",
+	"dilithium5", "dilithium5_aes", "falcon1024", "sphincs256",
+	"p521_dilithium5", "p521_falcon1024", "p521_sphincs256",
+}
+
+// Table4bSigs adds the hybrid that only appears in Table 4b.
+var Table4bSigs = append(append([]string{}, Table2bSigs...), "rsa3072_dilithium2")
+
+// BaselineKEM and BaselineSig fix the other axis, as in Section 5.
+const (
+	BaselineKEM = "x25519"
+	BaselineSig = "rsa:2048"
+)
+
+// Table3Pairs are the white-box KA/SA selections of Table 3.
+var Table3Pairs = []struct{ KEM, Sig string }{
+	{"x25519", "rsa:2048"},
+	{"kyber512", "dilithium2"},
+	{"bikel1", "dilithium2"},
+	{"kyber512", "sphincs128"},
+	{"hqc128", "falcon512"},
+	{"p256_kyber512", "p256_dilithium2"},
+	{"kyber768", "dilithium3"},
+	{"kyber1024", "dilithium5"},
+}
+
+// levelGroups are the paper's deviation-analysis groups (levels one and two
+// are grouped; hybrids excluded; rsa:3072 is the only RSA).
+var levelGroups = []struct {
+	Name string
+	KEMs []string
+	Sigs []string
+}{
+	{
+		Name: "level1",
+		KEMs: []string{"x25519", "p256", "kyber512", "kyber90s512", "hqc128", "bikel1"},
+		Sigs: []string{"rsa:3072", "falcon512", "sphincs128", "dilithium2", "dilithium2_aes"},
+	},
+	{
+		Name: "level3",
+		KEMs: []string{"p384", "kyber768", "kyber90s768", "hqc192", "bikel3"},
+		Sigs: []string{"dilithium3", "dilithium3_aes", "sphincs192"},
+	},
+	{
+		Name: "level5",
+		KEMs: []string{"p521", "kyber1024", "kyber90s1024", "hqc256"},
+		Sigs: []string{"dilithium5", "dilithium5_aes", "falcon1024", "sphincs256"},
+	},
+}
+
+// RunTable2a regenerates Table 2a: every KA with rsa:2048.
+func RunTable2a(samples int, buffer tls13.BufferPolicy) ([]*CampaignResult, error) {
+	return runSuiteList(Table2aKEMs, nil, samples, buffer)
+}
+
+// RunTable2b regenerates Table 2b: every SA with X25519.
+func RunTable2b(samples int, buffer tls13.BufferPolicy) ([]*CampaignResult, error) {
+	return runSuiteList(nil, Table2bSigs, samples, buffer)
+}
+
+func runSuiteList(kems, sigs []string, samples int, buffer tls13.BufferPolicy) ([]*CampaignResult, error) {
+	var out []*CampaignResult
+	if kems != nil {
+		for _, k := range kems {
+			r, err := RunCampaign(CampaignOptions{
+				KEM: k, Sig: BaselineSig, Link: ScenarioTestbed, Buffer: buffer,
+				Samples: samples, Seed: 1,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("table2a %s: %w", k, err)
+			}
+			out = append(out, r)
+		}
+		return out, nil
+	}
+	for _, s := range sigs {
+		r, err := RunCampaign(CampaignOptions{
+			KEM: BaselineKEM, Sig: s, Link: ScenarioTestbed, Buffer: buffer,
+			Samples: samples, Seed: 1,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("table2b %s: %w", s, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Deviation is one cell of Figure 3: how much faster (positive) or slower
+// (negative) the measured combination was than the independence prediction
+// E(k,s) = M(k, rsa2048) + M(x25519, s) - M(x25519, rsa2048).
+type Deviation struct {
+	Level     string
+	KEM, Sig  string
+	Expected  time.Duration
+	Measured  time.Duration
+	Deviation time.Duration // Expected - Measured (positive = faster than predicted)
+}
+
+// RunDeviation regenerates Figure 3a (BufferDefault) or 3b (BufferImmediate).
+func RunDeviation(samples int, buffer tls13.BufferPolicy) ([]Deviation, error) {
+	measure := func(k, s string) (time.Duration, error) {
+		r, err := RunCampaign(CampaignOptions{
+			KEM: k, Sig: s, Link: ScenarioTestbed, Buffer: buffer, Samples: samples, Seed: 2,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return r.TotalMedian, nil
+	}
+	base, err := measure(BaselineKEM, BaselineSig)
+	if err != nil {
+		return nil, err
+	}
+	kemBase := map[string]time.Duration{}
+	sigBase := map[string]time.Duration{}
+	var out []Deviation
+	for _, grp := range levelGroups {
+		for _, k := range grp.KEMs {
+			if _, ok := kemBase[k]; !ok {
+				if kemBase[k], err = measure(k, BaselineSig); err != nil {
+					return nil, fmt.Errorf("deviation M(%s, rsa:2048): %w", k, err)
+				}
+			}
+		}
+		for _, s := range grp.Sigs {
+			if _, ok := sigBase[s]; !ok {
+				if sigBase[s], err = measure(BaselineKEM, s); err != nil {
+					return nil, fmt.Errorf("deviation M(x25519, %s): %w", s, err)
+				}
+			}
+		}
+		for _, k := range grp.KEMs {
+			for _, s := range grp.Sigs {
+				m, err := measure(k, s)
+				if err != nil {
+					return nil, fmt.Errorf("deviation M(%s, %s): %w", k, s, err)
+				}
+				e := kemBase[k] + sigBase[s] - base
+				out = append(out, Deviation{
+					Level: grp.Name, KEM: k, Sig: s,
+					Expected: e, Measured: m, Deviation: e - m,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// Improvement is one cell of Figure 3c: default-buffering latency minus
+// optimized-buffering latency (positive = the optimization helped).
+type Improvement struct {
+	Level    string
+	KEM, Sig string
+	Default  time.Duration
+	Opt      time.Duration
+	Gain     time.Duration
+}
+
+// RunBufferImprovement regenerates Figure 3c.
+func RunBufferImprovement(samples int) ([]Improvement, error) {
+	var out []Improvement
+	for _, grp := range levelGroups {
+		for _, k := range grp.KEMs {
+			for _, s := range grp.Sigs {
+				def, err := RunCampaign(CampaignOptions{
+					KEM: k, Sig: s, Link: ScenarioTestbed, Buffer: tls13.BufferDefault,
+					Samples: samples, Seed: 3,
+				})
+				if err != nil {
+					return nil, err
+				}
+				opt, err := RunCampaign(CampaignOptions{
+					KEM: k, Sig: s, Link: ScenarioTestbed, Buffer: tls13.BufferImmediate,
+					Samples: samples, Seed: 3,
+				})
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, Improvement{
+					Level: grp.Name, KEM: k, Sig: s,
+					Default: def.TotalMedian, Opt: opt.TotalMedian,
+					Gain: def.TotalMedian - opt.TotalMedian,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// RunTable3 regenerates the white-box Table 3 rows.
+func RunTable3(samples int) ([]*CampaignResult, error) {
+	var out []*CampaignResult
+	for _, pair := range Table3Pairs {
+		r, err := RunCampaign(CampaignOptions{
+			KEM: pair.KEM, Sig: pair.Sig, Link: ScenarioTestbed,
+			Buffer: tls13.BufferImmediate, Samples: samples, Seed: 4, Profile: true,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("table3 %s/%s: %w", pair.KEM, pair.Sig, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ScenarioRow is one Table 4 row: one suite across all network scenarios.
+type ScenarioRow struct {
+	KEM, Sig string
+	// Median full-handshake latency per scenario, keyed by scenario name.
+	Latency map[string]time.Duration
+}
+
+// RunScenarios regenerates Table 4a (vary KA) or 4b (vary SA) depending on
+// which list is passed; each suite is measured under every emulation.
+func RunScenarios(kems, sigs []string, samples int) ([]ScenarioRow, error) {
+	var suites []struct{ k, s string }
+	for _, k := range kems {
+		suites = append(suites, struct{ k, s string }{k, BaselineSig})
+	}
+	for _, s := range sigs {
+		suites = append(suites, struct{ k, s string }{BaselineKEM, s})
+	}
+	var out []ScenarioRow
+	for _, suite := range suites {
+		row := ScenarioRow{KEM: suite.k, Sig: suite.s, Latency: map[string]time.Duration{}}
+		for _, sc := range netsim.Scenarios() {
+			r, err := RunCampaign(CampaignOptions{
+				KEM: suite.k, Sig: suite.s, Link: sc, Buffer: tls13.BufferImmediate,
+				Samples: samples, Seed: 5,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("scenario %s %s/%s: %w", sc.Name, suite.k, suite.s, err)
+			}
+			row.Latency[sc.Name] = r.TotalMedian
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// Rank is one entry of Figure 4: the algorithm and its 0-10 log-scaled
+// latency score (0 = fastest).
+type Rank struct {
+	Name  string
+	Score int
+	Total time.Duration
+}
+
+// RankFromResults converts campaign rows into the paper's Figure 4 ranking:
+// log of total latency, linearly scaled to [0, 10], rounded.
+func RankFromResults(results []*CampaignResult, label func(*CampaignResult) string) []Rank {
+	if len(results) == 0 {
+		return nil
+	}
+	logs := make([]float64, len(results))
+	minL, maxL := math.Inf(1), math.Inf(-1)
+	for i, r := range results {
+		logs[i] = math.Log(float64(r.TotalMedian))
+		minL = math.Min(minL, logs[i])
+		maxL = math.Max(maxL, logs[i])
+	}
+	out := make([]Rank, len(results))
+	for i, r := range results {
+		score := 0
+		if maxL > minL {
+			score = int(math.Round((logs[i] - minL) / (maxL - minL) * 10))
+		}
+		out[i] = Rank{Name: label(r), Score: score, Total: r.TotalMedian}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score < out[j].Score
+		}
+		return out[i].Total < out[j].Total
+	})
+	return out
+}
+
+// AttackSurface quantifies Section 5.5: amplification (server bytes per
+// client byte) and CPU asymmetry (server CPU per client CPU).
+type AttackSurface struct {
+	KEM, Sig      string
+	Amplification float64
+	CPUAsymmetry  float64
+}
+
+// AttackSurfaceFromResults derives the Section 5.5 view from Table 2/3 rows.
+func AttackSurfaceFromResults(results []*CampaignResult) []AttackSurface {
+	out := make([]AttackSurface, 0, len(results))
+	for _, r := range results {
+		a := AttackSurface{KEM: r.KEM, Sig: r.Sig}
+		if r.ClientBytes > 0 {
+			a.Amplification = float64(r.ServerBytes) / float64(r.ClientBytes)
+		}
+		if r.ClientCPU > 0 {
+			a.CPUAsymmetry = float64(r.ServerCPU) / float64(r.ClientCPU)
+		}
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Amplification > out[j].Amplification })
+	return out
+}

@@ -1,0 +1,84 @@
+package kem
+
+import (
+	"crypto/ecdh"
+	"crypto/rand"
+	"fmt"
+	"io"
+)
+
+// ecdhKEM adapts a crypto/ecdh curve to the KEM interface: encapsulation
+// generates an ephemeral key and the "ciphertext" is its public point —
+// exactly the server key_share of a TLS 1.3 (EC)DHE exchange.
+type ecdhKEM struct {
+	name   string
+	level  int
+	curve  ecdh.Curve
+	pkSize int
+}
+
+func (e *ecdhKEM) Name() string          { return e.name }
+func (e *ecdhKEM) Level() int            { return e.level }
+func (e *ecdhKEM) Hybrid() bool          { return false }
+func (e *ecdhKEM) PublicKeySize() int    { return e.pkSize }
+func (e *ecdhKEM) CiphertextSize() int   { return e.pkSize }
+func (e *ecdhKEM) SharedSecretSize() int { return sharedSize(e.curve) }
+
+func sharedSize(c ecdh.Curve) int {
+	switch c {
+	case ecdh.X25519():
+		return 32
+	case ecdh.P256():
+		return 32
+	case ecdh.P384():
+		return 48
+	default:
+		return 66 // P-521
+	}
+}
+
+func (e *ecdhKEM) GenerateKey(rng io.Reader) (pub, priv []byte, err error) {
+	if rng == nil {
+		rng = rand.Reader
+	}
+	key, err := e.curve.GenerateKey(rng)
+	if err != nil {
+		return nil, nil, fmt.Errorf("kem %s: keygen: %w", e.name, err)
+	}
+	return key.PublicKey().Bytes(), key.Bytes(), nil
+}
+
+func (e *ecdhKEM) Encapsulate(rng io.Reader, pub []byte) (ct, ss []byte, err error) {
+	if rng == nil {
+		rng = rand.Reader
+	}
+	peer, err := e.curve.NewPublicKey(pub)
+	if err != nil {
+		return nil, nil, fmt.Errorf("kem %s: bad public key: %w", e.name, err)
+	}
+	eph, err := e.curve.GenerateKey(rng)
+	if err != nil {
+		return nil, nil, fmt.Errorf("kem %s: ephemeral keygen: %w", e.name, err)
+	}
+	ss, err = eph.ECDH(peer)
+	if err != nil {
+		return nil, nil, fmt.Errorf("kem %s: ECDH: %w", e.name, err)
+	}
+	return eph.PublicKey().Bytes(), ss, nil
+}
+
+func (e *ecdhKEM) Decapsulate(priv, ct []byte) ([]byte, error) {
+	key, err := e.curve.NewPrivateKey(priv)
+	if err != nil {
+		return nil, fmt.Errorf("kem %s: bad private key: %w", e.name, err)
+	}
+	peer, err := e.curve.NewPublicKey(ct)
+	if err != nil {
+		return nil, fmt.Errorf("kem %s: bad ciphertext: %w", e.name, err)
+	}
+	ss, err := key.ECDH(peer)
+	if err != nil {
+		return nil, fmt.Errorf("kem %s: ECDH: %w", e.name, err)
+	}
+	return ss, nil
+}

@@ -1,0 +1,97 @@
+// Package kem defines the key-agreement abstraction used by the TLS 1.3
+// stack and registers the 23 named key agreements of the paper's Table 2a:
+// classical ECDH groups, the PQ KEMs (Kyber, HQC, BIKE), and their hybrids.
+//
+// TLS 1.3 key agreement is modeled as a KEM, matching how PQ key exchange is
+// integrated in practice: the client's key_share carries the public
+// (encapsulation) key, the server's key_share carries the ciphertext.
+package kem
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// KEM is a key-encapsulation mechanism usable as a TLS 1.3 key agreement.
+type KEM interface {
+	// Name is the paper's algorithm label (e.g. "p256_kyber512").
+	Name() string
+	// Level is the claimed NIST security level (1, 3 or 5).
+	Level() int
+	// Hybrid reports whether this is a classical+PQ combination.
+	Hybrid() bool
+	// GenerateKey creates an ephemeral key pair (rng nil = crypto/rand).
+	GenerateKey(rng io.Reader) (pub, priv []byte, err error)
+	// Encapsulate derives a shared secret against pub.
+	Encapsulate(rng io.Reader, pub []byte) (ct, ss []byte, err error)
+	// Decapsulate recovers the shared secret from ct.
+	Decapsulate(priv, ct []byte) (ss []byte, err error)
+	// PublicKeySize and CiphertextSize are the exact wire sizes.
+	PublicKeySize() int
+	CiphertextSize() int
+	// SharedSecretSize is the length of the derived secret.
+	SharedSecretSize() int
+}
+
+var registry = map[string]KEM{}
+
+// register adds k to the registry; duplicate names are a programming error.
+func register(k KEM) {
+	if _, dup := registry[k.Name()]; dup {
+		panic("kem: duplicate registration of " + k.Name())
+	}
+	registry[k.Name()] = k
+}
+
+// ByName returns the named KEM.
+func ByName(name string) (KEM, error) {
+	k, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("kem: unknown key agreement %q", name)
+	}
+	return k, nil
+}
+
+// MustByName is ByName for static suite names in tests and benchmarks.
+func MustByName(name string) KEM {
+	k, err := ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// Names returns all registered names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByLevel returns the names of all KEMs at the given NIST level, sorted.
+func ByLevel(level int) []string {
+	var out []string
+	for n, k := range registry {
+		if k.Level() == level {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NonHybridByLevel returns non-hybrid KEM names at the given level, sorted.
+func NonHybridByLevel(level int) []string {
+	var out []string
+	for n, k := range registry {
+		if k.Level() == level && !k.Hybrid() {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

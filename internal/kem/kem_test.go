@@ -1,0 +1,167 @@
+package kem
+
+import (
+	"bytes"
+	"crypto/rand"
+	"testing"
+)
+
+// Table 2a lists exactly these 23 key agreements.
+var table2aNames = []string{
+	"x25519", "bikel1", "hqc128", "kyber512", "kyber90s512",
+	"p256", "p256_bikel1", "p256_hqc128", "p256_kyber512",
+	"bikel3", "hqc192", "kyber768", "kyber90s768",
+	"p384", "p384_bikel3", "p384_hqc192", "p384_kyber768",
+	"hqc256", "kyber1024", "kyber90s1024",
+	"p521", "p521_hqc256", "p521_kyber1024",
+}
+
+func TestRegistryComplete(t *testing.T) {
+	t.Parallel()
+	if len(Names()) != len(table2aNames) {
+		t.Errorf("registry has %d KEMs, want %d: %v", len(Names()), len(table2aNames), Names())
+	}
+	for _, name := range table2aNames {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("missing KEM %s", name)
+		}
+	}
+	if _, err := ByName("rot13"); err == nil {
+		t.Error("unknown name did not error")
+	}
+}
+
+func TestLevels(t *testing.T) {
+	t.Parallel()
+	want := map[int]int{1: 9, 3: 8, 5: 6}
+	for level, count := range want {
+		if got := len(ByLevel(level)); got != count {
+			t.Errorf("level %d has %d KEMs, want %d: %v", level, got, count, ByLevel(level))
+		}
+	}
+}
+
+func TestRoundtripAll(t *testing.T) {
+	t.Parallel()
+	for _, name := range table2aNames {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			if testing.Short() && (name == "bikel3" || name == "p384_bikel3") {
+				t.Skip("slow keygen in short mode")
+			}
+			k := MustByName(name)
+			pub, priv, err := k.GenerateKey(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(pub) != k.PublicKeySize() {
+				t.Fatalf("pub size %d, want %d", len(pub), k.PublicKeySize())
+			}
+			ct, ss1, err := k.Encapsulate(nil, pub)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ct) != k.CiphertextSize() {
+				t.Fatalf("ct size %d, want %d", len(ct), k.CiphertextSize())
+			}
+			if len(ss1) != k.SharedSecretSize() {
+				t.Fatalf("ss size %d, want %d", len(ss1), k.SharedSecretSize())
+			}
+			ss2, err := k.Decapsulate(priv, ct)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(ss1, ss2) {
+				t.Fatal("shared secrets differ")
+			}
+		})
+	}
+}
+
+// The exact wire sizes that drive the paper's data-volume columns.
+func TestWireSizes(t *testing.T) {
+	t.Parallel()
+	want := []struct {
+		name   string
+		pk, ct int
+	}{
+		{"x25519", 32, 32},
+		{"p256", 65, 65},
+		{"p384", 97, 97},
+		{"p521", 133, 133},
+		{"kyber512", 800, 768},
+		{"kyber768", 1184, 1088},
+		{"kyber1024", 1568, 1568},
+		{"hqc128", 2249, 4481},
+		{"hqc192", 4522, 9026},
+		{"hqc256", 7245, 14469},
+		{"bikel1", 1541, 1573},
+		{"bikel3", 3083, 3115},
+		{"p256_kyber512", 865, 833},
+		{"p521_hqc256", 7378, 14602},
+	}
+	for _, w := range want {
+		k := MustByName(w.name)
+		if k.PublicKeySize() != w.pk || k.CiphertextSize() != w.ct {
+			t.Errorf("%s: pk=%d ct=%d, want pk=%d ct=%d",
+				w.name, k.PublicKeySize(), k.CiphertextSize(), w.pk, w.ct)
+		}
+	}
+}
+
+func TestHybridFlag(t *testing.T) {
+	t.Parallel()
+	for _, name := range table2aNames {
+		k := MustByName(name)
+		wantHybrid := bytes.Contains([]byte(name), []byte("_"))
+		if k.Hybrid() != wantHybrid {
+			t.Errorf("%s: Hybrid() = %v, want %v", name, k.Hybrid(), wantHybrid)
+		}
+	}
+}
+
+// A hybrid shared secret must depend on both components: decapsulating a
+// ciphertext whose PQ half was swapped must change the secret.
+func TestHybridBothComponentsMatter(t *testing.T) {
+	t.Parallel()
+	k := MustByName("p256_kyber512")
+	pub, priv, err := k.GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct1, ss1, err := k.Encapsulate(rand.Reader, pub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct2, _, err := k.Encapsulate(rand.Reader, pub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := MustByName("p256").CiphertextSize()
+	mixed := append(append([]byte{}, ct1[:split]...), ct2[split:]...)
+	ssMixed, err := k.Decapsulate(priv, mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(ss1, ssMixed) {
+		t.Error("swapping the PQ ciphertext half did not change the hybrid secret")
+	}
+	if bytes.Equal(ss1[:32], ssMixed[32:]) {
+		t.Error("unexpected structure in hybrid secret")
+	}
+}
+
+func TestNonHybridByLevel(t *testing.T) {
+	t.Parallel()
+	got := NonHybridByLevel(1)
+	want := []string{"bikel1", "hqc128", "kyber512", "kyber90s512", "p256", "x25519"}
+	if len(got) != len(want) {
+		t.Fatalf("level 1 non-hybrids: %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("level 1 non-hybrids: %v, want %v", got, want)
+		}
+	}
+}

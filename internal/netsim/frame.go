@@ -1,0 +1,123 @@
+package netsim
+
+import "encoding/binary"
+
+// Wire-faithful frame construction. Data volumes in the paper's Table 2 are
+// measured on the wire (pcap), so emulated packets carry real
+// Ethernet/IPv4/TCP headers with correct lengths and checksums.
+
+// TCP flag bits.
+const (
+	FlagFIN uint8 = 1 << 0
+	FlagSYN uint8 = 1 << 1
+	FlagRST uint8 = 1 << 2
+	FlagPSH uint8 = 1 << 3
+	FlagACK uint8 = 1 << 4
+)
+
+// Endpoint addressing for the two-node testbed (Figure 2).
+var (
+	clientMAC = [6]byte{0x02, 0x00, 0x00, 0x00, 0x00, 0x01}
+	serverMAC = [6]byte{0x02, 0x00, 0x00, 0x00, 0x00, 0x02}
+	clientIP  = [4]byte{10, 0, 0, 1}
+	serverIP  = [4]byte{10, 0, 0, 2}
+)
+
+const (
+	clientPort = 53210
+	serverPort = 443
+	// synOptionBytes mirrors Linux SYN options (MSS, SACK-permitted,
+	// timestamps, window scale).
+	synOptionBytes = 20
+	// dataOptionBytes mirrors the TCP timestamp option on established
+	// connections.
+	dataOptionBytes = 12
+)
+
+// FrameSpec describes one TCP segment to put on the wire.
+type FrameSpec struct {
+	Dir     Direction
+	Seq     uint32
+	Ack     uint32
+	Flags   uint8
+	Payload []byte
+}
+
+// HeaderOverhead returns the per-packet wire overhead for a segment with
+// the given flags (Ethernet + IPv4 + TCP incl. options).
+func HeaderOverhead(flags uint8) int {
+	if flags&FlagSYN != 0 {
+		return 14 + 20 + 20 + synOptionBytes
+	}
+	return 14 + 20 + 20 + dataOptionBytes
+}
+
+// BuildFrame renders the segment as Ethernet/IPv4/TCP bytes.
+func BuildFrame(spec FrameSpec) []byte {
+	optLen := dataOptionBytes
+	if spec.Flags&FlagSYN != 0 {
+		optLen = synOptionBytes
+	}
+	tcpLen := 20 + optLen + len(spec.Payload)
+	ipLen := 20 + tcpLen
+	frame := make([]byte, 14+ipLen)
+
+	// Ethernet.
+	srcMAC, dstMAC := clientMAC, serverMAC
+	if spec.Dir == ServerToClient {
+		srcMAC, dstMAC = serverMAC, clientMAC
+	}
+	copy(frame[0:6], dstMAC[:])
+	copy(frame[6:12], srcMAC[:])
+	binary.BigEndian.PutUint16(frame[12:], 0x0800) // IPv4
+
+	// IPv4.
+	ip := frame[14:]
+	ip[0] = 0x45 // version 4, IHL 5
+	binary.BigEndian.PutUint16(ip[2:], uint16(ipLen))
+	ip[8] = 64 // TTL
+	ip[9] = 6  // TCP
+	srcIP, dstIP := clientIP, serverIP
+	if spec.Dir == ServerToClient {
+		srcIP, dstIP = serverIP, clientIP
+	}
+	copy(ip[12:16], srcIP[:])
+	copy(ip[16:20], dstIP[:])
+	binary.BigEndian.PutUint16(ip[10:], ipChecksum(ip[:20]))
+
+	// TCP.
+	tcp := ip[20:]
+	srcPort, dstPort := uint16(clientPort), uint16(serverPort)
+	if spec.Dir == ServerToClient {
+		srcPort, dstPort = serverPort, clientPort
+	}
+	binary.BigEndian.PutUint16(tcp[0:], srcPort)
+	binary.BigEndian.PutUint16(tcp[2:], dstPort)
+	binary.BigEndian.PutUint32(tcp[4:], spec.Seq)
+	binary.BigEndian.PutUint32(tcp[8:], spec.Ack)
+	tcp[12] = uint8((20 + optLen) / 4 << 4) // data offset
+	tcp[13] = spec.Flags
+	binary.BigEndian.PutUint16(tcp[14:], 0xFFFF) // window
+	// Options: NOP-padded timestamp (and MSS etc. on SYN); content is
+	// irrelevant to the measurements, length is what matters.
+	for i := 0; i < optLen; i++ {
+		tcp[20+i] = 0x01 // NOP
+	}
+	copy(tcp[20+optLen:], spec.Payload)
+	return frame
+}
+
+// ipChecksum is the RFC 791 header checksum.
+func ipChecksum(hdr []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		if i == 10 {
+			continue // checksum field itself
+		}
+		sum += uint32(binary.BigEndian.Uint16(hdr[i:]))
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xFFFF + sum>>16
+	}
+	return ^uint16(sum)
+}

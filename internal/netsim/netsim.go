@@ -1,0 +1,130 @@
+// Package netsim provides the discrete-event network substrate of the
+// measurement testbed: a two-party full-duplex link with netem-style loss,
+// delay, and rate emulation, a passive optical-tap observation point in the
+// middle (the paper's timestamper node), and wire-faithful packet framing
+// (Ethernet/IPv4/TCP) so byte counts match what a pcap would show.
+package netsim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Direction of travel on the link.
+type Direction int
+
+const (
+	ClientToServer Direction = iota
+	ServerToClient
+)
+
+// LinkConfig is a netem-style emulation profile. The zero value of Loss /
+// Rate means no loss / unlimited rate.
+type LinkConfig struct {
+	Name string
+	// Loss is the per-packet drop probability, applied independently in
+	// each direction (tc-netem on both interfaces).
+	Loss float64
+	// RTT is the path round-trip propagation time.
+	RTT time.Duration
+	// Rate is the link rate in bits per second (0 = unlimited).
+	Rate int64
+	// MTU caps the IP packet size; 1500 unless overridden.
+	MTU int
+}
+
+// The emulation scenarios of the paper's Table 4 (Appendix A).
+var (
+	ScenarioNone         = LinkConfig{Name: "none"}
+	ScenarioHighLoss     = LinkConfig{Name: "high-loss", Loss: 0.10}
+	ScenarioLowBandwidth = LinkConfig{Name: "low-bandwidth", Rate: 1_000_000}
+	ScenarioHighDelay    = LinkConfig{Name: "high-delay", RTT: time.Second}
+	// LTE-M over 15 km (Dawaliby et al.): 10% loss, 200 ms RTT, 1 Mbit/s.
+	ScenarioLTEM = LinkConfig{Name: "lte-m", Loss: 0.10, RTT: 200 * time.Millisecond, Rate: 1_000_000}
+	// Operational 5G (Xu et al.): 4% loss, 44 ms RTT, 880 Mbit/s.
+	Scenario5G = LinkConfig{Name: "5g", Loss: 0.04, RTT: 44 * time.Millisecond, Rate: 880_000_000}
+)
+
+// Scenarios lists all Table 4 columns in presentation order.
+func Scenarios() []LinkConfig {
+	return []LinkConfig{ScenarioNone, ScenarioHighLoss, ScenarioLowBandwidth,
+		ScenarioHighDelay, ScenarioLTEM, Scenario5G}
+}
+
+func (c LinkConfig) mtu() int {
+	if c.MTU == 0 {
+		return 1500
+	}
+	return c.MTU
+}
+
+// Transmission is the fate of one packet offered to the link.
+type Transmission struct {
+	// SentAt is when the sender handed the packet to the link.
+	SentAt time.Duration
+	// TapAt is when the packet passed the optical tap (midpoint).
+	TapAt time.Duration
+	// ArriveAt is when the packet reached the far end.
+	ArriveAt time.Duration
+	// Dropped reports netem loss; a dropped packet never arrives (but was
+	// observed by the tap if it was dropped at the far emulator).
+	Dropped bool
+}
+
+// TapFunc observes packets passing the tap, before knowing their fate.
+type TapFunc func(dir Direction, tapAt time.Duration, frame []byte)
+
+// Link is the emulated full-duplex fiber pair with per-direction
+// serialization queues.
+type Link struct {
+	cfg       LinkConfig
+	rng       *rand.Rand
+	busyUntil [2]time.Duration
+	tap       TapFunc
+
+	// Packet and byte counters per direction, counting every transmitted
+	// frame (including retransmissions) like a pcap would.
+	Packets [2]int
+	Bytes   [2]int
+}
+
+// NewLink creates a link with a deterministic loss process per seed.
+func NewLink(cfg LinkConfig, seed int64) *Link {
+	return &Link{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// SetTap installs the passive observer.
+func (l *Link) SetTap(tap TapFunc) { l.tap = tap }
+
+// Config returns the link's emulation profile.
+func (l *Link) Config() LinkConfig { return l.cfg }
+
+// MSS is the TCP payload capacity per packet on this link.
+func (l *Link) MSS() int { return l.cfg.mtu() - 40 /* IPv4 + TCP */ }
+
+// Transmit offers a frame of the given total wire size to the link at time
+// now. It returns the timing of the packet's journey.
+func (l *Link) Transmit(dir Direction, now time.Duration, frame []byte) Transmission {
+	size := len(frame)
+	tx := Transmission{SentAt: now}
+	start := now
+	if l.busyUntil[dir] > start {
+		start = l.busyUntil[dir]
+	}
+	ser := time.Duration(0)
+	if l.cfg.Rate > 0 {
+		ser = time.Duration(int64(size) * 8 * int64(time.Second) / l.cfg.Rate)
+	}
+	l.busyUntil[dir] = start + ser
+	owd := l.cfg.RTT / 2
+	tx.TapAt = start + ser + owd/2
+	tx.ArriveAt = start + ser + owd
+	tx.Dropped = l.cfg.Loss > 0 && l.rng.Float64() < l.cfg.Loss
+
+	l.Packets[dir]++
+	l.Bytes[dir] += size
+	if l.tap != nil {
+		l.tap(dir, tx.TapAt, frame)
+	}
+	return tx
+}

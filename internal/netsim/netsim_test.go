@@ -1,0 +1,114 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestScenarioParameters(t *testing.T) {
+	t.Parallel()
+	// Table 4's footnotes pin these values.
+	if ScenarioLTEM.Loss != 0.10 || ScenarioLTEM.RTT != 200*time.Millisecond || ScenarioLTEM.Rate != 1_000_000 {
+		t.Errorf("LTE-M parameters wrong: %+v", ScenarioLTEM)
+	}
+	if Scenario5G.Loss != 0.04 || Scenario5G.RTT != 44*time.Millisecond || Scenario5G.Rate != 880_000_000 {
+		t.Errorf("5G parameters wrong: %+v", Scenario5G)
+	}
+	if len(Scenarios()) != 6 {
+		t.Errorf("want 6 scenarios (Table 4 columns), got %d", len(Scenarios()))
+	}
+}
+
+func TestTransmitTiming(t *testing.T) {
+	t.Parallel()
+	link := NewLink(LinkConfig{RTT: 100 * time.Millisecond, Rate: 8_000_000}, 1) // 1 MB/s
+	frame := make([]byte, 1000)
+	tx := link.Transmit(ClientToServer, 0, frame)
+	// Serialization: 1000 B at 1 MB/s = 1 ms; OWD 50 ms; tap at midpoint.
+	if tx.ArriveAt != 51*time.Millisecond {
+		t.Errorf("arrival %v, want 51ms", tx.ArriveAt)
+	}
+	if tx.TapAt != 26*time.Millisecond {
+		t.Errorf("tap %v, want 26ms", tx.TapAt)
+	}
+	// A second frame queues behind the first (FIFO serialization).
+	tx2 := link.Transmit(ClientToServer, 0, frame)
+	if tx2.ArriveAt != 52*time.Millisecond {
+		t.Errorf("queued arrival %v, want 52ms", tx2.ArriveAt)
+	}
+	// The reverse direction has its own queue.
+	tx3 := link.Transmit(ServerToClient, 0, frame)
+	if tx3.ArriveAt != 51*time.Millisecond {
+		t.Errorf("reverse arrival %v, want 51ms", tx3.ArriveAt)
+	}
+}
+
+func TestLossIsDeterministicPerSeed(t *testing.T) {
+	t.Parallel()
+	count := func(seed int64) int {
+		link := NewLink(LinkConfig{Loss: 0.5}, seed)
+		drops := 0
+		for i := 0; i < 100; i++ {
+			if link.Transmit(ClientToServer, 0, make([]byte, 100)).Dropped {
+				drops++
+			}
+		}
+		return drops
+	}
+	if count(42) != count(42) {
+		t.Error("same seed produced different loss patterns")
+	}
+	if c := count(1); c < 30 || c > 70 {
+		t.Errorf("50%% loss dropped %d/100", c)
+	}
+	if count(7) == 0 {
+		t.Error("loss process never dropped")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	t.Parallel()
+	link := NewLink(LinkConfig{Loss: 1.0}, 1) // even dropped frames are counted (pcap-style)
+	link.Transmit(ClientToServer, 0, make([]byte, 500))
+	if link.Packets[ClientToServer] != 1 || link.Bytes[ClientToServer] != 500 {
+		t.Errorf("counters: %d pkts %d bytes", link.Packets[ClientToServer], link.Bytes[ClientToServer])
+	}
+}
+
+func TestBuildFrameStructure(t *testing.T) {
+	t.Parallel()
+	payload := []byte{0xde, 0xad, 0xbe, 0xef}
+	frame := BuildFrame(FrameSpec{Dir: ClientToServer, Seq: 100, Ack: 200, Flags: FlagACK | FlagPSH, Payload: payload})
+	if len(frame) != 14+20+20+dataOptionBytes+len(payload) {
+		t.Fatalf("frame length %d", len(frame))
+	}
+	// EtherType IPv4.
+	if frame[12] != 0x08 || frame[13] != 0x00 {
+		t.Error("wrong EtherType")
+	}
+	// IPv4 total length covers everything after Ethernet.
+	ipLen := int(frame[16])<<8 | int(frame[17])
+	if ipLen != len(frame)-14 {
+		t.Errorf("IP length %d, want %d", ipLen, len(frame)-14)
+	}
+	// Header checksum verifies (sums to 0xFFFF with the stored checksum).
+	var sum uint32
+	ip := frame[14:34]
+	for i := 0; i < 20; i += 2 {
+		sum += uint32(ip[i])<<8 | uint32(ip[i+1])
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xFFFF + sum>>16
+	}
+	if sum != 0xFFFF {
+		t.Errorf("IPv4 checksum does not verify (sum %#x)", sum)
+	}
+	// SYN frames carry the longer option block.
+	syn := BuildFrame(FrameSpec{Dir: ClientToServer, Flags: FlagSYN})
+	if len(syn) != 14+20+20+synOptionBytes {
+		t.Errorf("SYN frame length %d", len(syn))
+	}
+	if HeaderOverhead(FlagSYN) != len(syn) {
+		t.Error("HeaderOverhead(SYN) inconsistent with BuildFrame")
+	}
+}

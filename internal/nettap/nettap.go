@@ -1,0 +1,281 @@
+// Package nettap implements the passive timestamper node of the paper's
+// testbed (Figure 2): it observes frames at the optical tap, decodes them
+// layer by layer (gopacket-style DecodeFromBytes chain), reassembles the
+// TCP streams, and extracts the two black-box handshake phases of Figure 1
+// — ClientHello→ServerHello and ServerHello→Client Finished — without
+// decrypting anything.
+package nettap
+
+import (
+	"encoding/binary"
+	"errors"
+	"time"
+
+	"pqtls/internal/netsim"
+)
+
+// Ethernet is the decoded link layer.
+type Ethernet struct {
+	DstMAC    [6]byte
+	SrcMAC    [6]byte
+	EtherType uint16
+	payload   []byte
+}
+
+// DecodeFromBytes parses the Ethernet header.
+func (e *Ethernet) DecodeFromBytes(data []byte) error {
+	if len(data) < 14 {
+		return errors.New("nettap: short ethernet frame")
+	}
+	copy(e.DstMAC[:], data[0:6])
+	copy(e.SrcMAC[:], data[6:12])
+	e.EtherType = binary.BigEndian.Uint16(data[12:14])
+	e.payload = data[14:]
+	return nil
+}
+
+// LayerPayload returns the bytes after the Ethernet header.
+func (e *Ethernet) LayerPayload() []byte { return e.payload }
+
+// IPv4 is the decoded network layer.
+type IPv4 struct {
+	SrcIP    [4]byte
+	DstIP    [4]byte
+	Protocol uint8
+	Length   uint16
+	payload  []byte
+}
+
+// DecodeFromBytes parses the IPv4 header (no options expected).
+func (ip *IPv4) DecodeFromBytes(data []byte) error {
+	if len(data) < 20 {
+		return errors.New("nettap: short IPv4 header")
+	}
+	if data[0]>>4 != 4 {
+		return errors.New("nettap: not IPv4")
+	}
+	ihl := int(data[0]&0x0F) * 4
+	if len(data) < ihl {
+		return errors.New("nettap: truncated IPv4 options")
+	}
+	ip.Length = binary.BigEndian.Uint16(data[2:])
+	ip.Protocol = data[9]
+	copy(ip.SrcIP[:], data[12:16])
+	copy(ip.DstIP[:], data[16:20])
+	if int(ip.Length) > len(data) {
+		return errors.New("nettap: IPv4 length exceeds frame")
+	}
+	ip.payload = data[ihl:ip.Length]
+	return nil
+}
+
+// LayerPayload returns the bytes after the IPv4 header.
+func (ip *IPv4) LayerPayload() []byte { return ip.payload }
+
+// TCP is the decoded transport layer.
+type TCP struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            uint8
+	payload          []byte
+}
+
+// DecodeFromBytes parses the TCP header including options.
+func (t *TCP) DecodeFromBytes(data []byte) error {
+	if len(data) < 20 {
+		return errors.New("nettap: short TCP header")
+	}
+	t.SrcPort = binary.BigEndian.Uint16(data[0:])
+	t.DstPort = binary.BigEndian.Uint16(data[2:])
+	t.Seq = binary.BigEndian.Uint32(data[4:])
+	t.Ack = binary.BigEndian.Uint32(data[8:])
+	offset := int(data[12]>>4) * 4
+	if offset < 20 || len(data) < offset {
+		return errors.New("nettap: bad TCP data offset")
+	}
+	t.Flags = data[13]
+	t.payload = data[offset:]
+	return nil
+}
+
+// LayerPayload returns the TCP payload.
+func (t *TCP) LayerPayload() []byte { return t.payload }
+
+// tlsRecordEvent is a reassembled TLS record boundary observation.
+type tlsRecordEvent struct {
+	contentType uint8
+	handshake   uint8 // first handshake byte (message type) if contentType == 22
+	completedAt time.Duration
+}
+
+// stream reassembles one direction of the TCP byte stream and scans TLS
+// record boundaries.
+type stream struct {
+	expected uint32            // next in-order sequence number
+	pending  map[uint32][]byte // out-of-order segments
+	times    map[uint32]time.Duration
+	buf      []byte
+	bufAt    time.Duration // tap time of the chunk completing buf's tail
+	events   []tlsRecordEvent
+	started  bool
+}
+
+func newStream() *stream {
+	return &stream{pending: map[uint32][]byte{}, times: map[uint32]time.Duration{}}
+}
+
+// setOrigin records the stream's initial sequence number (from the SYN).
+func (s *stream) setOrigin(isn uint32) {
+	if s.started {
+		return
+	}
+	s.expected = isn + 1 // first data byte follows the SYN
+	s.started = true
+	s.drain()
+}
+
+// add ingests a segment observed at the tap. Data observed before the SYN
+// is held out-of-order until the origin is known.
+func (s *stream) add(seq uint32, payload []byte, at time.Duration) {
+	if len(payload) == 0 {
+		return
+	}
+	if s.started && seq+uint32(len(payload)) <= s.expected {
+		return // pure retransmission of old data
+	}
+	if old, ok := s.pending[seq]; !ok || len(payload) > len(old) {
+		s.pending[seq] = payload
+		s.times[seq] = at
+	}
+	if s.started {
+		s.drain()
+	}
+}
+
+// drain moves contiguous pending segments into the in-order buffer and
+// scans for completed TLS records.
+func (s *stream) drain() {
+	for {
+		advanced := false
+		for pseq, p := range s.pending {
+			if pseq <= s.expected && pseq+uint32(len(p)) > s.expected {
+				skip := s.expected - pseq
+				s.buf = append(s.buf, p[skip:]...)
+				// A record completes when the last of its packets passes
+				// the tap, which for out-of-order arrival is the maximum
+				// observation time of the merged chunks.
+				if s.times[pseq] > s.bufAt {
+					s.bufAt = s.times[pseq]
+				}
+				s.expected += uint32(len(p)) - skip
+				delete(s.pending, pseq)
+				delete(s.times, pseq)
+				advanced = true
+			}
+		}
+		if !advanced {
+			break
+		}
+	}
+	s.scan()
+}
+
+// scan emits TLS record events for every complete record in the buffer.
+func (s *stream) scan() {
+	for len(s.buf) >= 5 {
+		n := int(binary.BigEndian.Uint16(s.buf[3:]))
+		if len(s.buf) < 5+n {
+			return
+		}
+		ev := tlsRecordEvent{contentType: s.buf[0], completedAt: s.bufAt}
+		if ev.contentType == 22 && n > 0 {
+			ev.handshake = s.buf[5]
+		}
+		s.events = append(s.events, ev)
+		s.buf = s.buf[5+n:]
+	}
+}
+
+// Phases is the black-box measurement of Figure 1.
+type Phases struct {
+	ClientHelloAt time.Duration // CH record completed passing the tap
+	ServerHelloAt time.Duration // SH record completed passing the tap
+	ClientFinAt   time.Duration // client CCS(+Finished) passed the tap
+	// PartA is CH→SH, PartB is SH→Client Finished.
+	PartA, PartB time.Duration
+}
+
+// Total is the full handshake latency (CH → Client Finished).
+func (p Phases) Total() time.Duration { return p.PartA + p.PartB }
+
+// Timestamper consumes tap observations and reconstructs handshake phases.
+type Timestamper struct {
+	streams    [2]*stream
+	decodeErrs int
+}
+
+// NewTimestamper creates an idle timestamper; install it with Link.SetTap.
+func NewTimestamper() *Timestamper {
+	return &Timestamper{streams: [2]*stream{newStream(), newStream()}}
+}
+
+// Tap is the netsim.TapFunc to install on the observed link.
+func (ts *Timestamper) Tap(dir netsim.Direction, at time.Duration, frame []byte) {
+	var eth Ethernet
+	if err := eth.DecodeFromBytes(frame); err != nil {
+		ts.decodeErrs++
+		return
+	}
+	var ip IPv4
+	if err := ip.DecodeFromBytes(eth.LayerPayload()); err != nil {
+		ts.decodeErrs++
+		return
+	}
+	var tcp TCP
+	if err := tcp.DecodeFromBytes(ip.LayerPayload()); err != nil {
+		ts.decodeErrs++
+		return
+	}
+	if tcp.Flags&0x02 != 0 { // SYN: defines the stream origin
+		ts.streams[dir].setOrigin(tcp.Seq)
+	}
+	ts.streams[dir].add(tcp.Seq, tcp.LayerPayload(), at)
+}
+
+// DecodeErrors reports frames the tap could not parse.
+func (ts *Timestamper) DecodeErrors() int { return ts.decodeErrs }
+
+// Phases extracts the handshake phase timestamps; ok is false if the
+// handshake was not fully observed.
+func (ts *Timestamper) Phases() (Phases, bool) {
+	var p Phases
+	chFound, shFound := false, false
+	for _, ev := range ts.streams[netsim.ClientToServer].events {
+		if ev.contentType == 22 && ev.handshake == 1 {
+			p.ClientHelloAt = ev.completedAt
+			chFound = true
+			break
+		}
+	}
+	for _, ev := range ts.streams[netsim.ServerToClient].events {
+		if ev.contentType == 22 && ev.handshake == 2 {
+			p.ServerHelloAt = ev.completedAt
+			shFound = true
+			break
+		}
+	}
+	if !chFound || !shFound {
+		return p, false
+	}
+	// Client Finished: the client's ChangeCipherSpec (always packed with
+	// the Finished in one packet, as the paper notes), after the CH.
+	for _, ev := range ts.streams[netsim.ClientToServer].events {
+		if ev.contentType == 20 {
+			p.ClientFinAt = ev.completedAt
+			p.PartA = p.ServerHelloAt - p.ClientHelloAt
+			p.PartB = p.ClientFinAt - p.ServerHelloAt
+			return p, true
+		}
+	}
+	return p, false
+}

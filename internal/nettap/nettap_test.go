@@ -1,0 +1,167 @@
+package nettap
+
+import (
+	"testing"
+	"time"
+
+	"pqtls/internal/netsim"
+)
+
+// buildTLSFrame wraps a TLS record in a full Ethernet/IPv4/TCP frame.
+func buildTLSFrame(dir netsim.Direction, seq uint32, recordType byte, body []byte) []byte {
+	payload := append([]byte{recordType, 3, 3, byte(len(body) >> 8), byte(len(body))}, body...)
+	return netsim.BuildFrame(netsim.FrameSpec{
+		Dir: dir, Seq: seq, Flags: netsim.FlagACK | netsim.FlagPSH, Payload: payload,
+	})
+}
+
+// primeConnection feeds the timestamper the SYN/SYN-ACK so both stream
+// origins are known (seq 0, data starting at 1), as in every real capture.
+func primeConnection(ts *Timestamper) {
+	ts.Tap(netsim.ClientToServer, 0,
+		netsim.BuildFrame(netsim.FrameSpec{Dir: netsim.ClientToServer, Flags: netsim.FlagSYN}))
+	ts.Tap(netsim.ServerToClient, 0,
+		netsim.BuildFrame(netsim.FrameSpec{Dir: netsim.ServerToClient, Flags: netsim.FlagSYN | netsim.FlagACK}))
+}
+
+func TestLayerDecoding(t *testing.T) {
+	t.Parallel()
+	frame := buildTLSFrame(netsim.ClientToServer, 1, 22, []byte{1, 0, 0, 1, 0})
+	var eth Ethernet
+	if err := eth.DecodeFromBytes(frame); err != nil {
+		t.Fatal(err)
+	}
+	if eth.EtherType != 0x0800 {
+		t.Errorf("EtherType %#x", eth.EtherType)
+	}
+	var ip IPv4
+	if err := ip.DecodeFromBytes(eth.LayerPayload()); err != nil {
+		t.Fatal(err)
+	}
+	if ip.Protocol != 6 {
+		t.Errorf("protocol %d, want TCP", ip.Protocol)
+	}
+	var tcp TCP
+	if err := tcp.DecodeFromBytes(ip.LayerPayload()); err != nil {
+		t.Fatal(err)
+	}
+	if tcp.DstPort != 443 {
+		t.Errorf("dst port %d, want 443", tcp.DstPort)
+	}
+	if tcp.Seq != 1 {
+		t.Errorf("seq %d, want 1", tcp.Seq)
+	}
+	if len(tcp.LayerPayload()) != 10 {
+		t.Errorf("payload %d bytes, want 10", len(tcp.LayerPayload()))
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	t.Parallel()
+	var eth Ethernet
+	if err := eth.DecodeFromBytes([]byte{1, 2}); err == nil {
+		t.Error("short frame accepted")
+	}
+	var ip IPv4
+	if err := ip.DecodeFromBytes(make([]byte, 19)); err == nil {
+		t.Error("short IP header accepted")
+	}
+	if err := ip.DecodeFromBytes(append([]byte{0x65}, make([]byte, 30)...)); err == nil {
+		t.Error("IPv6 version accepted")
+	}
+	var tcp TCP
+	if err := tcp.DecodeFromBytes(make([]byte, 10)); err == nil {
+		t.Error("short TCP header accepted")
+	}
+	ts := NewTimestamper()
+	ts.Tap(netsim.ClientToServer, 0, []byte{1})
+	if ts.DecodeErrors() != 1 {
+		t.Error("decode error not counted")
+	}
+}
+
+func TestPhaseExtraction(t *testing.T) {
+	t.Parallel()
+	ts := NewTimestamper()
+	primeConnection(ts)
+	// CH at 1ms, SH at 2ms, server CCS+flight, client CCS+Fin at 5ms.
+	ts.Tap(netsim.ClientToServer, 1*time.Millisecond,
+		buildTLSFrame(netsim.ClientToServer, 1, 22, []byte{1, 0, 0, 1, 0}))
+	ts.Tap(netsim.ServerToClient, 2*time.Millisecond,
+		buildTLSFrame(netsim.ServerToClient, 1, 22, []byte{2, 0, 0, 1, 0}))
+	ts.Tap(netsim.ClientToServer, 5*time.Millisecond,
+		buildTLSFrame(netsim.ClientToServer, 11, 20, []byte{1}))
+	p, ok := ts.Phases()
+	if !ok {
+		t.Fatal("phases not extracted")
+	}
+	if p.PartA != 1*time.Millisecond {
+		t.Errorf("partA %v, want 1ms", p.PartA)
+	}
+	if p.PartB != 3*time.Millisecond {
+		t.Errorf("partB %v, want 3ms", p.PartB)
+	}
+	if p.Total() != 4*time.Millisecond {
+		t.Errorf("total %v, want 4ms", p.Total())
+	}
+}
+
+// Records split across TCP segments must be reassembled; the phase
+// timestamp is the packet completing the record.
+func TestReassemblyAcrossSegments(t *testing.T) {
+	t.Parallel()
+	ts := NewTimestamper()
+	primeConnection(ts)
+	body := make([]byte, 100)
+	body[0] = 1 // ClientHello
+	record := append([]byte{22, 3, 3, 0, byte(len(body))}, body...)
+	// Split into two segments, arriving out of order.
+	seg1, seg2 := record[:40], record[40:]
+	f1 := netsim.BuildFrame(netsim.FrameSpec{Dir: netsim.ClientToServer, Seq: 1, Flags: netsim.FlagACK, Payload: seg1})
+	f2 := netsim.BuildFrame(netsim.FrameSpec{Dir: netsim.ClientToServer, Seq: 41, Flags: netsim.FlagACK, Payload: seg2})
+	ts.Tap(netsim.ClientToServer, 2*time.Millisecond, f2) // out of order
+	ts.Tap(netsim.ClientToServer, 3*time.Millisecond, f1)
+	ts.Tap(netsim.ServerToClient, 4*time.Millisecond,
+		buildTLSFrame(netsim.ServerToClient, 1, 22, []byte{2, 0, 0, 1, 0}))
+	ts.Tap(netsim.ClientToServer, 9*time.Millisecond,
+		buildTLSFrame(netsim.ClientToServer, 106, 20, []byte{1}))
+	p, ok := ts.Phases()
+	if !ok {
+		t.Fatal("phases not extracted after reassembly")
+	}
+	if p.ClientHelloAt != 3*time.Millisecond {
+		t.Errorf("CH completed at %v, want 3ms (the completing packet)", p.ClientHelloAt)
+	}
+}
+
+// Retransmitted (duplicate) segments must not confuse the stream.
+func TestDuplicateSegmentsIgnored(t *testing.T) {
+	t.Parallel()
+	ts := NewTimestamper()
+	primeConnection(ts)
+	f := buildTLSFrame(netsim.ClientToServer, 1, 22, []byte{1, 0, 0, 1, 0})
+	ts.Tap(netsim.ClientToServer, 1*time.Millisecond, f)
+	ts.Tap(netsim.ClientToServer, 8*time.Millisecond, f) // retransmission
+	ts.Tap(netsim.ServerToClient, 2*time.Millisecond,
+		buildTLSFrame(netsim.ServerToClient, 1, 22, []byte{2, 0, 0, 1, 0}))
+	ts.Tap(netsim.ClientToServer, 5*time.Millisecond,
+		buildTLSFrame(netsim.ClientToServer, 11, 20, []byte{1}))
+	p, ok := ts.Phases()
+	if !ok {
+		t.Fatal("phases not extracted")
+	}
+	if p.ClientHelloAt != 1*time.Millisecond {
+		t.Errorf("CH at %v, want the first observation", p.ClientHelloAt)
+	}
+}
+
+func TestIncompleteHandshake(t *testing.T) {
+	t.Parallel()
+	ts := NewTimestamper()
+	primeConnection(ts)
+	ts.Tap(netsim.ClientToServer, time.Millisecond,
+		buildTLSFrame(netsim.ClientToServer, 1, 22, []byte{1, 0, 0, 1, 0}))
+	if _, ok := ts.Phases(); ok {
+		t.Error("phases extracted from CH-only capture")
+	}
+}

@@ -1,0 +1,111 @@
+package nettap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+
+	"pqtls/internal/netsim"
+)
+
+// PCAP output: the paper's artifact publishes raw PCAPs of every
+// measurement run; this writer produces standard libpcap files from the
+// tap's observations so captures from the simulated testbed open in
+// tcpdump/Wireshark.
+
+const (
+	pcapMagic       = 0xa1b2c3d9 // microsecond-resolution, big-endian written LE below
+	pcapMagicLE     = 0xa1b2c3d4
+	pcapVersionMaj  = 2
+	pcapVersionMin  = 4
+	pcapLinkTypeEth = 1
+)
+
+// PcapWriter streams tap observations into a libpcap capture.
+type PcapWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewPcapWriter writes the global header and returns the writer.
+func NewPcapWriter(w io.Writer) (*PcapWriter, error) {
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:], pcapMagicLE)
+	binary.LittleEndian.PutUint16(hdr[4:], pcapVersionMaj)
+	binary.LittleEndian.PutUint16(hdr[6:], pcapVersionMin)
+	// thiszone, sigfigs = 0; snaplen:
+	binary.LittleEndian.PutUint32(hdr[16:], 65535)
+	binary.LittleEndian.PutUint32(hdr[20:], pcapLinkTypeEth)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("nettap: pcap header: %w", err)
+	}
+	return &PcapWriter{w: w}, nil
+}
+
+// Tap is a netsim.TapFunc that records every frame. Install alongside (or
+// chained with) the Timestamper via TeeTap.
+func (p *PcapWriter) Tap(_ netsim.Direction, at time.Duration, frame []byte) {
+	if p.err != nil {
+		return
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(at/time.Second))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(at%time.Second/time.Microsecond))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(frame)))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(frame)))
+	if _, err := p.w.Write(hdr[:]); err != nil {
+		p.err = err
+		return
+	}
+	if _, err := p.w.Write(frame); err != nil {
+		p.err = err
+	}
+}
+
+// Err reports the first write error, if any.
+func (p *PcapWriter) Err() error { return p.err }
+
+// TeeTap fans one tap feed out to several observers (e.g. Timestamper +
+// PcapWriter), preserving the paper's single-tap topology.
+func TeeTap(taps ...netsim.TapFunc) netsim.TapFunc {
+	return func(dir netsim.Direction, at time.Duration, frame []byte) {
+		for _, t := range taps {
+			t(dir, at, frame)
+		}
+	}
+}
+
+// ReadPcap parses a capture produced by PcapWriter, returning frames and
+// timestamps (used by tests and offline evaluation, mirroring the
+// artifact's evaluate-from-PCAP workflow).
+func ReadPcap(r io.Reader) (frames [][]byte, times []time.Duration, err error) {
+	var hdr [24]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, nil, fmt.Errorf("nettap: pcap header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != pcapMagicLE {
+		return nil, nil, fmt.Errorf("nettap: not a little-endian microsecond pcap")
+	}
+	for {
+		var rec [16]byte
+		if _, err := io.ReadFull(r, rec[:]); err != nil {
+			if err == io.EOF {
+				return frames, times, nil
+			}
+			return nil, nil, fmt.Errorf("nettap: pcap record header: %w", err)
+		}
+		ts := time.Duration(binary.LittleEndian.Uint32(rec[0:]))*time.Second +
+			time.Duration(binary.LittleEndian.Uint32(rec[4:]))*time.Microsecond
+		n := binary.LittleEndian.Uint32(rec[8:])
+		if n > 1<<20 {
+			return nil, nil, fmt.Errorf("nettap: implausible pcap record length %d", n)
+		}
+		frame := make([]byte, n)
+		if _, err := io.ReadFull(r, frame); err != nil {
+			return nil, nil, fmt.Errorf("nettap: pcap record body: %w", err)
+		}
+		frames = append(frames, frame)
+		times = append(times, ts)
+	}
+}

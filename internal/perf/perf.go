@@ -1,0 +1,121 @@
+// Package perf is the white-box profiling substrate standing in for Linux
+// perf (see DESIGN.md substitution #7): instead of sampling stacks, code
+// regions are attributed directly to the "shared object" buckets the paper
+// groups by — libcrypto, libssl, kernel, libc, ixgbe, python — and the
+// profiler reports per-handshake CPU cost and the per-library distribution
+// of Table 3.
+package perf
+
+import (
+	"sort"
+	"time"
+)
+
+// The library buckets of the paper's Table 3.
+const (
+	LibCrypto = "libcrypto"
+	LibSSL    = "libssl"
+	Kernel    = "kernel"
+	LibC      = "libc"
+	Ixgbe     = "ixgbe"
+	Python    = "python"
+)
+
+// Buckets lists all buckets in the paper's presentation order.
+func Buckets() []string {
+	return []string{LibCrypto, Kernel, LibSSL, LibC, Ixgbe, Python}
+}
+
+// Profiler accumulates CPU time per bucket for one endpoint. It is not
+// safe for concurrent use; each simulated endpoint owns one.
+type Profiler struct {
+	spans map[string]time.Duration
+	total time.Duration
+	open  int
+}
+
+// NewProfiler returns an empty profiler.
+func NewProfiler() *Profiler {
+	return &Profiler{spans: map[string]time.Duration{}}
+}
+
+// Span opens a region attributed to lib; call the returned func to close
+// it. Implements the tls13.Tracer interface.
+func (p *Profiler) Span(lib string) func() {
+	start := time.Now()
+	p.open++
+	return func() {
+		p.open--
+		p.spans[lib] += time.Since(start)
+	}
+}
+
+// Attribute adds a known duration to a bucket directly (used for modeled
+// costs such as per-packet kernel and driver work).
+func (p *Profiler) Attribute(lib string, d time.Duration) {
+	p.spans[lib] += d
+}
+
+// AddTotal records wall time of a whole endpoint step; the part not covered
+// by spans is attributed to libc (memory management, formatting, misc).
+func (p *Profiler) AddTotal(d time.Duration) {
+	p.total += d
+}
+
+// Snapshot freezes the profile: per-bucket durations and the total.
+type Snapshot struct {
+	Spans map[string]time.Duration
+	Total time.Duration
+}
+
+// Snapshot computes the profile, assigning unattributed measured time to
+// libc. The returned snapshot is independent of the profiler.
+func (p *Profiler) Snapshot() Snapshot {
+	out := Snapshot{Spans: map[string]time.Duration{}, Total: p.total}
+	var attributed time.Duration
+	for lib, d := range p.spans {
+		out.Spans[lib] = d
+		attributed += d
+	}
+	if p.total > attributed {
+		out.Spans[LibC] += p.total - attributed
+	} else {
+		out.Total = attributed
+	}
+	return out
+}
+
+// Distribution returns the per-bucket shares (0..1), largest first, as
+// (bucket, share) pairs.
+func (s Snapshot) Distribution() []BucketShare {
+	var total time.Duration
+	for _, d := range s.Spans {
+		total += d
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]BucketShare, 0, len(s.Spans))
+	for lib, d := range s.Spans {
+		out = append(out, BucketShare{Lib: lib, Share: float64(d) / float64(total)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Share != out[j].Share {
+			return out[i].Share > out[j].Share
+		}
+		return out[i].Lib < out[j].Lib
+	})
+	return out
+}
+
+// BucketShare is one library's share of the endpoint's CPU time.
+type BucketShare struct {
+	Lib   string
+	Share float64
+}
+
+// Reset clears the profile for the next measurement period.
+func (p *Profiler) Reset() {
+	p.spans = map[string]time.Duration{}
+	p.total = 0
+}

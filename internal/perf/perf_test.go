@@ -1,0 +1,71 @@
+package perf
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSpanAttribution(t *testing.T) {
+	t.Parallel()
+	p := NewProfiler()
+	end := p.Span(LibCrypto)
+	time.Sleep(2 * time.Millisecond)
+	end()
+	s := p.Snapshot()
+	if s.Spans[LibCrypto] < 2*time.Millisecond {
+		t.Errorf("libcrypto span %v, want >= 2ms", s.Spans[LibCrypto])
+	}
+}
+
+func TestUnattributedGoesToLibc(t *testing.T) {
+	t.Parallel()
+	p := NewProfiler()
+	p.Attribute(LibCrypto, 3*time.Millisecond)
+	p.AddTotal(5 * time.Millisecond)
+	s := p.Snapshot()
+	if s.Spans[LibC] != 2*time.Millisecond {
+		t.Errorf("libc share %v, want 2ms", s.Spans[LibC])
+	}
+	if s.Total != 5*time.Millisecond {
+		t.Errorf("total %v, want 5ms", s.Total)
+	}
+}
+
+func TestDistributionOrdering(t *testing.T) {
+	t.Parallel()
+	p := NewProfiler()
+	p.Attribute(LibSSL, 1*time.Millisecond)
+	p.Attribute(LibCrypto, 8*time.Millisecond)
+	p.Attribute(Kernel, 1*time.Millisecond)
+	dist := p.Snapshot().Distribution()
+	if dist[0].Lib != LibCrypto {
+		t.Errorf("dominant bucket %s, want libcrypto", dist[0].Lib)
+	}
+	if dist[0].Share < 0.79 || dist[0].Share > 0.81 {
+		t.Errorf("libcrypto share %.2f, want 0.80", dist[0].Share)
+	}
+	var sum float64
+	for _, d := range dist {
+		sum += d.Share
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("shares sum to %.3f", sum)
+	}
+}
+
+func TestReset(t *testing.T) {
+	t.Parallel()
+	p := NewProfiler()
+	p.Attribute(LibCrypto, time.Second)
+	p.Reset()
+	if len(p.Snapshot().Distribution()) != 0 {
+		t.Error("profile not empty after Reset")
+	}
+}
+
+func TestBuckets(t *testing.T) {
+	t.Parallel()
+	if len(Buckets()) != 6 {
+		t.Errorf("want the paper's 6 buckets, got %d", len(Buckets()))
+	}
+}

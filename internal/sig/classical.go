@@ -1,0 +1,159 @@
+package sig
+
+import (
+	"crypto"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"crypto/x509"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// rsaScheme is RSA-PSS with SHA-256, the RSA mode of TLS 1.3.
+type rsaScheme struct {
+	name  string
+	bits  int
+	level int
+}
+
+// rsaKeyCache holds one long-lived key per modulus size. The paper's server
+// certificates are fixed per run; regenerating a 4096-bit modulus per
+// handshake would measure keygen, not TLS.
+var rsaKeyCache = struct {
+	mu sync.Mutex
+	m  map[int]*rsa.PrivateKey
+}{m: map[int]*rsa.PrivateKey{}}
+
+func cachedRSAKey(bits int) (*rsa.PrivateKey, error) {
+	rsaKeyCache.mu.Lock()
+	defer rsaKeyCache.mu.Unlock()
+	if k, ok := rsaKeyCache.m[bits]; ok {
+		return k, nil
+	}
+	k, err := rsa.GenerateKey(rand.Reader, bits)
+	if err != nil {
+		return nil, err
+	}
+	rsaKeyCache.m[bits] = k
+	return k, nil
+}
+
+func (r *rsaScheme) Name() string { return r.name }
+func (r *rsaScheme) Level() int   { return r.level }
+func (r *rsaScheme) Hybrid() bool { return false }
+
+// PublicKeySize is the DER-encoded PKIX size (modulus + exponent + ASN.1).
+func (r *rsaScheme) PublicKeySize() int { return r.bits/8 + 38 }
+
+// SignatureSize equals the modulus size for RSA.
+func (r *rsaScheme) SignatureSize() int { return r.bits / 8 }
+
+func (r *rsaScheme) GenerateKey(rng io.Reader) (pub, priv []byte, err error) {
+	var key *rsa.PrivateKey
+	if rng == nil {
+		key, err = cachedRSAKey(r.bits)
+	} else {
+		key, err = rsa.GenerateKey(rng, r.bits)
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("sig %s: keygen: %w", r.name, err)
+	}
+	pub, err = x509.MarshalPKIXPublicKey(&key.PublicKey)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sig %s: marshal public key: %w", r.name, err)
+	}
+	return pub, x509.MarshalPKCS1PrivateKey(key), nil
+}
+
+func (r *rsaScheme) Sign(priv, msg []byte) ([]byte, error) {
+	key, err := x509.ParsePKCS1PrivateKey(priv)
+	if err != nil {
+		return nil, fmt.Errorf("sig %s: bad private key: %w", r.name, err)
+	}
+	digest := sha256.Sum256(msg)
+	return rsa.SignPSS(rand.Reader, key, crypto.SHA256, digest[:], &rsa.PSSOptions{
+		SaltLength: rsa.PSSSaltLengthEqualsHash,
+	})
+}
+
+func (r *rsaScheme) Verify(pub, msg, sig []byte) bool {
+	parsed, err := x509.ParsePKIXPublicKey(pub)
+	if err != nil {
+		return false
+	}
+	key, ok := parsed.(*rsa.PublicKey)
+	if !ok {
+		return false
+	}
+	digest := sha256.Sum256(msg)
+	return rsa.VerifyPSS(key, crypto.SHA256, digest[:], sig, &rsa.PSSOptions{
+		SaltLength: rsa.PSSSaltLengthEqualsHash,
+	}) == nil
+}
+
+// ecdsaScheme is ECDSA with the curve's matching SHA-2 hash, used as the
+// classical half of the hybrid signature suites.
+type ecdsaScheme struct {
+	name  string
+	curve elliptic.Curve
+	level int
+}
+
+func (e *ecdsaScheme) Name() string { return e.name }
+func (e *ecdsaScheme) Level() int   { return e.level }
+func (e *ecdsaScheme) Hybrid() bool { return false }
+
+// PublicKeySize is the DER PKIX encoding of an uncompressed point.
+func (e *ecdsaScheme) PublicKeySize() int {
+	return 2*(e.curve.Params().BitSize+7)/8 + 27
+}
+
+// SignatureSize is the nominal DER-encoded (r, s) size.
+func (e *ecdsaScheme) SignatureSize() int {
+	return 2*(e.curve.Params().BitSize+7)/8 + 8
+}
+
+func (e *ecdsaScheme) GenerateKey(rng io.Reader) (pub, priv []byte, err error) {
+	if rng == nil {
+		rng = rand.Reader
+	}
+	key, err := ecdsa.GenerateKey(e.curve, rng)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sig %s: keygen: %w", e.name, err)
+	}
+	pub, err = x509.MarshalPKIXPublicKey(&key.PublicKey)
+	if err != nil {
+		return nil, nil, err
+	}
+	priv, err = x509.MarshalECPrivateKey(key)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pub, priv, nil
+}
+
+func (e *ecdsaScheme) Sign(priv, msg []byte) ([]byte, error) {
+	key, err := x509.ParseECPrivateKey(priv)
+	if err != nil {
+		return nil, fmt.Errorf("sig %s: bad private key: %w", e.name, err)
+	}
+	digest := sha256.Sum256(msg)
+	return ecdsa.SignASN1(rand.Reader, key, digest[:])
+}
+
+func (e *ecdsaScheme) Verify(pub, msg, sig []byte) bool {
+	parsed, err := x509.ParsePKIXPublicKey(pub)
+	if err != nil {
+		return false
+	}
+	key, ok := parsed.(*ecdsa.PublicKey)
+	if !ok {
+		return false
+	}
+	digest := sha256.Sum256(msg)
+	return ecdsa.VerifyASN1(key, digest[:], sig)
+}

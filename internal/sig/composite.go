@@ -1,0 +1,93 @@
+package sig
+
+import (
+	"fmt"
+	"io"
+)
+
+// composite combines a classical and a PQ signature per the composite-
+// signatures approach (draft-ounsworth-pq-composite-sigs): both schemes sign
+// the same message, both signatures travel on the wire, and verification
+// requires both — so the PKI stays secure unless both schemes are broken.
+type composite struct {
+	name    string
+	classic Scheme
+	pq      Scheme
+	level   int
+}
+
+func newComposite(name string, classic, pq Scheme, level int) Scheme {
+	return &composite{name: name, classic: classic, pq: pq, level: level}
+}
+
+func (c *composite) Name() string { return c.name }
+func (c *composite) Level() int   { return c.level }
+func (c *composite) Hybrid() bool { return true }
+
+func (c *composite) PublicKeySize() int {
+	return 4 + c.classic.PublicKeySize() + c.pq.PublicKeySize()
+}
+
+func (c *composite) SignatureSize() int {
+	return 4 + c.classic.SignatureSize() + c.pq.SignatureSize()
+}
+
+func (c *composite) GenerateKey(rng io.Reader) (pub, priv []byte, err error) {
+	cPub, cPriv, err := c.classic.GenerateKey(rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	pPub, pPriv, err := c.pq.GenerateKey(rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	return join(cPub, pPub), join(cPriv, pPriv), nil
+}
+
+func (c *composite) Sign(priv, msg []byte) ([]byte, error) {
+	cPriv, pPriv, err := split(priv)
+	if err != nil {
+		return nil, fmt.Errorf("sig %s: %w", c.name, err)
+	}
+	cSig, err := c.classic.Sign(cPriv, msg)
+	if err != nil {
+		return nil, err
+	}
+	pSig, err := c.pq.Sign(pPriv, msg)
+	if err != nil {
+		return nil, err
+	}
+	return join(cSig, pSig), nil
+}
+
+func (c *composite) Verify(pub, msg, sig []byte) bool {
+	cPub, pPub, err := split(pub)
+	if err != nil {
+		return false
+	}
+	cSig, pSig, err := split(sig)
+	if err != nil {
+		return false
+	}
+	return c.classic.Verify(cPub, msg, cSig) && c.pq.Verify(pPub, msg, pSig)
+}
+
+// join concatenates two values with a 4-byte length prefix on the first
+// (classical encodings are variable-size).
+func join(a, b []byte) []byte {
+	out := make([]byte, 0, 4+len(a)+len(b))
+	out = append(out, byte(len(a)>>24), byte(len(a)>>16), byte(len(a)>>8), byte(len(a)))
+	out = append(out, a...)
+	return append(out, b...)
+}
+
+func split(v []byte) (a, b []byte, err error) {
+	if len(v) < 4 {
+		return nil, nil, fmt.Errorf("truncated composite value")
+	}
+	n := int(v[0])<<24 | int(v[1])<<16 | int(v[2])<<8 | int(v[3])
+	if n < 0 || len(v) < 4+n {
+		return nil, nil, fmt.Errorf("malformed composite value")
+	}
+	return v[4 : 4+n], v[4+n:], nil
+}

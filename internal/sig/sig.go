@@ -1,0 +1,84 @@
+// Package sig defines the signature-algorithm abstraction used by the TLS
+// 1.3 stack and PKI, and registers the named signature algorithms of the
+// paper's Tables 2b and 4b: RSA at four modulus sizes, Dilithium (and AES
+// variants), Falcon, SPHINCS+, and the classical+PQ composite hybrids.
+package sig
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Scheme is a signature algorithm usable for TLS certificates and the
+// CertificateVerify handshake signature.
+type Scheme interface {
+	// Name is the paper's algorithm label (e.g. "p256_dilithium2").
+	Name() string
+	// Level is the claimed NIST security level. Following the paper,
+	// rsa:1024 and rsa:2048 report level 0 ("sub-level one").
+	Level() int
+	// Hybrid reports whether this is a classical+PQ composite.
+	Hybrid() bool
+	// GenerateKey creates a signing key pair (rng nil = crypto/rand, which
+	// for RSA uses a per-size cached key, mirroring the paper's fixed
+	// server certificates).
+	GenerateKey(rng io.Reader) (pub, priv []byte, err error)
+	// Sign signs msg with priv.
+	Sign(priv, msg []byte) ([]byte, error)
+	// Verify reports whether sig is valid for msg under pub.
+	Verify(pub, msg, sig []byte) bool
+	// PublicKeySize is the nominal public-key wire size.
+	PublicKeySize() int
+	// SignatureSize is the nominal signature wire size.
+	SignatureSize() int
+}
+
+var registry = map[string]Scheme{}
+
+func register(s Scheme) {
+	if _, dup := registry[s.Name()]; dup {
+		panic("sig: duplicate registration of " + s.Name())
+	}
+	registry[s.Name()] = s
+}
+
+// ByName returns the named scheme.
+func ByName(name string) (Scheme, error) {
+	s, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("sig: unknown signature algorithm %q", name)
+	}
+	return s, nil
+}
+
+// MustByName is ByName for static suite names in tests and benchmarks.
+func MustByName(name string) Scheme {
+	s, err := ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Names returns all registered names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByLevel returns scheme names at the given NIST level, sorted.
+func ByLevel(level int) []string {
+	var out []string
+	for n, s := range registry {
+		if s.Level() == level {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

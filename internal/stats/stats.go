@@ -1,0 +1,68 @@
+// Package stats provides the summary statistics used by the measurement
+// harness (the paper reports medians over 60-second campaigns).
+package stats
+
+import (
+	"sort"
+	"time"
+)
+
+// Median returns the median of xs (0 for empty input).
+func Median(xs []time.Duration) time.Duration {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]time.Duration{}, xs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) using nearest-rank.
+func Quantile(xs []time.Duration, q float64) time.Duration {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]time.Duration{}, xs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(q*float64(len(s)-1) + 0.5)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// Mean returns the arithmetic mean.
+func Mean(xs []time.Duration) time.Duration {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / time.Duration(len(xs))
+}
+
+// MinMax returns the extremes.
+func MinMax(xs []time.Duration) (min, max time.Duration) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}

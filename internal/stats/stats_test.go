@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMedian(t *testing.T) {
+	t.Parallel()
+	if Median(nil) != 0 {
+		t.Error("median of empty input not 0")
+	}
+	if m := Median([]time.Duration{3, 1, 2}); m != 2 {
+		t.Errorf("median odd = %v, want 2", m)
+	}
+	if m := Median([]time.Duration{4, 1, 3, 2}); m != 2 {
+		t.Errorf("median even = %v, want 2 (midpoint of 2,3 = 2.5 truncated)", m)
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	t.Parallel()
+	xs := []time.Duration{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Median mutated its input")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	t.Parallel()
+	xs := []time.Duration{10, 20, 30, 40, 50}
+	if q := Quantile(xs, 0); q != 10 {
+		t.Errorf("q0 = %v", q)
+	}
+	if q := Quantile(xs, 1); q != 50 {
+		t.Errorf("q1 = %v", q)
+	}
+	if q := Quantile(xs, 0.5); q != 30 {
+		t.Errorf("q0.5 = %v", q)
+	}
+}
+
+func TestMeanMinMax(t *testing.T) {
+	t.Parallel()
+	xs := []time.Duration{10, 20, 60}
+	if m := Mean(xs); m != 30 {
+		t.Errorf("mean = %v", m)
+	}
+	lo, hi := MinMax(xs)
+	if lo != 10 || hi != 60 {
+		t.Errorf("minmax = %v %v", lo, hi)
+	}
+	if m := Mean(nil); m != 0 {
+		t.Error("mean of empty not 0")
+	}
+}
+
+// Property: the median is bounded by the extremes and at least half the
+// elements are <= it.
+func TestQuickMedianProperties(t *testing.T) {
+	t.Parallel()
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]time.Duration, len(raw))
+		for i, r := range raw {
+			xs[i] = time.Duration(r)
+		}
+		m := Median(xs)
+		lo, hi := MinMax(xs)
+		if m < lo || m > hi {
+			return false
+		}
+		below := 0
+		for _, x := range xs {
+			if x <= m {
+				below++
+			}
+		}
+		return below*2 >= len(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

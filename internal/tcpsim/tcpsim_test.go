@@ -1,0 +1,158 @@
+package tcpsim
+
+import (
+	"testing"
+	"time"
+
+	"pqtls/internal/netsim"
+)
+
+func TestConnectCostsOneRTT(t *testing.T) {
+	t.Parallel()
+	link := netsim.NewLink(netsim.LinkConfig{Name: "t", RTT: 100 * time.Millisecond}, 1)
+	conn := NewConn(link, Options{})
+	clientReady, serverReady := conn.Connect(0)
+	if clientReady != 100*time.Millisecond {
+		t.Errorf("client ready at %v, want 100ms", clientReady)
+	}
+	if serverReady != 150*time.Millisecond {
+		t.Errorf("server ready at %v, want 150ms", serverReady)
+	}
+}
+
+// A flight within the initial CWND completes in one one-way delay.
+func TestSingleWindowTransfer(t *testing.T) {
+	t.Parallel()
+	link := netsim.NewLink(netsim.LinkConfig{Name: "t", RTT: 1 * time.Second}, 1)
+	conn := NewConn(link, Options{})
+	conn.Connect(0)
+	// 10 segments exactly fill the initial window.
+	payload := make([]byte, 10*link.MSS())
+	done := conn.Send(netsim.ServerToClient, 2*time.Second, payload)
+	want := 2*time.Second + 500*time.Millisecond
+	if done != want {
+		t.Errorf("delivery at %v, want %v", done, want)
+	}
+}
+
+// A flight exceeding the initial CWND needs at least one extra round trip —
+// the Section 5.4 effect for big PQ flights.
+func TestSlowStartExtraRTT(t *testing.T) {
+	t.Parallel()
+	link := netsim.NewLink(netsim.LinkConfig{Name: "t", RTT: 1 * time.Second}, 1)
+	conn := NewConn(link, Options{})
+	conn.Connect(0)
+	payload := make([]byte, 11*link.MSS()) // one segment over the window
+	done := conn.Send(netsim.ServerToClient, 2*time.Second, payload)
+	min := 2*time.Second + 1500*time.Millisecond // 0.5 (data) + 1.0 (ack round)
+	if done < min {
+		t.Errorf("delivery at %v, want >= %v (extra RTT)", done, min)
+	}
+	// A SPHINCS+-sized flight (105 kB ≈ 72 segments) needs several rounds:
+	// 10+20+40 covers 70, so a fourth round is required.
+	conn2 := NewConn(netsim.NewLink(netsim.LinkConfig{Name: "t", RTT: 1 * time.Second}, 2), Options{})
+	conn2.Connect(0)
+	big := make([]byte, 72*link.MSS())
+	done2 := conn2.Send(netsim.ServerToClient, 2*time.Second, big)
+	if done2 < 2*time.Second+3500*time.Millisecond {
+		t.Errorf("large flight delivered at %v, want >= 5.5s total", done2)
+	}
+}
+
+func TestBandwidthSerialization(t *testing.T) {
+	t.Parallel()
+	// 1 Mbit/s: a 10-segment flight of 1500B frames takes ~120ms to clock
+	// out, irrespective of propagation delay.
+	link := netsim.NewLink(netsim.LinkConfig{Name: "t", Rate: 1_000_000}, 1)
+	conn := NewConn(link, Options{})
+	conn.Connect(0)
+	payload := make([]byte, 10*link.MSS())
+	done := conn.Send(netsim.ServerToClient, 0, payload)
+	if done < 100*time.Millisecond || done > 200*time.Millisecond {
+		t.Errorf("1 Mbit/s delivery at %v, want ~120ms", done)
+	}
+}
+
+// All bytes are always delivered, whatever the loss process does.
+func TestLossyDeliveryCompletes(t *testing.T) {
+	t.Parallel()
+	for seed := int64(0); seed < 20; seed++ {
+		link := netsim.NewLink(netsim.LinkConfig{Name: "t", Loss: 0.2, RTT: 10 * time.Millisecond}, seed)
+		conn := NewConn(link, Options{})
+		_, serverReady := conn.Connect(0)
+		payload := make([]byte, 25*link.MSS())
+		done := conn.Send(netsim.ServerToClient, serverReady, payload)
+		if done <= 0 {
+			t.Fatalf("seed %d: no delivery time", seed)
+		}
+	}
+}
+
+// Loss must slow delivery down versus the clean link (same seed stream).
+func TestLossCostsTime(t *testing.T) {
+	t.Parallel()
+	clean := netsim.NewLink(netsim.LinkConfig{Name: "t", RTT: 20 * time.Millisecond}, 7)
+	lossy := netsim.NewLink(netsim.LinkConfig{Name: "t", Loss: 0.3, RTT: 20 * time.Millisecond}, 7)
+	payload := make([]byte, 30*1460)
+	cleanConn := NewConn(clean, Options{})
+	cleanConn.Connect(0)
+	lossyConn := NewConn(lossy, Options{})
+	lossyConn.Connect(0)
+	tClean := cleanConn.Send(netsim.ServerToClient, time.Second, payload)
+	tLossy := lossyConn.Send(netsim.ServerToClient, time.Second, payload)
+	if tLossy <= tClean {
+		t.Errorf("lossy link (%v) not slower than clean (%v)", tLossy, tClean)
+	}
+}
+
+func TestPacketCounters(t *testing.T) {
+	t.Parallel()
+	link := netsim.NewLink(netsim.LinkConfig{Name: "t"}, 1)
+	conn := NewConn(link, Options{})
+	conn.Connect(0)
+	conn.Send(netsim.ClientToServer, 0, make([]byte, 100))
+	if link.Packets[netsim.ClientToServer] < 3 { // SYN, ACK, data
+		t.Errorf("client packets = %d, want >= 3", link.Packets[netsim.ClientToServer])
+	}
+	if link.Packets[netsim.ServerToClient] < 2 { // SYN-ACK, data ACK
+		t.Errorf("server packets = %d, want >= 2", link.Packets[netsim.ServerToClient])
+	}
+	if link.Bytes[netsim.ClientToServer] < 100 {
+		t.Error("client byte counter too small")
+	}
+}
+
+// The tap must observe every frame with in-order, midpoint timestamps.
+func TestTapObservation(t *testing.T) {
+	t.Parallel()
+	link := netsim.NewLink(netsim.LinkConfig{Name: "t", RTT: 10 * time.Millisecond}, 1)
+	var taps []time.Duration
+	link.SetTap(func(dir netsim.Direction, at time.Duration, frame []byte) {
+		taps = append(taps, at)
+		if len(frame) < 54 {
+			t.Errorf("frame too short: %d", len(frame))
+		}
+	})
+	conn := NewConn(link, Options{})
+	conn.Connect(0)
+	if len(taps) != 3 {
+		t.Fatalf("tap saw %d frames during connect, want 3", len(taps))
+	}
+	// SYN passes the tap halfway through the one-way delay.
+	if taps[0] != 2500*time.Microsecond {
+		t.Errorf("SYN tap time %v, want 2.5ms", taps[0])
+	}
+}
+
+// A fully black-holed link must still terminate with a finite (huge) time
+// rather than livelock — the bounded-retry safeguard.
+func TestTotalLossTerminates(t *testing.T) {
+	t.Parallel()
+	link := netsim.NewLink(netsim.LinkConfig{Name: "t", Loss: 1.0, RTT: 10 * time.Millisecond}, 3)
+	conn := NewConn(link, Options{})
+	_, serverReady := conn.Connect(0)
+	done := conn.Send(netsim.ServerToClient, serverReady, make([]byte, 5*1460))
+	if done <= serverReady {
+		t.Error("no progress on black-holed link")
+	}
+}

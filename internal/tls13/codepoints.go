@@ -1,0 +1,111 @@
+package tls13
+
+import "fmt"
+
+// Named-group codepoints for the key_share / supported_groups extensions.
+// Classical groups use the IANA values; PQ and hybrid groups use
+// OQS-OpenSSL-style private-range codepoints, matching the fork the paper
+// benchmarks.
+var groupIDs = map[string]uint16{
+	"x25519": 0x001d,
+	"p256":   0x0017,
+	"p384":   0x0018,
+	"p521":   0x0019,
+
+	"kyber512":     0x023a,
+	"kyber768":     0x023c,
+	"kyber1024":    0x023d,
+	"kyber90s512":  0x023e,
+	"kyber90s768":  0x023f,
+	"kyber90s1024": 0x0240,
+	"hqc128":       0x022c,
+	"hqc192":       0x022d,
+	"hqc256":       0x022e,
+	"bikel1":       0x0241,
+	"bikel3":       0x0242,
+
+	"p256_kyber512":  0x2f3a,
+	"p384_kyber768":  0x2f3c,
+	"p521_kyber1024": 0x2f3d,
+	"p256_hqc128":    0x2f2c,
+	"p384_hqc192":    0x2f2d,
+	"p521_hqc256":    0x2f2e,
+	"p256_bikel1":    0x2f41,
+	"p384_bikel3":    0x2f42,
+}
+
+// Signature-scheme codepoints for signature_algorithms / CertificateVerify.
+// RSA uses rsa_pss_rsae_sha256; PQ schemes use OQS-style values.
+var sigIDs = map[string]uint16{
+	"rsa:1024": 0x0804,
+	"rsa:2048": 0x0805,
+	"rsa:3072": 0x0806,
+	"rsa:4096": 0x0807,
+
+	"ecdsa-p256": 0x0403,
+	"ecdsa-p384": 0x0503,
+	"ecdsa-p521": 0x0603,
+
+	"dilithium2":     0xfea0,
+	"dilithium3":     0xfea3,
+	"dilithium5":     0xfea5,
+	"dilithium2_aes": 0xfea7,
+	"dilithium3_aes": 0xfea8,
+	"dilithium5_aes": 0xfea9,
+	"falcon512":      0xfeae,
+	"falcon1024":     0xfeb1,
+	"sphincs128":     0xfeb3,
+	"sphincs192":     0xfeb6,
+	"sphincs256":     0xfeb9,
+	"sphincs128s":    0xfeb4,
+	"sphincs192s":    0xfeb7,
+	"sphincs256s":    0xfeba,
+
+	"p256_dilithium2":    0xfed0,
+	"rsa3072_dilithium2": 0xfed1,
+	"p384_dilithium3":    0xfed3,
+	"p521_dilithium5":    0xfed5,
+	"p256_falcon512":     0xfed7,
+	"p521_falcon1024":    0xfed8,
+	"p256_sphincs128":    0xfeda,
+	"p384_sphincs192":    0xfedb,
+	"p521_sphincs256":    0xfedc,
+}
+
+// GroupID returns the key_share codepoint for a KEM name.
+func GroupID(name string) (uint16, error) {
+	id, ok := groupIDs[name]
+	if !ok {
+		return 0, fmt.Errorf("tls13: no group codepoint for %q", name)
+	}
+	return id, nil
+}
+
+// SigID returns the signature_algorithms codepoint for a scheme name.
+func SigID(name string) (uint16, error) {
+	id, ok := sigIDs[name]
+	if !ok {
+		return 0, fmt.Errorf("tls13: no signature codepoint for %q", name)
+	}
+	return id, nil
+}
+
+// groupName reverses GroupID.
+func groupName(id uint16) (string, bool) {
+	for n, v := range groupIDs {
+		if v == id {
+			return n, true
+		}
+	}
+	return "", false
+}
+
+// sigName reverses SigID.
+func sigName(id uint16) (string, bool) {
+	for n, v := range sigIDs {
+		if v == id {
+			return n, true
+		}
+	}
+	return "", false
+}

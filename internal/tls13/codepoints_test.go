@@ -1,0 +1,80 @@
+package tls13
+
+import (
+	"testing"
+
+	"pqtls/internal/kem"
+	"pqtls/internal/sig"
+)
+
+// Every registered suite must have a codepoint, or the harness would fail
+// for that row of the paper's tables.
+func TestEveryKEMHasGroupID(t *testing.T) {
+	t.Parallel()
+	for _, name := range kem.Names() {
+		if _, err := GroupID(name); err != nil {
+			t.Errorf("no group codepoint for KEM %q", name)
+		}
+	}
+}
+
+func TestEverySchemeHasSigID(t *testing.T) {
+	t.Parallel()
+	for _, name := range sig.Names() {
+		if _, err := SigID(name); err != nil {
+			t.Errorf("no signature codepoint for scheme %q", name)
+		}
+	}
+}
+
+// Codepoints must be unique and reversible.
+func TestCodepointBijection(t *testing.T) {
+	t.Parallel()
+	seen := map[uint16]string{}
+	for name, id := range groupIDs {
+		if prev, dup := seen[id]; dup {
+			t.Errorf("group codepoint %#04x shared by %s and %s", id, prev, name)
+		}
+		seen[id] = name
+		back, ok := groupName(id)
+		if !ok || back != name {
+			t.Errorf("groupName(%#04x) = %q, want %q", id, back, name)
+		}
+	}
+	seenSig := map[uint16]string{}
+	for name, id := range sigIDs {
+		if prev, dup := seenSig[id]; dup {
+			t.Errorf("sig codepoint %#04x shared by %s and %s", id, prev, name)
+		}
+		seenSig[id] = name
+		back, ok := sigName(id)
+		if !ok || back != name {
+			t.Errorf("sigName(%#04x) = %q, want %q", id, back, name)
+		}
+	}
+}
+
+// Classical groups use their IANA values.
+func TestClassicalIANAValues(t *testing.T) {
+	t.Parallel()
+	want := map[string]uint16{"x25519": 0x001d, "p256": 0x0017, "p384": 0x0018, "p521": 0x0019}
+	for name, id := range want {
+		got, err := GroupID(name)
+		if err != nil || got != id {
+			t.Errorf("GroupID(%s) = %#04x (%v), want %#04x", name, got, err, id)
+		}
+	}
+}
+
+func TestUnknownCodepoints(t *testing.T) {
+	t.Parallel()
+	if _, err := GroupID("rot13"); err == nil {
+		t.Error("unknown group accepted")
+	}
+	if _, err := SigID("rot13"); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if _, ok := groupName(0xFFFF); ok {
+		t.Error("unknown group id resolved")
+	}
+}

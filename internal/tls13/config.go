@@ -1,0 +1,80 @@
+package tls13
+
+import (
+	"io"
+
+	"pqtls/internal/pki"
+)
+
+// BufferPolicy selects how the server assembles its handshake flight into
+// TCP writes — the OpenSSL behaviour Section 4 of the paper analyzes.
+type BufferPolicy int
+
+const (
+	// BufferDefault models stock OQS-OpenSSL: messages accumulate in a
+	// 4096-byte buffer that is flushed when exceeded, with a final flush
+	// after the whole flight is computed.
+	BufferDefault BufferPolicy = iota
+	// BufferImmediate models the paper's optimized build: the ServerHello
+	// and the Certificate are pushed to the transport as soon as they are
+	// computed, letting the client overlap its decapsulation with the
+	// server's signing.
+	BufferImmediate
+)
+
+// serverBufferSize is OpenSSL's internal buffer (Section 4 of the paper).
+const serverBufferSize = 4096
+
+// Tracer attributes CPU time to the "shared object" buckets of the paper's
+// white-box analysis (libcrypto, libssl, ...). Implementations must be safe
+// for use from a single handshake goroutine.
+type Tracer interface {
+	// Span opens a region attributed to lib; the returned func closes it.
+	Span(lib string) func()
+}
+
+// Library buckets used by the white-box profile.
+const (
+	LibCrypto = "libcrypto"
+	LibSSL    = "libssl"
+)
+
+// Config carries the suite selection and credentials for one endpoint.
+type Config struct {
+	// KEMName and SigName are registry names ("kyber512", "rsa:2048", ...).
+	// For a client, KEMName is the group it generates its key share for.
+	KEMName string
+	SigName string
+	// SupportedKEMs lists additional groups a client offers in
+	// supported_groups without a key share. If the server requires one of
+	// them, it answers with a HelloRetryRequest and the handshake costs an
+	// extra round trip — the 2-RTT fallback the paper configured away.
+	SupportedKEMs []string
+	// ServerName is the SNI the client sends and the certificate subject.
+	ServerName string
+	// Chain and PrivateKey are the server's credentials.
+	Chain      []*pki.Certificate
+	PrivateKey []byte
+	// Roots is the client's trust anchor pool.
+	Roots *pki.Pool
+	// Buffer selects the server's flight-assembly behaviour.
+	Buffer BufferPolicy
+	// Tracer, when non-nil, receives white-box region spans.
+	Tracer Tracer
+	// Rand overrides crypto/rand (tests).
+	Rand io.Reader
+	// TicketKey enables session tickets on a server; instances sharing the
+	// key can resume each other's sessions.
+	TicketKey *[16]byte
+	// Session, when set on a client, resumes via PSK: the Certificate and
+	// CertificateVerify flights are skipped entirely.
+	Session *Session
+}
+
+// span is the nil-safe tracer helper.
+func (c *Config) span(lib string) func() {
+	if c == nil || c.Tracer == nil {
+		return func() {}
+	}
+	return c.Tracer.Span(lib)
+}

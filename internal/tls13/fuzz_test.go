@@ -1,0 +1,112 @@
+package tls13
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Parser robustness: every wire parser must survive arbitrary and truncated
+// inputs without panicking — the paper's black-box setup points these
+// parsers at whatever the network delivers.
+
+func mustNotPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Errorf("%s panicked: %v", name, r)
+		}
+	}()
+	f()
+}
+
+func TestParsersSurviveGarbage(t *testing.T) {
+	t.Parallel()
+	check := func(data []byte) bool {
+		mustNotPanic(t, "ParseRecord", func() { ParseRecord(data) })
+		mustNotPanic(t, "parseHandshakeMsg", func() { parseHandshakeMsg(data) })
+		mustNotPanic(t, "parseClientHello", func() { parseClientHello(data) })
+		mustNotPanic(t, "parseServerHello", func() { parseServerHello(data) })
+		mustNotPanic(t, "parseCertificate", func() { parseCertificate(data) })
+		mustNotPanic(t, "parseCertVerify", func() { parseCertVerify(data) })
+		mustNotPanic(t, "parseHRRGroup", func() { parseHRRGroup(data) })
+		mustNotPanic(t, "parsePSKExtension", func() { parsePSKExtension(data) })
+		mustNotPanic(t, "parseAlert", func() { parseAlert(Record{Type: RecordAlert, Payload: data}) })
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Truncations of a *valid* ClientHello must all be rejected cleanly.
+func TestClientHelloTruncations(t *testing.T) {
+	t.Parallel()
+	ch := &clientHello{serverName: "server.example", group: 0x001d, sigAlg: 0x0805,
+		keyShare: make([]byte, 32)}
+	msg := ch.marshal()
+	_, body, _, err := parseHandshakeMsg(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parseClientHello(body); err != nil {
+		t.Fatalf("valid CH rejected: %v", err)
+	}
+	for cut := 0; cut < len(body); cut += 7 {
+		mustNotPanic(t, "parseClientHello/truncated", func() {
+			parseClientHello(body[:cut])
+		})
+	}
+	// Bit flips in length fields must never panic either.
+	for pos := 0; pos < len(body); pos += 3 {
+		mutated := append([]byte{}, body...)
+		mutated[pos] ^= 0xFF
+		mustNotPanic(t, "parseClientHello/mutated", func() {
+			parseClientHello(mutated)
+		})
+	}
+}
+
+// Record-layer decryption must reject (not panic on) every corruption of a
+// valid protected record.
+func TestHalfConnOpenRobust(t *testing.T) {
+	t.Parallel()
+	key := make([]byte, 16)
+	iv := make([]byte, 12)
+	sender, err := newHalfConn(key, iv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := sender.seal(RecordHandshake, []byte("payload"))
+	for pos := 0; pos < len(rec.Payload); pos++ {
+		receiver, err := newHalfConn(key, iv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bad := Record{Type: rec.Type, Payload: append([]byte{}, rec.Payload...)}
+		bad.Payload[pos] ^= 1
+		if _, _, err := receiver.open(bad); err == nil {
+			t.Fatalf("corruption at byte %d accepted", pos)
+		}
+	}
+	// Truncated ciphertexts as well.
+	for cut := 0; cut < len(rec.Payload); cut += 5 {
+		receiver, _ := newHalfConn(key, iv)
+		mustNotPanic(t, "open/truncated", func() {
+			receiver.open(Record{Type: rec.Type, Payload: rec.Payload[:cut]})
+		})
+	}
+}
+
+// An all-zero inner plaintext (padding only) must be rejected, not sliced
+// out of bounds.
+func TestAllZeroInnerPlaintext(t *testing.T) {
+	t.Parallel()
+	key := make([]byte, 16)
+	iv := make([]byte, 12)
+	sender, _ := newHalfConn(key, iv)
+	rec := sender.seal(0, nil) // inner type 0 + empty = all-zero inner
+	receiver, _ := newHalfConn(key, iv)
+	if _, _, err := receiver.open(rec); err == nil {
+		t.Error("all-zero inner plaintext accepted")
+	}
+}

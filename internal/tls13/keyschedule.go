@@ -1,0 +1,121 @@
+package tls13
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"hash"
+)
+
+// The TLS 1.3 key schedule (RFC 8446 §7.1) for the SHA-256 suite.
+
+func hkdfExtract(salt, ikm []byte) []byte {
+	if salt == nil {
+		salt = make([]byte, sha256.Size)
+	}
+	if ikm == nil {
+		ikm = make([]byte, sha256.Size)
+	}
+	m := hmac.New(sha256.New, salt)
+	m.Write(ikm)
+	return m.Sum(nil)
+}
+
+func hkdfExpand(prk, info []byte, length int) []byte {
+	var out []byte
+	var block []byte
+	counter := byte(1)
+	for len(out) < length {
+		m := hmac.New(sha256.New, prk)
+		m.Write(block)
+		m.Write(info)
+		m.Write([]byte{counter})
+		block = m.Sum(nil)
+		out = append(out, block...)
+		counter++
+	}
+	return out[:length]
+}
+
+// hkdfExpandLabel implements HKDF-Expand-Label with the "tls13 " prefix.
+func hkdfExpandLabel(secret []byte, label string, context []byte, length int) []byte {
+	full := "tls13 " + label
+	info := make([]byte, 0, 4+len(full)+len(context))
+	info = append(info, byte(length>>8), byte(length))
+	info = append(info, byte(len(full)))
+	info = append(info, full...)
+	info = append(info, byte(len(context)))
+	info = append(info, context...)
+	return hkdfExpand(secret, info, length)
+}
+
+// deriveSecret is Derive-Secret(secret, label, transcript).
+func deriveSecret(secret []byte, label string, transcriptHash []byte) []byte {
+	return hkdfExpandLabel(secret, label, transcriptHash, sha256.Size)
+}
+
+// keySchedule tracks the running secrets and transcript of one handshake.
+type keySchedule struct {
+	transcript      hash.Hash
+	earlySecret     []byte
+	handshakeSecret []byte
+	masterSecret    []byte
+
+	clientHSTraffic  []byte
+	serverHSTraffic  []byte
+	clientAppTraffic []byte
+	serverAppTraffic []byte
+}
+
+func newKeySchedule() *keySchedule {
+	ks := &keySchedule{transcript: sha256.New()}
+	ks.earlySecret = hkdfExtract(nil, nil) // no PSK
+	return ks
+}
+
+// addMessage absorbs a handshake message (with its 4-byte header) into the
+// transcript.
+func (ks *keySchedule) addMessage(msg []byte) {
+	ks.transcript.Write(msg)
+}
+
+func (ks *keySchedule) transcriptHash() []byte {
+	return ks.transcript.Sum(nil)
+}
+
+// setSharedSecret mixes the (EC)DHE/KEM shared secret in and derives the
+// handshake traffic secrets from the transcript through ServerHello.
+func (ks *keySchedule) setSharedSecret(ss []byte) {
+	derived := deriveSecret(ks.earlySecret, "derived", emptyHash())
+	ks.handshakeSecret = hkdfExtract(derived, ss)
+	th := ks.transcriptHash()
+	ks.clientHSTraffic = deriveSecret(ks.handshakeSecret, "c hs traffic", th)
+	ks.serverHSTraffic = deriveSecret(ks.handshakeSecret, "s hs traffic", th)
+}
+
+// deriveMaster computes the master secret and application traffic secrets
+// from the transcript through server Finished.
+func (ks *keySchedule) deriveMaster() {
+	derived := deriveSecret(ks.handshakeSecret, "derived", emptyHash())
+	ks.masterSecret = hkdfExtract(derived, nil)
+	th := ks.transcriptHash()
+	ks.clientAppTraffic = deriveSecret(ks.masterSecret, "c ap traffic", th)
+	ks.serverAppTraffic = deriveSecret(ks.masterSecret, "s ap traffic", th)
+}
+
+// trafficKeys derives the AEAD key and IV from a traffic secret.
+func trafficKeys(secret []byte) (key, iv []byte) {
+	return hkdfExpandLabel(secret, "key", nil, 16), hkdfExpandLabel(secret, "iv", nil, 12)
+}
+
+// finishedMAC computes the Finished verify_data for a traffic secret.
+func finishedMAC(trafficSecret, transcriptHash []byte) []byte {
+	finishedKey := hkdfExpandLabel(trafficSecret, "finished", nil, sha256.Size)
+	m := hmac.New(sha256.New, finishedKey)
+	m.Write(transcriptHash)
+	return m.Sum(nil)
+}
+
+func emptyHash() []byte {
+	h := sha256.Sum256(nil)
+	return h[:]
+}

@@ -1,0 +1,144 @@
+// Package tls13 implements an RFC 8446-faithful TLS 1.3 handshake with
+// pluggable (classical, post-quantum, and hybrid) key agreements and
+// signature algorithms — the substrate on which the paper's measurements
+// run. The state machines are sans-IO: they consume and produce records, so
+// the same code runs over real sockets (Pipe) and inside the discrete-event
+// network simulation (internal/netsim).
+package tls13
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// TLS record content types.
+const (
+	RecordChangeCipherSpec uint8 = 20
+	RecordAlert            uint8 = 21
+	RecordHandshake        uint8 = 22
+	RecordApplicationData  uint8 = 23
+)
+
+// legacyVersion is the TLS 1.2 version number carried by TLS 1.3 records.
+const legacyVersion = 0x0303
+
+// maxRecordPayload is the RFC 8446 plaintext limit per record.
+const maxRecordPayload = 16384
+
+// Record is one TLS record (content type + payload, without the 5-byte
+// header).
+type Record struct {
+	Type    uint8
+	Payload []byte
+}
+
+// WireSize is the record's size on the wire including the header.
+func (r Record) WireSize() int { return 5 + len(r.Payload) }
+
+// Marshal renders the record with its header.
+func (r Record) Marshal() []byte {
+	out := make([]byte, 5+len(r.Payload))
+	out[0] = r.Type
+	binary.BigEndian.PutUint16(out[1:], legacyVersion)
+	binary.BigEndian.PutUint16(out[3:], uint16(len(r.Payload)))
+	copy(out[5:], r.Payload)
+	return out
+}
+
+// WireSize returns the total wire size of a set of records.
+func WireSize(records []Record) int {
+	n := 0
+	for _, r := range records {
+		n += r.WireSize()
+	}
+	return n
+}
+
+// ParseRecord reads one record from buf, returning the remainder.
+func ParseRecord(buf []byte) (Record, []byte, error) {
+	if len(buf) < 5 {
+		return Record{}, buf, errShortRecord
+	}
+	n := int(binary.BigEndian.Uint16(buf[3:]))
+	if len(buf) < 5+n {
+		return Record{}, buf, errShortRecord
+	}
+	payload := make([]byte, n)
+	copy(payload, buf[5:5+n])
+	return Record{Type: buf[0], Payload: payload}, buf[5+n:], nil
+}
+
+var errShortRecord = errors.New("tls13: short record")
+
+// halfConn is one direction of record protection (AES-128-GCM per the
+// negotiated TLS_AES_128_GCM_SHA256 suite).
+type halfConn struct {
+	aead cipher.AEAD
+	iv   [12]byte
+	seq  uint64
+}
+
+func newHalfConn(key, iv []byte) (*halfConn, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("tls13: AEAD key: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("tls13: GCM: %w", err)
+	}
+	hc := &halfConn{aead: aead}
+	copy(hc.iv[:], iv)
+	return hc, nil
+}
+
+func (hc *halfConn) nonce() [12]byte {
+	var n [12]byte
+	copy(n[:], hc.iv[:])
+	var seq [8]byte
+	binary.BigEndian.PutUint64(seq[:], hc.seq)
+	for i := 0; i < 8; i++ {
+		n[4+i] ^= seq[i]
+	}
+	return n
+}
+
+// seal wraps plaintext of the given inner content type into an encrypted
+// application-data record (TLSInnerPlaintext per RFC 8446 §5.2).
+func (hc *halfConn) seal(innerType uint8, plaintext []byte) Record {
+	inner := append(append([]byte{}, plaintext...), innerType)
+	n := hc.nonce()
+	// Additional data is the record header of the protected record.
+	ad := []byte{RecordApplicationData, 0x03, 0x03, 0, 0}
+	binary.BigEndian.PutUint16(ad[3:], uint16(len(inner)+hc.aead.Overhead()))
+	ct := hc.aead.Seal(nil, n[:], inner, ad)
+	hc.seq++
+	return Record{Type: RecordApplicationData, Payload: ct}
+}
+
+// open reverses seal, returning the inner content type and plaintext.
+func (hc *halfConn) open(rec Record) (uint8, []byte, error) {
+	if rec.Type != RecordApplicationData {
+		return 0, nil, fmt.Errorf("tls13: expected protected record, got type %d", rec.Type)
+	}
+	n := hc.nonce()
+	ad := []byte{RecordApplicationData, 0x03, 0x03, 0, 0}
+	binary.BigEndian.PutUint16(ad[3:], uint16(len(rec.Payload)))
+	inner, err := hc.aead.Open(nil, n[:], rec.Payload, ad)
+	if err != nil {
+		return 0, nil, fmt.Errorf("tls13: record decryption failed: %w", err)
+	}
+	hc.seq++
+	// Strip zero padding, then the inner type byte.
+	i := len(inner) - 1
+	for i >= 0 && inner[i] == 0 {
+		i--
+	}
+	if i < 0 {
+		return 0, nil, errors.New("tls13: all-zero inner plaintext")
+	}
+	return inner[i], inner[:i], nil
+}

@@ -1,0 +1,409 @@
+package tls13
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"pqtls/internal/kem"
+	"pqtls/internal/sig"
+)
+
+// Flush is a group of records the server hands to the transport at one
+// point in time. Offset is the cumulative CPU time the server had spent on
+// the handshake when this flush became available — the quantity that lets
+// the network simulation reproduce the early-ServerHello parallelism the
+// paper analyzes in Section 5.2.
+type Flush struct {
+	Records []Record
+	Offset  time.Duration
+}
+
+// Server is a sans-IO TLS 1.3 server handshake.
+type Server struct {
+	cfg    *Config
+	kem    kem.KEM
+	scheme sig.Scheme
+	ks     *keySchedule
+
+	sendHC *halfConn // server handshake traffic (server -> client)
+	recvHC *halfConn // client handshake traffic (client -> server)
+
+	expectedClientFin []byte
+	resumptionPSK     []byte
+	hrrSent           bool
+	done              bool
+}
+
+// NewServer validates the configuration and prepares a handshake.
+func NewServer(cfg *Config) (*Server, error) {
+	k, err := kem.ByName(cfg.KEMName)
+	if err != nil {
+		return nil, err
+	}
+	s, err := sig.ByName(cfg.SigName)
+	if err != nil {
+		return nil, err
+	}
+	if len(cfg.Chain) == 0 || cfg.PrivateKey == nil {
+		return nil, errors.New("tls13: server requires a certificate chain and private key")
+	}
+	return &Server{cfg: cfg, kem: k, scheme: s, ks: newKeySchedule()}, nil
+}
+
+// timedRecord is a record plus the compute offset at which it was ready.
+type timedRecord struct {
+	rec    Record
+	offset time.Duration
+}
+
+// Respond consumes the ClientHello flight and produces the server's flight,
+// grouped into flushes per the configured BufferPolicy.
+func (s *Server) Respond(records []Record) ([]Flush, error) {
+	if s.ks == nil {
+		return nil, errors.New("tls13: Respond called twice")
+	}
+	start := time.Now()
+	rng := s.cfg.Rand
+	if rng == nil {
+		rng = rand.Reader
+	}
+
+	endSSL := s.cfg.span(LibSSL)
+	var chMsg []byte
+	for _, rec := range records {
+		if rec.Type != RecordHandshake {
+			continue
+		}
+		chMsg = append(chMsg, rec.Payload...)
+	}
+	typ, body, _, err := parseHandshakeMsg(chMsg)
+	if err != nil {
+		endSSL()
+		return nil, err
+	}
+	if typ != typeClientHello {
+		endSSL()
+		return nil, fmt.Errorf("tls13: expected ClientHello, got message type %d", typ)
+	}
+	ch, err := parseClientHello(body)
+	if err != nil {
+		endSSL()
+		return nil, err
+	}
+	wantGroup, err := GroupID(s.cfg.KEMName)
+	if err != nil {
+		endSSL()
+		return nil, err
+	}
+	if ch.group != wantGroup {
+		// If the client supports our group but guessed another for its key
+		// share, fall back to the 2-RTT HelloRetryRequest flow.
+		supported := false
+		for _, g := range ch.groups {
+			if g == wantGroup {
+				supported = true
+			}
+		}
+		if supported && !s.hrrSent {
+			s.hrrSent = true
+			// RFC 8446 §4.4.1: the transcript restarts with a synthetic
+			// message_hash of CH1 followed by the HRR.
+			s.ks = newKeySchedule()
+			s.ks.addMessage(messageHash(chMsg))
+			hrr := marshalHRR(ch.sessionID, wantGroup)
+			s.ks.addMessage(hrr)
+			endSSL()
+			return []Flush{{
+				Records: []Record{{Type: RecordHandshake, Payload: hrr}},
+				Offset:  time.Since(start),
+			}}, nil
+		}
+		endSSL()
+		return nil, fmt.Errorf("tls13: client offered group %#04x, server requires %#04x (%s)",
+			ch.group, wantGroup, s.cfg.KEMName)
+	}
+	wantSig, err := SigID(s.cfg.SigName)
+	if err != nil {
+		endSSL()
+		return nil, err
+	}
+	if ch.sigAlg != wantSig {
+		endSSL()
+		return nil, fmt.Errorf("tls13: client offered sigalg %#04x, server requires %#04x (%s)",
+			ch.sigAlg, wantSig, s.cfg.SigName)
+	}
+	// PSK resumption: a valid ticket + binder switches to the
+	// certificate-free flow.
+	if ticket, binder, partial, hasPSK := parsePSKExtension(chMsg); hasPSK {
+		if s.cfg.TicketKey == nil {
+			endSSL()
+			return nil, errors.New("tls13: client offered PSK but server has no TicketKey")
+		}
+		psk, kemName, err := openTicket(s.cfg.TicketKey, ticket)
+		if err != nil {
+			endSSL()
+			return nil, err
+		}
+		if kemName != s.cfg.KEMName {
+			endSSL()
+			return nil, fmt.Errorf("tls13: ticket bound to %s, server uses %s", kemName, s.cfg.KEMName)
+		}
+		if !hmac.Equal(computeBinder(psk, partial), binder) {
+			endSSL()
+			return nil, errors.New("tls13: PSK binder verification failed")
+		}
+		s.resumptionPSK = psk
+	}
+	s.ks.addMessage(chMsg)
+	endSSL()
+
+	// Key agreement: encapsulate against the client's share.
+	endCrypto := s.cfg.span(LibCrypto)
+	ct, ss, err := s.kem.Encapsulate(rng, ch.keyShare)
+	if err != nil {
+		endCrypto()
+		return nil, fmt.Errorf("tls13: encapsulation: %w", err)
+	}
+	endCrypto()
+
+	endSSL = s.cfg.span(LibSSL)
+	sh := &serverHello{group: ch.group, keyShare: ct, sessionID: ch.sessionID}
+	if _, err := io.ReadFull(rng, sh.random[:]); err != nil {
+		endSSL()
+		return nil, err
+	}
+	shMsg := sh.marshal()
+	s.ks.addMessage(shMsg)
+	endSSL()
+
+	endCrypto = s.cfg.span(LibCrypto)
+	if s.resumptionPSK != nil {
+		s.ks.earlySecret = hkdfExtract(nil, s.resumptionPSK)
+	}
+	s.ks.setSharedSecret(ss)
+	sendKey, sendIV := trafficKeys(s.ks.serverHSTraffic)
+	s.sendHC, err = newHalfConn(sendKey, sendIV)
+	if err != nil {
+		endCrypto()
+		return nil, err
+	}
+	recvKey, recvIV := trafficKeys(s.ks.clientHSTraffic)
+	s.recvHC, err = newHalfConn(recvKey, recvIV)
+	if err != nil {
+		endCrypto()
+		return nil, err
+	}
+	endCrypto()
+
+	var timed []timedRecord
+	emit := func(rec Record) {
+		timed = append(timed, timedRecord{rec: rec, offset: time.Since(start)})
+	}
+	emit(Record{Type: RecordHandshake, Payload: shMsg})
+	// Middlebox-compatibility ChangeCipherSpec, as OpenSSL sends it.
+	emit(Record{Type: RecordChangeCipherSpec, Payload: []byte{1}})
+
+	// EncryptedExtensions (empty list).
+	endSSL = s.cfg.span(LibSSL)
+	eeMsg := handshakeMsg(typeEncryptedExts, []byte{0, 0})
+	s.ks.addMessage(eeMsg)
+	for _, rec := range s.sealHandshake(eeMsg) {
+		emit(rec)
+	}
+	endSSL()
+
+	// Certificate and CertificateVerify — skipped entirely on resumption,
+	// which is what removes the PQ authentication cost from resumed
+	// handshakes.
+	if s.resumptionPSK == nil {
+		endSSL = s.cfg.span(LibSSL)
+		raw := make([][]byte, len(s.cfg.Chain))
+		for i, c := range s.cfg.Chain {
+			raw[i] = c.Marshal()
+		}
+		certMsg := marshalCertificate(raw)
+		s.ks.addMessage(certMsg)
+		for _, rec := range s.sealHandshake(certMsg) {
+			emit(rec)
+		}
+		endSSL()
+
+		// CertificateVerify: the handshake signature (the expensive step).
+		endCrypto = s.cfg.span(LibCrypto)
+		signature, err := s.scheme.Sign(s.cfg.PrivateKey, certVerifyContent(s.ks.transcriptHash()))
+		if err != nil {
+			endCrypto()
+			return nil, fmt.Errorf("tls13: handshake signature: %w", err)
+		}
+		endCrypto()
+		endSSL = s.cfg.span(LibSSL)
+		cvMsg := marshalCertVerify(wantSig, signature)
+		s.ks.addMessage(cvMsg)
+		for _, rec := range s.sealHandshake(cvMsg) {
+			emit(rec)
+		}
+		endSSL()
+	}
+
+	// Server Finished.
+	endCrypto = s.cfg.span(LibCrypto)
+	finMsg := handshakeMsg(typeFinished, finishedMAC(s.ks.serverHSTraffic, s.ks.transcriptHash()))
+	s.ks.addMessage(finMsg)
+	// The client's Finished covers the transcript through server Finished.
+	s.expectedClientFin = finishedMAC(s.ks.clientHSTraffic, s.ks.transcriptHash())
+	s.ks.deriveMaster()
+	endCrypto()
+	for _, rec := range s.sealHandshake(finMsg) {
+		emit(rec)
+	}
+
+	return s.groupFlushes(timed), nil
+}
+
+// sealHandshake encrypts a handshake message, fragmenting it across records
+// when it exceeds the record-layer plaintext limit (SPHINCS+ certificates
+// are several records long).
+func (s *Server) sealHandshake(msg []byte) []Record {
+	var out []Record
+	for len(msg) > 0 {
+		n := min(len(msg), maxRecordPayload)
+		out = append(out, s.sendHC.seal(RecordHandshake, msg[:n]))
+		msg = msg[n:]
+	}
+	return out
+}
+
+// groupFlushes applies the buffering policy to the timed record sequence.
+func (s *Server) groupFlushes(timed []timedRecord) []Flush {
+	switch s.cfg.Buffer {
+	case BufferImmediate:
+		return groupImmediate(timed)
+	default:
+		return groupDefault(timed)
+	}
+}
+
+// groupImmediate flushes after the ServerHello(+CCS) and after the
+// Certificate, then sends the rest when complete. Boundaries are detected
+// structurally: flush 1 is the plaintext prefix (SH, CCS), flush 2 ends
+// after the records carrying the Certificate message.
+func groupImmediate(timed []timedRecord) []Flush {
+	var flushes []Flush
+	var cur []Record
+	flushAt := func(off time.Duration) {
+		if len(cur) > 0 {
+			flushes = append(flushes, Flush{Records: cur, Offset: off})
+			cur = nil
+		}
+	}
+	plaintextDone := false
+	encCount := 0
+	// Count how many encrypted records belong to EE+Certificate: everything
+	// up to (records - 2) since CV and Finished each occupy the tail. We
+	// conservatively split before the CV record group by scanning offsets:
+	// the CV record is the first encrypted record whose offset jumps after
+	// the signing span. Structure is fixed (EE, Cert..., CV, Fin), so we
+	// can count from the end: the last 2+ records are CV and Fin.
+	totalEnc := 0
+	for _, tr := range timed {
+		if tr.rec.Type == RecordApplicationData {
+			totalEnc++
+		}
+	}
+	for _, tr := range timed {
+		cur = append(cur, tr.rec)
+		if tr.rec.Type == RecordChangeCipherSpec && !plaintextDone {
+			plaintextDone = true
+			flushAt(tr.offset) // SH + CCS pushed immediately
+			continue
+		}
+		if tr.rec.Type == RecordApplicationData {
+			encCount++
+			if encCount == totalEnc-2 { // EE + Certificate complete
+				flushAt(tr.offset)
+			}
+		}
+	}
+	if len(timed) > 0 {
+		flushAt(timed[len(timed)-1].offset)
+	}
+	return flushes
+}
+
+// groupDefault models the 4096-byte OpenSSL accumulation buffer: records
+// accumulate and are flushed when the next record would overflow the
+// buffer; the final flush happens only when the whole flight is computed.
+func groupDefault(timed []timedRecord) []Flush {
+	var flushes []Flush
+	var cur []Record
+	size := 0
+	for _, tr := range timed {
+		w := tr.rec.WireSize()
+		if size > 0 && size+w > serverBufferSize {
+			flushes = append(flushes, Flush{Records: cur, Offset: tr.offset})
+			cur = nil
+			size = 0
+		}
+		cur = append(cur, tr.rec)
+		size += w
+	}
+	if len(cur) > 0 {
+		flushes = append(flushes, Flush{Records: cur, Offset: timed[len(timed)-1].offset})
+	}
+	return flushes
+}
+
+// Finish consumes the client's ChangeCipherSpec + Finished flight.
+func (s *Server) Finish(records []Record) error {
+	if s.done {
+		return errors.New("tls13: handshake already complete")
+	}
+	for _, rec := range records {
+		switch rec.Type {
+		case RecordChangeCipherSpec:
+			continue
+		case RecordAlert:
+			return parseAlert(rec)
+		case RecordApplicationData:
+			endCrypto := s.cfg.span(LibCrypto)
+			innerType, plaintext, err := s.recvHC.open(rec)
+			endCrypto()
+			if err != nil {
+				return err
+			}
+			if innerType != RecordHandshake {
+				return fmt.Errorf("tls13: unexpected inner type %d in client flight", innerType)
+			}
+			typ, body, _, err := parseHandshakeMsg(plaintext)
+			if err != nil {
+				return err
+			}
+			if typ != typeFinished {
+				return fmt.Errorf("tls13: expected client Finished, got type %d", typ)
+			}
+			if !hmac.Equal(body, s.expectedClientFin) {
+				return errors.New("tls13: client Finished verification failed")
+			}
+			s.done = true
+		default:
+			return fmt.Errorf("tls13: unexpected record type %d in client flight", rec.Type)
+		}
+	}
+	if !s.done {
+		return errors.New("tls13: client flight missing Finished")
+	}
+	return nil
+}
+
+// Done reports whether the handshake completed.
+func (s *Server) Done() bool { return s.done }
+
+// AppTrafficSecrets returns the application traffic secrets (client, server)
+// once the handshake is complete.
+func (s *Server) AppTrafficSecrets() (client, server []byte) {
+	return s.ks.clientAppTraffic, s.ks.serverAppTraffic
+}

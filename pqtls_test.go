@@ -1,0 +1,105 @@
+package pqtls_test
+
+import (
+	"net"
+	"testing"
+
+	"pqtls"
+)
+
+// The public façade must expose every suite the paper measures.
+func TestPublicRegistries(t *testing.T) {
+	t.Parallel()
+	if len(pqtls.KEMNames()) != 23 {
+		t.Errorf("KEMNames: %d entries, want 23", len(pqtls.KEMNames()))
+	}
+	if len(pqtls.SignatureNames()) != 30 { // 24 paper SAs + 3 ECDSA components + 3 sphincs-s
+		t.Errorf("SignatureNames: %d entries, want 30", len(pqtls.SignatureNames()))
+	}
+	k, err := pqtls.KEMByName("kyber768")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Level() != 3 {
+		t.Errorf("kyber768 level %d, want 3", k.Level())
+	}
+	s, err := pqtls.SignatureByName("falcon512")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SignatureSize() != 666 {
+		t.Errorf("falcon512 sig size %d, want 666", s.SignatureSize())
+	}
+}
+
+// End-to-end through the public API only.
+func TestPublicHandshake(t *testing.T) {
+	t.Parallel()
+	root, rootPriv, err := pqtls.SelfSigned("Root", "dilithium2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme, _ := pqtls.SignatureByName("dilithium2")
+	leafPub, leafPriv, err := scheme.GenerateKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := pqtls.IssueCertificate(2, "server.example", "dilithium2", leafPub, root, rootPriv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverCfg := &pqtls.Config{
+		KEMName: "kyber512", SigName: "dilithium2", ServerName: "server.example",
+		Chain: []*pqtls.Certificate{leaf}, PrivateKey: leafPriv,
+		Buffer: pqtls.BufferImmediate,
+	}
+	clientCfg := &pqtls.Config{
+		KEMName: "kyber512", SigName: "dilithium2", ServerName: "server.example",
+		Roots: pqtls.NewCertPool(root),
+	}
+	cConn, sConn := net.Pipe()
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := pqtls.ServerHandshake(sConn, serverCfg)
+		errCh <- err
+	}()
+	cli, err := pqtls.ClientHandshake(cConn, clientCfg)
+	if err != nil {
+		t.Fatalf("client: %v", err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	if cli.ServerCert.Algorithm != "dilithium2" {
+		t.Errorf("certificate algorithm %q", cli.ServerCert.Algorithm)
+	}
+}
+
+// A campaign through the public API reproduces the paper's headline claim:
+// Kyber+Dilithium is at least competitive with X25519+RSA-2048.
+func TestPublicCampaignShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign in short mode")
+	}
+	t.Parallel()
+	classical, err := pqtls.RunCampaign(pqtls.CampaignOptions{
+		KEM: "x25519", Sig: "rsa:2048", Link: pqtls.ScenarioTestbed,
+		Buffer: pqtls.BufferImmediate, Samples: 9, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq, err := pqtls.RunCampaign(pqtls.CampaignOptions{
+		KEM: "kyber512", Sig: "dilithium2_aes", Link: pqtls.ScenarioTestbed,
+		Buffer: pqtls.BufferImmediate, Samples: 9, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Allow 2x headroom for noise; the paper (and our EXPERIMENTS.md runs)
+	// show PQ at parity or faster.
+	if pq.TotalMedian > 2*classical.TotalMedian {
+		t.Errorf("kyber512+dilithium2_aes (%v) much slower than x25519+rsa:2048 (%v)",
+			pq.TotalMedian, classical.TotalMedian)
+	}
+}
