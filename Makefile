@@ -1,0 +1,38 @@
+GO ?= go
+FUZZTIME ?= 5s
+
+.PHONY: check vet build test race fuzz-smoke bench clean
+
+# check is the CI entry point: static checks, build, the full test suite,
+# the race-enabled suite (exercising the parallel campaign engine), and a
+# short fuzz pass over each wire-parsing target.
+check: vet build test race fuzz-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The harness and crypto packages hold the shared state the parallel engine
+# touches (registries, credential cache, lazy tables); -race across the tree
+# is the guard that keeps them honest.
+race:
+	$(GO) test -race ./...
+
+# One bounded fuzz run per target; Go requires -fuzz to match a single
+# target per invocation, hence the loop.
+fuzz-smoke:
+	for target in FuzzClientHelloParse FuzzServerHelloParse FuzzRecordDeprotect; do \
+		$(GO) test ./internal/tls13 -run '^$$' -fuzz $$target -fuzztime $(FUZZTIME) || exit 1; \
+	done
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+clean:
+	$(GO) clean ./...
+	rm -f *.pcap

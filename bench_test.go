@@ -71,7 +71,7 @@ func BenchmarkFigure3b(b *testing.B) {
 
 func benchDeviation(b *testing.B, policy tls13.BufferPolicy) {
 	for i := 0; i < b.N; i++ {
-		devs, err := harness.RunDeviation(3, policy)
+		devs, err := harness.RunDeviation(harness.SweepConfig{Samples: 3, Buffer: policy})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -94,7 +94,7 @@ func benchDeviation(b *testing.B, policy tls13.BufferPolicy) {
 // metric is the largest latency gain from pushing the ServerHello early.
 func BenchmarkFigure3c(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		imps, err := harness.RunBufferImprovement(3)
+		imps, err := harness.RunBufferImprovement(harness.SweepConfig{Samples: 3})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -112,7 +112,7 @@ func BenchmarkFigure3c(b *testing.B) {
 // extremes of server CPU cost and handshake rate across the selection.
 func BenchmarkTable3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.RunTable3(3)
+		rows, err := harness.RunTable3(harness.SweepConfig{Samples: 3})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -177,7 +177,7 @@ func benchScenarios(b *testing.B, kems, sigs []string) {
 // spread between the fastest and slowest algorithm.
 func BenchmarkFigure4(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		kemResults, err := harness.RunTable2a(3, tls13.BufferImmediate)
+		kemResults, err := harness.RunTable2a(harness.SweepConfig{Samples: 3, Buffer: tls13.BufferImmediate})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -190,7 +190,7 @@ func BenchmarkFigure4(b *testing.B) {
 // are the worst amplification factor and CPU asymmetry observed.
 func BenchmarkSection55Attack(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		results, err := harness.RunTable2b(3, tls13.BufferImmediate)
+		results, err := harness.RunTable2b(harness.SweepConfig{Samples: 3, Buffer: tls13.BufferImmediate})
 		if err != nil {
 			b.Fatal(err)
 		}

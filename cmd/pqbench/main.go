@@ -11,6 +11,11 @@
 //	pqbench rank                     Figure 4 (log-scaled ranking)
 //	pqbench attack                   Section 5.5 (amplification/asymmetry)
 //	pqbench list                     registered suites
+//
+// Every campaign subcommand accepts -workers N to fan samples across a
+// worker pool (default: GOMAXPROCS; -workers 1 runs sequentially) and
+// -timing model|real to pick between the deterministic virtual compute
+// clock and measured wall time (real timing forces a single worker).
 package main
 
 import (
@@ -41,6 +46,8 @@ func main() {
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	samples := fs.Int("samples", 9, "handshakes per suite")
 	buffer := fs.String("buffer", "immediate", "server buffering: default|immediate")
+	workers := fs.Int("workers", 0, "parallel campaign workers (0 = GOMAXPROCS, 1 = sequential)")
+	timing := fs.String("timing", "model", "compute timing: model (deterministic) | real (measured, single worker)")
 	csvPath := fs.String("csv", "", "also write results as CSV (latencies.csv layout) to this file")
 	fs.Parse(os.Args[2:])
 	csvFile = *csvPath
@@ -49,37 +56,48 @@ func main() {
 	if *buffer == "default" {
 		policy = tls13.BufferDefault
 	}
+	cfg := harness.SweepConfig{Samples: *samples, Buffer: policy, Workers: *workers}
+	switch *timing {
+	case "model":
+		cfg.Timing = harness.TimingModel
+	case "real":
+		cfg.Timing = harness.TimingReal
+	default:
+		fmt.Fprintf(os.Stderr, "pqbench: unknown -timing %q (want model or real)\n", *timing)
+		os.Exit(2)
+	}
 
+	start := time.Now()
 	var err error
 	switch cmd {
 	case "all-kem":
-		err = runTable2a(*samples, policy)
+		err = runTable2a(cfg)
 	case "all-sig":
-		err = runTable2b(*samples, policy)
+		err = runTable2b(cfg)
 	case "deviation":
-		err = runDeviation(*samples, policy)
+		err = runDeviation(cfg)
 	case "improvement":
-		err = runImprovement(*samples)
+		err = runImprovement(cfg)
 	case "whitebox":
-		err = runWhitebox(*samples)
+		err = runWhitebox(cfg)
 	case "all-kem-scenarios":
-		err = runScenarios(*samples, true)
+		err = runScenarios(cfg, true)
 	case "all-sig-scenarios":
-		err = runScenarios(*samples, false)
+		err = runScenarios(cfg, false)
 	case "rank":
-		err = runRank(*samples, policy)
+		err = runRank(cfg)
 	case "attack":
-		err = runAttack(*samples)
+		err = runAttack(cfg)
 	case "cwnd":
-		err = runCWND(*samples)
+		err = runCWND(cfg)
 	case "all-sphincs":
-		err = runAllSphincs(*samples)
+		err = runAllSphincs(cfg)
 	case "hrr":
-		err = runHRR(*samples)
+		err = runHRR(cfg)
 	case "chains":
-		err = runChains(*samples)
+		err = runChains(cfg)
 	case "resumption":
-		err = runResumption(*samples)
+		err = runResumption(cfg)
 	case "capture":
 		err = runCapture(fs.Args())
 	case "list":
@@ -92,6 +110,33 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pqbench:", err)
 		os.Exit(1)
 	}
+	if isCampaign(cmd) {
+		// Wall clock goes to stderr so stdout stays byte-identical across
+		// worker counts (compare runs to see the parallel speedup).
+		fmt.Fprintf(os.Stderr, "pqbench: %s finished in %s (workers=%d, timing=%s)\n",
+			cmd, time.Since(start).Round(time.Millisecond), effectiveWorkers(cfg), *timing)
+	}
+}
+
+// isCampaign reports whether cmd runs handshake campaigns (and so should
+// report wall clock); list and capture are excluded.
+func isCampaign(cmd string) bool {
+	switch cmd {
+	case "list", "capture":
+		return false
+	}
+	return true
+}
+
+// effectiveWorkers resolves the worker count the campaigns actually used.
+func effectiveWorkers(cfg harness.SweepConfig) int {
+	if cfg.Timing == harness.TimingReal {
+		return 1
+	}
+	if cfg.Workers > 0 {
+		return cfg.Workers
+	}
+	return harness.DefaultWorkers()
 }
 
 // csvFile, when non-empty, receives a CSV copy of table-shaped results.
@@ -115,7 +160,7 @@ func writeCSV(emit func(w io.Writer) error) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: pqbench <command> [-samples N] [-buffer default|immediate]
+	fmt.Fprintln(os.Stderr, `usage: pqbench <command> [-samples N] [-buffer default|immediate] [-workers N] [-timing model|real]
 
 commands: all-kem all-sig deviation improvement whitebox
           all-kem-scenarios all-sig-scenarios rank attack
@@ -126,46 +171,36 @@ func ms(d time.Duration) string {
 	return fmt.Sprintf("%.2f", float64(d)/float64(time.Millisecond))
 }
 
-func runTable2a(samples int, policy tls13.BufferPolicy) error {
-	results, err := harness.RunTable2a(samples, policy)
+func runTable2a(cfg harness.SweepConfig) error {
+	results, err := harness.RunTable2a(cfg)
 	if err != nil {
 		return err
 	}
 	fmt.Println("Table 2a: KAs combined with rsa:2048 as SA")
-	printTable2(results, true)
+	if err := harness.RenderTable2(os.Stdout, results, true); err != nil {
+		return err
+	}
 	return writeCSV(func(w io.Writer) error { return harness.WriteLatenciesCSV(w, results) })
 }
 
-func runTable2b(samples int, policy tls13.BufferPolicy) error {
-	results, err := harness.RunTable2b(samples, policy)
+func runTable2b(cfg harness.SweepConfig) error {
+	results, err := harness.RunTable2b(cfg)
 	if err != nil {
 		return err
 	}
 	fmt.Println("Table 2b: SAs combined with x25519 as KA")
-	printTable2(results, false)
+	if err := harness.RenderTable2(os.Stdout, results, false); err != nil {
+		return err
+	}
 	return writeCSV(func(w io.Writer) error { return harness.WriteLatenciesCSV(w, results) })
 }
 
-func printTable2(results []*harness.CampaignResult, byKEM bool) {
-	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "Algorithm\tPartA(ms)\tPartB(ms)\t#Total(60s)\tClient(B)\tServer(B)")
-	for _, r := range results {
-		name := r.KEM
-		if !byKEM {
-			name = r.Sig
-		}
-		fmt.Fprintf(w, "%s\t%s\t%s\t%d\t%d\t%d\n",
-			name, ms(r.PartAMedian), ms(r.PartBMedian), r.Handshakes60s, r.ClientBytes, r.ServerBytes)
-	}
-	w.Flush()
-}
-
-func runDeviation(samples int, policy tls13.BufferPolicy) error {
+func runDeviation(cfg harness.SweepConfig) error {
 	figure := "3b (optimized OpenSSL behavior)"
-	if policy == tls13.BufferDefault {
+	if cfg.Buffer == tls13.BufferDefault {
 		figure = "3a (default OpenSSL behavior)"
 	}
-	devs, err := harness.RunDeviation(samples, policy)
+	devs, err := harness.RunDeviation(cfg)
 	if err != nil {
 		return err
 	}
@@ -182,8 +217,8 @@ func runDeviation(samples int, policy tls13.BufferPolicy) error {
 	return writeCSV(func(w io.Writer) error { return harness.WriteDeviationsCSV(w, devs) })
 }
 
-func runImprovement(samples int) error {
-	imps, err := harness.RunBufferImprovement(samples)
+func runImprovement(cfg harness.SweepConfig) error {
+	imps, err := harness.RunBufferImprovement(cfg)
 	if err != nil {
 		return err
 	}
@@ -197,8 +232,8 @@ func runImprovement(samples int) error {
 	return w.Flush()
 }
 
-func runWhitebox(samples int) error {
-	results, err := harness.RunTable3(samples)
+func runWhitebox(cfg harness.SweepConfig) error {
+	results, err := harness.RunTable3(cfg)
 	if err != nil {
 		return err
 	}
@@ -225,15 +260,15 @@ func distString(s perf.Snapshot) string {
 	return strings.Join(parts, " ")
 }
 
-func runScenarios(samples int, kems bool) error {
+func runScenarios(cfg harness.SweepConfig, kems bool) error {
 	var rows []harness.ScenarioRow
 	var err error
 	if kems {
 		fmt.Println("Table 4a: KAs combined with rsa:2048, per network scenario (median ms)")
-		rows, err = harness.RunScenarios(harness.Table2aKEMs, nil, samples)
+		rows, err = harness.RunScenarios(harness.Table2aKEMs, nil, cfg)
 	} else {
 		fmt.Println("Table 4b: SAs combined with x25519, per network scenario (median ms)")
-		rows, err = harness.RunScenarios(nil, harness.Table4bSigs, samples)
+		rows, err = harness.RunScenarios(nil, harness.Table4bSigs, cfg)
 	}
 	if err != nil {
 		return err
@@ -261,12 +296,12 @@ func runScenarios(samples int, kems bool) error {
 	return writeCSV(func(w io.Writer) error { return harness.WriteScenariosCSV(w, rows) })
 }
 
-func runRank(samples int, policy tls13.BufferPolicy) error {
-	kemResults, err := harness.RunTable2a(samples, policy)
+func runRank(cfg harness.SweepConfig) error {
+	kemResults, err := harness.RunTable2a(cfg)
 	if err != nil {
 		return err
 	}
-	sigResults, err := harness.RunTable2b(samples, policy)
+	sigResults, err := harness.RunTable2b(cfg)
 	if err != nil {
 		return err
 	}
@@ -282,8 +317,9 @@ func runRank(samples int, policy tls13.BufferPolicy) error {
 	return nil
 }
 
-func runAttack(samples int) error {
-	results, err := harness.RunTable2b(samples, tls13.BufferImmediate)
+func runAttack(cfg harness.SweepConfig) error {
+	cfg.Buffer = tls13.BufferImmediate
+	results, err := harness.RunTable2b(cfg)
 	if err != nil {
 		return err
 	}
@@ -296,8 +332,8 @@ func runAttack(samples int) error {
 	return w.Flush()
 }
 
-func runCWND(samples int) error {
-	results, err := harness.RunCWNDSweep(nil, samples)
+func runCWND(cfg harness.SweepConfig) error {
+	results, err := harness.RunCWNDSweep(nil, cfg)
 	if err != nil {
 		return err
 	}
@@ -311,8 +347,8 @@ func runCWND(samples int) error {
 	return w.Flush()
 }
 
-func runAllSphincs(samples int) error {
-	results, err := harness.RunAllSphincs(samples)
+func runAllSphincs(cfg harness.SweepConfig) error {
+	results, err := harness.RunAllSphincs(cfg)
 	if err != nil {
 		return err
 	}
@@ -326,13 +362,13 @@ func runAllSphincs(samples int) error {
 	return w.Flush()
 }
 
-func runHRR(samples int) error {
+func runHRR(cfg harness.SweepConfig) error {
 	fmt.Println("HelloRetryRequest (2-RTT fallback) penalty — what the paper's")
 	fmt.Println("'fallback never occurred' configuration avoided")
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "KA\t"+"Scenario\t"+"Direct(ms)\t"+"Fallback(ms)\t"+"Penalty(ms)")
 	for _, link := range []netsim.LinkConfig{harness.ScenarioTestbed, netsim.Scenario5G} {
-		results, err := harness.RunHRRComparison(nil, link, samples)
+		results, err := harness.RunHRRComparison(nil, link, cfg)
 		if err != nil {
 			return err
 		}
@@ -344,8 +380,8 @@ func runHRR(samples int) error {
 	return w.Flush()
 }
 
-func runChains(samples int) error {
-	results, err := harness.RunChainDepth(nil, samples)
+func runChains(cfg harness.SweepConfig) error {
+	results, err := harness.RunChainDepth(nil, cfg)
 	if err != nil {
 		return err
 	}
@@ -394,8 +430,8 @@ func runCapture(args []string) error {
 	return nil
 }
 
-func runResumption(samples int) error {
-	results, err := harness.RunResumptionComparison(samples)
+func runResumption(cfg harness.SweepConfig) error {
+	results, err := harness.RunResumptionComparison(cfg)
 	if err != nil {
 		return err
 	}

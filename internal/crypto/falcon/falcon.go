@@ -70,6 +70,12 @@ func (p *Params) SignatureSize() int { return p.SigSize }
 // the public key can be exactly t (Falcon's h occupies the same 14-bit/coeff
 // encoding).
 func (p *Params) aHat() []int32 {
+	aOnce.mu.RLock()
+	a, ok := aOnce.m[p.N]
+	aOnce.mu.RUnlock()
+	if ok {
+		return a
+	}
 	aOnce.mu.Lock()
 	defer aOnce.mu.Unlock()
 	if a, ok := aOnce.m[p.N]; ok {
@@ -78,7 +84,7 @@ func (p *Params) aHat() []int32 {
 	x := sha3.NewShake128()
 	x.Write([]byte("PQTLS-FALCON-A"))
 	x.Write([]byte{byte(p.LogN)})
-	a := make([]int32, p.N)
+	a = make([]int32, p.N)
 	var buf [2]byte
 	for i := 0; i < p.N; {
 		x.Read(buf[:])

@@ -2,9 +2,10 @@ package falcon
 
 import "sync"
 
-// aOnce caches the fixed public ring elements per degree.
+// aOnce caches the fixed public ring elements per degree. Guarded by an
+// RWMutex so concurrent handshakes hit the read path after first use.
 var aOnce = struct {
-	mu sync.Mutex
+	mu sync.RWMutex
 	m  map[int][]int32
 }{m: map[int][]int32{}}
 
@@ -33,9 +34,11 @@ func modpow(b, e int64) int32 {
 }
 
 // zetaTables caches the bit-reversed powers of the 2n-th root of unity for
-// each supported degree.
+// each supported degree. Guarded by an RWMutex: the NTT runs on every
+// Falcon operation, so concurrent workers take only a read lock once the
+// table exists.
 var zetaTables = struct {
-	mu sync.Mutex
+	mu sync.RWMutex
 	m  map[int][]int32
 }{m: map[int][]int32{}}
 
@@ -49,6 +52,12 @@ func primitiveRoot() int32 {
 }
 
 func zetasFor(n int, logn uint) []int32 {
+	zetaTables.mu.RLock()
+	z, ok := zetaTables.m[n]
+	zetaTables.mu.RUnlock()
+	if ok {
+		return z
+	}
 	zetaTables.mu.Lock()
 	defer zetaTables.mu.Unlock()
 	if z, ok := zetaTables.m[n]; ok {
@@ -56,7 +65,7 @@ func zetasFor(n int, logn uint) []int32 {
 	}
 	g := primitiveRoot()
 	psi := modpow(int64(g), int64((Q-1)/(2*n))) // primitive 2n-th root
-	z := make([]int32, n)
+	z = make([]int32, n)
 	for i := 0; i < n; i++ {
 		br := 0
 		for b := uint(0); b < logn; b++ {

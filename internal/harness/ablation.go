@@ -37,25 +37,29 @@ var CWNDSweepSuites = []struct{ KEM, Sig string }{
 // RunCWNDSweep measures the sweep suites at 1 s RTT for each initial CWND,
 // demonstrating that raising the window restores 1-RTT handshakes for PQ
 // flights (the conclusion's tuning recommendation).
-func RunCWNDSweep(cwnds []int, samples int) ([]CWNDResult, error) {
+func RunCWNDSweep(cwnds []int, cfg SweepConfig) ([]CWNDResult, error) {
 	if len(cwnds) == 0 {
 		cwnds = []int{10, 20, 40, 80}
 	}
-	var out []CWNDResult
+	var specs []CampaignOptions
 	for _, suite := range CWNDSweepSuites {
 		for _, cwnd := range cwnds {
-			r, err := RunCampaign(CampaignOptions{
-				KEM: suite.KEM, Sig: suite.Sig, Link: netsim.ScenarioHighDelay,
-				Buffer: tls13.BufferImmediate, Samples: samples, Seed: 6, CWND: cwnd,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("cwnd sweep %s/%s cwnd=%d: %w", suite.KEM, suite.Sig, cwnd, err)
-			}
-			out = append(out, CWNDResult{
-				KEM: suite.KEM, Sig: suite.Sig, CWND: cwnd,
-				Total: r.TotalMedian,
-				RTTs:  float64(r.TotalMedian) / float64(netsim.ScenarioHighDelay.RTT),
-			})
+			spec := cfg.campaign(suite.KEM, suite.Sig, netsim.ScenarioHighDelay, 6)
+			spec.Buffer = tls13.BufferImmediate
+			spec.CWND = cwnd
+			specs = append(specs, spec)
+		}
+	}
+	rows, err := runCampaignGrid(specs, cfg.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("cwnd sweep: %w", err)
+	}
+	out := make([]CWNDResult, len(rows))
+	for i, r := range rows {
+		out[i] = CWNDResult{
+			KEM: specs[i].KEM, Sig: specs[i].Sig, CWND: specs[i].CWND,
+			Total: r.TotalMedian,
+			RTTs:  float64(r.TotalMedian) / float64(netsim.ScenarioHighDelay.RTT),
 		}
 	}
 	return out, nil
@@ -73,19 +77,17 @@ var SphincsVariants = []string{
 // RunAllSphincs reproduces the artifact's all-sphincs experiment: measure
 // every SPHINCS+ variant (with X25519) and report latency vs. data volume,
 // identifying the fastest configuration per level.
-func RunAllSphincs(samples int) ([]*CampaignResult, error) {
-	var out []*CampaignResult
-	for _, v := range SphincsVariants {
-		r, err := RunCampaign(CampaignOptions{
-			KEM: BaselineKEM, Sig: v, Link: ScenarioTestbed,
-			Buffer: tls13.BufferImmediate, Samples: samples, Seed: 8,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("all-sphincs %s: %w", v, err)
-		}
-		out = append(out, r)
+func RunAllSphincs(cfg SweepConfig) ([]*CampaignResult, error) {
+	specs := make([]CampaignOptions, len(SphincsVariants))
+	for i, v := range SphincsVariants {
+		specs[i] = cfg.campaign(BaselineKEM, v, ScenarioTestbed, 8)
+		specs[i].Buffer = tls13.BufferImmediate
 	}
-	return out, nil
+	rows, err := runCampaignGrid(specs, cfg.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("all-sphincs: %w", err)
+	}
+	return rows, nil
 }
 
 // HRRResult compares a direct 1-RTT handshake against the 2-RTT
@@ -102,36 +104,53 @@ type HRRResult struct {
 // occurred" configuration avoided: for each PQ group, measure the
 // handshake with a correct key-share guess and with an x25519 guess that
 // the server rejects via HelloRetryRequest.
-func RunHRRComparison(kems []string, link netsim.LinkConfig, samples int) ([]HRRResult, error) {
+func RunHRRComparison(kems []string, link netsim.LinkConfig, cfg SweepConfig) ([]HRRResult, error) {
 	if len(kems) == 0 {
 		kems = []string{"kyber512", "hqc128", "p256_kyber512", "kyber768"}
 	}
-	var out []HRRResult
-	for _, k := range kems {
-		direct, err := RunCampaign(CampaignOptions{
-			KEM: k, Sig: BaselineSig, Link: link, Buffer: tls13.BufferImmediate,
-			Samples: samples, Seed: 9,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("hrr direct %s: %w", k, err)
+	specs := make([]CampaignOptions, len(kems))
+	for i, k := range kems {
+		specs[i] = cfg.campaign(k, BaselineSig, link, 9)
+		specs[i].Buffer = tls13.BufferImmediate
+	}
+	directs, err := runCampaignGrid(specs, cfg.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("hrr direct: %w", err)
+	}
+	out := make([]HRRResult, len(kems))
+	for ki, k := range kems {
+		// The fallback path has no campaign wrapper; fan its samples out
+		// through the same pool with ordered collection.
+		samples := cfg.Samples
+		if samples <= 0 {
+			samples = 15
 		}
-		var totals []time.Duration
-		for i := 0; i < samples; i++ {
+		totals := make([]time.Duration, samples)
+		workers := cfg.Workers
+		if cfg.Timing == TimingReal {
+			workers = 1
+		}
+		err := forEach(samples, workers, func(i int) error {
 			res, err := RunHandshake(RunOptions{
 				KEM: k, Sig: BaselineSig, Link: link, Buffer: tls13.BufferImmediate,
 				Seed: 9 + int64(i)*7919, ClientKEM: "x25519", ClientSupported: []string{k},
+				Timing: cfg.Timing,
 			})
 			if err != nil {
-				return nil, fmt.Errorf("hrr fallback %s: %w", k, err)
+				return err
 			}
-			totals = append(totals, res.Phases.Total())
+			totals[i] = res.Phases.Total()
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("hrr fallback %s: %w", k, err)
 		}
 		fallback := stats.Median(totals)
-		out = append(out, HRRResult{
+		out[ki] = HRRResult{
 			KEM: k, Scenario: link.Name,
-			Direct: direct.TotalMedian, Fallback: fallback,
-			Penalty: fallback - direct.TotalMedian,
-		})
+			Direct: directs[ki].TotalMedian, Fallback: fallback,
+			Penalty: fallback - directs[ki].TotalMedian,
+		}
 	}
 	return out, nil
 }
@@ -148,24 +167,28 @@ type ChainDepthResult struct {
 
 // RunChainDepth sweeps chain depths 1..3 for the given SAs over the
 // testbed link.
-func RunChainDepth(sigs []string, samples int) ([]ChainDepthResult, error) {
+func RunChainDepth(sigs []string, cfg SweepConfig) ([]ChainDepthResult, error) {
 	if len(sigs) == 0 {
 		sigs = []string{"rsa:2048", "dilithium2", "falcon512"}
 	}
-	var out []ChainDepthResult
+	var specs []CampaignOptions
 	for _, s := range sigs {
 		for depth := 1; depth <= 3; depth++ {
-			r, err := RunCampaign(CampaignOptions{
-				KEM: BaselineKEM, Sig: s, Link: ScenarioTestbed,
-				Buffer: tls13.BufferImmediate, Samples: samples, Seed: 10,
-				ChainDepth: depth,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("chain depth %s/%d: %w", s, depth, err)
-			}
-			out = append(out, ChainDepthResult{
-				Sig: s, Depth: depth, Total: r.TotalMedian, ServerBytes: r.ServerBytes,
-			})
+			spec := cfg.campaign(BaselineKEM, s, ScenarioTestbed, 10)
+			spec.Buffer = tls13.BufferImmediate
+			spec.ChainDepth = depth
+			specs = append(specs, spec)
+		}
+	}
+	rows, err := runCampaignGrid(specs, cfg.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("chain depth: %w", err)
+	}
+	out := make([]ChainDepthResult, len(rows))
+	for i, r := range rows {
+		out[i] = ChainDepthResult{
+			Sig: specs[i].Sig, Depth: specs[i].ChainDepth,
+			Total: r.TotalMedian, ServerBytes: r.ServerBytes,
 		}
 	}
 	return out, nil
@@ -183,7 +206,7 @@ type ResumptionResult struct {
 }
 
 // RunResumptionComparison measures full vs resumed handshakes per suite.
-func RunResumptionComparison(samples int) ([]ResumptionResult, error) {
+func RunResumptionComparison(cfg SweepConfig) ([]ResumptionResult, error) {
 	suites := []struct{ k, s string }{
 		{"x25519", "rsa:2048"},
 		{"kyber512", "dilithium2"},
@@ -191,27 +214,26 @@ func RunResumptionComparison(samples int) ([]ResumptionResult, error) {
 		{"kyber512", "sphincs128"},
 		{"p256_kyber512", "p256_dilithium2"},
 	}
-	var out []ResumptionResult
+	var specs []CampaignOptions
 	for _, suite := range suites {
-		full, err := RunCampaign(CampaignOptions{
-			KEM: suite.k, Sig: suite.s, Link: ScenarioTestbed,
-			Buffer: tls13.BufferImmediate, Samples: samples, Seed: 12,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("resumption full %s/%s: %w", suite.k, suite.s, err)
-		}
-		resumed, err := RunCampaign(CampaignOptions{
-			KEM: suite.k, Sig: suite.s, Link: ScenarioTestbed,
-			Buffer: tls13.BufferImmediate, Samples: samples, Seed: 12, Resume: true,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("resumption resumed %s/%s: %w", suite.k, suite.s, err)
-		}
-		out = append(out, ResumptionResult{
+		full := cfg.campaign(suite.k, suite.s, ScenarioTestbed, 12)
+		full.Buffer = tls13.BufferImmediate
+		resumed := full
+		resumed.Resume = true
+		specs = append(specs, full, resumed)
+	}
+	rows, err := runCampaignGrid(specs, cfg.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("resumption: %w", err)
+	}
+	out := make([]ResumptionResult, len(suites))
+	for i, suite := range suites {
+		full, resumed := rows[2*i], rows[2*i+1]
+		out[i] = ResumptionResult{
 			KEM: suite.k, Sig: suite.s,
 			Full: full.TotalMedian, Resumed: resumed.TotalMedian,
 			FullBytes: full.ServerBytes, ResumeBytes: resumed.ServerBytes,
-		})
+		}
 	}
 	return out, nil
 }

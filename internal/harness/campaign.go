@@ -33,6 +33,14 @@ type CampaignOptions struct {
 	Resume bool
 	// Profile enables white-box collection.
 	Profile bool
+	// Workers bounds the sample-level parallelism (0 = one per CPU).
+	// Because samples are independently seeded and modeled timing keeps
+	// the virtual clocks jitter-free, the aggregated result is identical
+	// for any worker count.
+	Workers int
+	// Timing selects modeled (default) or measured compute time.
+	// TimingReal forces sequential execution.
+	Timing Timing
 }
 
 // CampaignResult aggregates one suite's campaign, i.e. one table row.
@@ -65,35 +73,54 @@ func (r CampaignResult) HandshakeRate() float64 {
 	return float64(r.Handshakes60s) / MeasurementPeriod.Seconds()
 }
 
-// RunCampaign executes the campaign and aggregates the row.
-func RunCampaign(opts CampaignOptions) (*CampaignResult, error) {
+// normalizeCampaign applies option defaults in place.
+func normalizeCampaign(opts *CampaignOptions) {
 	if opts.Samples <= 0 {
 		opts.Samples = 15
 	}
-	var clientProf, serverProf *perf.Profiler
-	if opts.Profile {
-		clientProf = perf.NewProfiler()
-		serverProf = perf.NewProfiler()
-	}
+}
 
+// sampleResult is one handshake's contribution to a campaign row.
+type sampleResult struct {
+	res                    *HandshakeResult
+	clientProf, serverProf *perf.Profiler
+}
+
+// runCampaignSample executes sample i of a campaign. Each sample owns its
+// entire simulation state (link, TCP, tap, endpoints, profilers, meters),
+// so samples are safe to run concurrently.
+func runCampaignSample(opts CampaignOptions, i int) (*sampleResult, error) {
+	s := &sampleResult{}
+	if opts.Profile {
+		s.clientProf = perf.NewProfiler()
+		s.serverProf = perf.NewProfiler()
+	}
+	res, err := RunHandshake(RunOptions{
+		KEM: opts.KEM, Sig: opts.Sig, Link: opts.Link, Buffer: opts.Buffer,
+		Seed:       opts.Seed + int64(i)*7919,
+		CWND:       opts.CWND,
+		ChainDepth: opts.ChainDepth,
+		Resume:     opts.Resume,
+		Timing:     opts.Timing,
+		ClientProf: s.clientProf, ServerProf: s.serverProf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.res = res
+	return s, nil
+}
+
+// aggregateCampaign folds per-sample results (in sample order) into a row.
+func aggregateCampaign(opts CampaignOptions, samples []*sampleResult) *CampaignResult {
 	var (
 		partA, partB, total, cycles []time.Duration
 		cBytes, sBytes              []int
 		cPkts, sPkts                []int
 		cCPU, sCPU                  time.Duration
 	)
-	for i := 0; i < opts.Samples; i++ {
-		res, err := RunHandshake(RunOptions{
-			KEM: opts.KEM, Sig: opts.Sig, Link: opts.Link, Buffer: opts.Buffer,
-			Seed:       opts.Seed + int64(i)*7919,
-			CWND:       opts.CWND,
-			ChainDepth: opts.ChainDepth,
-			Resume:     opts.Resume,
-			ClientProf: clientProf, ServerProf: serverProf,
-		})
-		if err != nil {
-			return nil, err
-		}
+	for _, s := range samples {
+		res := s.res
 		partA = append(partA, res.Phases.PartA)
 		partB = append(partB, res.Phases.PartB)
 		total = append(total, res.Phases.Total())
@@ -123,10 +150,27 @@ func RunCampaign(opts CampaignOptions) (*CampaignResult, error) {
 		out.Handshakes60s = int(MeasurementPeriod / meanCycle)
 	}
 	if opts.Profile {
+		clientProf := perf.NewProfiler()
+		serverProf := perf.NewProfiler()
+		for _, s := range samples {
+			clientProf.Merge(s.clientProf)
+			serverProf.Merge(s.serverProf)
+		}
 		out.ClientProfile = clientProf.Snapshot()
 		out.ServerProfile = serverProf.Snapshot()
 	}
-	return out, nil
+	return out
+}
+
+// RunCampaign executes the campaign and aggregates the row. Samples fan out
+// across opts.Workers goroutines (0 = one per CPU) without changing the
+// result.
+func RunCampaign(opts CampaignOptions) (*CampaignResult, error) {
+	rows, err := runCampaignGrid([]CampaignOptions{opts}, opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	return rows[0], nil
 }
 
 func medianInt(xs []int) int {

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 	"time"
 )
@@ -49,14 +50,21 @@ func WriteDeviationsCSV(w io.Writer, devs []Deviation) error {
 }
 
 // WriteScenariosCSV writes Table 4 rows: one line per suite and scenario.
+// Scenarios are emitted in sorted order so the output is deterministic
+// (row.Latency is a map).
 func WriteScenariosCSV(w io.Writer, rows []ScenarioRow) error {
 	if _, err := fmt.Fprintln(w, "kem,sig,scenario,partAllMedian"); err != nil {
 		return err
 	}
 	for _, row := range rows {
-		for scenario, latency := range row.Latency {
+		scenarios := make([]string, 0, len(row.Latency))
+		for scenario := range row.Latency {
+			scenarios = append(scenarios, scenario)
+		}
+		sort.Strings(scenarios)
+		for _, scenario := range scenarios {
 			_, err := fmt.Fprintf(w, "%s,%s,%s,%s\n",
-				csvEscape(row.KEM), csvEscape(row.Sig), csvEscape(scenario), msCSV(latency))
+				csvEscape(row.KEM), csvEscape(row.Sig), csvEscape(scenario), msCSV(row.Latency[scenario]))
 			if err != nil {
 				return err
 			}

@@ -80,7 +80,7 @@ func TestCWNDSweepRemovesRTTs(t *testing.T) {
 		t.Skip("sweep in short mode")
 	}
 	t.Parallel()
-	results, err := RunCWNDSweep([]int{10, 80}, 3)
+	results, err := RunCWNDSweep([]int{10, 80}, SweepConfig{Samples: 3})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,134 @@
+package harness
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"pqtls/internal/nettap"
+	"pqtls/internal/tls13"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// testDRBG is SHA-256 in counter mode — a deterministic stand-in for
+// crypto/rand so two handshakes draw identical randomness.
+type testDRBG struct {
+	seed [32]byte
+	ctr  uint64
+	buf  []byte
+}
+
+func newTestDRBG(seed string) *testDRBG {
+	d := &testDRBG{}
+	copy(d.seed[:], seed)
+	return d
+}
+
+func (d *testDRBG) Read(p []byte) (int, error) {
+	for len(d.buf) < len(p) {
+		var block [40]byte
+		copy(block[:32], d.seed[:])
+		binary.BigEndian.PutUint64(block[32:], d.ctr)
+		d.ctr++
+		sum := sha256.Sum256(block[:])
+		d.buf = append(d.buf, sum[:]...)
+	}
+	n := copy(p, d.buf)
+	d.buf = d.buf[n:]
+	return n, nil
+}
+
+// capturePcap runs one handshake with a seeded random stream and returns the
+// raw pcap bytes of the capture.
+func capturePcap(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	pw, err := nettap.NewPcapWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// kyber512/dilithium2: both have deterministic signing/encaps given the
+	// seeded stream (RSA-PSS and ECDSA would inject signature-size jitter).
+	_, err = RunHandshake(RunOptions{
+		KEM: "kyber512", Sig: "dilithium2", Link: ScenarioTestbed,
+		Buffer: tls13.BufferImmediate, Seed: 7, Pcap: pw,
+		Rand: newTestDRBG("pcap-determinism-seed"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pw.Err() != nil {
+		t.Fatal(pw.Err())
+	}
+	return buf.Bytes()
+}
+
+// TestHandshakePcapDeterministic pins the full wire transcript: with a
+// seeded random stream and modeled timing, two handshakes must produce
+// byte-identical pcap captures — every TCP segment, TLS record and virtual
+// timestamp included. This is the capture-level analogue of the CSV
+// determinism guarantee.
+func TestHandshakePcapDeterministic(t *testing.T) {
+	t.Parallel()
+	first := capturePcap(t)
+	second := capturePcap(t)
+	if !bytes.Equal(first, second) {
+		t.Errorf("two seeded handshake captures differ (%d vs %d bytes)", len(first), len(second))
+	}
+	frames, _, err := nettap.ReadPcap(bytes.NewReader(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) < 8 {
+		t.Errorf("capture has only %d frames, want a full handshake", len(frames))
+	}
+}
+
+// TestRenderTable2Golden pins the human-readable table rendering (column
+// set, alignment, number formatting) against a checked-in golden file.
+func TestRenderTable2Golden(t *testing.T) {
+	t.Parallel()
+	results := []*CampaignResult{
+		{KEM: "x25519", Sig: "rsa:2048", PartAMedian: 120200 * time.Nanosecond,
+			PartBMedian: 1280300 * time.Nanosecond, Handshakes60s: 21346,
+			ClientBytes: 706, ServerBytes: 1559},
+		{KEM: "kyber512", Sig: "rsa:2048", PartAMedian: 210700 * time.Nanosecond,
+			PartBMedian: 971500 * time.Nanosecond, Handshakes60s: 26511,
+			ClientBytes: 1474, ServerBytes: 7843},
+		{KEM: "p384_kyber768", Sig: "rsa:2048", PartAMedian: 1536000 * time.Nanosecond,
+			PartBMedian: 2048000 * time.Nanosecond, Handshakes60s: 9000,
+			ClientBytes: 1700, ServerBytes: 8000},
+	}
+	var kemBuf bytes.Buffer
+	if err := RenderTable2(&kemBuf, results, true); err != nil {
+		t.Fatal(err)
+	}
+	var sigBuf bytes.Buffer
+	if err := RenderTable2(&sigBuf, results, false); err != nil {
+		t.Fatal(err)
+	}
+	got := append(append([]byte{}, kemBuf.Bytes()...), sigBuf.Bytes()...)
+
+	golden := filepath.Join("testdata", "table2.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("table rendering changed; run with -update if intended.\n--- got\n%s--- want\n%s", got, want)
+	}
+}

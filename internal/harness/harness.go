@@ -4,8 +4,10 @@
 // reproducible handshake campaigns, and regenerates every table and figure
 // of the evaluation (see DESIGN.md's experiment index).
 //
-// Time model: cryptographic and protocol compute is executed for real and
-// its measured wall time is charged to per-party virtual clocks; network
+// Time model: cryptographic and protocol compute is executed for real (all
+// outputs are verified), and its cost is charged to per-party virtual
+// clocks — by default from the deterministic cost model (TimingModel, see
+// costmodel.go), optionally as measured wall time (TimingReal); network
 // transmission, loss, and TCP dynamics advance virtual time through the
 // simulation. Handshake latencies are read off the passive tap exactly as
 // the paper's timestamper does.
@@ -13,6 +15,7 @@ package harness
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -44,25 +47,43 @@ type credentials struct {
 	roots *pki.Pool
 }
 
+// credEntry is a singleflight cache slot: the first caller builds the
+// credentials inside the entry's Once while later callers for the same key
+// block only on that entry, not on the whole cache.
+type credEntry struct {
+	once sync.Once
+	c    *credentials
+	err  error
+}
+
 var credCache = struct {
 	mu sync.Mutex
-	m  map[string]*credentials
-}{m: map[string]*credentials{}}
+	m  map[string]*credEntry
+}{m: map[string]*credEntry{}}
 
 // credentialsFor builds (once per process) a root CA and a presented chain
 // of the given depth (leaf plus depth-1 intermediates), all using the same
 // signature algorithm — the paper uses single-certificate chains (depth 1);
-// deeper chains feed the chain-depth extension experiment.
+// deeper chains feed the chain-depth extension experiment. Safe for
+// concurrent use: parallel workers hitting the same key share one build.
 func credentialsFor(sigName string, depth int) (*credentials, error) {
 	if depth < 1 {
 		depth = 1
 	}
 	key := fmt.Sprintf("%s/%d", sigName, depth)
 	credCache.mu.Lock()
-	defer credCache.mu.Unlock()
-	if c, ok := credCache.m[key]; ok {
-		return c, nil
+	e, ok := credCache.m[key]
+	if !ok {
+		e = &credEntry{}
+		credCache.m[key] = e
 	}
+	credCache.mu.Unlock()
+	e.once.Do(func() { e.c, e.err = buildCredentials(sigName, depth) })
+	return e.c, e.err
+}
+
+// buildCredentials constructs the CA hierarchy for one cache entry.
+func buildCredentials(sigName string, depth int) (*credentials, error) {
 	scheme, err := sig.ByName(sigName)
 	if err != nil {
 		return nil, err
@@ -93,13 +114,11 @@ func credentialsFor(sigName string, depth int) (*credentials, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &credentials{
+	return &credentials{
 		chain: append([]*pki.Certificate{leaf}, intermediates...),
 		priv:  leafPriv,
 		roots: pki.NewPool(root),
-	}
-	credCache.m[key] = c
-	return c, nil
+	}, nil
 }
 
 // HandshakeResult is everything one simulated handshake yields.
@@ -140,6 +159,16 @@ type RunOptions struct {
 	// outside the simulation to obtain a session ticket, then the resumed
 	// handshake is measured.
 	Resume bool
+	// Timing selects how compute enters the virtual clocks: modeled costs
+	// (TimingModel, the default — deterministic) or measured wall time
+	// (TimingReal, the paper's original methodology).
+	Timing Timing
+	// KeyPool, when non-nil, supplies pre-generated client key shares (see
+	// KeyPool); modeled timing is unaffected.
+	KeyPool *KeyPool
+	// Rand, when non-nil, seeds both endpoints' randomness (tests that
+	// need bit-identical reruns within one process).
+	Rand io.Reader
 	// Profilers, when set, collect the white-box view.
 	ClientProf, ServerProf *perf.Profiler
 	// Pcap, when non-nil, records every tap frame to a libpcap capture
@@ -176,12 +205,33 @@ func RunHandshake(opts RunOptions) (*HandshakeResult, error) {
 		SupportedKEMs: opts.ClientSupported,
 		Roots:         creds.roots,
 	}
+	if opts.Rand != nil {
+		// One shared stream: the sans-IO drive below is single-threaded, so
+		// both endpoints consume it in a deterministic order.
+		cliCfg.Rand = opts.Rand
+		srvCfg.Rand = opts.Rand
+	}
+	if opts.KeyPool != nil {
+		cliCfg.PresetKeyShare = opts.KeyPool.Get(clientKEM)
+	}
 	if opts.ServerProf != nil {
 		srvCfg.Tracer = opts.ServerProf
 	}
 	if opts.ClientProf != nil {
 		cliCfg.Tracer = opts.ClientProf
 	}
+	// Per-party compute clocks: under modeled timing each endpoint gets its
+	// own CostMeter and every compute span below reads meter deltas instead
+	// of the wall clock, making the whole simulation jitter-free.
+	var cliMeter, srvMeter *CostMeter
+	if opts.Timing != TimingReal {
+		cliMeter = NewCostMeter(nil)
+		srvMeter = NewCostMeter(nil)
+		cliCfg.Meter = cliMeter
+		srvCfg.Meter = srvMeter
+	}
+	cliClock := stopwatchFor(cliMeter)
+	srvClock := stopwatchFor(srvMeter)
 	if opts.Resume {
 		sess, err := obtainSession(cliCfg, srvCfg)
 		if err != nil {
@@ -205,12 +255,12 @@ func RunHandshake(opts RunOptions) (*HandshakeResult, error) {
 
 	// ClientHello (client-side key generation happens here; the paper's
 	// phase measurements exclude it, the cycle time includes it).
-	t0 := time.Now()
+	sw := cliClock()
 	chFlight, err := cli.Start()
 	if err != nil {
 		return nil, err
 	}
-	chCompute := time.Since(t0)
+	chCompute := sw()
 	res.ClientCPU += chCompute
 	tCH := clientReady + chCompute
 	chArrive := conn.Send(netsim.ClientToServer, tCH, marshalRecords(chFlight))
@@ -224,12 +274,12 @@ func RunHandshake(opts RunOptions) (*HandshakeResult, error) {
 	var finalFlight []tls13.Record
 	var tFinWrite time.Duration
 	for round := 0; round < 2 && finalFlight == nil; round++ {
-		t0 = time.Now()
+		sw = srvClock()
 		flushes, err := srv.Respond(clientFlight)
 		if err != nil {
 			return nil, err
 		}
-		res.ServerCPU += time.Since(t0)
+		res.ServerCPU += sw()
 		res.ServerFlushes += len(flushes)
 
 		// Transmit each flush when it becomes available; the client
@@ -244,12 +294,12 @@ func RunHandshake(opts RunOptions) (*HandshakeResult, error) {
 			if clientFree > start {
 				start = clientFree
 			}
-			t0 = time.Now()
+			sw = cliClock()
 			out, done, err := cli.Consume(f.Records)
 			if err != nil {
 				return nil, err
 			}
-			d := time.Since(t0)
+			d := sw()
 			res.ClientCPU += d
 			clientFree = start + d
 			switch {
@@ -270,11 +320,11 @@ func RunHandshake(opts RunOptions) (*HandshakeResult, error) {
 	}
 	finArrive := conn.Send(netsim.ClientToServer, tFinWrite, marshalRecords(finalFlight))
 
-	t0 = time.Now()
+	sw = srvClock()
 	if err := srv.Finish(finalFlight); err != nil {
 		return nil, err
 	}
-	res.ServerCPU += time.Since(t0)
+	res.ServerCPU += sw()
 
 	phases, ok := ts.Phases()
 	if !ok {
@@ -303,6 +353,23 @@ func RunHandshake(opts RunOptions) (*HandshakeResult, error) {
 		opts.ServerProf.AddTotal(res.ServerCPU)
 	}
 	return res, nil
+}
+
+// stopwatchFor returns a stopwatch constructor for one endpoint: measured
+// wall time when m is nil (TimingReal), virtual meter-elapsed deltas
+// otherwise. Each call to the returned function starts a span; invoking the
+// inner function reads it.
+func stopwatchFor(m *CostMeter) func() func() time.Duration {
+	if m == nil {
+		return func() func() time.Duration {
+			t0 := time.Now()
+			return func() time.Duration { return time.Since(t0) }
+		}
+	}
+	return func() func() time.Duration {
+		e0 := m.Elapsed()
+		return func() time.Duration { return m.Elapsed() - e0 }
+	}
 }
 
 // resumptionTicketKey is the static key server instances share so sessions

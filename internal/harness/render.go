@@ -1,0 +1,30 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+)
+
+// msCell formats a duration as milliseconds for table output.
+func msCell(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d)/float64(time.Millisecond))
+}
+
+// RenderTable2 writes the Table 2a/2b layout: one row per campaign, keyed by
+// the KEM (byKEM) or signature name. Shared by pqbench and the golden tests
+// so the rendering itself is under test.
+func RenderTable2(out io.Writer, results []*CampaignResult, byKEM bool) error {
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Algorithm\tPartA(ms)\tPartB(ms)\t#Total(60s)\tClient(B)\tServer(B)")
+	for _, r := range results {
+		name := r.KEM
+		if !byKEM {
+			name = r.Sig
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%d\t%d\t%d\n",
+			name, msCell(r.PartAMedian), msCell(r.PartBMedian), r.Handshakes60s, r.ClientBytes, r.ServerBytes)
+	}
+	return w.Flush()
+}

@@ -77,42 +77,49 @@ var levelGroups = []struct {
 	},
 }
 
+// SweepConfig carries the knobs shared by every table/figure sweep: the
+// per-cell sample count, the server buffering policy, the worker-pool width
+// (0 = one per CPU), and the timing mode. Zero value = 15 samples… callers
+// normally set Samples explicitly.
+type SweepConfig struct {
+	Samples int
+	Buffer  tls13.BufferPolicy
+	Workers int
+	Timing  Timing
+}
+
+// campaign builds one grid cell from the sweep knobs.
+func (c SweepConfig) campaign(kemName, sigName string, link netsim.LinkConfig, seed int64) CampaignOptions {
+	return CampaignOptions{
+		KEM: kemName, Sig: sigName, Link: link, Buffer: c.Buffer,
+		Samples: c.Samples, Seed: seed, Timing: c.Timing,
+	}
+}
+
 // RunTable2a regenerates Table 2a: every KA with rsa:2048.
-func RunTable2a(samples int, buffer tls13.BufferPolicy) ([]*CampaignResult, error) {
-	return runSuiteList(Table2aKEMs, nil, samples, buffer)
+func RunTable2a(cfg SweepConfig) ([]*CampaignResult, error) {
+	specs := make([]CampaignOptions, len(Table2aKEMs))
+	for i, k := range Table2aKEMs {
+		specs[i] = cfg.campaign(k, BaselineSig, ScenarioTestbed, 1)
+	}
+	rows, err := runCampaignGrid(specs, cfg.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("table2a: %w", err)
+	}
+	return rows, nil
 }
 
 // RunTable2b regenerates Table 2b: every SA with X25519.
-func RunTable2b(samples int, buffer tls13.BufferPolicy) ([]*CampaignResult, error) {
-	return runSuiteList(nil, Table2bSigs, samples, buffer)
-}
-
-func runSuiteList(kems, sigs []string, samples int, buffer tls13.BufferPolicy) ([]*CampaignResult, error) {
-	var out []*CampaignResult
-	if kems != nil {
-		for _, k := range kems {
-			r, err := RunCampaign(CampaignOptions{
-				KEM: k, Sig: BaselineSig, Link: ScenarioTestbed, Buffer: buffer,
-				Samples: samples, Seed: 1,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("table2a %s: %w", k, err)
-			}
-			out = append(out, r)
-		}
-		return out, nil
+func RunTable2b(cfg SweepConfig) ([]*CampaignResult, error) {
+	specs := make([]CampaignOptions, len(Table2bSigs))
+	for i, s := range Table2bSigs {
+		specs[i] = cfg.campaign(BaselineKEM, s, ScenarioTestbed, 1)
 	}
-	for _, s := range sigs {
-		r, err := RunCampaign(CampaignOptions{
-			KEM: BaselineKEM, Sig: s, Link: ScenarioTestbed, Buffer: buffer,
-			Samples: samples, Seed: 1,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("table2b %s: %w", s, err)
-		}
-		out = append(out, r)
+	rows, err := runCampaignGrid(specs, cfg.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("table2b: %w", err)
 	}
-	return out, nil
+	return rows, nil
 }
 
 // Deviation is one cell of Figure 3: how much faster (positive) or slower
@@ -127,48 +134,48 @@ type Deviation struct {
 }
 
 // RunDeviation regenerates Figure 3a (BufferDefault) or 3b (BufferImmediate).
-func RunDeviation(samples int, buffer tls13.BufferPolicy) ([]Deviation, error) {
-	measure := func(k, s string) (time.Duration, error) {
-		r, err := RunCampaign(CampaignOptions{
-			KEM: k, Sig: s, Link: ScenarioTestbed, Buffer: buffer, Samples: samples, Seed: 2,
-		})
-		if err != nil {
-			return 0, err
+// All unique cells of the analysis — the global baseline, the per-KA and
+// per-SA marginals, and every combination — run through one worker grid.
+func RunDeviation(cfg SweepConfig) ([]Deviation, error) {
+	type cell struct{ k, s string }
+	idx := map[cell]int{}
+	var specs []CampaignOptions
+	add := func(k, s string) {
+		c := cell{k, s}
+		if _, ok := idx[c]; ok {
+			return
 		}
-		return r.TotalMedian, nil
+		idx[c] = len(specs)
+		specs = append(specs, cfg.campaign(k, s, ScenarioTestbed, 2))
 	}
-	base, err := measure(BaselineKEM, BaselineSig)
-	if err != nil {
-		return nil, err
-	}
-	kemBase := map[string]time.Duration{}
-	sigBase := map[string]time.Duration{}
-	var out []Deviation
+	add(BaselineKEM, BaselineSig)
 	for _, grp := range levelGroups {
 		for _, k := range grp.KEMs {
-			if _, ok := kemBase[k]; !ok {
-				if kemBase[k], err = measure(k, BaselineSig); err != nil {
-					return nil, fmt.Errorf("deviation M(%s, rsa:2048): %w", k, err)
-				}
-			}
+			add(k, BaselineSig)
 		}
 		for _, s := range grp.Sigs {
-			if _, ok := sigBase[s]; !ok {
-				if sigBase[s], err = measure(BaselineKEM, s); err != nil {
-					return nil, fmt.Errorf("deviation M(x25519, %s): %w", s, err)
-				}
-			}
+			add(BaselineKEM, s)
 		}
 		for _, k := range grp.KEMs {
 			for _, s := range grp.Sigs {
-				m, err := measure(k, s)
-				if err != nil {
-					return nil, fmt.Errorf("deviation M(%s, %s): %w", k, s, err)
-				}
-				e := kemBase[k] + sigBase[s] - base
+				add(k, s)
+			}
+		}
+	}
+	rows, err := runCampaignGrid(specs, cfg.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("deviation: %w", err)
+	}
+	m := func(k, s string) time.Duration { return rows[idx[cell{k, s}]].TotalMedian }
+	base := m(BaselineKEM, BaselineSig)
+	var out []Deviation
+	for _, grp := range levelGroups {
+		for _, k := range grp.KEMs {
+			for _, s := range grp.Sigs {
+				e := m(k, BaselineSig) + m(BaselineKEM, s) - base
 				out = append(out, Deviation{
 					Level: grp.Name, KEM: k, Sig: s,
-					Expected: e, Measured: m, Deviation: e - m,
+					Expected: e, Measured: m(k, s), Deviation: e - m(k, s),
 				})
 			}
 		}
@@ -186,51 +193,55 @@ type Improvement struct {
 	Gain     time.Duration
 }
 
-// RunBufferImprovement regenerates Figure 3c.
-func RunBufferImprovement(samples int) ([]Improvement, error) {
-	var out []Improvement
+// RunBufferImprovement regenerates Figure 3c. The default- and
+// optimized-buffering runs of every combination all share one worker grid.
+func RunBufferImprovement(cfg SweepConfig) ([]Improvement, error) {
+	type combo struct {
+		level, k, s string
+	}
+	var combos []combo
+	var specs []CampaignOptions
 	for _, grp := range levelGroups {
 		for _, k := range grp.KEMs {
 			for _, s := range grp.Sigs {
-				def, err := RunCampaign(CampaignOptions{
-					KEM: k, Sig: s, Link: ScenarioTestbed, Buffer: tls13.BufferDefault,
-					Samples: samples, Seed: 3,
-				})
-				if err != nil {
-					return nil, err
-				}
-				opt, err := RunCampaign(CampaignOptions{
-					KEM: k, Sig: s, Link: ScenarioTestbed, Buffer: tls13.BufferImmediate,
-					Samples: samples, Seed: 3,
-				})
-				if err != nil {
-					return nil, err
-				}
-				out = append(out, Improvement{
-					Level: grp.Name, KEM: k, Sig: s,
-					Default: def.TotalMedian, Opt: opt.TotalMedian,
-					Gain: def.TotalMedian - opt.TotalMedian,
-				})
+				combos = append(combos, combo{grp.Name, k, s})
+				def := cfg.campaign(k, s, ScenarioTestbed, 3)
+				def.Buffer = tls13.BufferDefault
+				opt := cfg.campaign(k, s, ScenarioTestbed, 3)
+				opt.Buffer = tls13.BufferImmediate
+				specs = append(specs, def, opt)
 			}
+		}
+	}
+	rows, err := runCampaignGrid(specs, cfg.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("improvement: %w", err)
+	}
+	out := make([]Improvement, len(combos))
+	for i, c := range combos {
+		def, opt := rows[2*i], rows[2*i+1]
+		out[i] = Improvement{
+			Level: c.level, KEM: c.k, Sig: c.s,
+			Default: def.TotalMedian, Opt: opt.TotalMedian,
+			Gain: def.TotalMedian - opt.TotalMedian,
 		}
 	}
 	return out, nil
 }
 
 // RunTable3 regenerates the white-box Table 3 rows.
-func RunTable3(samples int) ([]*CampaignResult, error) {
-	var out []*CampaignResult
-	for _, pair := range Table3Pairs {
-		r, err := RunCampaign(CampaignOptions{
-			KEM: pair.KEM, Sig: pair.Sig, Link: ScenarioTestbed,
-			Buffer: tls13.BufferImmediate, Samples: samples, Seed: 4, Profile: true,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("table3 %s/%s: %w", pair.KEM, pair.Sig, err)
-		}
-		out = append(out, r)
+func RunTable3(cfg SweepConfig) ([]*CampaignResult, error) {
+	specs := make([]CampaignOptions, len(Table3Pairs))
+	for i, pair := range Table3Pairs {
+		specs[i] = cfg.campaign(pair.KEM, pair.Sig, ScenarioTestbed, 4)
+		specs[i].Buffer = tls13.BufferImmediate
+		specs[i].Profile = true
 	}
-	return out, nil
+	rows, err := runCampaignGrid(specs, cfg.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("table3: %w", err)
+	}
+	return rows, nil
 }
 
 // ScenarioRow is one Table 4 row: one suite across all network scenarios.
@@ -241,8 +252,9 @@ type ScenarioRow struct {
 }
 
 // RunScenarios regenerates Table 4a (vary KA) or 4b (vary SA) depending on
-// which list is passed; each suite is measured under every emulation.
-func RunScenarios(kems, sigs []string, samples int) ([]ScenarioRow, error) {
+// which list is passed; each suite is measured under every emulation. The
+// full suite × scenario matrix runs through one worker grid.
+func RunScenarios(kems, sigs []string, cfg SweepConfig) ([]ScenarioRow, error) {
 	var suites []struct{ k, s string }
 	for _, k := range kems {
 		suites = append(suites, struct{ k, s string }{k, BaselineSig})
@@ -250,20 +262,26 @@ func RunScenarios(kems, sigs []string, samples int) ([]ScenarioRow, error) {
 	for _, s := range sigs {
 		suites = append(suites, struct{ k, s string }{BaselineKEM, s})
 	}
-	var out []ScenarioRow
+	scenarios := netsim.Scenarios()
+	var specs []CampaignOptions
 	for _, suite := range suites {
-		row := ScenarioRow{KEM: suite.k, Sig: suite.s, Latency: map[string]time.Duration{}}
-		for _, sc := range netsim.Scenarios() {
-			r, err := RunCampaign(CampaignOptions{
-				KEM: suite.k, Sig: suite.s, Link: sc, Buffer: tls13.BufferImmediate,
-				Samples: samples, Seed: 5,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("scenario %s %s/%s: %w", sc.Name, suite.k, suite.s, err)
-			}
-			row.Latency[sc.Name] = r.TotalMedian
+		for _, sc := range scenarios {
+			spec := cfg.campaign(suite.k, suite.s, sc, 5)
+			spec.Buffer = tls13.BufferImmediate
+			specs = append(specs, spec)
 		}
-		out = append(out, row)
+	}
+	rows, err := runCampaignGrid(specs, cfg.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("scenarios: %w", err)
+	}
+	out := make([]ScenarioRow, len(suites))
+	for i, suite := range suites {
+		row := ScenarioRow{KEM: suite.k, Sig: suite.s, Latency: map[string]time.Duration{}}
+		for j, sc := range scenarios {
+			row.Latency[sc.Name] = rows[i*len(scenarios)+j].TotalMedian
+		}
+		out[i] = row
 	}
 	return out, nil
 }

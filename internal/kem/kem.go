@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 )
 
 // KEM is a key-encapsulation mechanism usable as a TLS 1.3 key agreement.
@@ -34,19 +35,29 @@ type KEM interface {
 	SharedSecretSize() int
 }
 
-var registry = map[string]KEM{}
+// registry is populated from init functions and read from every handshake;
+// the RWMutex keeps lookups race-free once parallel campaign workers (and
+// any future runtime registration) are in play.
+var registry = struct {
+	sync.RWMutex
+	m map[string]KEM
+}{m: map[string]KEM{}}
 
 // register adds k to the registry; duplicate names are a programming error.
 func register(k KEM) {
-	if _, dup := registry[k.Name()]; dup {
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.m[k.Name()]; dup {
 		panic("kem: duplicate registration of " + k.Name())
 	}
-	registry[k.Name()] = k
+	registry.m[k.Name()] = k
 }
 
 // ByName returns the named KEM.
 func ByName(name string) (KEM, error) {
-	k, ok := registry[name]
+	registry.RLock()
+	k, ok := registry.m[name]
+	registry.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("kem: unknown key agreement %q", name)
 	}
@@ -64,8 +75,10 @@ func MustByName(name string) KEM {
 
 // Names returns all registered names, sorted.
 func Names() []string {
-	out := make([]string, 0, len(registry))
-	for n := range registry {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]string, 0, len(registry.m))
+	for n := range registry.m {
 		out = append(out, n)
 	}
 	sort.Strings(out)
@@ -74,8 +87,10 @@ func Names() []string {
 
 // ByLevel returns the names of all KEMs at the given NIST level, sorted.
 func ByLevel(level int) []string {
+	registry.RLock()
+	defer registry.RUnlock()
 	var out []string
-	for n, k := range registry {
+	for n, k := range registry.m {
 		if k.Level() == level {
 			out = append(out, n)
 		}
@@ -86,8 +101,10 @@ func ByLevel(level int) []string {
 
 // NonHybridByLevel returns non-hybrid KEM names at the given level, sorted.
 func NonHybridByLevel(level int) []string {
+	registry.RLock()
+	defer registry.RUnlock()
 	var out []string
-	for n, k := range registry {
+	for n, k := range registry.m {
 		if k.Level() == level && !k.Hybrid() {
 			out = append(out, n)
 		}

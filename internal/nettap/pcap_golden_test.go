@@ -1,0 +1,56 @@
+package nettap
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"pqtls/internal/netsim"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestPcapGolden pins the exact libpcap encoding: global header, per-record
+// headers and frame bytes for a fixed synthetic exchange. Any change to the
+// writer's wire format (endianness, timestamp resolution, snaplen, link
+// type) shows up as a byte diff against the checked-in capture.
+func TestPcapGolden(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	w, err := NewPcapWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn := netsim.BuildFrame(netsim.FrameSpec{Dir: netsim.ClientToServer, Flags: netsim.FlagSYN})
+	synAck := netsim.BuildFrame(netsim.FrameSpec{Dir: netsim.ServerToClient, Flags: netsim.FlagSYN | netsim.FlagACK, Ack: 1})
+	ch := buildTLSFrame(netsim.ClientToServer, 1, 22, []byte{0x01, 0x00, 0x00, 0x02, 0xab, 0xcd})
+	sh := buildTLSFrame(netsim.ServerToClient, 1, 22, []byte{0x02, 0x00, 0x00, 0x01, 0x7f})
+	w.Tap(netsim.ClientToServer, 0, syn)
+	w.Tap(netsim.ServerToClient, 500*time.Microsecond, synAck)
+	w.Tap(netsim.ClientToServer, 1*time.Millisecond, ch)
+	w.Tap(netsim.ServerToClient, 2*time.Second+250*time.Microsecond, sh)
+	if w.Err() != nil {
+		t.Fatal(w.Err())
+	}
+
+	golden := filepath.Join("testdata", "synthetic.pcap.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("pcap output differs from %s (%d vs %d bytes); run with -update if the format change is intended",
+			golden, buf.Len(), len(want))
+	}
+}

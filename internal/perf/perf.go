@@ -62,6 +62,19 @@ func (p *Profiler) AddTotal(d time.Duration) {
 	p.total += d
 }
 
+// Merge folds another profiler's accumulated spans and total into p. The
+// campaign engine gives each concurrent sample its own profiler and merges
+// them in sample order afterwards.
+func (p *Profiler) Merge(o *Profiler) {
+	if o == nil {
+		return
+	}
+	for lib, d := range o.spans {
+		p.spans[lib] += d
+	}
+	p.total += o.total
+}
+
 // Snapshot freezes the profile: per-bucket durations and the total.
 type Snapshot struct {
 	Spans map[string]time.Duration

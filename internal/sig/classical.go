@@ -22,24 +22,30 @@ type rsaScheme struct {
 
 // rsaKeyCache holds one long-lived key per modulus size. The paper's server
 // certificates are fixed per run; regenerating a 4096-bit modulus per
-// handshake would measure keygen, not TLS.
+// handshake would measure keygen, not TLS. Each size is a singleflight
+// entry: concurrent first callers for one modulus size block on that
+// entry's Once while other sizes proceed independently.
+type rsaKeyEntry struct {
+	once sync.Once
+	key  *rsa.PrivateKey
+	err  error
+}
+
 var rsaKeyCache = struct {
 	mu sync.Mutex
-	m  map[int]*rsa.PrivateKey
-}{m: map[int]*rsa.PrivateKey{}}
+	m  map[int]*rsaKeyEntry
+}{m: map[int]*rsaKeyEntry{}}
 
 func cachedRSAKey(bits int) (*rsa.PrivateKey, error) {
 	rsaKeyCache.mu.Lock()
-	defer rsaKeyCache.mu.Unlock()
-	if k, ok := rsaKeyCache.m[bits]; ok {
-		return k, nil
+	e, ok := rsaKeyCache.m[bits]
+	if !ok {
+		e = &rsaKeyEntry{}
+		rsaKeyCache.m[bits] = e
 	}
-	k, err := rsa.GenerateKey(rand.Reader, bits)
-	if err != nil {
-		return nil, err
-	}
-	rsaKeyCache.m[bits] = k
-	return k, nil
+	rsaKeyCache.mu.Unlock()
+	e.once.Do(func() { e.key, e.err = rsa.GenerateKey(rand.Reader, bits) })
+	return e.key, e.err
 }
 
 func (r *rsaScheme) Name() string { return r.name }

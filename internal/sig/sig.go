@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 )
 
 // Scheme is a signature algorithm usable for TLS certificates and the
@@ -34,18 +35,28 @@ type Scheme interface {
 	SignatureSize() int
 }
 
-var registry = map[string]Scheme{}
+// registry is populated from init functions and read from every handshake;
+// the RWMutex keeps lookups race-free once parallel campaign workers (and
+// any future runtime registration) are in play.
+var registry = struct {
+	sync.RWMutex
+	m map[string]Scheme
+}{m: map[string]Scheme{}}
 
 func register(s Scheme) {
-	if _, dup := registry[s.Name()]; dup {
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.m[s.Name()]; dup {
 		panic("sig: duplicate registration of " + s.Name())
 	}
-	registry[s.Name()] = s
+	registry.m[s.Name()] = s
 }
 
 // ByName returns the named scheme.
 func ByName(name string) (Scheme, error) {
-	s, ok := registry[name]
+	registry.RLock()
+	s, ok := registry.m[name]
+	registry.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("sig: unknown signature algorithm %q", name)
 	}
@@ -63,8 +74,10 @@ func MustByName(name string) Scheme {
 
 // Names returns all registered names, sorted.
 func Names() []string {
-	out := make([]string, 0, len(registry))
-	for n := range registry {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]string, 0, len(registry.m))
+	for n := range registry.m {
 		out = append(out, n)
 	}
 	sort.Strings(out)
@@ -73,8 +86,10 @@ func Names() []string {
 
 // ByLevel returns scheme names at the given NIST level, sorted.
 func ByLevel(level int) []string {
+	registry.RLock()
+	defer registry.RUnlock()
 	var out []string
-	for n, s := range registry {
+	for n, s := range registry.m {
 		if s.Level() == level {
 			out = append(out, n)
 		}

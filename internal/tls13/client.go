@@ -74,11 +74,18 @@ func (c *Client) Start() ([]Record, error) {
 		rng = rand.Reader
 	}
 	endCrypto := c.cfg.span(LibCrypto)
-	pub, priv, err := c.kem.GenerateKey(rng)
-	if err != nil {
-		endCrypto()
-		return nil, fmt.Errorf("tls13: key share generation: %w", err)
+	var pub, priv []byte
+	var err error
+	if ks := c.cfg.PresetKeyShare; ks != nil {
+		pub, priv = ks.Pub, ks.Priv
+	} else {
+		pub, priv, err = c.kem.GenerateKey(rng)
+		if err != nil {
+			endCrypto()
+			return nil, fmt.Errorf("tls13: key share generation: %w", err)
+		}
 	}
+	c.cfg.charge(OpKEMKeygen, c.kem.Name())
 	endCrypto()
 	c.kemPriv = priv
 
@@ -157,6 +164,7 @@ func (c *Client) retryHello(hrrMsg []byte, group uint16) ([]Record, error) {
 	}
 	endCrypto := c.cfg.span(LibCrypto)
 	pub, priv, err := k.GenerateKey(rng)
+	c.cfg.charge(OpKEMKeygen, k.Name())
 	endCrypto()
 	if err != nil {
 		return nil, fmt.Errorf("tls13: HRR key share generation: %w", err)
@@ -299,6 +307,7 @@ func (c *Client) tryProcessServerHello() error {
 		endCrypto()
 		return fmt.Errorf("tls13: decapsulation: %w", err)
 	}
+	c.cfg.charge(OpKEMDecaps, c.kem.Name())
 	if c.resuming {
 		// psk_dhe_ke: the early secret absorbs the resumption PSK.
 		c.ks.earlySecret = hkdfExtract(nil, c.cfg.Session.PSK)
@@ -383,6 +392,10 @@ func (c *Client) handleMessage(typ uint8, body, full []byte) error {
 		if err != nil {
 			return fmt.Errorf("tls13: certificate verification: %w", err)
 		}
+		// Chain validation runs one signature verification per certificate.
+		for _, cert := range chain {
+			c.cfg.charge(OpSigVerify, cert.Algorithm)
+		}
 		if c.cfg.ServerName != "" && leaf.Subject != c.cfg.ServerName {
 			return fmt.Errorf("tls13: certificate subject %q does not match %q", leaf.Subject, c.cfg.ServerName)
 		}
@@ -410,6 +423,7 @@ func (c *Client) handleMessage(typ uint8, body, full []byte) error {
 		}
 		endCrypto := c.cfg.span(LibCrypto)
 		okSig := scheme.Verify(c.ServerCert.PublicKey, certVerifyContent(c.ks.transcriptHash()), signature)
+		c.cfg.charge(OpSigVerify, name)
 		endCrypto()
 		if !okSig {
 			return errors.New("tls13: CertificateVerify signature invalid")

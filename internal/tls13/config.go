@@ -2,6 +2,7 @@ package tls13
 
 import (
 	"io"
+	"time"
 
 	"pqtls/internal/pki"
 )
@@ -39,6 +40,42 @@ const (
 	LibSSL    = "libssl"
 )
 
+// Operation labels passed to a Meter when a public-key operation runs.
+const (
+	OpKEMKeygen = "kem/keygen"
+	OpKEMEncaps = "kem/encaps"
+	OpKEMDecaps = "kem/decaps"
+	OpSigSign   = "sig/sign"
+	OpSigVerify = "sig/verify"
+)
+
+// Meter is a virtual compute clock. When set, the handshake charges every
+// public-key operation to it and reads flush offsets from Now() instead of
+// the wall clock, making the timing of a handshake a deterministic function
+// of the suite rather than of the host's load. The harness installs one per
+// handshake when running in modeled-timing mode.
+type Meter interface {
+	// Charge advances the virtual clock by the modeled cost of op on alg.
+	Charge(op, alg string)
+	// Now returns the current virtual time.
+	Now() time.Time
+}
+
+// charge is the nil-safe meter helper.
+func (c *Config) charge(op, alg string) {
+	if c != nil && c.Meter != nil {
+		c.Meter.Charge(op, alg)
+	}
+}
+
+// now returns the meter's virtual time, or the wall clock when unmetered.
+func (c *Config) now() time.Time {
+	if c != nil && c.Meter != nil {
+		return c.Meter.Now()
+	}
+	return time.Now()
+}
+
 // Config carries the suite selection and credentials for one endpoint.
 type Config struct {
 	// KEMName and SigName are registry names ("kyber512", "rsa:2048", ...).
@@ -61,6 +98,10 @@ type Config struct {
 	Buffer BufferPolicy
 	// Tracer, when non-nil, receives white-box region spans.
 	Tracer Tracer
+	// Meter, when non-nil, switches the handshake to virtual compute time:
+	// public-key operations charge their modeled cost to it and flush
+	// offsets are read from it rather than from time.Now.
+	Meter Meter
 	// Rand overrides crypto/rand (tests).
 	Rand io.Reader
 	// TicketKey enables session tickets on a server; instances sharing the
@@ -69,6 +110,16 @@ type Config struct {
 	// Session, when set on a client, resumes via PSK: the Certificate and
 	// CertificateVerify flights are skipped entirely.
 	Session *Session
+	// PresetKeyShare, when set on a client, supplies a pre-generated key
+	// pair for KEMName instead of generating one in Start. The keygen cost
+	// is still charged to the Meter — the preset only amortizes the real
+	// compute (harness key pools) without changing modeled timing.
+	PresetKeyShare *KeyShare
+}
+
+// KeyShare is a pre-generated KEM key pair for PresetKeyShare.
+type KeyShare struct {
+	Pub, Priv []byte
 }
 
 // span is the nil-safe tracer helper.

@@ -66,7 +66,7 @@ func (s *Server) Respond(records []Record) ([]Flush, error) {
 	if s.ks == nil {
 		return nil, errors.New("tls13: Respond called twice")
 	}
-	start := time.Now()
+	start := s.cfg.now()
 	rng := s.cfg.Rand
 	if rng == nil {
 		rng = rand.Reader
@@ -119,7 +119,7 @@ func (s *Server) Respond(records []Record) ([]Flush, error) {
 			endSSL()
 			return []Flush{{
 				Records: []Record{{Type: RecordHandshake, Payload: hrr}},
-				Offset:  time.Since(start),
+				Offset:  s.cfg.now().Sub(start),
 			}}, nil
 		}
 		endSSL()
@@ -168,6 +168,7 @@ func (s *Server) Respond(records []Record) ([]Flush, error) {
 		endCrypto()
 		return nil, fmt.Errorf("tls13: encapsulation: %w", err)
 	}
+	s.cfg.charge(OpKEMEncaps, s.kem.Name())
 	endCrypto()
 
 	endSSL = s.cfg.span(LibSSL)
@@ -201,7 +202,7 @@ func (s *Server) Respond(records []Record) ([]Flush, error) {
 
 	var timed []timedRecord
 	emit := func(rec Record) {
-		timed = append(timed, timedRecord{rec: rec, offset: time.Since(start)})
+		timed = append(timed, timedRecord{rec: rec, offset: s.cfg.now().Sub(start)})
 	}
 	emit(Record{Type: RecordHandshake, Payload: shMsg})
 	// Middlebox-compatibility ChangeCipherSpec, as OpenSSL sends it.
@@ -239,6 +240,7 @@ func (s *Server) Respond(records []Record) ([]Flush, error) {
 			endCrypto()
 			return nil, fmt.Errorf("tls13: handshake signature: %w", err)
 		}
+		s.cfg.charge(OpSigSign, s.cfg.SigName)
 		endCrypto()
 		endSSL = s.cfg.span(LibSSL)
 		cvMsg := marshalCertVerify(wantSig, signature)

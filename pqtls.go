@@ -111,17 +111,42 @@ func NewCertPool(roots ...*Certificate) *CertPool { return pki.NewPool(roots...)
 // Measurement harness (the paper's methodology).
 type (
 	// CampaignOptions and CampaignResult run 60-second-equivalent
-	// sequential-handshake measurement campaigns.
+	// handshake measurement campaigns (samples fan out across Workers).
 	CampaignOptions = harness.CampaignOptions
 	CampaignResult  = harness.CampaignResult
 	// LinkConfig is a netem-style network emulation profile.
 	LinkConfig = netsim.LinkConfig
+	// Timing selects how per-handshake compute cost is accounted.
+	Timing = harness.Timing
+	// SweepConfig parameterizes the table/figure sweeps (samples, buffer
+	// policy, worker count, timing mode).
+	SweepConfig = harness.SweepConfig
+	// KeyPool pre-generates client KEM key pairs for campaigns.
+	KeyPool = harness.KeyPool
+)
+
+// Compute-timing modes for campaigns.
+const (
+	// TimingModel (the default) charges modeled per-operation costs to a
+	// virtual clock: results are deterministic and independent of worker
+	// count and host load.
+	TimingModel = harness.TimingModel
+	// TimingReal measures wall-clock compute; it forces sequential
+	// execution since concurrent samples would perturb each other.
+	TimingReal = harness.TimingReal
 )
 
 // RunCampaign measures one suite under one network profile.
 func RunCampaign(opts CampaignOptions) (*CampaignResult, error) {
 	return harness.RunCampaign(opts)
 }
+
+// NewKeyPool returns an empty client key-share pool.
+func NewKeyPool() *KeyPool { return harness.NewKeyPool() }
+
+// DefaultWorkers is the worker count used when CampaignOptions.Workers is
+// zero (GOMAXPROCS).
+func DefaultWorkers() int { return harness.DefaultWorkers() }
 
 // Network scenarios of the paper's Table 4, plus the baseline testbed link.
 var (

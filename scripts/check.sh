@@ -1,0 +1,33 @@
+#!/bin/sh
+# CI gate: everything `make check` runs, as a single portable script for
+# environments without make. Fails on the first broken step.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go vet"
+go vet ./...
+
+echo "==> go build"
+go build ./...
+
+echo "==> go test"
+go test ./...
+
+echo "==> go test -race"
+go test -race ./...
+
+echo "==> fuzz smoke (${FUZZTIME:-5s} per target)"
+for target in FuzzClientHelloParse FuzzServerHelloParse FuzzRecordDeprotect; do
+    go test ./internal/tls13 -run '^$' -fuzz "$target" -fuzztime "${FUZZTIME:-5s}"
+done
+
+echo "==> determinism spot check: pqbench all-kem, workers 1 vs 8"
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+go build -o "$tmpdir/pqbench" ./cmd/pqbench
+"$tmpdir/pqbench" all-kem -samples 3 -workers 1 >"$tmpdir/w1.txt" 2>/dev/null
+"$tmpdir/pqbench" all-kem -samples 3 -workers 8 >"$tmpdir/w8.txt" 2>/dev/null
+cmp "$tmpdir/w1.txt" "$tmpdir/w8.txt"
+
+echo "OK"
