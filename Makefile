@@ -1,12 +1,27 @@
 GO ?= go
 FUZZTIME ?= 5s
+# 5 samples per cell matches the committed results/table4*.txt provenance
+# (see EXPERIMENTS.md).
+TABLE4FLAGS ?= -samples 5 -timing model
 
-.PHONY: check vet build test race fuzz-smoke bench clean
+.PHONY: check lint vet build test race fuzz-smoke bench table4 clean
 
 # check is the CI entry point: static checks, build, the full test suite,
 # the race-enabled suite (exercising the parallel campaign engine), and a
 # short fuzz pass over each wire-parsing target.
-check: vet build test race fuzz-smoke
+check: lint build test race fuzz-smoke
+
+# lint runs the always-available static checks (gofmt, go vet) and, when
+# installed, staticcheck. The toolchain image does not bundle staticcheck,
+# so its absence is not an error.
+lint: vet
+	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
 
 vet:
 	$(GO) vet ./...
@@ -33,6 +48,19 @@ fuzz-smoke:
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
+# table4 regenerates the constrained-network tables (Table 4a/4b) with the
+# parallel engine, verifies worker-count determinism (the -workers 8 output
+# must be byte-identical to -workers 1), and shows what changed vs. the
+# committed results. The loss-monotonicity gate runs inside pqbench.
+table4:
+	$(GO) build -o bin/pqbench ./cmd/pqbench
+	bin/pqbench all-kem-scenarios $(TABLE4FLAGS) -workers 8 > results/table4a.txt
+	bin/pqbench all-sig-scenarios $(TABLE4FLAGS) -workers 8 > results/table4b.txt
+	bin/pqbench all-kem-scenarios $(TABLE4FLAGS) -workers 1 | cmp - results/table4a.txt
+	bin/pqbench all-sig-scenarios $(TABLE4FLAGS) -workers 1 | cmp - results/table4b.txt
+	git diff --stat -- results/table4a.txt results/table4b.txt
+
 clean:
 	$(GO) clean ./...
 	rm -f *.pcap
+	rm -rf bin

@@ -293,6 +293,9 @@ func runScenarios(cfg harness.SweepConfig, kems bool) error {
 	if err := w.Flush(); err != nil {
 		return err
 	}
+	if err := harness.CheckLossMonotone(rows); err != nil {
+		return err
+	}
 	return writeCSV(func(w io.Writer) error { return harness.WriteScenariosCSV(w, rows) })
 }
 

@@ -98,6 +98,7 @@ func runCampaignSample(opts CampaignOptions, i int) (*sampleResult, error) {
 	res, err := RunHandshake(RunOptions{
 		KEM: opts.KEM, Sig: opts.Sig, Link: opts.Link, Buffer: opts.Buffer,
 		Seed:       opts.Seed + int64(i)*7919,
+		Rand:       newSampleDRBG(opts.KEM, opts.Sig, opts.Link.Name, opts.Seed+int64(i)*7919),
 		CWND:       opts.CWND,
 		ChainDepth: opts.ChainDepth,
 		Resume:     opts.Resume,

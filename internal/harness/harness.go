@@ -88,14 +88,15 @@ func buildCredentials(sigName string, depth int) (*credentials, error) {
 	if err != nil {
 		return nil, err
 	}
-	root, rootPriv, err := pki.SelfSigned("PQTLS Root CA", scheme, nil)
+	rng := newCredentialDRBG(sigName, depth)
+	root, rootPriv, err := pki.SelfSigned("PQTLS Root CA", scheme, rng)
 	if err != nil {
 		return nil, err
 	}
 	issuer, issuerPriv := root, rootPriv
 	var intermediates []*pki.Certificate
 	for i := 0; i < depth-1; i++ {
-		pub, priv, err := scheme.GenerateKey(nil)
+		pub, priv, err := scheme.GenerateKey(rng)
 		if err != nil {
 			return nil, err
 		}
@@ -106,7 +107,7 @@ func buildCredentials(sigName string, depth int) (*credentials, error) {
 		intermediates = append([]*pki.Certificate{ica}, intermediates...)
 		issuer, issuerPriv = ica, priv
 	}
-	leafPub, leafPriv, err := scheme.GenerateKey(nil)
+	leafPub, leafPriv, err := scheme.GenerateKey(rng)
 	if err != nil {
 		return nil, err
 	}
@@ -166,8 +167,10 @@ type RunOptions struct {
 	// KeyPool, when non-nil, supplies pre-generated client key shares (see
 	// KeyPool); modeled timing is unaffected.
 	KeyPool *KeyPool
-	// Rand, when non-nil, seeds both endpoints' randomness (tests that
-	// need bit-identical reruns within one process).
+	// Rand, when non-nil, seeds both endpoints' randomness. Campaigns
+	// always set it (a per-sample DRBG), pinning the variable-length
+	// randomized signatures that would otherwise jitter flight sizes and
+	// break byte-identical table regeneration across worker counts.
 	Rand io.Reader
 	// Profilers, when set, collect the white-box view.
 	ClientProf, ServerProf *perf.Profiler

@@ -286,6 +286,26 @@ func RunScenarios(kems, sigs []string, cfg SweepConfig) ([]ScenarioRow, error) {
 	return out, nil
 }
 
+// CheckLossMonotone is the Table 4 sanity gate: the high-loss scenario
+// differs from the baseline only by a 10% drop rate, so its median can
+// never legitimately beat the loss-free median. A violation means the
+// transport model is crediting loss (the bug class this gate pins down)
+// rather than paying for it.
+func CheckLossMonotone(rows []ScenarioRow) error {
+	for _, row := range rows {
+		none, okN := row.Latency[netsim.ScenarioNone.Name]
+		lossy, okL := row.Latency[netsim.ScenarioHighLoss.Name]
+		if !okN || !okL {
+			continue
+		}
+		if lossy < none {
+			return fmt.Errorf("loss monotonicity violated for %s/%s: high-loss median %v < loss-free median %v",
+				row.KEM, row.Sig, lossy, none)
+		}
+	}
+	return nil
+}
+
 // Rank is one entry of Figure 4: the algorithm and its 0-10 log-scaled
 // latency score (0 = fastest).
 type Rank struct {

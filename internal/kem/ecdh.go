@@ -2,9 +2,11 @@ package kem
 
 import (
 	"crypto/ecdh"
+	"crypto/elliptic"
 	"crypto/rand"
 	"fmt"
 	"io"
+	"math/big"
 )
 
 // ecdhKEM adapts a crypto/ecdh curve to the KEM interface: encapsulation
@@ -38,25 +40,69 @@ func sharedSize(c ecdh.Curve) int {
 }
 
 func (e *ecdhKEM) GenerateKey(rng io.Reader) (pub, priv []byte, err error) {
+	var key *ecdh.PrivateKey
 	if rng == nil {
-		rng = rand.Reader
+		key, err = e.curve.GenerateKey(rand.Reader)
+	} else {
+		key, err = deterministicECDHKey(e.curve, rng)
 	}
-	key, err := e.curve.GenerateKey(rng)
 	if err != nil {
 		return nil, nil, fmt.Errorf("kem %s: keygen: %w", e.name, err)
 	}
 	return key.PublicKey().Bytes(), key.Bytes(), nil
 }
 
-func (e *ecdhKEM) Encapsulate(rng io.Reader, pub []byte) (ct, ss []byte, err error) {
-	if rng == nil {
-		rng = rand.Reader
+// deterministicECDHKey derives a key pair by reading a fixed number of
+// bytes from rng. crypto/ecdh's GenerateKey consumes a byte of the stream
+// at random (randutil.MaybeReadByte), so handing it a seeded reader shifts
+// every later draw from a shared DRBG unpredictably — enough to jitter
+// downstream variable-length signatures between otherwise identical runs.
+// Endpoints share one DRBG per simulated handshake, so keygen must consume
+// a deterministic amount of it.
+func deterministicECDHKey(curve ecdh.Curve, rng io.Reader) (*ecdh.PrivateKey, error) {
+	if curve == ecdh.X25519() {
+		// An X25519 private key is a raw 32-byte scalar (clamped at use).
+		buf := make([]byte, 32)
+		if _, err := io.ReadFull(rng, buf); err != nil {
+			return nil, err
+		}
+		return curve.NewPrivateKey(buf)
 	}
+	var params *elliptic.CurveParams
+	switch curve {
+	case ecdh.P256():
+		params = elliptic.P256().Params()
+	case ecdh.P384():
+		params = elliptic.P384().Params()
+	case ecdh.P521():
+		params = elliptic.P521().Params()
+	default:
+		return nil, fmt.Errorf("kem: no deterministic keygen for curve %v", curve)
+	}
+	// Reduce an oversized draw into [1, N-1]; the eight extra bytes make
+	// the reduction's bias negligible.
+	n := params.N
+	buf := make([]byte, (n.BitLen()+7)/8+8)
+	if _, err := io.ReadFull(rng, buf); err != nil {
+		return nil, err
+	}
+	d := new(big.Int).SetBytes(buf)
+	d.Mod(d, new(big.Int).Sub(n, big.NewInt(1)))
+	d.Add(d, big.NewInt(1))
+	return curve.NewPrivateKey(d.FillBytes(make([]byte, (n.BitLen()+7)/8)))
+}
+
+func (e *ecdhKEM) Encapsulate(rng io.Reader, pub []byte) (ct, ss []byte, err error) {
 	peer, err := e.curve.NewPublicKey(pub)
 	if err != nil {
 		return nil, nil, fmt.Errorf("kem %s: bad public key: %w", e.name, err)
 	}
-	eph, err := e.curve.GenerateKey(rng)
+	var eph *ecdh.PrivateKey
+	if rng == nil {
+		eph, err = e.curve.GenerateKey(rand.Reader)
+	} else {
+		eph, err = deterministicECDHKey(e.curve, rng)
+	}
 	if err != nil {
 		return nil, nil, fmt.Errorf("kem %s: ephemeral keygen: %w", e.name, err)
 	}

@@ -3,6 +3,15 @@
 // delay, and rate emulation, a passive optical-tap observation point in the
 // middle (the paper's timestamper node), and wire-faithful packet framing
 // (Ethernet/IPv4/TCP) so byte counts match what a pcap would show.
+//
+// Loss is location-aware: each direction passes two emulator interfaces,
+// one on the sending host's side of the tap and one on the receiving
+// host's side. A packet dropped at the sender-side emulator (the default,
+// matching tc-netem on the sending host's egress interface) never reaches
+// the tap; a packet dropped at the receiver-side emulator passed the tap
+// first and shows up in its pcap even though it is never delivered. The
+// tap callback and the TapPackets/TapBytes counters see exactly the frames
+// a capture at the midpoint would contain.
 package netsim
 
 import (
@@ -18,6 +27,23 @@ const (
 	ServerToClient
 )
 
+// DropLocation selects which emulator interface discards lost packets,
+// relative to the passive tap in the middle of the link.
+type DropLocation int
+
+const (
+	// DropSenderSide drops at the sending host's emulator, before the
+	// midpoint: the tap never observes the packet. This is the default and
+	// matches tc-netem configured on each host's egress interface.
+	DropSenderSide DropLocation = iota
+	// DropReceiverSide drops at the receiving host's emulator, after the
+	// midpoint: the tap observes the packet even though it never arrives.
+	DropReceiverSide
+	// DropSplit picks one of the two emulators uniformly per dropped
+	// packet (impairment on both interfaces).
+	DropSplit
+)
+
 // LinkConfig is a netem-style emulation profile. The zero value of Loss /
 // Rate means no loss / unlimited rate.
 type LinkConfig struct {
@@ -25,6 +51,9 @@ type LinkConfig struct {
 	// Loss is the per-packet drop probability, applied independently in
 	// each direction (tc-netem on both interfaces).
 	Loss float64
+	// DropAt locates lost packets relative to the tap (default: sender
+	// side, i.e. dropped before the tap sees them).
+	DropAt DropLocation
 	// RTT is the path round-trip propagation time.
 	RTT time.Duration
 	// Rate is the link rate in bits per second (0 = unlimited).
@@ -62,13 +91,17 @@ func (c LinkConfig) mtu() int {
 type Transmission struct {
 	// SentAt is when the sender handed the packet to the link.
 	SentAt time.Duration
-	// TapAt is when the packet passed the optical tap (midpoint).
+	// TapAt is when the packet passed the optical tap (midpoint); only
+	// meaningful when PassedTap is true.
 	TapAt time.Duration
 	// ArriveAt is when the packet reached the far end.
 	ArriveAt time.Duration
-	// Dropped reports netem loss; a dropped packet never arrives (but was
-	// observed by the tap if it was dropped at the far emulator).
+	// Dropped reports netem loss; a dropped packet never arrives.
 	Dropped bool
+	// PassedTap reports whether the tap observed the packet: every
+	// delivered packet, plus packets dropped at the receiver-side
+	// emulator (after the midpoint). Sender-side drops never reach it.
+	PassedTap bool
 }
 
 // TapFunc observes packets passing the tap, before knowing their fate.
@@ -82,10 +115,16 @@ type Link struct {
 	busyUntil [2]time.Duration
 	tap       TapFunc
 
-	// Packet and byte counters per direction, counting every transmitted
-	// frame (including retransmissions) like a pcap would.
+	// Packet and byte counters per direction, counting every frame the
+	// sender put on the wire (including retransmissions and frames lost
+	// in flight) — what a pcap on the sending host would show.
 	Packets [2]int
 	Bytes   [2]int
+	// Tap-side counters: only frames that actually passed the midpoint —
+	// what the timestamper's pcap would show. Equal to Packets/Bytes on a
+	// loss-free link and under DropReceiverSide.
+	TapPackets [2]int
+	TapBytes   [2]int
 }
 
 // NewLink creates a link with a deterministic loss process per seed.
@@ -120,11 +159,25 @@ func (l *Link) Transmit(dir Direction, now time.Duration, frame []byte) Transmis
 	tx.TapAt = start + ser + owd/2
 	tx.ArriveAt = start + ser + owd
 	tx.Dropped = l.cfg.Loss > 0 && l.rng.Float64() < l.cfg.Loss
+	afterTap := false
+	if tx.Dropped {
+		switch l.cfg.DropAt {
+		case DropReceiverSide:
+			afterTap = true
+		case DropSplit:
+			afterTap = l.rng.Float64() < 0.5
+		}
+	}
+	tx.PassedTap = !tx.Dropped || afterTap
 
 	l.Packets[dir]++
 	l.Bytes[dir] += size
-	if l.tap != nil {
-		l.tap(dir, tx.TapAt, frame)
+	if tx.PassedTap {
+		l.TapPackets[dir]++
+		l.TapBytes[dir] += size
+		if l.tap != nil {
+			l.tap(dir, tx.TapAt, frame)
+		}
 	}
 	return tx
 }

@@ -112,3 +112,89 @@ func TestBuildFrameStructure(t *testing.T) {
 		t.Error("HeaderOverhead(SYN) inconsistent with BuildFrame")
 	}
 }
+
+// Sender-side drops (the default) happen before the midpoint: the tap must
+// not observe them, and the tap counters must exclude them, while the
+// sender-side pcap counters still include them.
+func TestDropSenderSideInvisibleToTap(t *testing.T) {
+	t.Parallel()
+	link := NewLink(LinkConfig{Loss: 1.0}, 1)
+	tapped := 0
+	link.SetTap(func(Direction, time.Duration, []byte) { tapped++ })
+	tx := link.Transmit(ClientToServer, 0, make([]byte, 500))
+	if !tx.Dropped {
+		t.Fatal("Loss 1.0 did not drop")
+	}
+	if tx.PassedTap {
+		t.Error("sender-side drop reported PassedTap")
+	}
+	if tapped != 0 {
+		t.Error("tap observed a packet dropped before the midpoint")
+	}
+	if link.Packets[ClientToServer] != 1 || link.TapPackets[ClientToServer] != 0 {
+		t.Errorf("counters: sender %d tap %d, want 1 and 0",
+			link.Packets[ClientToServer], link.TapPackets[ClientToServer])
+	}
+	if link.TapBytes[ClientToServer] != 0 {
+		t.Errorf("tap bytes %d, want 0", link.TapBytes[ClientToServer])
+	}
+}
+
+// Receiver-side drops pass the tap first: observed, counted, not delivered.
+func TestDropReceiverSideObservedByTap(t *testing.T) {
+	t.Parallel()
+	link := NewLink(LinkConfig{Loss: 1.0, DropAt: DropReceiverSide}, 1)
+	tapped := 0
+	link.SetTap(func(Direction, time.Duration, []byte) { tapped++ })
+	tx := link.Transmit(ClientToServer, 0, make([]byte, 500))
+	if !tx.Dropped {
+		t.Fatal("Loss 1.0 did not drop")
+	}
+	if !tx.PassedTap {
+		t.Error("receiver-side drop did not report PassedTap")
+	}
+	if tapped != 1 {
+		t.Errorf("tap saw %d packets, want 1", tapped)
+	}
+	if link.TapPackets[ClientToServer] != 1 || link.TapBytes[ClientToServer] != 500 {
+		t.Errorf("tap counters: %d pkts %d bytes, want 1 and 500",
+			link.TapPackets[ClientToServer], link.TapBytes[ClientToServer])
+	}
+}
+
+// DropSplit picks a side per dropped packet, deterministically per seed.
+func TestDropSplitDeterministic(t *testing.T) {
+	t.Parallel()
+	run := func(seed int64) (before, after int) {
+		link := NewLink(LinkConfig{Loss: 1.0, DropAt: DropSplit}, seed)
+		for i := 0; i < 200; i++ {
+			if link.Transmit(ClientToServer, 0, make([]byte, 100)).PassedTap {
+				after++
+			} else {
+				before++
+			}
+		}
+		return
+	}
+	b1, a1 := run(3)
+	b2, a2 := run(3)
+	if b1 != b2 || a1 != a2 {
+		t.Error("DropSplit not deterministic per seed")
+	}
+	if b1 == 0 || a1 == 0 {
+		t.Errorf("DropSplit never used one side: before=%d after=%d", b1, a1)
+	}
+}
+
+// On a loss-free link the tap counters match the sender-side counters.
+func TestTapCountersMatchWithoutLoss(t *testing.T) {
+	t.Parallel()
+	link := NewLink(LinkConfig{}, 1)
+	for i := 0; i < 5; i++ {
+		link.Transmit(ServerToClient, 0, make([]byte, 100))
+	}
+	if link.TapPackets[ServerToClient] != link.Packets[ServerToClient] ||
+		link.TapBytes[ServerToClient] != link.Bytes[ServerToClient] {
+		t.Error("tap counters diverge from sender counters on loss-free link")
+	}
+}

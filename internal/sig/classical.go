@@ -8,8 +8,10 @@ import (
 	"crypto/rsa"
 	"crypto/sha256"
 	"crypto/x509"
+	"encoding/asn1"
 	"fmt"
 	"io"
+	"math/big"
 	"sync"
 )
 
@@ -81,7 +83,12 @@ func (r *rsaScheme) Sign(priv, msg []byte) ([]byte, error) {
 		return nil, fmt.Errorf("sig %s: bad private key: %w", r.name, err)
 	}
 	digest := sha256.Sum256(msg)
-	return rsa.SignPSS(rand.Reader, key, crypto.SHA256, digest[:], &rsa.PSSOptions{
+	// The salt source is derived from the key and digest rather than the
+	// process's entropy pool. PSS output length is fixed by the modulus, so
+	// unlike ECDSA this never affects flight sizes; deriving the salt just
+	// removes one more run-to-run difference from captured wire bytes.
+	salt := newDetReader("pqtls-pss-salt", priv, digest[:])
+	return rsa.SignPSS(salt, key, crypto.SHA256, digest[:], &rsa.PSSOptions{
 		SaltLength: rsa.PSSSaltLengthEqualsHash,
 	})
 }
@@ -124,10 +131,12 @@ func (e *ecdsaScheme) SignatureSize() int {
 }
 
 func (e *ecdsaScheme) GenerateKey(rng io.Reader) (pub, priv []byte, err error) {
+	var key *ecdsa.PrivateKey
 	if rng == nil {
-		rng = rand.Reader
+		key, err = ecdsa.GenerateKey(e.curve, rand.Reader)
+	} else {
+		key, err = deterministicECDSAKey(e.curve, rng)
 	}
-	key, err := ecdsa.GenerateKey(e.curve, rng)
 	if err != nil {
 		return nil, nil, fmt.Errorf("sig %s: keygen: %w", e.name, err)
 	}
@@ -142,13 +151,82 @@ func (e *ecdsaScheme) GenerateKey(rng io.Reader) (pub, priv []byte, err error) {
 	return pub, priv, nil
 }
 
+// deterministicECDSAKey derives a key pair by reading a fixed number of
+// bytes from rng, bypassing ecdsa.GenerateKey: the stdlib generator is
+// deliberately non-reproducible from a seeded reader (it consumes a byte of
+// the stream at random), which would defeat the seeded credential builds
+// that keep regenerated tables byte-identical across worker counts. The
+// eight extra bytes make the modular reduction's bias negligible.
+func deterministicECDSAKey(curve elliptic.Curve, rng io.Reader) (*ecdsa.PrivateKey, error) {
+	n := curve.Params().N
+	buf := make([]byte, (n.BitLen()+7)/8+8)
+	if _, err := io.ReadFull(rng, buf); err != nil {
+		return nil, err
+	}
+	d := new(big.Int).SetBytes(buf)
+	d.Mod(d, new(big.Int).Sub(n, big.NewInt(1)))
+	d.Add(d, big.NewInt(1))
+	key := &ecdsa.PrivateKey{D: d}
+	key.Curve = curve
+	key.X, key.Y = curve.ScalarBaseMult(d.Bytes())
+	return key, nil
+}
+
+// hashToInt converts a digest to the integer the ECDSA equations use,
+// mirroring the stdlib's truncation: keep the leftmost BitLen(N) bits.
+func hashToInt(hash []byte, n *big.Int) *big.Int {
+	orderBits := n.BitLen()
+	orderBytes := (orderBits + 7) / 8
+	if len(hash) > orderBytes {
+		hash = hash[:orderBytes]
+	}
+	z := new(big.Int).SetBytes(hash)
+	if excess := len(hash)*8 - orderBits; excess > 0 {
+		z.Rsh(z, uint(excess))
+	}
+	return z
+}
+
+// Sign is deterministic in the style of RFC 6979: the nonce is derived from
+// the private key and message digest, so identical inputs always yield the
+// identical DER signature. ECDSA's DER length varies with the leading bits
+// of (r, s), so randomized nonces would jitter certificate and
+// CertificateVerify sizes between otherwise identical runs — the one
+// remaining source of non-reproducibility in regenerated tables.
+// Derandomized ECDSA also mirrors deployed practice (nonce reuse is
+// catastrophic); the variable-time math/big arithmetic is fine for a
+// simulator that never holds real secrets.
 func (e *ecdsaScheme) Sign(priv, msg []byte) ([]byte, error) {
 	key, err := x509.ParseECPrivateKey(priv)
 	if err != nil {
 		return nil, fmt.Errorf("sig %s: bad private key: %w", e.name, err)
 	}
 	digest := sha256.Sum256(msg)
-	return ecdsa.SignASN1(rand.Reader, key, digest[:])
+	n := e.curve.Params().N
+	z := hashToInt(digest[:], n)
+	rng := newDetReader("pqtls-ecdsa-nonce", priv, digest[:])
+	buf := make([]byte, (n.BitLen()+7)/8+8)
+	for {
+		if _, err := io.ReadFull(rng, buf); err != nil {
+			return nil, err
+		}
+		k := new(big.Int).SetBytes(buf)
+		k.Mod(k, new(big.Int).Sub(n, big.NewInt(1)))
+		k.Add(k, big.NewInt(1))
+		rx, _ := e.curve.ScalarBaseMult(k.Bytes())
+		r := new(big.Int).Mod(rx, n)
+		if r.Sign() == 0 {
+			continue
+		}
+		s := new(big.Int).Mul(r, key.D)
+		s.Add(s, z)
+		s.Mul(s, new(big.Int).ModInverse(k, n))
+		s.Mod(s, n)
+		if s.Sign() == 0 {
+			continue
+		}
+		return asn1.Marshal(struct{ R, S *big.Int }{r, s})
+	}
 }
 
 func (e *ecdsaScheme) Verify(pub, msg, sig []byte) bool {

@@ -1,0 +1,53 @@
+package sig
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// detReader is a SHA-256 counter-mode stream keyed by a domain-separation
+// label and the inputs it is derived from. The classical schemes use it to
+// derandomize signing: Go's crypto/ecdsa and crypto/rsa deliberately refuse
+// to be reproducible from a seeded io.Reader (randutil.MaybeReadByte
+// consumes a byte of the stream at random), so handing them a seeded reader
+// is not enough to make two runs of the simulator produce the same wire
+// bytes. Deriving the randomness from the private key and message digest —
+// the RFC 6979 construction — removes the process's entropy source from the
+// signature entirely, which is what keeps regenerated result tables
+// byte-identical across runs and worker counts.
+type detReader struct {
+	seed [32]byte
+	ctr  uint64
+	buf  []byte
+}
+
+// newDetReader keys a stream from the label and a length-prefixed
+// concatenation of the parts (length prefixes keep distinct part
+// boundaries from colliding).
+func newDetReader(label string, parts ...[]byte) *detReader {
+	h := sha256.New()
+	h.Write([]byte(label))
+	for _, p := range parts {
+		var n [8]byte
+		binary.BigEndian.PutUint64(n[:], uint64(len(p)))
+		h.Write(n[:])
+		h.Write(p)
+	}
+	d := &detReader{}
+	h.Sum(d.seed[:0])
+	return d
+}
+
+func (d *detReader) Read(p []byte) (int, error) {
+	for len(d.buf) < len(p) {
+		var block [40]byte
+		copy(block[:32], d.seed[:])
+		binary.BigEndian.PutUint64(block[32:], d.ctr)
+		d.ctr++
+		sum := sha256.Sum256(block[:])
+		d.buf = append(d.buf, sum[:]...)
+	}
+	n := copy(p, d.buf)
+	d.buf = d.buf[n:]
+	return n, nil
+}

@@ -173,3 +173,41 @@ func TestMalformedComposite(t *testing.T) {
 		t.Error("truncated composite public key accepted")
 	}
 }
+
+// Classical signing must be derandomized (RFC 6979 style) and seeded keygen
+// reproducible: ECDSA's variable-length DER signatures would otherwise
+// jitter flight sizes between runs and break the byte-identical table gates.
+func TestClassicalDeterminism(t *testing.T) {
+	t.Parallel()
+	for _, name := range []string{"ecdsa-p256", "ecdsa-p384", "ecdsa-p521", "rsa:1024", "p256_dilithium2"} {
+		s := MustByName(name)
+		pub1, priv1, err := s.GenerateKey(newDetReader("seed"))
+		if err != nil {
+			t.Fatalf("%s: keygen: %v", name, err)
+		}
+		pub2, priv2, err := s.GenerateKey(newDetReader("seed"))
+		if err != nil {
+			t.Fatalf("%s: keygen: %v", name, err)
+		}
+		if name != "rsa:1024" { // stdlib RSA keygen is inherently non-reproducible
+			if !bytes.Equal(pub1, pub2) || !bytes.Equal(priv1, priv2) {
+				t.Errorf("%s: seeded keygen not reproducible", name)
+			}
+		}
+		msg := []byte("determinism probe")
+		sig1, err := s.Sign(priv1, msg)
+		if err != nil {
+			t.Fatalf("%s: sign: %v", name, err)
+		}
+		sig2, err := s.Sign(priv1, msg)
+		if err != nil {
+			t.Fatalf("%s: sign: %v", name, err)
+		}
+		if !bytes.Equal(sig1, sig2) {
+			t.Errorf("%s: signing not deterministic", name)
+		}
+		if !s.Verify(pub1, msg, sig1) {
+			t.Errorf("%s: deterministic signature does not verify", name)
+		}
+	}
+}

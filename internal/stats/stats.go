@@ -3,6 +3,7 @@
 package stats
 
 import (
+	"math"
 	"sort"
 	"time"
 )
@@ -21,21 +22,26 @@ func Median(xs []time.Duration) time.Duration {
 	return (s[n/2-1] + s[n/2]) / 2
 }
 
-// Quantile returns the q-quantile (0 <= q <= 1) using nearest-rank.
+// Quantile returns the q-quantile (0 <= q <= 1) of xs under the
+// nearest-rank definition: the smallest element whose cumulative relative
+// frequency is >= q, i.e. the ceil(q*n)-th smallest. q = 0 maps to the
+// minimum and q = 1 to the maximum; empty input yields 0. Nearest-rank
+// always returns an element of the sample (no interpolation), matching the
+// paper's percentile tooling.
 func Quantile(xs []time.Duration, q float64) time.Duration {
 	if len(xs) == 0 {
 		return 0
 	}
 	s := append([]time.Duration{}, xs...)
 	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-	idx := int(q*float64(len(s)-1) + 0.5)
-	if idx < 0 {
-		idx = 0
+	rank := int(math.Ceil(q * float64(len(s)))) // 1-indexed nearest rank
+	if rank < 1 {
+		rank = 1
 	}
-	if idx >= len(s) {
-		idx = len(s) - 1
+	if rank > len(s) {
+		rank = len(s)
 	}
-	return s[idx]
+	return s[rank-1]
 }
 
 // Mean returns the arithmetic mean.

@@ -1,0 +1,122 @@
+package tcpsim
+
+import (
+	"testing"
+	"time"
+
+	"pqtls/internal/netsim"
+)
+
+// Differential check: on a loss-free link every transfer time is fully
+// determined by serialization and propagation — no congestion logic should
+// contribute. This mirror computes the closed form independently of the
+// event machine: each frame's arrival is start + size*8/rate + RTT/2, with
+// per-direction FIFO serialization chaining and the receiver's wire-ACK
+// cadence occupying the reverse channel.
+type analytic struct {
+	cfg        netsim.LinkConfig
+	busy       [2]time.Duration
+	ackCounter [2]int
+	ackEvery   int
+	mss        int
+}
+
+func newAnalytic(cfg netsim.LinkConfig) *analytic {
+	a := &analytic{cfg: cfg, ackEvery: 2, mss: 1500 - 40}
+	if cfg.Rate == 0 || cfg.Rate >= 1_000_000_000 {
+		a.ackEvery = 22 // GRO-coalesced ACKs on fast links
+	}
+	return a
+}
+
+// tx mirrors netsim.Link.Transmit timing: FIFO serialization per direction,
+// then one-way propagation.
+func (a *analytic) tx(dir netsim.Direction, now time.Duration, frameLen int) time.Duration {
+	start := now
+	if a.busy[dir] > start {
+		start = a.busy[dir]
+	}
+	var ser time.Duration
+	if a.cfg.Rate > 0 {
+		ser = time.Duration(int64(frameLen) * 8 * int64(time.Second) / a.cfg.Rate)
+	}
+	a.busy[dir] = start + ser
+	return a.busy[dir] + a.cfg.RTT/2
+}
+
+// connect is the closed form of the three-way handshake.
+func (a *analytic) connect() (clientReady, serverReady time.Duration) {
+	syn := a.tx(netsim.ClientToServer, 0, netsim.HeaderOverhead(netsim.FlagSYN))
+	synack := a.tx(netsim.ServerToClient, syn, netsim.HeaderOverhead(netsim.FlagSYN|netsim.FlagACK))
+	ack := a.tx(netsim.ClientToServer, synack, netsim.HeaderOverhead(netsim.FlagACK))
+	return synack, ack
+}
+
+// flight is the closed form of one within-window transfer: all segments
+// offered back-to-back at t, the last byte delivered one serialization
+// chain plus one one-way delay later; wire ACKs occupy the reverse channel
+// per the delayed-ACK cadence.
+func (a *analytic) flight(dir netsim.Direction, t time.Duration, size int) time.Duration {
+	rev := netsim.ServerToClient
+	if dir == rev {
+		rev = netsim.ClientToServer
+	}
+	var last time.Duration
+	for rem := size; rem > 0; {
+		seg := min(rem, a.mss)
+		rem -= seg
+		last = a.tx(dir, t, netsim.HeaderOverhead(netsim.FlagACK)+seg)
+		a.ackCounter[dir]++
+		if a.ackCounter[dir]%a.ackEvery == 0 || rem == 0 {
+			a.tx(rev, last, netsim.HeaderOverhead(netsim.FlagACK))
+		}
+	}
+	return last
+}
+
+// The acceptance gate: for every Loss:0 scenario profile, a multi-flight
+// handshake-shaped exchange must match the closed form within 1 µs.
+func TestNoLossAnalyticDifferential(t *testing.T) {
+	t.Parallel()
+	const tolerance = time.Microsecond
+	for _, cfg := range netsim.Scenarios() {
+		if cfg.Loss != 0 {
+			continue
+		}
+		t.Run(cfg.Name, func(t *testing.T) {
+			t.Parallel()
+			conn := NewConn(netsim.NewLink(cfg, 9), Options{})
+			clientReady, serverReady := conn.Connect(0)
+			an := newAnalytic(cfg)
+			wantCR, wantSR := an.connect()
+			if clientReady != wantCR || serverReady != wantSR {
+				t.Errorf("Connect = (%v, %v), closed form (%v, %v)",
+					clientReady, serverReady, wantCR, wantSR)
+			}
+			// CH-sized, server-flight-sized, Finished-sized flights, each
+			// handed to the socket when the previous flight delivered.
+			flights := []struct {
+				dir  netsim.Direction
+				size int
+			}{
+				{netsim.ClientToServer, 500},
+				{netsim.ServerToClient, 6000},
+				{netsim.ClientToServer, 1200},
+			}
+			tSend := clientReady
+			for i, f := range flights {
+				got := conn.Send(f.dir, tSend, make([]byte, f.size))
+				want := an.flight(f.dir, tSend, f.size)
+				diff := got - want
+				if diff < 0 {
+					diff = -diff
+				}
+				if diff > tolerance {
+					t.Errorf("flight %d (%d B): delivered %v, closed form %v (diff %v)",
+						i, f.size, got, want, diff)
+				}
+				tSend = got
+			}
+		})
+	}
+}

@@ -1,0 +1,206 @@
+package tcpsim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"time"
+
+	"pqtls/internal/netsim"
+)
+
+// installInvariantHook wires the package test hook to assert the sender
+// state-machine invariants at every transition. Tests using it must not run
+// in parallel (the hook is a package global); they are serial tests, which
+// the testing package never overlaps with parallel ones.
+func installInvariantHook(t *testing.T) *int {
+	t.Helper()
+	points := 0
+	testHook = func(x *transfer, point string) {
+		points++
+		s := x.s
+		if x.inflight() < 0 {
+			t.Fatalf("%s: inflight %d < 0", point, x.inflight())
+		}
+		if x.prevOut < 0 {
+			t.Fatalf("%s: carried-over outstanding %d < 0", point, x.prevOut)
+		}
+		if s.cwnd < 2 {
+			t.Fatalf("%s: cwnd %.3f < 2", point, s.cwnd)
+		}
+		if !math.IsInf(s.ssthresh, 1) && s.ssthresh < 2 {
+			t.Fatalf("%s: ssthresh %.3f < 2", point, s.ssthresh)
+		}
+		if x.sndUna < 0 || x.sndUna > x.sndNxt || x.sndNxt > len(x.segs) {
+			t.Fatalf("%s: sequence state una=%d nxt=%d n=%d", point, x.sndUna, x.sndNxt, len(x.segs))
+		}
+		if x.rcvNext < 0 || x.rcvNext > len(x.segs) {
+			t.Fatalf("%s: rcvNext %d out of range [0,%d]", point, x.rcvNext, len(x.segs))
+		}
+		if point == "done" {
+			// Credit conservation: when a transfer finishes, every segment
+			// counted against the window is either acknowledged (sndUna) or
+			// parked as a carried credit for the next transfer — including
+			// credits this transfer itself inherited and never drained.
+			sum := 0
+			for _, cr := range s.carried {
+				sum += cr.n
+			}
+			if want := x.prevOut + len(x.segs) - x.sndUna; sum != want {
+				t.Fatalf("done: carried credits %d, want %d (prevOut %d, una %d/%d)",
+					sum, want, x.prevOut, x.sndUna, len(x.segs))
+			}
+			if !x.delivered || x.rcvNext != len(x.segs) {
+				t.Fatalf("done: transfer finished undelivered (rcvNext %d/%d)", x.rcvNext, len(x.segs))
+			}
+		}
+	}
+	t.Cleanup(func() { testHook = nil })
+	return &points
+}
+
+// Every invariant must hold at every transition across a grid of loss
+// rates, for a handshake-shaped exchange with back-to-back flushes that
+// exercises the carried-credit path.
+func TestInvariantsUnderRandomLoss(t *testing.T) {
+	points := installInvariantHook(t)
+	for _, loss := range []float64{0, 0.05, 0.2, 0.5} {
+		for seed := int64(0); seed < 12; seed++ {
+			cfg := netsim.LinkConfig{Name: "t", Loss: loss,
+				RTT: 40 * time.Millisecond, Rate: 10_000_000}
+			conn := NewConn(netsim.NewLink(cfg, seed), Options{})
+			_, serverReady := conn.Connect(0)
+			d1 := conn.Send(netsim.ClientToServer, serverReady, make([]byte, 700))
+			// Two server flushes moments apart: the second must count the
+			// first's in-flight segments against the shared window.
+			d2 := conn.Send(netsim.ServerToClient, d1, make([]byte, 9000))
+			d3 := conn.Send(netsim.ServerToClient, d1+time.Millisecond, make([]byte, 16000))
+			d4 := conn.Send(netsim.ClientToServer, d3, make([]byte, 300))
+			for i, pair := range [][2]time.Duration{
+				{serverReady, d1}, {d1, d2}, {d1 + time.Millisecond, d3}, {d3, d4},
+			} {
+				if pair[1] < pair[0] {
+					t.Fatalf("loss %.2f seed %d: flight %d delivered at %v before send time %v",
+						loss, seed, i, pair[1], pair[0])
+				}
+			}
+		}
+	}
+	if *points == 0 {
+		t.Fatal("invariant hook never fired")
+	}
+}
+
+// A single lost data segment in a window's worth of traffic must be
+// repaired by fast retransmit — without waiting for the retransmission
+// timer — and fast recovery must reopen the window: total slowdown stays
+// within a few RTTs of the clean run. This pins the two historical bugs
+// where loss grew the window and fast retransmit kept it closed until the
+// original RTO.
+func TestFastRetransmitRecoversWithoutRTO(t *testing.T) {
+	const rtt = 40 * time.Millisecond
+	payload := make([]byte, 40*1460)
+	clean := NewConn(netsim.NewLink(netsim.LinkConfig{Name: "t", RTT: rtt}, 1), Options{})
+	_, cleanReady := clean.Connect(0)
+	cleanDone := clean.Send(netsim.ServerToClient, cleanReady, payload)
+	cleanTime := cleanDone - cleanReady
+
+	found := false
+	for seed := int64(0); seed < 300 && !found; seed++ {
+		timers, retransmissions := 0, 0
+		testHook = func(x *transfer, point string) {
+			switch point {
+			case "timer":
+				timers++
+			case "done":
+				for _, a := range x.attempts {
+					if a > 1 {
+						retransmissions += a - 1
+					}
+				}
+			}
+		}
+		link := netsim.NewLink(netsim.LinkConfig{Name: "t", Loss: 0.02, RTT: rtt}, seed)
+		conn := NewConn(link, Options{})
+		_, serverReady := conn.Connect(0)
+		done := conn.Send(netsim.ServerToClient, serverReady, payload)
+		testHook = nil
+		if retransmissions < 1 || timers > 0 {
+			continue // want a run repaired purely by fast retransmit
+		}
+		found = true
+		lossyTime := done - serverReady
+		// Recovery can overlap later slow-start rounds entirely (the halved
+		// window still covers the tail), so equal time is legitimate — but
+		// loss must never make the transfer faster.
+		if lossyTime < cleanTime {
+			t.Errorf("seed %d: lossy transfer (%v) faster than clean (%v)", seed, lossyTime, cleanTime)
+		}
+		if lossyTime > cleanTime+5*rtt {
+			t.Errorf("seed %d: fast-retransmit recovery took %v vs clean %v — window likely stayed closed",
+				seed, lossyTime, cleanTime)
+		}
+	}
+	if !found {
+		t.Fatal("no seed produced a loss repaired solely by fast retransmit")
+	}
+}
+
+// Higher loss must never make the median transfer faster — the bug the old
+// model had (an RTO credited as an ACK grew the window on every drop).
+func TestLossMonotoneMedianTransferTime(t *testing.T) {
+	t.Parallel()
+	median := func(loss float64) time.Duration {
+		var times []time.Duration
+		for seed := int64(0); seed < 31; seed++ {
+			cfg := netsim.LinkConfig{Name: "t", Loss: loss,
+				RTT: 40 * time.Millisecond, Rate: 20_000_000}
+			conn := NewConn(netsim.NewLink(cfg, seed), Options{})
+			_, serverReady := conn.Connect(0)
+			done := conn.Send(netsim.ServerToClient, serverReady, make([]byte, 30*1460))
+			times = append(times, done-serverReady)
+		}
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		return times[len(times)/2]
+	}
+	grid := []float64{0, 0.1, 0.3}
+	prev := median(grid[0])
+	for _, loss := range grid[1:] {
+		m := median(loss)
+		if m < prev {
+			t.Errorf("median at loss %.1f (%v) faster than at lower loss (%v)", loss, m, prev)
+		}
+		prev = m
+	}
+}
+
+// Seeded regression pins: Connect and two data flights on every scenario
+// profile at seed 42. Any behavioural change to the transport model shows
+// up here as an explicit golden diff rather than silently reshaping the
+// paper's constrained-network tables.
+func TestScenarioRegressionPins(t *testing.T) {
+	t.Parallel()
+	pins := map[string][4]time.Duration{
+		"none":          {0, 0, 0, 0},
+		"high-loss":     {1000000000, 1000000000, 2000000000, 2000000000},
+		"low-bandwidth": {1184000, 1712000, 27296000, 94992000},
+		"high-delay":    {1000000000, 1500000000, 1500000000, 2000000000},
+		"lte-m":         {1201184000, 1301712000, 2313392000, 2481088000},
+		"5g":            {44001344, 66001944, 66031015, 88107938},
+	}
+	for _, cfg := range netsim.Scenarios() {
+		want, ok := pins[cfg.Name]
+		if !ok {
+			t.Errorf("no pin for scenario %q", cfg.Name)
+			continue
+		}
+		conn := NewConn(netsim.NewLink(cfg, 42), Options{})
+		cr, sr := conn.Connect(0)
+		d1 := conn.Send(netsim.ClientToServer, cr, make([]byte, 3000))
+		d2 := conn.Send(netsim.ServerToClient, d1, make([]byte, 8000))
+		got := [4]time.Duration{cr, sr, d1, d2}
+		if got != want {
+			t.Errorf("%s: (connect, ready, flight1, flight2) = %v, want %v", cfg.Name, got, want)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package tcpsim
+
+import "time"
+
+// RFC 6298 round-trip-time estimation: SRTT and RTTVAR updated per sample,
+// RTO = SRTT + 4*RTTVAR bounded below by the configured minimum. The TCP
+// handshake seeds the estimator (Connect measures the SYN and SYN-ACK round
+// trips), so the first data RTO already reflects the path instead of the
+// 1-second pre-sample default.
+
+const (
+	// initialRTO applies before any RTT sample exists (RFC 6298 §2).
+	initialRTO = time.Second
+	// maxRTO caps exponential backoff (RFC 6298 §2.5 allows >= 60 s).
+	maxRTO = 60 * time.Second
+)
+
+// rttEstimator tracks the smoothed RTT state of one sender.
+type rttEstimator struct {
+	srtt   time.Duration
+	rttvar time.Duration
+	valid  bool
+}
+
+// sample folds one round-trip measurement in (RFC 6298 §2.2-2.3). Callers
+// must respect Karn's algorithm: never sample a retransmitted segment.
+func (e *rttEstimator) sample(r time.Duration) {
+	if r < 0 {
+		return
+	}
+	if !e.valid {
+		e.srtt = r
+		e.rttvar = r / 2
+		e.valid = true
+		return
+	}
+	diff := e.srtt - r
+	if diff < 0 {
+		diff = -diff
+	}
+	e.rttvar = (3*e.rttvar + diff) / 4
+	e.srtt = (7*e.srtt + r) / 8
+}
+
+// rto derives the retransmission timeout, folding the clock granularity G
+// into the lower bound (min stands in for max(G, 4*RTTVAR) flooring).
+func (e *rttEstimator) rto(min time.Duration) time.Duration {
+	if !e.valid {
+		if initialRTO < min {
+			return min
+		}
+		return initialRTO
+	}
+	rto := e.srtt + 4*e.rttvar
+	if rto < min {
+		rto = min
+	}
+	if rto > maxRTO {
+		rto = maxRTO
+	}
+	return rto
+}

@@ -1,0 +1,458 @@
+package tcpsim
+
+import (
+	"math"
+	"time"
+
+	"pqtls/internal/netsim"
+)
+
+// The event-driven transfer engine. One transfer moves one flight of
+// payload through the link: segments are transmitted whenever the
+// congestion window opens, and three event kinds advance virtual time in
+// strict order — segment arrivals at the receiver, (lossless, one-way-delay
+// delayed) accounting ACKs back at the sender, and the retransmission
+// timer. Congestion state (cwnd, ssthresh, RTT estimate) lives on the
+// sender and persists across flights; per-flight bookkeeping lives here.
+
+// maxRetries bounds per-segment retransmissions like Linux tcp_retries2;
+// the final attempt counts as delivered (see the package comment).
+const maxRetries = 15
+
+// dupThresh is the fast-retransmit duplicate-ACK threshold (RFC 5681).
+const dupThresh = 3
+
+// lossWindow is the post-RTO congestion window. RFC 5681 specifies 1
+// segment; we floor at 2 (as ssthresh already is) so one timeout never
+// serializes the tail — see the package comment.
+const lossWindow = 2
+
+type evKind int
+
+const (
+	evArrive  evKind = iota // val: segment index arriving at the receiver
+	evAck                   // val: cumulative in-order segment count at the sender
+	evTimer                 // val: timer generation
+	evPrevAck               // val: window credits returning from a previous transfer
+)
+
+// credit is window headroom returning to the sender at a known time:
+// segments of an earlier flush whose ACKs were still in flight when that
+// flush finished delivering.
+type credit struct {
+	at time.Duration
+	n  int
+}
+
+type event struct {
+	at   time.Duration
+	id   int // insertion order, tiebreak for deterministic processing
+	kind evKind
+	val  int
+}
+
+// eventQueue is a binary min-heap ordered by (at, id).
+type eventQueue struct {
+	h      []event
+	nextID int
+}
+
+func (q *eventQueue) less(i, j int) bool {
+	if q.h[i].at != q.h[j].at {
+		return q.h[i].at < q.h[j].at
+	}
+	return q.h[i].id < q.h[j].id
+}
+
+func (q *eventQueue) push(ev event) {
+	ev.id = q.nextID
+	q.nextID++
+	q.h = append(q.h, ev)
+	for i := len(q.h) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) pop() (event, bool) {
+	if len(q.h) == 0 {
+		return event{}, false
+	}
+	top := q.h[0]
+	last := len(q.h) - 1
+	q.h[0] = q.h[last]
+	q.h = q.h[:last]
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(q.h) && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(q.h) && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		q.h[i], q.h[smallest] = q.h[smallest], q.h[i]
+		i = smallest
+	}
+	return top, true
+}
+
+// testHook, when non-nil, observes every state transition of every transfer
+// (set only by invariant tests; nil in production).
+var testHook func(x *transfer, point string)
+
+// transfer is the per-flight state machine.
+type transfer struct {
+	c *Conn
+	s *sender
+
+	owd      time.Duration
+	ackEvery int
+
+	// Segmented payload: seqStart[i] is segment i's first wire sequence
+	// number, with a sentinel end entry at seqStart[n].
+	segs     [][]byte
+	seqStart []uint32
+	attempts []int
+	sentAt   []time.Duration // last transmission offer time per segment
+	retx     []bool          // ever retransmitted (Karn's algorithm)
+
+	// Sender variables, in segment indices.
+	sndUna, sndNxt int
+	prevOut        int // carried-over segments still counted against cwnd
+	dupAcks        int
+	inRecovery     bool
+	recoverIdx     int // recovery ends when cumAck reaches this index
+
+	// Retransmission timer (RFC 6298 §5).
+	rto        time.Duration
+	timerGen   int
+	timerArmed bool
+
+	// Receiver reassembly.
+	got     []bool
+	rcvNext int
+	ackSeq  uint32 // reverse-direction sequence number stamped on wire ACKs
+
+	events eventQueue
+	now    time.Duration
+
+	delivered   bool
+	deliveredAt time.Duration // last byte available in order at the receiver
+	lastTx      time.Duration
+}
+
+func newTransfer(c *Conn, s *sender, now time.Duration, payload []byte) *transfer {
+	mss := c.link.MSS()
+	x := &transfer{
+		c:        c,
+		s:        s,
+		owd:      c.link.Config().RTT / 2,
+		ackEvery: 2,
+		now:      now,
+		lastTx:   now,
+		ackSeq:   c.send[s.reverse].nextSeq,
+		rto:      s.est.rto(c.opts.MinRTO),
+	}
+	// Fast links (>= 1 Gbit/s) GRO-coalesce back-to-back bursts at the
+	// receiving NIC, so one wire ACK covers a whole aggregate (~64 kB), as
+	// on the paper's 10 Gbit/s testbed.
+	if rate := c.link.Config().Rate; rate == 0 || rate >= 1_000_000_000 {
+		x.ackEvery = 22
+	}
+	for off := 0; off < len(payload); off += mss {
+		end := min(off+mss, len(payload))
+		x.segs = append(x.segs, payload[off:end])
+		x.seqStart = append(x.seqStart, s.nextSeq)
+		s.nextSeq += uint32(end - off)
+	}
+	x.seqStart = append(x.seqStart, s.nextSeq)
+	n := len(x.segs)
+	x.attempts = make([]int, n)
+	x.sentAt = make([]time.Duration, n)
+	x.retx = make([]bool, n)
+	x.got = make([]bool, n)
+	for _, cr := range s.carried {
+		x.prevOut += cr.n
+		x.events.push(event{at: cr.at, kind: evPrevAck, val: cr.n})
+	}
+	s.carried = nil
+	return x
+}
+
+// run drives the event loop until every segment has been delivered in
+// order, then returns the delivery time of the last byte. ACKs still in
+// flight at that point are not consumed here — crediting them now would let
+// a flush queued moments later (before those ACKs could causally have
+// returned) start with a fully open, already-grown window. Instead their
+// return times are parked on the sender as carried credits, and the next
+// transfer counts them against its window until they drain.
+func (x *transfer) run() time.Duration {
+	x.trySend()
+	for !x.delivered {
+		ev, ok := x.events.pop()
+		if !ok {
+			// Unreachable: outstanding data always has an armed timer.
+			break
+		}
+		if ev.kind == evTimer && (!x.timerArmed || ev.val != x.timerGen) {
+			continue // cancelled timer; do not let it advance the clock
+		}
+		if ev.at > x.now {
+			x.now = ev.at
+		}
+		switch ev.kind {
+		case evArrive:
+			x.onArrive(ev.val)
+		case evAck:
+			x.onAck(ev.val)
+		case evTimer:
+			x.onTimer()
+		case evPrevAck:
+			x.onPrevAck(ev.val)
+		}
+		x.trySend()
+	}
+	// Park the unreturned window credits: cumulative ACKs advancing past
+	// sndUna, plus any still-undrained carried credits. Popping keeps them
+	// in chronological order. Stale timers and duplicate arrivals (which
+	// return no credit) are discarded with the queue.
+	vUna := x.sndUna
+	for {
+		ev, ok := x.events.pop()
+		if !ok {
+			break
+		}
+		switch ev.kind {
+		case evAck:
+			if ev.val > vUna {
+				x.s.carried = append(x.s.carried, credit{at: ev.at, n: ev.val - vUna})
+				vUna = ev.val
+			}
+		case evPrevAck:
+			x.s.carried = append(x.s.carried, credit{at: ev.at, n: ev.val})
+		}
+	}
+	x.events.h = nil
+	x.s.clock = x.lastTx
+	if testHook != nil {
+		testHook(x, "done")
+	}
+	return x.deliveredAt
+}
+
+// onPrevAck returns window credits from a previous transfer's tail ACKs and
+// applies the same ACK-clocked growth those ACKs would have produced.
+func (x *transfer) onPrevAck(n int) {
+	s := x.s
+	x.prevOut -= n
+	if !x.inRecovery {
+		if s.cwnd < s.ssthresh {
+			s.cwnd += float64(n)
+		} else {
+			s.cwnd += float64(n) / s.cwnd
+		}
+	}
+	if testHook != nil {
+		testHook(x, "prevack")
+	}
+}
+
+// cwndSegs is the whole-segment congestion window used for gating.
+func (x *transfer) cwndSegs() int {
+	w := x.s.cwnd
+	if math.IsInf(w, 1) || w >= math.MaxInt32 {
+		return math.MaxInt32
+	}
+	return int(w)
+}
+
+// inflight is the RFC 5681 FlightSize in segments, including carried-over
+// segments from a previous flush whose ACKs have not returned yet.
+func (x *transfer) inflight() int { return x.prevOut + x.sndNxt - x.sndUna }
+
+// trySend transmits new segments while the window allows.
+func (x *transfer) trySend() {
+	for x.sndNxt < len(x.segs) && x.inflight() < x.cwndSegs() {
+		x.transmit(x.sndNxt)
+		x.sndNxt++
+	}
+	if testHook != nil {
+		testHook(x, "send")
+	}
+}
+
+// transmit puts segment idx on the wire at the current virtual time. Used
+// for both first transmissions and retransmissions; the bounded-retry
+// safeguard forces delivery of the final attempt.
+func (x *transfer) transmit(idx int) {
+	x.attempts[idx]++
+	if x.attempts[idx] > 1 {
+		x.retx[idx] = true
+	}
+	x.sentAt[idx] = x.now
+	x.lastTx = x.now
+	tx := x.c.link.Transmit(x.s.dir, x.now, netsim.BuildFrame(netsim.FrameSpec{
+		Dir: x.s.dir, Seq: x.seqStart[idx], Ack: x.ackSeq,
+		Flags: netsim.FlagACK | netsim.FlagPSH, Payload: x.segs[idx],
+	}))
+	forced := x.attempts[idx] > maxRetries
+	if !tx.Dropped || forced {
+		x.events.push(event{at: tx.ArriveAt, kind: evArrive, val: idx})
+	}
+	if !x.timerArmed {
+		x.armTimer()
+	}
+}
+
+// armTimer (re)starts the retransmission timer at now + RTO.
+func (x *transfer) armTimer() {
+	x.timerGen++
+	x.timerArmed = true
+	x.events.push(event{at: x.now + x.rto, kind: evTimer, val: x.timerGen})
+}
+
+// onArrive processes segment idx reaching the receiver: reassembly, the
+// accounting ACK (lossless, returns one one-way delay later), and the wire
+// ACK under the delayed-ACK/GRO cadence.
+func (x *transfer) onArrive(idx int) {
+	inOrder := false
+	if !x.got[idx] {
+		x.got[idx] = true
+		if idx == x.rcvNext {
+			inOrder = true
+			for x.rcvNext < len(x.got) && x.got[x.rcvNext] {
+				x.rcvNext++
+			}
+			if x.rcvNext == len(x.got) && !x.delivered {
+				x.delivered = true
+				x.deliveredAt = x.now
+			}
+		}
+	}
+	// Window-accounting ACK, modeled lossless (see package comment).
+	x.events.push(event{at: x.now + x.owd, kind: evAck, val: x.rcvNext})
+	x.wireAck(inOrder)
+	if testHook != nil {
+		testHook(x, "arrive")
+	}
+}
+
+// wireAck emits pcap-visible ACK frames: delayed-ACK cadence for in-order
+// arrivals, immediately for out-of-order ones (duplicate ACKs are never
+// delayed, RFC 5681 §4.2), and once more when the transfer completes.
+func (x *transfer) wireAck(inOrder bool) {
+	emit := true
+	if inOrder {
+		x.s.ackCounter++
+		emit = x.s.ackCounter%x.ackEvery == 0 || x.rcvNext == len(x.segs)
+	}
+	if !emit {
+		return
+	}
+	x.c.link.Transmit(x.s.reverse, x.now, netsim.BuildFrame(netsim.FrameSpec{
+		Dir: x.s.reverse, Seq: x.ackSeq, Ack: x.seqStart[x.rcvNext],
+		Flags: netsim.FlagACK,
+	}))
+}
+
+// onAck processes a cumulative ACK at the sender: window growth (slow start
+// vs congestion avoidance), fast retransmit entry, NewReno recovery
+// bookkeeping, RTT sampling, and timer management.
+func (x *transfer) onAck(cum int) {
+	s := x.s
+	defer func() {
+		if testHook != nil {
+			testHook(x, "ack")
+		}
+	}()
+	if cum > x.sndUna {
+		newly := cum - x.sndUna
+		// RTT sample from the highest newly ACKed segment, only if it was
+		// never retransmitted (Karn's algorithm); a valid sample also
+		// re-derives the RTO, clearing any backoff.
+		if !x.retx[cum-1] {
+			s.est.sample(x.now - x.sentAt[cum-1])
+			x.rto = s.est.rto(x.c.opts.MinRTO)
+		}
+		x.sndUna = cum
+		if x.inRecovery {
+			if cum >= x.recoverIdx {
+				// Full ACK: the recovery ACK reopens the window to
+				// ssthresh and ends fast recovery (RFC 6582).
+				s.cwnd = s.ssthresh
+				x.inRecovery = false
+				x.dupAcks = 0
+			} else {
+				// Partial ACK: the next hole was also lost. Retransmit it
+				// immediately and deflate by the amount acknowledged
+				// (NewReno partial-ACK processing).
+				s.cwnd = math.Max(s.cwnd-float64(newly)+1, lossWindow)
+				x.transmit(x.sndUna)
+			}
+		} else {
+			x.dupAcks = 0
+			if s.cwnd < s.ssthresh {
+				s.cwnd += float64(newly) // slow start (RFC 3465 byte counting)
+			} else {
+				s.cwnd += float64(newly) / s.cwnd // congestion avoidance
+			}
+		}
+		// RFC 6298 §5.3: restart the timer when new data is ACKed; stop it
+		// when everything is (§5.2). The timer guards this transfer's own
+		// unACKed segments, not carried-over credit.
+		if x.sndNxt > x.sndUna {
+			x.armTimer()
+		} else {
+			x.timerArmed = false
+		}
+		return
+	}
+	if x.sndNxt == x.sndUna {
+		return // stale ACK: none of this transfer's data is outstanding
+	}
+	// Duplicate ACK.
+	if x.inRecovery {
+		s.cwnd++ // window inflation: each dup ACK signals a departed segment
+		return
+	}
+	x.dupAcks++
+	if x.dupAcks == dupThresh {
+		// Fast retransmit: halve to ssthresh, resend the hole, and enter
+		// fast recovery inflated by the three duplicates (RFC 5681 §3.2).
+		s.ssthresh = math.Max(float64(x.inflight())/2, 2)
+		s.cwnd = s.ssthresh + dupThresh
+		x.inRecovery = true
+		x.recoverIdx = x.sndNxt
+		x.transmit(x.sndUna)
+	}
+}
+
+// onTimer handles retransmission timeout: collapse to the loss window,
+// back the timer off, and resend the oldest outstanding segment.
+func (x *transfer) onTimer() {
+	s := x.s
+	x.timerArmed = false
+	if x.sndUna >= len(x.segs) {
+		return
+	}
+	s.ssthresh = math.Max(float64(x.inflight())/2, 2)
+	s.cwnd = lossWindow
+	x.inRecovery = false
+	x.dupAcks = 0
+	x.rto *= 2 // Karn backoff; cleared by the next valid RTT sample
+	if x.rto > maxRTO {
+		x.rto = maxRTO
+	}
+	x.transmit(x.sndUna) // transmit re-arms the timer at the backed-off RTO
+	if testHook != nil {
+		testHook(x, "timer")
+	}
+}

@@ -1,21 +1,43 @@
-// Package tcpsim models TCP transfer dynamics over a netsim.Link: initial
-// congestion window and slow start, ACK clocking, fast retransmission and
-// RTO recovery, and MSS segmentation. It reproduces the transport effects
-// the paper reports in Section 5.4 — PQ handshake flights exceeding the
-// initial CWND (10×MSS) cost extra round trips, and emulated loss, delay,
-// and bandwidth reshape handshake latency.
+// Package tcpsim models TCP transfer dynamics over a netsim.Link with an
+// event-driven sender state machine implementing the standard congestion
+// control pieces: slow start and congestion avoidance separated by ssthresh
+// (RFC 5681), fast retransmit with NewReno-style fast recovery (RFC 6582)
+// that reopens the window on the recovery ACK, and an RTT-estimated
+// retransmission timeout (SRTT/RTTVAR per RFC 6298, seeded from the
+// three-way handshake). It reproduces the transport effects the paper
+// reports in Section 5.4 — PQ handshake flights exceeding the initial CWND
+// (10×MSS) cost extra round trips, and emulated loss, delay, and bandwidth
+// reshape handshake latency.
 //
-// Model simplifications (documented per DESIGN.md): the congestion window
-// is tracked in segments and each in-order arrival is acknowledged for
-// window accounting, while only every second ACK (plus the burst-final one)
-// is put on the wire, mirroring delayed ACKs; a lost segment is recovered
-// one round trip later when at least three later segments were delivered
-// (fast retransmit) and after an RTO otherwise; a loss event halves the
-// window.
+// Model simplifications (documented per DESIGN.md):
+//
+//   - The congestion window is tracked in MSS-sized segments, fractionally
+//     during congestion avoidance. The loss window after an RTO is floored
+//     at 2 segments (RFC 5681 specifies 1) so a single timeout never
+//     serializes the tail into a sub-MSS trickle; ssthresh is likewise
+//     never below 2.
+//   - The ACK channel is modeled lossless: every data arrival generates a
+//     window-accounting ACK that reaches the sender one one-way delay
+//     later, so cumulative-ACK repair of lost ACKs is implicit. Wire ACK
+//     frames are still emitted — every second in-order arrival (delayed
+//     ACKs), immediately for out-of-order arrivals (duplicate ACKs are
+//     never delayed), and once more when the transfer completes — so pcap
+//     packet/byte counts stay faithful, but their loss/serialization does
+//     not feed back into the timing. On >= 1 Gbit/s links back-to-back
+//     bursts are GRO-coalesced by the receiving NIC, so one wire ACK
+//     covers a whole aggregate (~64 kB), as on the paper's 10 Gbit/s
+//     testbed.
+//   - Window accounting acknowledges every in-order arrival (equivalent to
+//     byte-counting cwnd growth, RFC 3465), so slow start doubles per
+//     round trip as Linux does.
+//   - Retransmissions per segment are bounded (tcp_retries2-style); the
+//     final attempt counts as delivered so a 100%-loss configuration
+//     terminates with an absurd-but-finite transfer time instead of a
+//     livelock.
 package tcpsim
 
 import (
-	"sort"
+	"math"
 	"time"
 
 	"pqtls/internal/netsim"
@@ -41,17 +63,34 @@ type Conn struct {
 	send [2]*sender
 }
 
+// sender is the per-direction state that persists across flights: the
+// congestion state machine variables, the RTT estimator, the sequence
+// space, and the receiver's delayed-ACK cadence for this direction's data.
 type sender struct {
 	dir     netsim.Direction
+	reverse netsim.Direction
 	nextSeq uint32
-	cwnd    int
-	// inflight segments and the times their window credit returns.
-	inflight    int
-	pendingAcks []time.Duration
-	// clock is the last time this sender acted.
-	clock time.Duration
-	// ackCounter alternates wire ACK emission (delayed ACKs).
+
+	// Congestion control (RFC 5681), in segments. cwnd is fractional so
+	// congestion avoidance can add 1/cwnd per ACKed segment.
+	cwnd     float64
+	ssthresh float64
+
+	est rttEstimator
+
+	// ackCounter drives the delayed-ACK cadence of the wire ACKs the
+	// receiver emits for this direction's data.
 	ackCounter int
+
+	// carried holds window credits still in flight when the previous
+	// transfer's payload finished delivering: ACKs that had not yet
+	// returned to the sender. The next transfer counts them against the
+	// congestion window until their return times pass, so back-to-back
+	// flushes share one window exactly like segments of one stream.
+	carried []credit
+
+	// clock is the last time this sender put data on the wire.
+	clock time.Duration
 }
 
 // NewConn creates a connection; Connect must run before Send.
@@ -62,28 +101,28 @@ func NewConn(link *netsim.Link, opts Options) *Conn {
 	if opts.MinRTO == 0 {
 		opts.MinRTO = 5 * time.Millisecond
 	}
+	newSender := func(dir, rev netsim.Direction) *sender {
+		return &sender{
+			dir: dir, reverse: rev, nextSeq: 1,
+			cwnd:     float64(opts.InitialCwnd),
+			ssthresh: math.Inf(1),
+		}
+	}
 	return &Conn{
 		link: link,
 		opts: opts,
 		send: [2]*sender{
-			{dir: netsim.ClientToServer, nextSeq: 1, cwnd: opts.InitialCwnd},
-			{dir: netsim.ServerToClient, nextSeq: 1, cwnd: opts.InitialCwnd},
+			newSender(netsim.ClientToServer, netsim.ServerToClient),
+			newSender(netsim.ServerToClient, netsim.ClientToServer),
 		},
 	}
 }
 
-// rto returns the retransmission timeout for the link's RTT.
-func (c *Conn) rto() time.Duration {
-	rto := 4 * c.link.Config().RTT
-	if rto < c.opts.MinRTO {
-		rto = c.opts.MinRTO
-	}
-	return rto
-}
-
 // Connect simulates the TCP three-way handshake starting at t. It returns
 // when the client may send data (SYN-ACK received) and when the server has
-// seen the final ACK.
+// seen the final ACK. The SYN and SYN-ACK round trips seed both directions'
+// RTT estimators (as real TCP does), so the first data RTO reflects the
+// path rather than the 1-second pre-sample default.
 func (c *Conn) Connect(t time.Duration) (clientReady, serverReady time.Duration) {
 	// SYN with exponential-backoff retransmission (initial RTO 1s). Like
 	// Linux (tcp_syn_retries), attempts are bounded; the last attempt is
@@ -92,14 +131,17 @@ func (c *Conn) Connect(t time.Duration) (clientReady, serverReady time.Duration)
 	const maxSynRetries = 6
 	synRTO := time.Second
 	now := t
-	var synArrive time.Duration
+	var synArrive, synSentAt time.Duration
+	synRetransmitted := false
 	for attempt := 0; ; attempt++ {
 		tx := c.link.Transmit(netsim.ClientToServer, now,
 			netsim.BuildFrame(netsim.FrameSpec{Dir: netsim.ClientToServer, Flags: netsim.FlagSYN}))
 		if !tx.Dropped || attempt == maxSynRetries {
 			synArrive = tx.ArriveAt
+			synSentAt = now
 			break
 		}
+		synRetransmitted = true
 		now += synRTO
 		synRTO *= 2
 	}
@@ -107,6 +149,7 @@ func (c *Conn) Connect(t time.Duration) (clientReady, serverReady time.Duration)
 	synackRTO := time.Second
 	now = synArrive
 	var synackArrive time.Duration
+	synackRetransmitted := false
 	for attempt := 0; ; attempt++ {
 		tx := c.link.Transmit(netsim.ServerToClient, now,
 			netsim.BuildFrame(netsim.FrameSpec{Dir: netsim.ServerToClient, Flags: netsim.FlagSYN | netsim.FlagACK}))
@@ -114,25 +157,25 @@ func (c *Conn) Connect(t time.Duration) (clientReady, serverReady time.Duration)
 			synackArrive = tx.ArriveAt
 			break
 		}
+		synackRetransmitted = true
 		now += synackRTO
 		synackRTO *= 2
 	}
 	// Final ACK (loss is repaired by the first data segment; ignore).
 	ackTx := c.link.Transmit(netsim.ClientToServer, synackArrive,
 		netsim.BuildFrame(netsim.FrameSpec{Dir: netsim.ClientToServer, Flags: netsim.FlagACK, Seq: 1, Ack: 1}))
+	// RTT samples per Karn's algorithm: only untimed-by-retransmission
+	// exchanges feed the estimators. The client times SYN → SYN-ACK, the
+	// server SYN-ACK → final ACK.
+	if !synRetransmitted && !synackRetransmitted {
+		c.send[netsim.ClientToServer].est.sample(synackArrive - synSentAt)
+	}
+	if !synackRetransmitted {
+		c.send[netsim.ServerToClient].est.sample(ackTx.ArriveAt - synArrive)
+	}
 	c.send[netsim.ClientToServer].clock = synackArrive
 	c.send[netsim.ServerToClient].clock = ackTx.ArriveAt
 	return synackArrive, ackTx.ArriveAt
-}
-
-// drainAcks releases window credit for ACKs that arrived by now.
-func (s *sender) drainAcks(now time.Duration) {
-	i := 0
-	for ; i < len(s.pendingAcks) && s.pendingAcks[i] <= now; i++ {
-		s.inflight--
-		s.cwnd++ // slow start: one segment of growth per ACKed segment
-	}
-	s.pendingAcks = s.pendingAcks[i:]
 }
 
 // Send transfers payload in the given direction; the application handed the
@@ -147,112 +190,8 @@ func (c *Conn) Send(dir netsim.Direction, t time.Duration, payload []byte) time.
 	if s.clock > now {
 		now = s.clock
 	}
-	mss := c.link.MSS()
-	owd := c.link.Config().RTT / 2
-
-	type segment struct {
-		seq      uint32
-		data     []byte
-		dueAt    time.Duration
-		attempts int
-	}
-	// Like Linux (tcp_retries2), per-segment retransmissions are bounded;
-	// the final attempt counts as delivered so a 100%-loss configuration
-	// terminates with an absurd-but-finite transfer time.
-	const maxRetries = 15
-	var queue []*segment
-	for off := 0; off < len(payload); off += mss {
-		end := min(off+mss, len(payload))
-		queue = append(queue, &segment{seq: s.nextSeq, data: payload[off:end], dueAt: now})
-		s.nextSeq += uint32(end - off)
-	}
-
-	reverse := netsim.ServerToClient
-	if dir == netsim.ServerToClient {
-		reverse = netsim.ClientToServer
-	}
-	ackSeq := c.send[reverse].nextSeq
-
-	var lastDelivery time.Duration
-	// Dropped segments waiting for three duplicate ACKs; maps to the number
-	// of later deliveries seen so far.
-	lossPending := map[*segment]int{}
-	for len(queue) > 0 {
-		sort.SliceStable(queue, func(i, j int) bool { return queue[i].dueAt < queue[j].dueAt })
-		seg := queue[0]
-		if seg.dueAt > now {
-			now = seg.dueAt
-		}
-		s.drainAcks(now)
-		if s.inflight >= s.cwnd {
-			// Window closed: wait for the next window credit.
-			if len(s.pendingAcks) == 0 {
-				// Everything outstanding was lost; wait an RTO.
-				now += c.rto()
-				continue
-			}
-			if s.pendingAcks[0] > now {
-				now = s.pendingAcks[0]
-			}
-			s.drainAcks(now)
-			continue
-		}
-
-		queue = queue[1:]
-		tx := c.link.Transmit(dir, now, netsim.BuildFrame(netsim.FrameSpec{
-			Dir: dir, Seq: seg.seq, Ack: ackSeq, Flags: netsim.FlagACK | netsim.FlagPSH, Payload: seg.data,
-		}))
-		s.inflight++
-		seg.attempts++
-
-		if tx.Dropped && seg.attempts <= maxRetries {
-			// Provisionally schedule an RTO; three duplicate ACKs from
-			// later deliveries revise this down to a fast retransmit.
-			seg.dueAt = tx.SentAt + c.rto()
-			queue = append(queue, seg)
-			lossPending[seg] = 0
-			s.pendingAcks = append(s.pendingAcks, seg.dueAt)
-			sort.Slice(s.pendingAcks, func(i, j int) bool { return s.pendingAcks[i] < s.pendingAcks[j] })
-			s.cwnd = max(s.cwnd/2, 2)
-			continue
-		}
-
-		if tx.ArriveAt > lastDelivery {
-			lastDelivery = tx.ArriveAt
-		}
-		// Later deliveries generate duplicate ACKs for pending losses.
-		for lost, n := range lossPending {
-			n++
-			lossPending[lost] = n
-			if n >= 3 {
-				fast := tx.ArriveAt + owd
-				if fast < lost.dueAt {
-					lost.dueAt = fast
-				}
-				delete(lossPending, lost)
-			}
-		}
-		// Window credit returns when the ACK reaches the sender.
-		s.pendingAcks = append(s.pendingAcks, tx.ArriveAt+owd)
-		sort.Slice(s.pendingAcks, func(i, j int) bool { return s.pendingAcks[i] < s.pendingAcks[j] })
-		// Delayed ACKs on the wire: every second arrival and the last of
-		// the transfer. On fast links (>= 1 Gbit/s) back-to-back bursts
-		// are GRO-coalesced by the receiving NIC, so one ACK covers a
-		// whole aggregate (~64 kB), as on the paper's 10 Gbit/s testbed.
-		ackEvery := 2
-		if rate := c.link.Config().Rate; rate == 0 || rate >= 1_000_000_000 {
-			ackEvery = 22
-		}
-		s.ackCounter++
-		if s.ackCounter%ackEvery == 0 || len(queue) == 0 {
-			c.link.Transmit(reverse, tx.ArriveAt, netsim.BuildFrame(netsim.FrameSpec{
-				Dir: reverse, Seq: ackSeq, Ack: seg.seq + uint32(len(seg.data)), Flags: netsim.FlagACK,
-			}))
-		}
-	}
-	s.clock = now
-
-	return lastDelivery
+	x := newTransfer(c, s, now, payload)
+	return x.run()
 }
 
 // Link exposes the underlying link (for counters and tap access).

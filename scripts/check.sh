@@ -5,8 +5,23 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "==> gofmt"
+fmt_out=$(gofmt -l .)
+if [ -n "$fmt_out" ]; then
+    echo "gofmt needed on:"
+    echo "$fmt_out"
+    exit 1
+fi
+
 echo "==> go vet"
 go vet ./...
+
+if command -v staticcheck >/dev/null 2>&1; then
+    echo "==> staticcheck"
+    staticcheck ./...
+else
+    echo "==> staticcheck not installed; skipping"
+fi
 
 echo "==> go build"
 go build ./...
