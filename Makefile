@@ -4,12 +4,12 @@ FUZZTIME ?= 5s
 # (see EXPERIMENTS.md).
 TABLE4FLAGS ?= -samples 5 -timing model
 
-.PHONY: check lint vet build test race fuzz-smoke bench table4 clean
+.PHONY: check lint vet build test race fuzz-smoke live-smoke bench table4 clean
 
 # check is the CI entry point: static checks, build, the full test suite,
-# the race-enabled suite (exercising the parallel campaign engine), and a
-# short fuzz pass over each wire-parsing target.
-check: lint build test race fuzz-smoke
+# the race-enabled suite (exercising the parallel campaign engine), a short
+# fuzz pass over each wire-parsing target, and a live loopback smoke run.
+check: lint build test race fuzz-smoke live-smoke
 
 # lint runs the always-available static checks (gofmt, go vet) and, when
 # installed, staticcheck. The toolchain image does not bundle staticcheck,
@@ -44,6 +44,21 @@ fuzz-smoke:
 	for target in FuzzClientHelloParse FuzzServerHelloParse FuzzRecordDeprotect; do \
 		$(GO) test ./internal/tls13 -run '^$$' -fuzz $$target -fuzztime $(FUZZTIME) || exit 1; \
 	done
+
+# live-smoke drives the real TLS stack over loopback sockets under the race
+# detector: a short pqbench live run for the headline PQ suite, twice, and a
+# check that the seeded arrival schedule (the deterministic half of the
+# subsystem — measured latencies are not) produces the same digest both
+# times.
+live-smoke:
+	$(GO) build -race -o bin/pqbench-race ./cmd/pqbench
+	@d1=$$(bin/pqbench-race live -kem kyber768 -sig dilithium3 -rate 50 -duration 1s | \
+		tee /dev/stderr | sed -n 's/.*digest \([0-9a-f]*\).*/\1/p'); \
+	d2=$$(bin/pqbench-race live -kem kyber768 -sig dilithium3 -rate 50 -duration 1s | \
+		sed -n 's/.*digest \([0-9a-f]*\).*/\1/p'); \
+	if [ -z "$$d1" ] || [ "$$d1" != "$$d2" ]; then \
+		echo "live-smoke: schedule digest not reproducible: '$$d1' vs '$$d2'"; exit 1; fi; \
+	echo "live-smoke OK: schedule digest $$d1 reproducible across runs"
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

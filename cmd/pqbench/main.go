@@ -43,6 +43,15 @@ func main() {
 		os.Exit(2)
 	}
 	cmd := os.Args[1]
+	if cmd == "live" {
+		// live measures real wall-clock handshakes and takes its own flag
+		// set (rate, duration, warmup, ...) — see live.go.
+		if err := runLive(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "pqbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	samples := fs.Int("samples", 9, "handshakes per suite")
 	buffer := fs.String("buffer", "immediate", "server buffering: default|immediate")
@@ -164,7 +173,9 @@ func usage() {
 
 commands: all-kem all-sig deviation improvement whitebox
           all-kem-scenarios all-sig-scenarios rank attack
-          cwnd all-sphincs hrr chains resumption capture list`)
+          cwnd all-sphincs hrr chains resumption capture list
+
+live: real-socket load test over loopback (own flags; pqbench live -h)`)
 }
 
 func ms(d time.Duration) string {

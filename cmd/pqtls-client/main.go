@@ -1,6 +1,9 @@
 // Command pqtls-client is the reproduction's analog of `openssl s_client`:
 // it performs PQ TLS 1.3 handshakes against cmd/pqtls-server over real TCP
-// and reports per-handshake latency (repeat with -n for a quick benchmark).
+// and reports latency quantiles (repeat with -n for a quick benchmark).
+// With -resume, the first handshake is full and collects the server's
+// NewSessionTicket; every following handshake resumes from it over a fresh
+// TCP connection, exercising the shared ticket store end to end.
 //
 //	pqtls-client -connect 127.0.0.1:8443 -kem kyber512 -sig dilithium2 -root root.cert -n 10
 package main
@@ -11,11 +14,11 @@ import (
 	"log"
 	"net"
 	"os"
-	"sort"
 	"time"
 
 	"pqtls"
 	"pqtls/internal/pki"
+	"pqtls/internal/stats"
 )
 
 func main() {
@@ -24,6 +27,7 @@ func main() {
 	sigName := flag.String("sig", "rsa:2048", "expected certificate algorithm")
 	rootFile := flag.String("root", "root.cert", "trusted root certificate file")
 	n := flag.Int("n", 1, "number of sequential handshakes")
+	resume := flag.Bool("resume", false, "resume handshakes 2..n from the first handshake's session ticket")
 	flag.Parse()
 
 	rootBytes, err := os.ReadFile(*rootFile)
@@ -34,31 +38,52 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := &pqtls.Config{
+	base := pqtls.Config{
 		KEMName: *kemName, SigName: *sigName, ServerName: "server.example",
 		Roots: pqtls.NewCertPool(root),
 	}
 
 	var latencies []time.Duration
+	var session *pqtls.Session
+	resumed := 0
 	for i := 0; i < *n; i++ {
 		conn, err := net.Dial("tcp", *addr)
 		if err != nil {
 			log.Fatal(err)
 		}
+		cfg := base // fresh copy per connection
+		if *resume && session != nil {
+			cfg.Session = session
+		}
 		start := time.Now()
-		cli, err := pqtls.ClientHandshake(conn, cfg)
+		cli, err := pqtls.ClientHandshake(conn, &cfg)
 		if err != nil {
 			log.Fatalf("handshake %d: %v", i, err)
 		}
-		d := time.Since(start)
-		latencies = append(latencies, d)
+		latencies = append(latencies, time.Since(start))
+		if cfg.Session != nil {
+			resumed++
+		}
+		if *resume && session == nil {
+			// The server issues a NewSessionTicket right after every full
+			// handshake; read that flight and keep the session.
+			rec, err := pqtls.ReadRecord(conn)
+			if err != nil {
+				log.Fatalf("reading NewSessionTicket: %v", err)
+			}
+			session, err = cli.ProcessTicket([]pqtls.Record{rec})
+			if err != nil {
+				log.Fatalf("processing NewSessionTicket: %v", err)
+			}
+		}
 		conn.Close()
 		if i == 0 {
 			fmt.Printf("connected: %s certificate for %q\n",
 				cli.ServerCert.Algorithm, cli.ServerCert.Subject)
 		}
 	}
-	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-	fmt.Printf("%d handshakes: median %v, min %v, max %v\n",
-		*n, latencies[len(latencies)/2], latencies[0], latencies[len(latencies)-1])
+	mn, mx := stats.MinMax(latencies)
+	qs := stats.Quantiles(latencies, 0.50, 0.95, 0.99)
+	fmt.Printf("%d handshakes (%d resumed): p50 %v, p95 %v, p99 %v, min %v, max %v\n",
+		*n, resumed, qs[0], qs[1], qs[2], mn, mx)
 }

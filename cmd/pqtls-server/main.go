@@ -1,7 +1,12 @@
 // Command pqtls-server is the reproduction's analog of `openssl s_server`:
-// it answers PQ TLS 1.3 handshakes over real TCP sockets. The matching
-// client is cmd/pqtls-client. The root certificate is written to a file the
-// client loads.
+// it answers PQ TLS 1.3 handshakes over real TCP sockets, built on the
+// internal/live runtime — transient Accept errors retry with backoff
+// instead of killing the process, every connection carries a handshake
+// deadline so a stalled peer cannot leak a goroutine, concurrency is
+// bounded, session tickets are issued from a store shared across
+// connections, and SIGINT drains gracefully. The matching client is
+// cmd/pqtls-client. The root certificate is written to a file the client
+// loads.
 //
 //	pqtls-server -listen :8443 -kem kyber512 -sig dilithium2 -root root.cert
 package main
@@ -11,9 +16,12 @@ import (
 	"log"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"pqtls"
+	"pqtls/internal/live"
 )
 
 func main() {
@@ -22,6 +30,9 @@ func main() {
 	sigName := flag.String("sig", "rsa:2048", "certificate signature algorithm")
 	rootOut := flag.String("root", "root.cert", "file to write the root certificate to")
 	buffer := flag.String("buffer", "immediate", "flight buffering: default|immediate")
+	maxConns := flag.Int("max-conns", 256, "concurrent handshake limit")
+	hsTimeout := flag.Duration("timeout", 10*time.Second, "per-connection handshake deadline")
+	grace := flag.Duration("grace", 5*time.Second, "drain grace period on shutdown")
 	flag.Parse()
 
 	root, rootPriv, err := pqtls.SelfSigned("PQTLS Root CA", *sigName)
@@ -58,20 +69,31 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("listening on %s (kem=%s sig=%s)", *listen, *kemName, *sigName)
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			log.Fatal(err)
-		}
-		go func(conn net.Conn) {
-			defer conn.Close()
-			start := time.Now()
-			if _, err := pqtls.ServerHandshake(conn, cfg); err != nil {
-				log.Printf("%s: handshake failed: %v", conn.RemoteAddr(), err)
-				return
-			}
-			log.Printf("%s: handshake complete in %v", conn.RemoteAddr(), time.Since(start))
-		}(conn)
+	srv, err := live.Serve(ln, live.Options{
+		Config:           cfg,
+		MaxConns:         *maxConns,
+		HandshakeTimeout: *hsTimeout,
+		IssueTickets:     true,
+		Logf:             log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on %s (kem=%s sig=%s, max %d conns, %v handshake deadline)",
+		ln.Addr(), *kemName, *sigName, *maxConns, *hsTimeout)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Printf("shutting down: draining for up to %v", *grace)
+	if err := srv.Shutdown(*grace); err != nil {
+		log.Print(err)
+	}
+	c := srv.Counters()
+	ts := srv.TicketStats()
+	log.Printf("served %d connections: %d completed (%d resumed), %d failed; tickets issued %d, redeemed %d, rejected %d",
+		c.Accepted, c.Completed, c.Resumed, c.FailedTotal(), ts.Issued, ts.Redeemed, ts.Rejected)
+	for class, n := range c.Failed {
+		log.Printf("failures[%s]: %d", class, n)
 	}
 }

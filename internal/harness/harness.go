@@ -82,6 +82,26 @@ func credentialsFor(sigName string, depth int) (*credentials, error) {
 	return e.c, e.err
 }
 
+// Credentials is an exported view of a cached server identity. The live
+// subsystem (pqbench live, cmd/pqtls-server) serves real sockets with the
+// same deterministically-generated chains the modeled campaigns use, so a
+// live cell and its modeled prediction present byte-identical certificates.
+type Credentials struct {
+	Chain []*pki.Certificate
+	Priv  []byte
+	Roots *pki.Pool
+}
+
+// CredentialsFor returns the process-wide cached identity for sigName with
+// a chain of the given depth (minimum 1). Safe for concurrent use.
+func CredentialsFor(sigName string, depth int) (*Credentials, error) {
+	c, err := credentialsFor(sigName, depth)
+	if err != nil {
+		return nil, err
+	}
+	return &Credentials{Chain: c.chain, Priv: c.priv, Roots: c.roots}, nil
+}
+
 // buildCredentials constructs the CA hierarchy for one cache entry.
 func buildCredentials(sigName string, depth int) (*credentials, error) {
 	scheme, err := sig.ByName(sigName)

@@ -12,6 +12,48 @@ func msCell(d time.Duration) string {
 	return fmt.Sprintf("%.2f", float64(d)/float64(time.Millisecond))
 }
 
+// LiveRow is one measured cell of the live load report: a (KA, SA,
+// buffer-policy, resumption) grid point driven over real TCP sockets by
+// internal/loadgen against internal/live, side by side with the modeled
+// prediction for the same cell.
+type LiveRow struct {
+	KEM, Sig string
+	Resumed  bool
+	// HSRate is achieved handshakes/second over the measured window.
+	HSRate float64
+	// Latency quantiles of the CH→Fin span (post-warmup).
+	P50, P95, P99 time.Duration
+	// Completed/Failed handshake counts.
+	Completed, Failed uint64
+	// Modeled is the cost-model prediction (campaign TotalMedian) for the
+	// same cell; Delta() is how far live measurement strayed from it.
+	Modeled time.Duration
+}
+
+// Delta is live p50 minus the modeled prediction (positive = slower than
+// predicted).
+func (r LiveRow) Delta() time.Duration { return r.P50 - r.Modeled }
+
+// RenderLive writes the Table-2-style live report with the modeled-delta
+// column. Shared by pqbench live and the live tests so the rendering itself
+// is under test.
+func RenderLive(out io.Writer, rows []LiveRow) error {
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Algorithm\tMode\tHS/s\tp50(ms)\tp95(ms)\tp99(ms)\tOK\tErr\tModeled(ms)\tDelta(ms)")
+	for _, r := range rows {
+		mode := "full"
+		if r.Resumed {
+			mode = "resumed"
+		}
+		fmt.Fprintf(w, "%s+%s\t%s\t%.0f\t%s\t%s\t%s\t%d\t%d\t%s\t%+.2f\n",
+			r.KEM, r.Sig, mode, r.HSRate,
+			msCell(r.P50), msCell(r.P95), msCell(r.P99),
+			r.Completed, r.Failed, msCell(r.Modeled),
+			float64(r.Delta())/float64(time.Millisecond))
+	}
+	return w.Flush()
+}
+
 // RenderTable2 writes the Table 2a/2b layout: one row per campaign, keyed by
 // the KEM (byKEM) or signature name. Shared by pqbench and the golden tests
 // so the rendering itself is under test.

@@ -1,0 +1,44 @@
+package live
+
+import (
+	"errors"
+	"io"
+	"net"
+	"os"
+	"syscall"
+
+	"pqtls/internal/tls13"
+)
+
+// Error classes for the subsystem's counters. Both halves of the live
+// measurement path (this server runtime and the loadgen client pool) bucket
+// failures through Classify, so a report's server- and client-side error
+// tables speak the same vocabulary.
+const (
+	ClassTimeout    = "timeout"    // handshake deadline or I/O timeout hit
+	ClassDisconnect = "disconnect" // peer vanished: EOF, reset, broken pipe
+	ClassAlert      = "alert"      // peer aborted with a TLS alert
+	ClassProtocol   = "protocol"   // everything else (bad records, bad config)
+)
+
+// Classify maps a handshake error to its counter class.
+func Classify(err error) string {
+	var alert *tls13.AlertError
+	var ne net.Error
+	switch {
+	case errors.As(err, &alert):
+		return ClassAlert
+	case errors.Is(err, os.ErrDeadlineExceeded):
+		return ClassTimeout
+	case errors.As(err, &ne) && ne.Timeout():
+		return ClassTimeout
+	case errors.Is(err, io.EOF),
+		errors.Is(err, io.ErrUnexpectedEOF),
+		errors.Is(err, net.ErrClosed),
+		errors.Is(err, syscall.ECONNRESET),
+		errors.Is(err, syscall.EPIPE):
+		return ClassDisconnect
+	default:
+		return ClassProtocol
+	}
+}

@@ -1,0 +1,280 @@
+// Package live is the server half of the live measurement subsystem: a
+// concurrent TLS 1.3 accept-loop runtime hardened the way a production
+// front-end is. Where cmd/pqtls-server used to log.Fatal on the first
+// transient Accept error and would happily leak a goroutine per stalled
+// peer, this runtime retries Accept with exponential backoff, bounds
+// concurrent handshakes with a limiter, puts a deadline on every
+// connection, shares one session-ticket store across all connections so
+// resumption works between them, classifies failures into counters, and
+// drains gracefully on shutdown. The matching client side is
+// internal/loadgen.
+package live
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"pqtls/internal/tls13"
+)
+
+// Options configure a Server runtime.
+type Options struct {
+	// Config is the handshake template (suite, credentials, buffering).
+	// The runtime copies it and installs a shared ticket store, so one
+	// Options value can safely serve many runtimes.
+	Config *tls13.Config
+	// MaxConns bounds concurrently-handshaking connections (0 = 256).
+	// Accept blocks once the bound is reached — backpressure instead of
+	// unbounded goroutine growth.
+	MaxConns int
+	// HandshakeTimeout is the per-connection deadline covering the whole
+	// handshake, including the ticket flight (0 = 10s). A stalled peer
+	// costs one connection slot for at most this long.
+	HandshakeTimeout time.Duration
+	// IssueTickets sends a NewSessionTicket after every full handshake, so
+	// clients can come back with PSK resumption. Resumed handshakes do not
+	// mint further tickets.
+	IssueTickets bool
+	// Logf, when non-nil, receives operational log lines (accept retries,
+	// handshake failures). Nil means silent.
+	Logf func(format string, args ...any)
+}
+
+// Counters is a point-in-time snapshot of a runtime's bookkeeping.
+type Counters struct {
+	Accepted        uint64            // connections taken from the listener
+	Completed       uint64            // handshakes finished (full + resumed)
+	Resumed         uint64            // of Completed, PSK-resumed
+	Failed          map[string]uint64 // failures by Classify class
+	TicketIssueErrs uint64            // post-handshake ticket flights that failed
+	AcceptRetries   uint64            // transient Accept errors survived
+}
+
+// FailedTotal sums the failure classes.
+func (c Counters) FailedTotal() uint64 {
+	var n uint64
+	for _, v := range c.Failed {
+		n += v
+	}
+	return n
+}
+
+// Server is a running accept loop plus its in-flight connections.
+type Server struct {
+	ln       net.Listener
+	opts     Options
+	cfg      *tls13.Config
+	sem      chan struct{}
+	shutdown chan struct{}
+	loopDone chan struct{}
+	wg       sync.WaitGroup
+
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	counters Counters
+	closed   bool
+}
+
+// Serve starts the accept loop on ln and returns immediately. The listener
+// is owned by the returned Server; stop it with Shutdown.
+func Serve(ln net.Listener, opts Options) (*Server, error) {
+	if opts.Config == nil {
+		return nil, errors.New("live: Options.Config is required")
+	}
+	if opts.MaxConns <= 0 {
+		opts.MaxConns = 256
+	}
+	if opts.HandshakeTimeout <= 0 {
+		opts.HandshakeTimeout = 10 * time.Second
+	}
+	cfg := *opts.Config
+	if cfg.Tickets == nil {
+		// The shared store is what makes resumption work across
+		// connections: every per-connection Server seals and redeems
+		// through it.
+		if cfg.TicketKey != nil {
+			cfg.Tickets = tls13.NewTicketStore(*cfg.TicketKey)
+		} else {
+			store, err := tls13.NewRandomTicketStore()
+			if err != nil {
+				return nil, fmt.Errorf("live: ticket store: %w", err)
+			}
+			cfg.Tickets = store
+		}
+	}
+	s := &Server{
+		ln:       ln,
+		opts:     opts,
+		cfg:      &cfg,
+		sem:      make(chan struct{}, opts.MaxConns),
+		shutdown: make(chan struct{}),
+		loopDone: make(chan struct{}),
+		conns:    make(map[net.Conn]struct{}),
+	}
+	s.counters.Failed = make(map[string]uint64)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener's address (useful with ":0" listeners).
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// TicketStats exposes the shared ticket store's counters.
+func (s *Server) TicketStats() tls13.TicketStats { return s.cfg.Tickets.Stats() }
+
+// Counters returns a snapshot of the runtime's counters.
+func (s *Server) Counters() Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.counters
+	out.Failed = make(map[string]uint64, len(s.counters.Failed))
+	for k, v := range s.counters.Failed {
+		out.Failed[k] = v
+	}
+	return out
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// acceptLoop accepts until the listener closes. Transient errors (EMFILE,
+// ECONNABORTED, listener timeouts) back off exponentially instead of
+// killing the server — the net/http.Server discipline.
+func (s *Server) acceptLoop() {
+	defer close(s.loopDone)
+	var backoff time.Duration
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			if backoff == 0 {
+				backoff = 5 * time.Millisecond
+			} else if backoff < time.Second {
+				backoff *= 2
+			}
+			s.mu.Lock()
+			s.counters.AcceptRetries++
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return
+			}
+			s.logf("live: accept: %v; retrying in %v", err, backoff)
+			select {
+			case <-time.After(backoff):
+			case <-s.shutdown:
+				return
+			}
+			continue
+		}
+		backoff = 0
+		// Connection limiter: block further accepts while MaxConns
+		// handshakes are in flight. Selectable against shutdown so a
+		// saturated server still drains promptly.
+		select {
+		case s.sem <- struct{}{}:
+		case <-s.shutdown:
+			conn.Close()
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			<-s.sem
+			conn.Close()
+			return
+		}
+		s.counters.Accepted++
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// handle runs one connection's handshake under its deadline.
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() { <-s.sem }()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+
+	// The deadline covers the whole exchange: a peer that stalls mid-flight
+	// unblocks the read and frees the slot instead of leaking a goroutine.
+	conn.SetDeadline(time.Now().Add(s.opts.HandshakeTimeout))
+	srv, err := tls13.ServerHandshake(conn, s.cfg)
+	if err != nil {
+		class := Classify(err)
+		s.mu.Lock()
+		s.counters.Failed[class]++
+		s.mu.Unlock()
+		s.logf("live: %s: handshake failed (%s): %v", conn.RemoteAddr(), class, err)
+		return
+	}
+	resumed := srv.ResumedSession()
+	s.mu.Lock()
+	s.counters.Completed++
+	if resumed {
+		s.counters.Resumed++
+	}
+	s.mu.Unlock()
+
+	if s.opts.IssueTickets && !resumed {
+		flight, _, err := srv.SessionTicket()
+		if err == nil {
+			err = tls13.WriteRecords(conn, flight)
+		}
+		if err != nil {
+			// Not a handshake failure: the handshake itself completed; the
+			// client may simply have closed before the ticket landed.
+			s.mu.Lock()
+			s.counters.TicketIssueErrs++
+			s.mu.Unlock()
+		}
+	}
+}
+
+// Shutdown drains the runtime: it stops accepting, waits up to grace for
+// in-flight handshakes to finish, then force-closes stragglers. It returns
+// nil on a clean drain and an error naming the connections it had to cut.
+func (s *Server) Shutdown(grace time.Duration) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.shutdown)
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	<-s.loopDone // no wg.Add can race the Wait below once the loop exited
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-time.After(grace):
+		s.mu.Lock()
+		n := len(s.conns)
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return fmt.Errorf("live: drain timed out after %v; force-closed %d in-flight connections", grace, n)
+	}
+}

@@ -1,0 +1,219 @@
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"pqtls/internal/live"
+	"pqtls/internal/tls13"
+)
+
+// Options configure one open-loop load-generation run against a live
+// server.
+type Options struct {
+	// Addr is the server's TCP address.
+	Addr string
+	// Config is the client handshake template (KEMName, SigName,
+	// ServerName, Roots). It is shallow-copied per connection, so one value
+	// serves the whole pool.
+	Config *tls13.Config
+	// Schedule is the pre-computed arrival plan (required).
+	Schedule *Schedule
+	// Warmup discards handshakes whose *scheduled* arrival falls before
+	// this offset: they run (warming code paths, allocators, and the
+	// server's ticket store) but do not enter the histogram.
+	Warmup time.Duration
+	// MaxConcurrent bounds in-flight handshakes (0 = 128). Open-loop
+	// arrivals that find the pool saturated wait for a slot; the induced
+	// lag is reported in Result.MaxLag rather than silently absorbed.
+	MaxConcurrent int
+	// DialTimeout and HandshakeTimeout bound each connection (0 = 5s/10s).
+	DialTimeout, HandshakeTimeout time.Duration
+	// Resume first runs one full handshake to obtain a session ticket, then
+	// resumes every scheduled handshake from it — the steady-state of a
+	// client population holding warm tickets.
+	Resume bool
+}
+
+// Result aggregates one run.
+type Result struct {
+	// Hist holds post-warmup successful handshake latencies (ClientHello
+	// written → Finished sent, the span the modeled tables call Total).
+	Hist Histogram
+	// Offered is the number of scheduled arrivals; Started of those ran
+	// (always equal — saturated arrivals wait, they are not shed).
+	Offered, Started uint64
+	// Completed/Failed partition Started; Warmup counts completions that
+	// were discarded as warmup.
+	Completed, Failed, Warmup uint64
+	// Resumed counts completions that were PSK-resumed.
+	Resumed uint64
+	// Errors buckets failures by live.Classify class.
+	Errors map[string]uint64
+	// MaxLag is the worst (actual − scheduled) start delay: how far the
+	// pool fell behind the open-loop plan.
+	MaxLag time.Duration
+	// Elapsed spans run start to last completion; Rate is post-warmup
+	// completed handshakes per second of post-warmup elapsed time.
+	Elapsed time.Duration
+}
+
+// Rate returns achieved handshakes/second over the measured (post-warmup)
+// portion of the run.
+func (r *Result) Rate(warmup time.Duration) float64 {
+	span := r.Elapsed - warmup
+	if span <= 0 || r.Hist.Count() == 0 {
+		return 0
+	}
+	return float64(r.Hist.Count()) / span.Seconds()
+}
+
+// Run executes the schedule against the server. It returns an error only
+// for setup failures (bad options, resumption priming); individual
+// handshake failures are counted in the Result.
+func Run(opts Options) (*Result, error) {
+	if opts.Schedule == nil || len(opts.Schedule.Offsets) == 0 {
+		return nil, errors.New("loadgen: empty schedule")
+	}
+	if opts.Config == nil {
+		return nil, errors.New("loadgen: Options.Config is required")
+	}
+	if opts.MaxConcurrent <= 0 {
+		opts.MaxConcurrent = 128
+	}
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 5 * time.Second
+	}
+	if opts.HandshakeTimeout <= 0 {
+		opts.HandshakeTimeout = 10 * time.Second
+	}
+
+	var sess *tls13.Session
+	if opts.Resume {
+		var err error
+		sess, err = Prime(opts.Addr, opts.Config, opts.DialTimeout, opts.HandshakeTimeout)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: resumption priming: %w", err)
+		}
+	}
+
+	res := &Result{
+		Offered: uint64(len(opts.Schedule.Offsets)),
+		Errors:  make(map[string]uint64),
+	}
+	sem := make(chan struct{}, opts.MaxConcurrent)
+	var wg sync.WaitGroup
+	var mu sync.Mutex // guards res aggregation from worker goroutines
+
+	start := time.Now()
+	for _, off := range opts.Schedule.Offsets {
+		// Open loop: fire at the scheduled offset no matter what earlier
+		// handshakes are doing; only pool saturation may delay a start.
+		if d := off - time.Since(start); d > 0 {
+			time.Sleep(d)
+		}
+		sem <- struct{}{}
+		if lag := time.Since(start) - off; lag > res.MaxLag {
+			res.MaxLag = lag // main goroutine only; no lock needed
+		}
+		res.Started++
+		wg.Add(1)
+		go func(scheduled time.Duration) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			lat, err := oneHandshake(&opts, sess)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				res.Failed++
+				res.Errors[live.Classify(err)]++
+				return
+			}
+			res.Completed++
+			if sess != nil {
+				res.Resumed++
+			}
+			if scheduled < opts.Warmup {
+				res.Warmup++
+				return
+			}
+			res.Hist.Record(lat)
+		}(off)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// oneHandshake dials and completes a single handshake, timing the span from
+// the ClientHello hitting the socket to the Finished flight being written —
+// the same CH→Fin span the passive tap measures in the modeled pipeline, so
+// the live p50 and the modeled Total are comparable.
+func oneHandshake(opts *Options, sess *tls13.Session) (time.Duration, error) {
+	d := net.Dialer{Timeout: opts.DialTimeout}
+	conn, err := d.Dial("tcp", opts.Addr)
+	if err != nil {
+		return 0, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(opts.HandshakeTimeout))
+
+	cfg := *opts.Config
+	cfg.Session = sess
+	cli, err := tls13.NewClient(&cfg)
+	if err != nil {
+		return 0, err
+	}
+	// Key-share generation happens before the clock starts, mirroring the
+	// modeled Total (the tap times from the ClientHello on the wire).
+	flight, err := cli.Start()
+	if err != nil {
+		return 0, err
+	}
+	t0 := time.Now()
+	if err := tls13.WriteRecords(conn, flight); err != nil {
+		return 0, err
+	}
+	for {
+		rec, err := tls13.ReadRecord(conn)
+		if err != nil {
+			return 0, err
+		}
+		out, done, err := cli.Consume([]tls13.Record{rec})
+		if err != nil {
+			return 0, err
+		}
+		if len(out) > 0 {
+			if err := tls13.WriteRecords(conn, out); err != nil {
+				return 0, err
+			}
+		}
+		if done {
+			return time.Since(t0), nil
+		}
+	}
+}
+
+// Prime runs one full handshake and returns the session from the server's
+// NewSessionTicket flight, ready to resume from.
+func Prime(addr string, cfg *tls13.Config, dialTimeout, hsTimeout time.Duration) (*tls13.Session, error) {
+	d := net.Dialer{Timeout: dialTimeout}
+	conn, err := d.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(hsTimeout))
+	cli, err := tls13.ClientHandshake(conn, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := tls13.ReadRecord(conn)
+	if err != nil {
+		return nil, fmt.Errorf("reading NewSessionTicket: %w", err)
+	}
+	return cli.ProcessTicket([]tls13.Record{rec})
+}

@@ -44,6 +44,29 @@ func Quantile(xs []time.Duration, q float64) time.Duration {
 	return s[rank-1]
 }
 
+// Quantiles returns the nearest-rank quantiles for each q in qs, sorting
+// the sample once (each Quantile call sorts a private copy, which a
+// p50/p95/p99 report would otherwise pay three times).
+func Quantiles(xs []time.Duration, qs ...float64) []time.Duration {
+	out := make([]time.Duration, len(qs))
+	if len(xs) == 0 {
+		return out
+	}
+	s := append([]time.Duration{}, xs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	for i, q := range qs {
+		rank := int(math.Ceil(q * float64(len(s))))
+		if rank < 1 {
+			rank = 1
+		}
+		if rank > len(s) {
+			rank = len(s)
+		}
+		out[i] = s[rank-1]
+	}
+	return out
+}
+
 // Mean returns the arithmetic mean.
 func Mean(xs []time.Duration) time.Duration {
 	if len(xs) == 0 {

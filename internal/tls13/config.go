@@ -107,6 +107,12 @@ type Config struct {
 	// TicketKey enables session tickets on a server; instances sharing the
 	// key can resume each other's sessions.
 	TicketKey *[16]byte
+	// Tickets, when non-nil, supplies the shared session-ticket store and
+	// takes precedence over TicketKey. Connection-scoped Server values built
+	// from the same Config all seal and redeem through this one store, which
+	// is what lets a ticket issued on one connection resume on another (see
+	// internal/live).
+	Tickets *TicketStore
 	// Session, when set on a client, resumes via PSK: the Certificate and
 	// CertificateVerify flights are skipped entirely.
 	Session *Session

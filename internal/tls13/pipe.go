@@ -11,8 +11,8 @@ import (
 // tests. The measurement harness drives the state machines directly through
 // the discrete-event simulation instead.
 
-// writeRecords marshals records to the stream.
-func writeRecords(w io.Writer, records []Record) error {
+// WriteRecords marshals records to the stream.
+func WriteRecords(w io.Writer, records []Record) error {
 	for _, rec := range records {
 		if _, err := w.Write(rec.Marshal()); err != nil {
 			return fmt.Errorf("tls13: writing record: %w", err)
@@ -21,8 +21,8 @@ func writeRecords(w io.Writer, records []Record) error {
 	return nil
 }
 
-// readRecord reads exactly one record from the stream.
-func readRecord(r io.Reader) (Record, error) {
+// ReadRecord reads exactly one record from the stream.
+func ReadRecord(r io.Reader) (Record, error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return Record{}, fmt.Errorf("tls13: reading record header: %w", err)
@@ -46,11 +46,11 @@ func ClientHandshake(conn io.ReadWriter, cfg *Config) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := writeRecords(conn, flight); err != nil {
+	if err := WriteRecords(conn, flight); err != nil {
 		return nil, err
 	}
 	for {
-		rec, err := readRecord(conn)
+		rec, err := ReadRecord(conn)
 		if err != nil {
 			return nil, err
 		}
@@ -61,13 +61,13 @@ func ClientHandshake(conn io.ReadWriter, cfg *Config) (*Client, error) {
 				// unbuffered transport (net.Pipe) the peer may still be
 				// mid-flight and not yet reading.
 				alert := FatalAlert(alertFor(err))
-				go writeRecords(conn, []Record{alert})
+				go WriteRecords(conn, []Record{alert})
 			}
 			return nil, err
 		}
 		if len(out) > 0 {
 			// Either the final flight or a HelloRetryRequest retry.
-			if err := writeRecords(conn, out); err != nil {
+			if err := WriteRecords(conn, out); err != nil {
 				return nil, err
 			}
 		}
@@ -87,7 +87,7 @@ func ServerHandshake(conn io.ReadWriter, cfg *Config) (*Server, error) {
 	// Read the ClientHello (may span multiple handshake records).
 	var chRecords []Record
 	for {
-		rec, err := readRecord(conn)
+		rec, err := ReadRecord(conn)
 		if err != nil {
 			return nil, err
 		}
@@ -101,11 +101,11 @@ func ServerHandshake(conn io.ReadWriter, cfg *Config) (*Server, error) {
 	}
 	flushes, err := s.Respond(chRecords)
 	if err != nil {
-		writeRecords(conn, []Record{FatalAlert(alertFor(err))})
+		WriteRecords(conn, []Record{FatalAlert(alertFor(err))})
 		return nil, err
 	}
 	for _, f := range flushes {
-		if err := writeRecords(conn, f.Records); err != nil {
+		if err := WriteRecords(conn, f.Records); err != nil {
 			return nil, err
 		}
 	}
@@ -114,7 +114,7 @@ func ServerHandshake(conn io.ReadWriter, cfg *Config) (*Server, error) {
 		// again.
 		chRecords = chRecords[:0]
 		for {
-			rec, err := readRecord(conn)
+			rec, err := ReadRecord(conn)
 			if err != nil {
 				return nil, err
 			}
@@ -131,7 +131,7 @@ func ServerHandshake(conn io.ReadWriter, cfg *Config) (*Server, error) {
 			return nil, err
 		}
 		for _, f := range flushes {
-			if err := writeRecords(conn, f.Records); err != nil {
+			if err := WriteRecords(conn, f.Records); err != nil {
 				return nil, err
 			}
 		}
@@ -139,7 +139,7 @@ func ServerHandshake(conn io.ReadWriter, cfg *Config) (*Server, error) {
 	// Read the client's CCS + Finished.
 	var clientFlight []Record
 	for {
-		rec, err := readRecord(conn)
+		rec, err := ReadRecord(conn)
 		if err != nil {
 			return nil, err
 		}

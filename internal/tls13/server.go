@@ -139,11 +139,12 @@ func (s *Server) Respond(records []Record) ([]Flush, error) {
 	// PSK resumption: a valid ticket + binder switches to the
 	// certificate-free flow.
 	if ticket, binder, partial, hasPSK := parsePSKExtension(chMsg); hasPSK {
-		if s.cfg.TicketKey == nil {
+		store := s.cfg.sessionTickets()
+		if store == nil {
 			endSSL()
-			return nil, errors.New("tls13: client offered PSK but server has no TicketKey")
+			return nil, errNoTicketStore
 		}
-		psk, kemName, err := openTicket(s.cfg.TicketKey, ticket)
+		psk, kemName, err := store.Open(ticket)
 		if err != nil {
 			endSSL()
 			return nil, err
@@ -403,6 +404,10 @@ func (s *Server) Finish(records []Record) error {
 
 // Done reports whether the handshake completed.
 func (s *Server) Done() bool { return s.done }
+
+// ResumedSession reports whether the handshake was PSK-resumed (the client
+// presented a valid ticket and the certificate flights were skipped).
+func (s *Server) ResumedSession() bool { return s.resumptionPSK != nil }
 
 // AppTrafficSecrets returns the application traffic secrets (client, server)
 // once the handshake is complete.

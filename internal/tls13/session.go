@@ -43,8 +43,9 @@ func (s *Server) SessionTicket() ([]Record, *Session, error) {
 	if !s.done {
 		return nil, nil, errors.New("tls13: SessionTicket before handshake completion")
 	}
-	if s.cfg.TicketKey == nil {
-		return nil, nil, errors.New("tls13: server has no TicketKey configured")
+	store := s.cfg.sessionTickets()
+	if store == nil {
+		return nil, nil, errors.New("tls13: server has no ticket store configured")
 	}
 	// resumption_master_secret -> PSK via the ticket nonce.
 	var nonce [8]byte
@@ -54,7 +55,7 @@ func (s *Server) SessionTicket() ([]Record, *Session, error) {
 	resMaster := deriveSecret(s.ks.masterSecret, "res master", s.ks.transcriptHash())
 	psk := hkdfExpandLabel(resMaster, "resumption", nonce[:], sha256.Size)
 
-	ticket, err := sealTicket(s.cfg.TicketKey, psk, s.cfg.KEMName)
+	ticket, err := store.Seal(psk, s.cfg.KEMName)
 	if err != nil {
 		return nil, nil, err
 	}

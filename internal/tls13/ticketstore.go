@@ -1,0 +1,100 @@
+package tls13
+
+import (
+	"crypto/rand"
+	"errors"
+	"io"
+	"sync"
+)
+
+// TicketStore seals and opens session tickets under one process-wide key and
+// counts what happens to them. Server handshakes are per-connection objects;
+// the store is the piece of resumption state that must outlive a connection,
+// so a runtime (internal/live) creates one store and shares it across every
+// Server it constructs — a ticket issued on connection A then resumes on
+// connection B, exactly as a multi-worker deployment sharing STEK material
+// would behave.
+//
+// All methods are safe for concurrent use.
+type TicketStore struct {
+	key [ticketKeySize]byte
+
+	mu       sync.Mutex
+	issued   uint64
+	redeemed uint64
+	rejected uint64
+}
+
+// NewTicketStore builds a store over a fixed key. Instances (or processes)
+// constructed with the same key can resume each other's sessions.
+func NewTicketStore(key [ticketKeySize]byte) *TicketStore {
+	return &TicketStore{key: key}
+}
+
+// NewRandomTicketStore builds a store over a fresh random key: tickets are
+// only redeemable within this process's lifetime.
+func NewRandomTicketStore() (*TicketStore, error) {
+	var key [ticketKeySize]byte
+	if _, err := io.ReadFull(rand.Reader, key[:]); err != nil {
+		return nil, err
+	}
+	return NewTicketStore(key), nil
+}
+
+// Seal encrypts (psk, kemName) into an opaque ticket.
+func (ts *TicketStore) Seal(psk []byte, kemName string) ([]byte, error) {
+	ticket, err := sealTicket(&ts.key, psk, kemName)
+	if err != nil {
+		return nil, err
+	}
+	ts.mu.Lock()
+	ts.issued++
+	ts.mu.Unlock()
+	return ticket, nil
+}
+
+// Open decrypts a presented ticket, counting it as redeemed on success and
+// rejected on failure (wrong key, corruption, truncation).
+func (ts *TicketStore) Open(ticket []byte) (psk []byte, kemName string, err error) {
+	psk, kemName, err = openTicket(&ts.key, ticket)
+	ts.mu.Lock()
+	if err != nil {
+		ts.rejected++
+	} else {
+		ts.redeemed++
+	}
+	ts.mu.Unlock()
+	return psk, kemName, err
+}
+
+// TicketStats is a point-in-time view of a store's counters.
+type TicketStats struct {
+	Issued   uint64 // tickets sealed into NewSessionTicket flights
+	Redeemed uint64 // presented tickets that decrypted and parsed
+	Rejected uint64 // presented tickets that failed to open
+}
+
+// Stats returns the store's counters.
+func (ts *TicketStore) Stats() TicketStats {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return TicketStats{Issued: ts.issued, Redeemed: ts.redeemed, Rejected: ts.rejected}
+}
+
+// errNoTicketStore is returned when a PSK arrives but the server has neither
+// a Tickets store nor a TicketKey.
+var errNoTicketStore = errors.New("tls13: client offered PSK but server has no ticket store")
+
+// sessionTickets resolves the server's ticket machinery: the shared Tickets
+// store when configured, else a transient store over the legacy TicketKey
+// (counters discarded — the harness drives single handshakes and reads no
+// stats), else nil.
+func (c *Config) sessionTickets() *TicketStore {
+	if c.Tickets != nil {
+		return c.Tickets
+	}
+	if c.TicketKey != nil {
+		return &TicketStore{key: *c.TicketKey}
+	}
+	return nil
+}

@@ -57,9 +57,27 @@ type (
 	Record = tls13.Record
 	// Session is client-side PSK resumption state from a NewSessionTicket.
 	Session = tls13.Session
+	// TicketStore is the shared session-ticket machinery: one store serves
+	// every connection of a server runtime, so tickets issued on one
+	// connection resume on another.
+	TicketStore = tls13.TicketStore
 	// BufferPolicy selects the server's flight-assembly behaviour.
 	BufferPolicy = tls13.BufferPolicy
 )
+
+// NewTicketStore builds a ticket store over a fixed 16-byte key; instances
+// sharing a key can resume each other's sessions. NewRandomTicketStore keys
+// the store for this process's lifetime only.
+func NewTicketStore(key [16]byte) *TicketStore    { return tls13.NewTicketStore(key) }
+func NewRandomTicketStore() (*TicketStore, error) { return tls13.NewRandomTicketStore() }
+
+// ReadRecord reads one TLS record from a byte stream; WriteRecords writes a
+// flight. They let callers speak the record layer around the handshake API
+// (e.g. reading the NewSessionTicket flight after ClientHandshake returns).
+func ReadRecord(r io.Reader) (Record, error) { return tls13.ReadRecord(r) }
+func WriteRecords(w io.Writer, records []Record) error {
+	return tls13.WriteRecords(w, records)
+}
 
 // Server flight-assembly policies (Section 4 of the paper).
 const (

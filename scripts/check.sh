@@ -37,6 +37,19 @@ for target in FuzzClientHelloParse FuzzServerHelloParse FuzzRecordDeprotect; do
     go test ./internal/tls13 -run '^$' -fuzz "$target" -fuzztime "${FUZZTIME:-5s}"
 done
 
+echo "==> live smoke: loopback handshakes under -race, schedule digest reproducible"
+livedir=$(mktemp -d)
+go build -race -o "$livedir/pqbench-race" ./cmd/pqbench
+d1=$("$livedir/pqbench-race" live -kem kyber768 -sig dilithium3 -rate 50 -duration 1s |
+    tee /dev/stderr | sed -n 's/.*digest \([0-9a-f]*\).*/\1/p')
+d2=$("$livedir/pqbench-race" live -kem kyber768 -sig dilithium3 -rate 50 -duration 1s |
+    sed -n 's/.*digest \([0-9a-f]*\).*/\1/p')
+rm -rf "$livedir"
+if [ -z "$d1" ] || [ "$d1" != "$d2" ]; then
+    echo "live smoke: schedule digest not reproducible: '$d1' vs '$d2'"
+    exit 1
+fi
+
 echo "==> determinism spot check: pqbench all-kem, workers 1 vs 8"
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
