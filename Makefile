@@ -4,12 +4,13 @@ FUZZTIME ?= 5s
 # (see EXPERIMENTS.md).
 TABLE4FLAGS ?= -samples 5 -timing model
 
-.PHONY: check lint vet build test race fuzz-smoke live-smoke bench table4 clean
+.PHONY: check lint vet build test race fuzz-smoke live-smoke phases-smoke bench table4 clean
 
 # check is the CI entry point: static checks, build, the full test suite,
 # the race-enabled suite (exercising the parallel campaign engine), a short
-# fuzz pass over each wire-parsing target, and a live loopback smoke run.
-check: lint build test race fuzz-smoke live-smoke
+# fuzz pass over each wire-parsing target, a live loopback smoke run, and
+# the observability smoke (phase traces + Prometheus /metrics).
+check: lint build test race fuzz-smoke live-smoke phases-smoke
 
 # lint runs the always-available static checks (gofmt, go vet) and, when
 # installed, staticcheck. The toolchain image does not bundle staticcheck,
@@ -59,6 +60,12 @@ live-smoke:
 	if [ -z "$$d1" ] || [ "$$d1" != "$$d2" ]; then \
 		echo "live-smoke: schedule digest not reproducible: '$$d1' vs '$$d2'"; exit 1; fi; \
 	echo "live-smoke OK: schedule digest $$d1 reproducible across runs"
+
+# phases-smoke exercises the observability subsystem end to end: `pqbench
+# phases` for a classical and a PQ cell (JSONL schema self-check, flight-wait
+# visible), then a real pqtls-server scraped over /metrics and /healthz.
+phases-smoke:
+	sh scripts/phases_smoke.sh
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

@@ -10,8 +10,10 @@ import (
 	"testing"
 	"time"
 
+	"pqtls"
 	"pqtls/internal/harness"
 	"pqtls/internal/netsim"
+	"pqtls/internal/obs"
 	"pqtls/internal/tls13"
 )
 
@@ -206,5 +208,135 @@ func BenchmarkSection55Attack(b *testing.B) {
 		}
 		b.ReportMetric(maxAmp, "max-amplification-x")
 		b.ReportMetric(maxAsym, "max-cpu-asymmetry-x")
+	}
+}
+
+// hookedHandshake runs one full sans-IO handshake (no simulated network —
+// pure compute, the worst case for observability overhead) with the given
+// hooks installed on both endpoints.
+func hookedHandshake(creds *harness.Credentials, cliHooks, srvHooks tls13.Hooks) error {
+	srvCfg := &pqtls.Config{
+		KEMName: "x25519", SigName: "ed25519", ServerName: "server.example",
+		Chain: creds.Chain, PrivateKey: creds.Priv,
+		Hooks: srvHooks,
+	}
+	cliCfg := &pqtls.Config{
+		KEMName: "x25519", SigName: "ed25519", ServerName: "server.example",
+		Roots: creds.Roots,
+		Hooks: cliHooks,
+	}
+	cli, err := pqtls.NewClient(cliCfg)
+	if err != nil {
+		return err
+	}
+	srv, err := pqtls.NewServer(srvCfg)
+	if err != nil {
+		return err
+	}
+	ch, err := cli.Start()
+	if err != nil {
+		return err
+	}
+	flushes, err := srv.Respond(ch)
+	if err != nil {
+		return err
+	}
+	var final []pqtls.Record
+	for _, f := range flushes {
+		out, done, err := cli.Consume(f.Records)
+		if err != nil {
+			return err
+		}
+		if done {
+			final = out
+		}
+	}
+	return srv.Finish(final)
+}
+
+func tracedPair() (tls13.Hooks, tls13.Hooks) {
+	cli := obs.NewTracer(obs.Meta{Endpoint: "client", KEM: "x25519", Sig: "ed25519"}, nil)
+	srv := obs.NewTracer(obs.Meta{Endpoint: "server", KEM: "x25519", Sig: "ed25519"}, nil)
+	return cli, srv
+}
+
+// BenchmarkHandshakeHooks compares the full-handshake cost with hooks nil
+// vs. a fresh tracer pair per handshake (the phases pipeline's usage).
+func BenchmarkHandshakeHooks(b *testing.B) {
+	creds, err := harness.CredentialsFor("ed25519", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("none", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := hookedHandshake(creds, nil, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("traced", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cli, srv := tracedPair()
+			if err := hookedHandshake(creds, cli, srv); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// TestTracerOverhead asserts the observability acceptance bound: installing
+// tracers on both endpoints costs <5% of a full x25519/ed25519 handshake.
+// Both configurations run in interleaved fixed-size blocks and compare by
+// min-of-blocks, which cancels the scheduler and frequency-scaling noise a
+// single back-to-back comparison would absorb into the delta.
+func TestTracerOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	creds, err := harness.CredentialsFor("ed25519", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const blocks, iters = 8, 12
+	run := func(traced bool) error {
+		var cli, srv tls13.Hooks
+		if traced {
+			cli, srv = tracedPair()
+		}
+		return hookedHandshake(creds, cli, srv)
+	}
+	// Warm the credential cache, allocator, and code paths.
+	for i := 0; i < 5; i++ {
+		if err := run(false); err != nil {
+			t.Fatal(err)
+		}
+		if err := run(true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	minNone, minTraced := time.Duration(1<<62), time.Duration(1<<62)
+	for b := 0; b < blocks; b++ {
+		for _, traced := range []bool{false, true} {
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				if err := run(traced); err != nil {
+					t.Fatal(err)
+				}
+			}
+			d := time.Since(start) / iters
+			if traced && d < minTraced {
+				minTraced = d
+			}
+			if !traced && d < minNone {
+				minNone = d
+			}
+		}
+	}
+	// 5% relative bound plus a small absolute allowance for clock
+	// granularity on very fast handshakes.
+	limit := minNone + minNone/20 + 20*time.Microsecond
+	t.Logf("handshake min-of-blocks: none %v, traced %v (limit %v)", minNone, minTraced, limit)
+	if minTraced > limit {
+		t.Errorf("tracer overhead too high: none %v, traced %v (>5%%)", minNone, minTraced)
 	}
 }

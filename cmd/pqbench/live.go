@@ -34,6 +34,7 @@ func runLive(args []string) error {
 	conns := fs.Int("conns", 128, "max concurrent handshakes (client pool and server limiter)")
 	hsTimeout := fs.Duration("timeout", 10*time.Second, "per-connection handshake deadline")
 	samples := fs.Int("samples", 5, "modeled-campaign samples for the prediction column")
+	metrics := fs.String("metrics", "", "serve Prometheus /metrics + /healthz on this address for the run (e.g. 127.0.0.1:9090)")
 	fs.Parse(args)
 
 	policy := tls13.BufferImmediate
@@ -66,9 +67,14 @@ func runLive(args []string) error {
 		MaxConns:         *conns,
 		HandshakeTimeout: *hsTimeout,
 		IssueTickets:     *resume,
+		MetricsAddr:      *metrics,
+		PhaseMetrics:     *metrics != "",
 	})
 	if err != nil {
 		return err
+	}
+	if a := srv.MetricsAddr(); a != nil {
+		fmt.Printf("metrics: http://%s/metrics (healthz on the same listener)\n", a)
 	}
 
 	sched := loadgen.NewSchedule(*seed, distVal, *rate, *duration)

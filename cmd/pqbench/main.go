@@ -52,6 +52,15 @@ func main() {
 		}
 		return
 	}
+	if cmd == "phases" {
+		// phases traces one grid cell's handshake span tree — own flag set
+		// (ka, sa, buffer, live, ...) — see phases.go.
+		if err := runPhases(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "pqbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	samples := fs.Int("samples", 9, "handshakes per suite")
 	buffer := fs.String("buffer", "immediate", "server buffering: default|immediate")
@@ -175,7 +184,8 @@ commands: all-kem all-sig deviation improvement whitebox
           all-kem-scenarios all-sig-scenarios rank attack
           cwnd all-sphincs hrr chains resumption capture list
 
-live: real-socket load test over loopback (own flags; pqbench live -h)`)
+live:   real-socket load test over loopback (own flags; pqbench live -h)
+phases: per-phase handshake breakdown with span traces (own flags; pqbench phases -h)`)
 }
 
 func ms(d time.Duration) string {

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"pqtls"
+	"pqtls/internal/obs"
 	"pqtls/internal/pki"
 	"pqtls/internal/stats"
 )
@@ -28,6 +29,7 @@ func main() {
 	rootFile := flag.String("root", "root.cert", "trusted root certificate file")
 	n := flag.Int("n", 1, "number of sequential handshakes")
 	resume := flag.Bool("resume", false, "resume handshakes 2..n from the first handshake's session ticket")
+	trace := flag.Bool("trace", false, "record per-phase spans and print a p50/p95 phase breakdown")
 	flag.Parse()
 
 	rootBytes, err := os.ReadFile(*rootFile)
@@ -45,6 +47,7 @@ func main() {
 
 	var latencies []time.Duration
 	var session *pqtls.Session
+	col := &obs.Collector{}
 	resumed := 0
 	for i := 0; i < *n; i++ {
 		conn, err := net.Dial("tcp", *addr)
@@ -55,12 +58,21 @@ func main() {
 		if *resume && session != nil {
 			cfg.Session = session
 		}
+		var tracer *obs.Tracer
+		if *trace {
+			tracer = obs.NewTracer(obs.Meta{
+				Endpoint: "client", KEM: *kemName, Sig: *sigName,
+				Sample: i, Resumed: cfg.Session != nil,
+			}, nil)
+			cfg.Hooks = tracer
+		}
 		start := time.Now()
 		cli, err := pqtls.ClientHandshake(conn, &cfg)
 		if err != nil {
 			log.Fatalf("handshake %d: %v", i, err)
 		}
 		latencies = append(latencies, time.Since(start))
+		col.Add(tracer) // nil-safe when -trace is off
 		if cfg.Session != nil {
 			resumed++
 		}
@@ -86,4 +98,10 @@ func main() {
 	qs := stats.Quantiles(latencies, 0.50, 0.95, 0.99)
 	fmt.Printf("%d handshakes (%d resumed): p50 %v, p95 %v, p99 %v, min %v, max %v\n",
 		*n, resumed, qs[0], qs[1], qs[2], mn, mx)
+	if *trace {
+		fmt.Println("phase breakdown (wall clock, tls13 state-machine spans):")
+		if err := obs.WritePhaseTable(os.Stdout, obs.AggregatePhases(col.Traces())); err != nil {
+			log.Fatal(err)
+		}
+	}
 }

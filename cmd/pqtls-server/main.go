@@ -30,6 +30,7 @@ func main() {
 	sigName := flag.String("sig", "rsa:2048", "certificate signature algorithm")
 	rootOut := flag.String("root", "root.cert", "file to write the root certificate to")
 	buffer := flag.String("buffer", "immediate", "flight buffering: default|immediate")
+	metrics := flag.String("metrics", "", "serve Prometheus /metrics + /healthz on this address (e.g. 127.0.0.1:9090; empty = off)")
 	maxConns := flag.Int("max-conns", 256, "concurrent handshake limit")
 	hsTimeout := flag.Duration("timeout", 10*time.Second, "per-connection handshake deadline")
 	grace := flag.Duration("grace", 5*time.Second, "drain grace period on shutdown")
@@ -75,12 +76,17 @@ func main() {
 		HandshakeTimeout: *hsTimeout,
 		IssueTickets:     true,
 		Logf:             log.Printf,
+		MetricsAddr:      *metrics,
+		PhaseMetrics:     *metrics != "",
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("listening on %s (kem=%s sig=%s, max %d conns, %v handshake deadline)",
 		ln.Addr(), *kemName, *sigName, *maxConns, *hsTimeout)
+	if a := srv.MetricsAddr(); a != nil {
+		log.Printf("metrics on http://%s/metrics, health on /healthz", a)
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

@@ -70,6 +70,7 @@ var DefaultCostModel = &CostModel{
 		"rsa:2048":       {450 * time.Millisecond, 1200 * time.Microsecond, 60 * time.Microsecond},
 		"rsa:3072":       {1500 * time.Millisecond, 3400 * time.Microsecond, 110 * time.Microsecond},
 		"rsa:4096":       {4000 * time.Millisecond, 8000 * time.Microsecond, 170 * time.Microsecond},
+		"ed25519":        {25 * time.Microsecond, 30 * time.Microsecond, 70 * time.Microsecond},
 		"ecdsa-p256":     {70 * time.Microsecond, 80 * time.Microsecond, 230 * time.Microsecond},
 		"ecdsa-p384":     {380 * time.Microsecond, 420 * time.Microsecond, 1100 * time.Microsecond},
 		"ecdsa-p521":     {900 * time.Microsecond, 1000 * time.Microsecond, 2600 * time.Microsecond},

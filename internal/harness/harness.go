@@ -21,6 +21,7 @@ import (
 
 	"pqtls/internal/netsim"
 	"pqtls/internal/nettap"
+	"pqtls/internal/obs"
 	"pqtls/internal/perf"
 	"pqtls/internal/pki"
 	"pqtls/internal/sig"
@@ -194,6 +195,13 @@ type RunOptions struct {
 	Rand io.Reader
 	// Profilers, when set, collect the white-box view.
 	ClientProf, ServerProf *perf.Profiler
+	// Trace, when non-nil, collects per-endpoint span traces of the
+	// measured handshake (not of the un-simulated ticket-priming handshake
+	// under Resume). Span clocks follow Timing: virtual meter time under
+	// TimingModel, wall time under TimingReal. TraceSample labels the
+	// traces with a sample index.
+	Trace       *obs.Collector
+	TraceSample int
 	// Pcap, when non-nil, records every tap frame to a libpcap capture
 	// (the artifact publishes PCAPs of each run).
 	Pcap *nettap.PcapWriter
@@ -238,10 +246,10 @@ func RunHandshake(opts RunOptions) (*HandshakeResult, error) {
 		cliCfg.PresetKeyShare = opts.KeyPool.Get(clientKEM)
 	}
 	if opts.ServerProf != nil {
-		srvCfg.Tracer = opts.ServerProf
+		srvCfg.Hooks = opts.ServerProf
 	}
 	if opts.ClientProf != nil {
-		cliCfg.Tracer = opts.ClientProf
+		cliCfg.Hooks = opts.ClientProf
 	}
 	// Per-party compute clocks: under modeled timing each endpoint gets its
 	// own CostMeter and every compute span below reads meter deltas instead
@@ -261,6 +269,25 @@ func RunHandshake(opts RunOptions) (*HandshakeResult, error) {
 			return nil, fmt.Errorf("harness: obtaining session ticket: %w", err)
 		}
 		cliCfg.Session = sess
+	}
+	// Tracers are installed after the ticket-priming handshake so only the
+	// measured handshake is traced. Each endpoint's tracer reads that
+	// endpoint's clock — the virtual meter under modeled timing, so span
+	// durations are exactly the charged compute.
+	var cliTracer, srvTracer *obs.Tracer
+	if opts.Trace != nil {
+		meta := obs.Meta{
+			KEM: clientKEM, Sig: opts.Sig,
+			Buffer:  BufferName(opts.Buffer),
+			Sample:  opts.TraceSample,
+			Resumed: opts.Resume,
+		}
+		cliMeta, srvMeta := meta, meta
+		cliMeta.Endpoint, srvMeta.Endpoint = "client", "server"
+		cliTracer = obs.NewTracer(cliMeta, clockFor(cliMeter))
+		srvTracer = obs.NewTracer(srvMeta, clockFor(srvMeter))
+		cliCfg.Hooks = tls13.MultiHooks(cliCfg.Hooks, cliTracer)
+		srvCfg.Hooks = tls13.MultiHooks(srvCfg.Hooks, srvTracer)
 	}
 	cli, err := tls13.NewClient(cliCfg)
 	if err != nil {
@@ -317,6 +344,13 @@ func RunHandshake(opts RunOptions) (*HandshakeResult, error) {
 			if clientFree > start {
 				start = clientFree
 			}
+			// The client sat idle from clientFree to start waiting for this
+			// flush — the flight-wait phase the buffering analysis turns on.
+			// Offsets are relative to the ClientHello hitting the wire (the
+			// tap's Total origin), on the transport timeline.
+			if cliTracer != nil && start > clientFree {
+				cliTracer.Add(tls13.PhaseFlightWait, clientFree-tCH, start-tCH)
+			}
 			sw = cliClock()
 			out, done, err := cli.Consume(f.Records)
 			if err != nil {
@@ -355,6 +389,10 @@ func RunHandshake(opts RunOptions) (*HandshakeResult, error) {
 	}
 	res.Phases = phases
 	res.Cycle = finArrive + res.ServerCPU // server wraps up after Fin arrives
+	if opts.Trace != nil {
+		opts.Trace.Add(cliTracer)
+		opts.Trace.Add(srvTracer)
+	}
 	res.ClientBytes = link.Bytes[netsim.ClientToServer]
 	res.ServerBytes = link.Bytes[netsim.ServerToClient]
 	res.ClientPackets = link.Packets[netsim.ClientToServer]
@@ -376,6 +414,23 @@ func RunHandshake(opts RunOptions) (*HandshakeResult, error) {
 		opts.ServerProf.AddTotal(res.ServerCPU)
 	}
 	return res, nil
+}
+
+// BufferName renders a BufferPolicy for trace metadata and file names.
+func BufferName(p tls13.BufferPolicy) string {
+	if p == tls13.BufferImmediate {
+		return "immediate"
+	}
+	return "default"
+}
+
+// clockFor picks a tracer clock: the endpoint's virtual meter under modeled
+// timing, the wall clock otherwise.
+func clockFor(m *CostMeter) func() time.Time {
+	if m == nil {
+		return time.Now
+	}
+	return m.Now
 }
 
 // stopwatchFor returns a stopwatch constructor for one endpoint: measured

@@ -1,0 +1,107 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pqtls/internal/obs"
+	"pqtls/internal/tls13"
+)
+
+func runPhasesCell(t *testing.T, kem, sig string, buffer tls13.BufferPolicy) *PhasesReport {
+	t.Helper()
+	r, err := RunPhases(PhasesOptions{
+		KEM: kem, Sig: sig, Link: ScenarioTestbed, Buffer: buffer,
+		Samples: 3, Seed: 1,
+	})
+	if err != nil {
+		t.Fatalf("RunPhases(%s/%s): %v", kem, sig, err)
+	}
+	return r
+}
+
+// TestPhasesSumMatchesTap is the report's core honesty check: under modeled
+// timing the client's in-Total phases (busy + flight-wait) must reconstruct
+// the passive tap's Total to well under the 1% acceptance bound.
+func TestPhasesSumMatchesTap(t *testing.T) {
+	for _, tc := range []struct{ kem, sig string }{
+		{"x25519", "ed25519"},
+		{"kyber768", "dilithium3"},
+	} {
+		r := runPhasesCell(t, tc.kem, tc.sig, tls13.BufferDefault)
+		if r.TotalP50 <= 0 {
+			t.Fatalf("%s/%s: no tap total", tc.kem, tc.sig)
+		}
+		if e := r.SumError(); e > 0.01 {
+			t.Errorf("%s/%s: phase sum %v vs tap total %v: error %.2f%% > 1%%",
+				tc.kem, tc.sig, r.ClientSumP50, r.TotalP50, e*100)
+		}
+		if n := r.Collector.Len(); n != 2*r.Opts.Samples {
+			t.Errorf("%s/%s: collected %d traces, want %d", tc.kem, tc.sig, n, 2*r.Opts.Samples)
+		}
+	}
+}
+
+// TestPhasesBufferingFlightWait: the buffering interaction the subsystem
+// exists to expose — pushing the ServerHello early (BufferImmediate) lets
+// the client overlap decapsulation with the server still signing, changing
+// where and how long the client waits between flights.
+func TestPhasesBufferingFlightWait(t *testing.T) {
+	def := runPhasesCell(t, "kyber768", "dilithium3", tls13.BufferDefault)
+	imm := runPhasesCell(t, "kyber768", "dilithium3", tls13.BufferImmediate)
+	if def.FlightWaitP50() == 0 && imm.FlightWaitP50() == 0 {
+		t.Fatal("no flight-wait recorded under either policy")
+	}
+	if def.FlightWaitP50() == imm.FlightWaitP50() {
+		t.Errorf("flight-wait identical under both policies (%v) — buffering effect invisible",
+			def.FlightWaitP50())
+	}
+}
+
+func TestPhasesRenderAndCSV(t *testing.T) {
+	r := runPhasesCell(t, "x25519", "ed25519", tls13.BufferDefault)
+	var tbl bytes.Buffer
+	if err := RenderPhases(&tbl, r); err != nil {
+		t.Fatalf("RenderPhases: %v", err)
+	}
+	out := tbl.String()
+	for _, want := range []string{"total(tap)", "sum(in-total)", tls13.PhaseFlightWait, tls13.PhaseServerHello, "client-hello*"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	var csv bytes.Buffer
+	if err := WritePhasesCSV(&csv, r); err != nil {
+		t.Fatalf("WritePhasesCSV: %v", err)
+	}
+	if !strings.HasPrefix(csv.String(), "ka,sa,buffer,endpoint,phase,samples,p50_us,p95_us,mean_us,share\n") {
+		t.Errorf("csv header wrong:\n%s", csv.String())
+	}
+	if !strings.Contains(csv.String(), "x25519,ed25519,default,client,") {
+		t.Errorf("csv missing client rows:\n%s", csv.String())
+	}
+	var jsonl bytes.Buffer
+	if err := r.Collector.WriteJSONL(&jsonl); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	if n, err := obs.ValidateJSONL(bytes.NewReader(jsonl.Bytes())); err != nil || n == 0 {
+		t.Errorf("JSONL self-validation: n=%d err=%v", n, err)
+	}
+}
+
+// TestPhasesDeterministic: same options, byte-identical trace export.
+func TestPhasesDeterministic(t *testing.T) {
+	a := runPhasesCell(t, "kyber768", "ecdsa-p256", tls13.BufferDefault)
+	b := runPhasesCell(t, "kyber768", "ecdsa-p256", tls13.BufferDefault)
+	var ja, jb bytes.Buffer
+	if err := a.Collector.WriteJSONL(&ja); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Collector.WriteJSONL(&jb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja.Bytes(), jb.Bytes()) {
+		t.Error("modeled phase traces differ between identical runs")
+	}
+}

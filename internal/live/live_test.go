@@ -289,3 +289,91 @@ func TestStoreSharedAcrossRuntimes(t *testing.T) {
 		t.Errorf("B resumed = %d, want 1", got.Resumed)
 	}
 }
+
+// TestConcurrentSnapshots hammers the runtime with handshakes while
+// continuously taking Counters snapshots and scraping the registry: under
+// -race this proves no snapshot can observe a torn read (the old
+// mutex-copied struct let FailedTotal race the map copy).
+func TestConcurrentSnapshots(t *testing.T) {
+	srv, cliCfg := startServer(t, "x25519", "ecdsa-p256", live.Options{
+		IssueTickets: true,
+		MetricsAddr:  "127.0.0.1:0",
+		PhaseMetrics: true,
+	})
+	addr := srv.Addr().String()
+
+	stop := make(chan struct{})
+	var snapWG sync.WaitGroup
+	snapWG.Add(2)
+	go func() { // snapshot reader
+		defer snapWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c := srv.Counters()
+			if c.FailedTotal() > c.Accepted {
+				t.Error("snapshot inconsistency: more failures than accepts")
+				return
+			}
+		}
+	}()
+	go func() { // registry scraper
+		defer snapWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var sb strings.Builder
+			if err := srv.Registry().WriteText(&sb); err != nil {
+				t.Errorf("WriteText: %v", err)
+				return
+			}
+		}
+	}()
+
+	const clients = 8
+	var hsWG sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		hsWG.Add(1)
+		go func() {
+			defer hsWG.Done()
+			for j := 0; j < 4; j++ {
+				if _, err := loadgen.Prime(addr, cliCfg, 5*time.Second, 30*time.Second); err != nil {
+					t.Errorf("handshake: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	hsWG.Wait()
+	close(stop)
+	snapWG.Wait()
+
+	if err := srv.Shutdown(10 * time.Second); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	c := srv.Counters()
+	if want := uint64(clients * 4); c.Completed != want {
+		t.Errorf("completed %d, want %d", c.Completed, want)
+	}
+	var sb strings.Builder
+	if err := srv.Registry().WriteText(&sb); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	for _, family := range []string{
+		live.MetricHandshakes, live.MetricInflight, live.MetricDraining,
+		live.MetricHSDuration, live.MetricTicketsIssued,
+	} {
+		if !strings.Contains(sb.String(), "# TYPE "+family+" ") {
+			t.Errorf("exposition missing family %s", family)
+		}
+	}
+	if !strings.Contains(sb.String(), live.MetricDraining+" 1") {
+		t.Errorf("draining gauge not set after Shutdown:\n%s", sb.String())
+	}
+}

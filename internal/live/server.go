@@ -8,15 +8,21 @@
 // resumption works between them, classifies failures into counters, and
 // drains gracefully on shutdown. The matching client side is
 // internal/loadgen.
+//
+// All bookkeeping lives in an obs.Registry of atomic instruments, so a
+// scrape endpoint (Options.MetricsAddr) can serve Prometheus text-format
+// /metrics and /healthz without touching the accept path's mutex.
 package live
 
 import (
 	"errors"
 	"fmt"
 	"net"
+	"net/http"
 	"sync"
 	"time"
 
+	"pqtls/internal/obs"
 	"pqtls/internal/tls13"
 )
 
@@ -41,9 +47,24 @@ type Options struct {
 	// Logf, when non-nil, receives operational log lines (accept retries,
 	// handshake failures). Nil means silent.
 	Logf func(format string, args ...any)
+	// Registry, when non-nil, receives the runtime's metrics; nil gives the
+	// runtime a private registry (still scrapeable via MetricsAddr).
+	Registry *obs.Registry
+	// MetricsAddr, when non-empty, starts an HTTP listener at this address
+	// serving GET /metrics (Prometheus text format, version 0.0.4) and GET
+	// /healthz (200 while serving, 503 once draining). Use ":0" for an
+	// ephemeral port and read it back with (*Server).MetricsAddr.
+	MetricsAddr string
+	// PhaseMetrics additionally installs obs phase hooks on the handshake
+	// config, filling pqtls_handshake_phase_seconds{phase=...} histograms
+	// and pqtls_pubkey_ops_total{op,alg} counters.
+	PhaseMetrics bool
 }
 
-// Counters is a point-in-time snapshot of a runtime's bookkeeping.
+// Counters is a point-in-time snapshot of a runtime's bookkeeping. Every
+// field is read from its own atomic instrument, so a snapshot taken while
+// handshakes complete concurrently is torn at worst between fields, never
+// within one — FailedTotal sums per-class atomics observed at one Load each.
 type Counters struct {
 	Accepted        uint64            // connections taken from the listener
 	Completed       uint64            // handshakes finished (full + resumed)
@@ -62,6 +83,23 @@ func (c Counters) FailedTotal() uint64 {
 	return n
 }
 
+// Metric family names the runtime registers.
+const (
+	MetricHandshakes      = "pqtls_handshakes_total"
+	MetricAccepted        = "pqtls_connections_accepted_total"
+	MetricAcceptRetries   = "pqtls_accept_retries_total"
+	MetricTicketIssueErrs = "pqtls_ticket_issue_errors_total"
+	MetricResumed         = "pqtls_handshakes_resumed_total"
+	MetricInflight        = "pqtls_inflight_connections"
+	MetricDraining        = "pqtls_draining"
+	MetricHSDuration      = "pqtls_handshake_duration_seconds"
+	MetricTicketsIssued   = "pqtls_tickets_issued_total"
+	MetricTicketsRedeemed = "pqtls_tickets_redeemed_total"
+	MetricTicketsRejected = "pqtls_tickets_rejected_total"
+)
+
+const handshakesHelp = "Handshake outcomes by result class (ok or a failure class)."
+
 // Server is a running accept loop plus its in-flight connections.
 type Server struct {
 	ln       net.Listener
@@ -72,10 +110,23 @@ type Server struct {
 	loopDone chan struct{}
 	wg       sync.WaitGroup
 
-	mu       sync.Mutex
-	conns    map[net.Conn]struct{}
-	counters Counters
-	closed   bool
+	reg           *obs.Registry
+	accepted      *obs.Counter
+	completed     *obs.Counter // pqtls_handshakes_total{result="ok"}
+	resumed       *obs.Counter
+	ticketErrs    *obs.Counter
+	acceptRetries *obs.Counter
+	inflight      *obs.Gauge
+	draining      *obs.Gauge
+	hsDur         *obs.LatencyHistogram
+
+	metricsLn net.Listener
+	httpSrv   *http.Server
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	failed map[string]*obs.Counter // class -> pqtls_handshakes_total{result=class}
+	closed bool
 }
 
 // Serve starts the accept loop on ln and returns immediately. The listener
@@ -105,6 +156,13 @@ func Serve(ln net.Listener, opts Options) (*Server, error) {
 			cfg.Tickets = store
 		}
 	}
+	reg := opts.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	if opts.PhaseMetrics {
+		cfg.Hooks = tls13.MultiHooks(cfg.Hooks, obs.NewPhaseHooks(reg))
+	}
 	s := &Server{
 		ln:       ln,
 		opts:     opts,
@@ -113,8 +171,40 @@ func Serve(ln net.Listener, opts Options) (*Server, error) {
 		shutdown: make(chan struct{}),
 		loopDone: make(chan struct{}),
 		conns:    make(map[net.Conn]struct{}),
+		failed:   make(map[string]*obs.Counter),
+		reg:      reg,
 	}
-	s.counters.Failed = make(map[string]uint64)
+	// Every family is registered up front so a scrape sees the full schema
+	// before any traffic arrives.
+	s.completed = reg.Counter(MetricHandshakes, handshakesHelp, "result", "ok")
+	s.accepted = reg.Counter(MetricAccepted, "Connections taken from the listener.")
+	s.acceptRetries = reg.Counter(MetricAcceptRetries, "Transient Accept errors survived.")
+	s.ticketErrs = reg.Counter(MetricTicketIssueErrs, "Post-handshake ticket flights that failed.")
+	s.resumed = reg.Counter(MetricResumed, "Completed handshakes that were PSK-resumed.")
+	s.inflight = reg.Gauge(MetricInflight, "Connections currently handshaking.")
+	s.draining = reg.Gauge(MetricDraining, "1 while the runtime is draining, else 0.")
+	s.hsDur = reg.Histogram(MetricHSDuration, "Wall-clock duration of successful handshakes.")
+	store := cfg.Tickets
+	reg.CounterFunc(MetricTicketsIssued, "Tickets sealed into NewSessionTicket flights.",
+		func() uint64 { return store.Stats().Issued })
+	reg.CounterFunc(MetricTicketsRedeemed, "Presented tickets that decrypted and parsed.",
+		func() uint64 { return store.Stats().Redeemed })
+	reg.CounterFunc(MetricTicketsRejected, "Presented tickets that failed to open.",
+		func() uint64 { return store.Stats().Rejected })
+
+	if opts.MetricsAddr != "" {
+		mln, err := net.Listen("tcp", opts.MetricsAddr)
+		if err != nil {
+			return nil, fmt.Errorf("live: metrics listener: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		mux.HandleFunc("/healthz", s.healthz)
+		s.metricsLn = mln
+		s.httpSrv = &http.Server{Handler: mux}
+		go s.httpSrv.Serve(mln)
+	}
+
 	go s.acceptLoop()
 	return s, nil
 }
@@ -122,17 +212,64 @@ func Serve(ln net.Listener, opts Options) (*Server, error) {
 // Addr returns the listener's address (useful with ":0" listeners).
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
 
+// MetricsAddr returns the metrics listener's address, or nil when
+// Options.MetricsAddr was empty.
+func (s *Server) MetricsAddr() net.Addr {
+	if s.metricsLn == nil {
+		return nil
+	}
+	return s.metricsLn.Addr()
+}
+
+// Registry returns the registry the runtime records into.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
 // TicketStats exposes the shared ticket store's counters.
 func (s *Server) TicketStats() tls13.TicketStats { return s.cfg.Tickets.Stats() }
 
-// Counters returns a snapshot of the runtime's counters.
-func (s *Server) Counters() Counters {
+// healthz reports readiness: 200 while serving, 503 once draining.
+func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.draining.Value() != 0 {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status":"draining"}`)
+		return
+	}
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+// failedCounter returns the per-class failure counter, creating the series
+// on first use.
+func (s *Server) failedCounter(class string) *obs.Counter {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := s.counters
-	out.Failed = make(map[string]uint64, len(s.counters.Failed))
-	for k, v := range s.counters.Failed {
-		out.Failed[k] = v
+	c, ok := s.failed[class]
+	if !ok {
+		c = s.reg.Counter(MetricHandshakes, handshakesHelp, "result", class)
+		s.failed[class] = c
+	}
+	return c
+}
+
+// Counters returns a snapshot of the runtime's counters. Each field is one
+// atomic load, so no read can be torn by concurrent handshakes.
+func (s *Server) Counters() Counters {
+	out := Counters{
+		Accepted:        s.accepted.Value(),
+		Completed:       s.completed.Value(),
+		Resumed:         s.resumed.Value(),
+		TicketIssueErrs: s.ticketErrs.Value(),
+		AcceptRetries:   s.acceptRetries.Value(),
+		Failed:          make(map[string]uint64),
+	}
+	s.mu.Lock()
+	classes := make(map[string]*obs.Counter, len(s.failed))
+	for k, c := range s.failed {
+		classes[k] = c
+	}
+	s.mu.Unlock()
+	for k, c := range classes {
+		out.Failed[k] = c.Value()
 	}
 	return out
 }
@@ -160,8 +297,8 @@ func (s *Server) acceptLoop() {
 			} else if backoff < time.Second {
 				backoff *= 2
 			}
+			s.acceptRetries.Inc()
 			s.mu.Lock()
-			s.counters.AcceptRetries++
 			closed := s.closed
 			s.mu.Unlock()
 			if closed {
@@ -192,10 +329,11 @@ func (s *Server) acceptLoop() {
 			conn.Close()
 			return
 		}
-		s.counters.Accepted++
 		s.conns[conn] = struct{}{}
 		s.wg.Add(1)
 		s.mu.Unlock()
+		s.accepted.Inc()
+		s.inflight.Add(1)
 		go s.handle(conn)
 	}
 }
@@ -208,28 +346,27 @@ func (s *Server) handle(conn net.Conn) {
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
+		s.inflight.Add(-1)
 		conn.Close()
 	}()
 
 	// The deadline covers the whole exchange: a peer that stalls mid-flight
 	// unblocks the read and frees the slot instead of leaking a goroutine.
 	conn.SetDeadline(time.Now().Add(s.opts.HandshakeTimeout))
+	t0 := time.Now()
 	srv, err := tls13.ServerHandshake(conn, s.cfg)
 	if err != nil {
 		class := Classify(err)
-		s.mu.Lock()
-		s.counters.Failed[class]++
-		s.mu.Unlock()
+		s.failedCounter(class).Inc()
 		s.logf("live: %s: handshake failed (%s): %v", conn.RemoteAddr(), class, err)
 		return
 	}
+	s.hsDur.Observe(time.Since(t0))
 	resumed := srv.ResumedSession()
-	s.mu.Lock()
-	s.counters.Completed++
+	s.completed.Inc()
 	if resumed {
-		s.counters.Resumed++
+		s.resumed.Inc()
 	}
-	s.mu.Unlock()
 
 	if s.opts.IssueTickets && !resumed {
 		flight, _, err := srv.SessionTicket()
@@ -239,9 +376,7 @@ func (s *Server) handle(conn net.Conn) {
 		if err != nil {
 			// Not a handshake failure: the handshake itself completed; the
 			// client may simply have closed before the ticket landed.
-			s.mu.Lock()
-			s.counters.TicketIssueErrs++
-			s.mu.Unlock()
+			s.ticketErrs.Inc()
 		}
 	}
 }
@@ -256,6 +391,7 @@ func (s *Server) Shutdown(grace time.Duration) error {
 		close(s.shutdown)
 	}
 	s.mu.Unlock()
+	s.draining.Set(1)
 	s.ln.Close()
 	<-s.loopDone // no wg.Add can race the Wait below once the loop exited
 
@@ -264,17 +400,23 @@ func (s *Server) Shutdown(grace time.Duration) error {
 		s.wg.Wait()
 		close(done)
 	}()
-	select {
-	case <-done:
-		return nil
-	case <-time.After(grace):
-		s.mu.Lock()
-		n := len(s.conns)
-		for conn := range s.conns {
-			conn.Close()
+	err := func() error {
+		select {
+		case <-done:
+			return nil
+		case <-time.After(grace):
+			s.mu.Lock()
+			n := len(s.conns)
+			for conn := range s.conns {
+				conn.Close()
+			}
+			s.mu.Unlock()
+			<-done
+			return fmt.Errorf("live: drain timed out after %v; force-closed %d in-flight connections", grace, n)
 		}
-		s.mu.Unlock()
-		<-done
-		return fmt.Errorf("live: drain timed out after %v; force-closed %d in-flight connections", grace, n)
+	}()
+	if s.httpSrv != nil {
+		s.httpSrv.Close()
 	}
+	return err
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"pqtls/internal/live"
+	"pqtls/internal/obs"
 	"pqtls/internal/tls13"
 )
 
@@ -36,6 +37,10 @@ type Options struct {
 	// resumes every scheduled handshake from it — the steady-state of a
 	// client population holding warm tickets.
 	Resume bool
+	// Trace, when non-nil, collects a wall-clock client-side span trace for
+	// every successful post-warmup handshake: the tls13 phase hooks plus a
+	// flight-wait span around each blocking record read.
+	Trace *obs.Collector
 }
 
 // Result aggregates one run.
@@ -121,10 +126,10 @@ func Run(opts Options) (*Result, error) {
 		}
 		res.Started++
 		wg.Add(1)
-		go func(scheduled time.Duration) {
+		go func(sample int, scheduled time.Duration) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			lat, err := oneHandshake(&opts, sess)
+			lat, tracer, err := oneHandshake(&opts, sess, sample)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -141,7 +146,10 @@ func Run(opts Options) (*Result, error) {
 				return
 			}
 			res.Hist.Record(lat)
-		}(off)
+			if opts.Trace != nil {
+				opts.Trace.Add(tracer)
+			}
+		}(int(res.Started)-1, off)
 	}
 	wg.Wait()
 	res.Elapsed = time.Since(start)
@@ -152,47 +160,64 @@ func Run(opts Options) (*Result, error) {
 // the ClientHello hitting the socket to the Finished flight being written —
 // the same CH→Fin span the passive tap measures in the modeled pipeline, so
 // the live p50 and the modeled Total are comparable.
-func oneHandshake(opts *Options, sess *tls13.Session) (time.Duration, error) {
+func oneHandshake(opts *Options, sess *tls13.Session, sample int) (time.Duration, *obs.Tracer, error) {
 	d := net.Dialer{Timeout: opts.DialTimeout}
 	conn, err := d.Dial("tcp", opts.Addr)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	defer conn.Close()
 	conn.SetDeadline(time.Now().Add(opts.HandshakeTimeout))
 
 	cfg := *opts.Config
 	cfg.Session = sess
+	var tracer *obs.Tracer
+	waitPhase := func() func() { return func() {} }
+	if opts.Trace != nil {
+		tracer = obs.NewTracer(obs.Meta{
+			Endpoint: "client",
+			KEM:      cfg.KEMName, Sig: cfg.SigName,
+			Sample:  sample,
+			Resumed: sess != nil,
+		}, nil)
+		cfg.Hooks = tls13.MultiHooks(cfg.Hooks, tracer)
+		// Time spent blocked on the socket between flights is the live
+		// counterpart of the modeled flight-wait phase. It is opened at
+		// depth 0: no tls13 phase is ever open while the driver reads.
+		waitPhase = func() func() { return tracer.Phase(tls13.PhaseFlightWait) }
+	}
 	cli, err := tls13.NewClient(&cfg)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	// Key-share generation happens before the clock starts, mirroring the
 	// modeled Total (the tap times from the ClientHello on the wire).
 	flight, err := cli.Start()
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	t0 := time.Now()
 	if err := tls13.WriteRecords(conn, flight); err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	for {
+		endWait := waitPhase()
 		rec, err := tls13.ReadRecord(conn)
+		endWait()
 		if err != nil {
-			return 0, err
+			return 0, nil, err
 		}
 		out, done, err := cli.Consume([]tls13.Record{rec})
 		if err != nil {
-			return 0, err
+			return 0, nil, err
 		}
 		if len(out) > 0 {
 			if err := tls13.WriteRecords(conn, out); err != nil {
-				return 0, err
+				return 0, nil, err
 			}
 		}
 		if done {
-			return time.Since(t0), nil
+			return time.Since(t0), tracer, nil
 		}
 	}
 }

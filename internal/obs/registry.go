@@ -1,0 +1,292 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format (version 0.0.4). Registration is idempotent: asking for
+// an existing (name, labels) series returns the same instrument, so callers
+// can register lazily at the point of use.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	series map[string]*series // keyed by rendered label set
+}
+
+type series struct {
+	labels  string // rendered `{k="v",...}` or ""
+	counter *Counter
+	gauge   *Gauge
+	cfn     func() uint64
+	gfn     func() int64
+	hist    *LatencyHistogram
+}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Uint64 }
+
+func (c *Counter) Inc()          { c.v.Add(1) }
+func (c *Counter) Add(n uint64)  { c.v.Add(n) }
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+func (g *Gauge) Set(n int64)  { g.v.Store(n) }
+func (g *Gauge) Add(n int64)  { g.v.Add(n) }
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// LatencyHistogram wraps the log-bucketed Histogram behind a mutex so
+// concurrent connections can observe into one series.
+type LatencyHistogram struct {
+	mu sync.Mutex
+	h  Histogram
+}
+
+// Observe records one latency.
+func (l *LatencyHistogram) Observe(d time.Duration) {
+	l.mu.Lock()
+	l.h.Record(d)
+	l.mu.Unlock()
+}
+
+// Snapshot returns a copy of the underlying histogram.
+func (l *LatencyHistogram) Snapshot() Histogram {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.h
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// renderLabels turns variadic k, v pairs into a deterministic `{...}`
+// suffix. Pairs are sorted by key; values are quoted with escaping.
+func renderLabels(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic("obs: labels must be key, value pairs")
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", p.k, p.v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// lookup finds or creates the (family, series) slot, enforcing kind
+// consistency. build populates a fresh series.
+func (r *Registry) lookup(name, help string, kind metricKind, labels []string, build func(*series)) *series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, series: map[string]*series{}}
+		r.families[name] = f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %s registered as %s and %s", name, f.kind, kind))
+	}
+	ls := renderLabels(labels)
+	s := f.series[ls]
+	if s == nil {
+		s = &series{labels: ls}
+		build(s)
+		f.series[ls] = s
+	}
+	return s
+}
+
+// Counter returns the counter series for (name, labels), creating family
+// and series on first use. labels are key, value pairs.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	s := r.lookup(name, help, kindCounter, labels, func(s *series) { s.counter = &Counter{} })
+	if s.counter == nil {
+		panic(fmt.Sprintf("obs: metric %s is a counter func", name))
+	}
+	return s.counter
+}
+
+// Gauge returns the gauge series for (name, labels).
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	s := r.lookup(name, help, kindGauge, labels, func(s *series) { s.gauge = &Gauge{} })
+	if s.gauge == nil {
+		panic(fmt.Sprintf("obs: metric %s is a gauge func", name))
+	}
+	return s.gauge
+}
+
+// CounterFunc registers a counter series whose value is read from fn at
+// exposition time (e.g. ticket-store stats owned elsewhere).
+func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...string) {
+	r.lookup(name, help, kindCounter, labels, func(s *series) { s.cfn = fn })
+}
+
+// GaugeFunc registers a gauge series read from fn at exposition time.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64, labels ...string) {
+	r.lookup(name, help, kindGauge, labels, func(s *series) { s.gfn = fn })
+}
+
+// Histogram returns the latency-histogram series for (name, labels). Values
+// are exposed in seconds per Prometheus convention.
+func (r *Registry) Histogram(name, help string, labels ...string) *LatencyHistogram {
+	s := r.lookup(name, help, kindHistogram, labels, func(s *series) { s.hist = &LatencyHistogram{} })
+	return s.hist
+}
+
+// histogramLE are the upper bounds (seconds) of the exposed cumulative
+// buckets — a fixed ladder from 0.5 ms to 10 s; the internal log-bucketed
+// histogram is collapsed onto it at scrape time.
+var histogramLE = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// fmtFloat renders a float the way Prometheus clients do (shortest form).
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteText renders every family in name order, series in label order.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.families[name]
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		r.mu.Lock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		sers := make([]*series, len(keys))
+		for i, k := range keys {
+			sers[i] = f.series[k]
+		}
+		r.mu.Unlock()
+		for _, s := range sers {
+			if err := writeSeries(w, f, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, f *family, s *series) error {
+	switch {
+	case s.counter != nil:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, s.counter.Value())
+		return err
+	case s.cfn != nil:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, s.cfn())
+		return err
+	case s.gauge != nil:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, s.gauge.Value())
+		return err
+	case s.gfn != nil:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, s.gfn())
+		return err
+	case s.hist != nil:
+		h := s.hist.Snapshot()
+		// Re-wrap the series labels to splice in le.
+		base := strings.TrimSuffix(strings.TrimPrefix(s.labels, "{"), "}")
+		for _, le := range histogramLE {
+			labels := fmt.Sprintf("le=%q", fmtFloat(le))
+			if base != "" {
+				labels = base + "," + labels
+			}
+			n := h.CumulativeLE(time.Duration(le * float64(time.Second)))
+			if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", f.name, labels, n); err != nil {
+				return err
+			}
+		}
+		labels := `le="+Inf"`
+		if base != "" {
+			labels = base + "," + labels
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", f.name, labels, h.Count()); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, s.labels, fmtFloat(h.Sum().Seconds())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, s.labels, h.Count())
+		return err
+	}
+	return nil
+}
+
+// Handler serves the registry as a Prometheus scrape endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}

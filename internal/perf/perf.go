@@ -40,15 +40,35 @@ func NewProfiler() *Profiler {
 }
 
 // Span opens a region attributed to lib; call the returned func to close
-// it. Implements the tls13.Tracer interface.
+// it. Closing is idempotent — error paths in the handshake state machines
+// can run closers out of LIFO order or twice, which previously corrupted
+// the open-region count. Part of the tls13.Hooks implementation.
 func (p *Profiler) Span(lib string) func() {
 	start := time.Now()
 	p.open++
+	closed := false
 	return func() {
+		if closed {
+			return
+		}
+		closed = true
 		p.open--
 		p.spans[lib] += time.Since(start)
 	}
 }
+
+// Open returns the number of currently open spans (test hook: it must
+// return to zero however the closers were ordered).
+func (p *Profiler) Open() int { return p.open }
+
+// Phase is a no-op: protocol-phase decomposition is the obs.Tracer's job;
+// the profiler only buckets by library. Part of the tls13.Hooks
+// implementation.
+func (p *Profiler) Phase(name string) func() { return func() {} }
+
+// Charge is a no-op (the Meter owns cost accounting). Part of the
+// tls13.Hooks implementation.
+func (p *Profiler) Charge(op, alg string) {}
 
 // Attribute adds a known duration to a bucket directly (used for modeled
 // costs such as per-packet kernel and driver work).

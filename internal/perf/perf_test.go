@@ -69,3 +69,40 @@ func TestBuckets(t *testing.T) {
 		t.Errorf("want the paper's 6 buckets, got %d", len(Buckets()))
 	}
 }
+
+func TestSpanOutOfOrderClose(t *testing.T) {
+	t.Parallel()
+	p := NewProfiler()
+	endA := p.Span(LibSSL)
+	endB := p.Span(LibCrypto)
+	// Non-LIFO order plus a double close: the open count must still land
+	// on zero (it used to go negative and miscount).
+	endA()
+	endA()
+	endB()
+	endB()
+	if got := p.Open(); got != 0 {
+		t.Errorf("open spans after out-of-order close = %d, want 0", got)
+	}
+	s := p.Snapshot()
+	if _, ok := s.Spans[LibSSL]; !ok {
+		t.Errorf("libssl span not attributed: %v", s.Spans)
+	}
+	if _, ok := s.Spans[LibCrypto]; !ok {
+		t.Errorf("libcrypto span not attributed: %v", s.Spans)
+	}
+}
+
+func TestSpanDoubleCloseAddsOnce(t *testing.T) {
+	t.Parallel()
+	p := NewProfiler()
+	end := p.Span(LibCrypto)
+	time.Sleep(time.Millisecond)
+	end()
+	first := p.Snapshot().Spans[LibCrypto]
+	time.Sleep(time.Millisecond)
+	end() // idempotent: must not attribute the extra sleep
+	if got := p.Snapshot().Spans[LibCrypto]; got != first {
+		t.Errorf("double close changed attribution: %v -> %v", first, got)
+	}
+}

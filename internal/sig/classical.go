@@ -3,6 +3,7 @@ package sig
 import (
 	"crypto"
 	"crypto/ecdsa"
+	"crypto/ed25519"
 	"crypto/elliptic"
 	"crypto/rand"
 	"crypto/rsa"
@@ -106,6 +107,44 @@ func (r *rsaScheme) Verify(pub, msg, sig []byte) bool {
 	return rsa.VerifyPSS(key, crypto.SHA256, digest[:], sig, &rsa.PSSOptions{
 		SaltLength: rsa.PSSSaltLengthEqualsHash,
 	}) == nil
+}
+
+// ed25519Scheme is Ed25519, the smallest and fastest classical baseline.
+// It is naturally reproducible: keygen reads exactly 32 bytes from its rng
+// (so seeded credential builds regenerate byte-identical keys) and signing
+// is deterministic by construction — no detrand derivation needed.
+type ed25519Scheme struct{}
+
+func (ed25519Scheme) Name() string       { return "ed25519" }
+func (ed25519Scheme) Level() int         { return 1 }
+func (ed25519Scheme) Hybrid() bool       { return false }
+func (ed25519Scheme) PublicKeySize() int { return ed25519.PublicKeySize }
+func (ed25519Scheme) SignatureSize() int { return ed25519.SignatureSize }
+
+func (ed25519Scheme) GenerateKey(rng io.Reader) (pub, priv []byte, err error) {
+	if rng == nil {
+		rng = rand.Reader
+	}
+	pk, sk, err := ed25519.GenerateKey(rng)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sig ed25519: keygen: %w", err)
+	}
+	return pk, sk, nil
+}
+
+func (ed25519Scheme) Sign(priv, msg []byte) ([]byte, error) {
+	if len(priv) != ed25519.PrivateKeySize {
+		return nil, fmt.Errorf("sig ed25519: private key is %d bytes, want %d",
+			len(priv), ed25519.PrivateKeySize)
+	}
+	return ed25519.Sign(ed25519.PrivateKey(priv), msg), nil
+}
+
+func (ed25519Scheme) Verify(pub, msg, sig []byte) bool {
+	if len(pub) != ed25519.PublicKeySize || len(sig) != ed25519.SignatureSize {
+		return false
+	}
+	return ed25519.Verify(ed25519.PublicKey(pub), msg, sig)
 }
 
 // ecdsaScheme is ECDSA with the curve's matching SHA-2 hash, used as the

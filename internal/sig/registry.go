@@ -79,7 +79,7 @@ func init() {
 
 	for _, s := range []Scheme{
 		rsa1024, rsa2048, rsa3072, rsa4096,
-		p256, p384, p521,
+		p256, p384, p521, ed25519Scheme{},
 		falcon512, falcon1024,
 		sphincs128, sphincs192, sphincs256,
 		sphincs128s, sphincs192s, sphincs256s,

@@ -73,6 +73,9 @@ func (c *Client) Start() ([]Record, error) {
 	if rng == nil {
 		rng = rand.Reader
 	}
+	endPhase := c.cfg.phase(PhaseClientHello)
+	defer endPhase()
+	endKeygen := c.cfg.phase(PhaseKEMKeygen)
 	endCrypto := c.cfg.span(LibCrypto)
 	var pub, priv []byte
 	var err error
@@ -87,6 +90,7 @@ func (c *Client) Start() ([]Record, error) {
 	}
 	c.cfg.charge(OpKEMKeygen, c.kem.Name())
 	endCrypto()
+	endKeygen()
 	c.kemPriv = priv
 
 	endSSL := c.cfg.span(LibSSL)
@@ -217,9 +221,11 @@ func (c *Client) Consume(records []Record) (out []Record, done bool, err error) 
 			if c.state == stateAwaitSH {
 				return nil, false, errors.New("tls13: encrypted record before ServerHello")
 			}
+			endRead := c.cfg.phase(PhaseRecordRead)
 			endCrypto := c.cfg.span(LibCrypto)
 			innerType, plaintext, err := c.recvHC.open(rec)
 			endCrypto()
+			endRead()
 			if err != nil {
 				return nil, false, err
 			}
@@ -257,6 +263,10 @@ func (c *Client) tryProcessServerHello() error {
 	if len(c.rawBuf) < 4+n {
 		return nil // wait for more bytes
 	}
+	// Error paths below abandon the open phase: the handshake (and with it
+	// the trace) is discarded on error, and Hooks implementations tolerate
+	// unclosed spans.
+	endPhase := c.cfg.phase(PhaseServerHello)
 	endSSL := c.cfg.span(LibSSL)
 	typ, body, rest, err := parseHandshakeMsg(c.rawBuf)
 	if err != nil {
@@ -276,6 +286,7 @@ func (c *Client) tryProcessServerHello() error {
 		full := c.rawBuf[:4+n]
 		c.rawBuf = rest
 		endSSL()
+		endPhase()
 		out, err := c.retryHello(full, group)
 		if err != nil {
 			return err
@@ -299,8 +310,10 @@ func (c *Client) tryProcessServerHello() error {
 	c.ks.addMessage(c.rawBuf[:4+n])
 	c.rawBuf = rest
 	endSSL()
+	endPhase()
 
 	// Decapsulate: the client-side KA cost of phase B.
+	endDecap := c.cfg.phase(PhaseKEMDecap)
 	endCrypto := c.cfg.span(LibCrypto)
 	ss, err := c.kem.Decapsulate(c.kemPriv, sh.keyShare)
 	if err != nil {
@@ -308,6 +321,7 @@ func (c *Client) tryProcessServerHello() error {
 		return fmt.Errorf("tls13: decapsulation: %w", err)
 	}
 	c.cfg.charge(OpKEMDecaps, c.kem.Name())
+	endDecap()
 	if c.resuming {
 		// psk_dhe_ke: the early secret absorbs the resumption PSK.
 		c.ks.earlySecret = hkdfExtract(nil, c.cfg.Session.PSK)
@@ -372,6 +386,7 @@ func (c *Client) handleMessage(typ uint8, body, full []byte) error {
 		if typ != typeCertificate {
 			return fmt.Errorf("tls13: expected Certificate, got type %d", typ)
 		}
+		defer c.cfg.phase(PhaseCertVerify)()
 		endSSL := c.cfg.span(LibSSL)
 		rawCerts, err := parseCertificate(body)
 		endSSL()
@@ -408,6 +423,7 @@ func (c *Client) handleMessage(typ uint8, body, full []byte) error {
 		if typ != typeCertificateVerify {
 			return fmt.Errorf("tls13: expected CertificateVerify, got type %d", typ)
 		}
+		defer c.cfg.phase(PhaseCVVerify)()
 		sigAlg, signature, err := parseCertVerify(body)
 		if err != nil {
 			return err
@@ -436,6 +452,7 @@ func (c *Client) handleMessage(typ uint8, body, full []byte) error {
 		if typ != typeFinished {
 			return fmt.Errorf("tls13: expected Finished, got type %d", typ)
 		}
+		defer c.cfg.phase(PhaseFinVerify)()
 		endCrypto := c.cfg.span(LibCrypto)
 		want := finishedMAC(c.ks.serverHSTraffic, c.ks.transcriptHash())
 		endCrypto()
@@ -453,6 +470,7 @@ func (c *Client) handleMessage(typ uint8, body, full []byte) error {
 
 // finalFlight builds the client's ChangeCipherSpec + Finished.
 func (c *Client) finalFlight() ([]Record, bool, error) {
+	defer c.cfg.phase(PhaseFinSend)()
 	endCrypto := c.cfg.span(LibCrypto)
 	mac := finishedMAC(c.ks.clientHSTraffic, c.ks.transcriptHash())
 	finMsg := handshakeMsg(typeFinished, mac)

@@ -42,6 +42,11 @@ var sigIDs = map[string]uint16{
 	"rsa:3072": 0x0806,
 	"rsa:4096": 0x0807,
 
+	// IANA assigns ed25519 0x0807, but this repo's OQS-style private
+	// numbering already spent that value on rsa:4096 (sigName reverses by
+	// value, so codepoints must stay a bijection).
+	"ed25519": 0x0808,
+
 	"ecdsa-p256": 0x0403,
 	"ecdsa-p384": 0x0503,
 	"ecdsa-p521": 0x0603,

@@ -26,14 +26,6 @@ const (
 // serverBufferSize is OpenSSL's internal buffer (Section 4 of the paper).
 const serverBufferSize = 4096
 
-// Tracer attributes CPU time to the "shared object" buckets of the paper's
-// white-box analysis (libcrypto, libssl, ...). Implementations must be safe
-// for use from a single handshake goroutine.
-type Tracer interface {
-	// Span opens a region attributed to lib; the returned func closes it.
-	Span(lib string) func()
-}
-
 // Library buckets used by the white-box profile.
 const (
 	LibCrypto = "libcrypto"
@@ -61,10 +53,18 @@ type Meter interface {
 	Now() time.Time
 }
 
-// charge is the nil-safe meter helper.
+// charge advances the virtual clock (Meter) and notifies observers (Hooks)
+// of one public-key operation. The meter is charged first so a hook reading
+// a meter-backed clock sees the operation's cost inside its enclosing phase.
 func (c *Config) charge(op, alg string) {
-	if c != nil && c.Meter != nil {
+	if c == nil {
+		return
+	}
+	if c.Meter != nil {
 		c.Meter.Charge(op, alg)
+	}
+	if c.Hooks != nil {
+		c.Hooks.Charge(op, alg)
 	}
 }
 
@@ -96,8 +96,11 @@ type Config struct {
 	Roots *pki.Pool
 	// Buffer selects the server's flight-assembly behaviour.
 	Buffer BufferPolicy
-	// Tracer, when non-nil, receives white-box region spans.
-	Tracer Tracer
+	// Hooks, when non-nil, observes the handshake: library spans (white-box
+	// buckets), named phases, and public-key operation charges. Stack
+	// multiple observers with MultiHooks. Hooks never affect timing —
+	// virtual time is owned by Meter alone.
+	Hooks Hooks
 	// Meter, when non-nil, switches the handshake to virtual compute time:
 	// public-key operations charge their modeled cost to it and flush
 	// offsets are read from it rather than from time.Now.
@@ -126,12 +129,4 @@ type Config struct {
 // KeyShare is a pre-generated KEM key pair for PresetKeyShare.
 type KeyShare struct {
 	Pub, Priv []byte
-}
-
-// span is the nil-safe tracer helper.
-func (c *Config) span(lib string) func() {
-	if c == nil || c.Tracer == nil {
-		return func() {}
-	}
-	return c.Tracer.Span(lib)
 }

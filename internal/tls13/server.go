@@ -72,6 +72,9 @@ func (s *Server) Respond(records []Record) ([]Flush, error) {
 		rng = rand.Reader
 	}
 
+	// Error paths abandon the open phase: the handshake (and its trace) is
+	// discarded on error, and Hooks implementations tolerate unclosed spans.
+	endPhase := s.cfg.phase(PhaseCHParse)
 	endSSL := s.cfg.span(LibSSL)
 	var chMsg []byte
 	for _, rec := range records {
@@ -117,6 +120,7 @@ func (s *Server) Respond(records []Record) ([]Flush, error) {
 			hrr := marshalHRR(ch.sessionID, wantGroup)
 			s.ks.addMessage(hrr)
 			endSSL()
+			endPhase()
 			return []Flush{{
 				Records: []Record{{Type: RecordHandshake, Payload: hrr}},
 				Offset:  s.cfg.now().Sub(start),
@@ -136,9 +140,11 @@ func (s *Server) Respond(records []Record) ([]Flush, error) {
 		return nil, fmt.Errorf("tls13: client offered sigalg %#04x, server requires %#04x (%s)",
 			ch.sigAlg, wantSig, s.cfg.SigName)
 	}
+	endPhase()
 	// PSK resumption: a valid ticket + binder switches to the
 	// certificate-free flow.
 	if ticket, binder, partial, hasPSK := parsePSKExtension(chMsg); hasPSK {
+		endRedeem := s.cfg.phase(PhaseTicketRedeem)
 		store := s.cfg.sessionTickets()
 		if store == nil {
 			endSSL()
@@ -158,11 +164,13 @@ func (s *Server) Respond(records []Record) ([]Flush, error) {
 			return nil, errors.New("tls13: PSK binder verification failed")
 		}
 		s.resumptionPSK = psk
+		endRedeem()
 	}
 	s.ks.addMessage(chMsg)
 	endSSL()
 
 	// Key agreement: encapsulate against the client's share.
+	endEncap := s.cfg.phase(PhaseKEMEncap)
 	endCrypto := s.cfg.span(LibCrypto)
 	ct, ss, err := s.kem.Encapsulate(rng, ch.keyShare)
 	if err != nil {
@@ -171,7 +179,9 @@ func (s *Server) Respond(records []Record) ([]Flush, error) {
 	}
 	s.cfg.charge(OpKEMEncaps, s.kem.Name())
 	endCrypto()
+	endEncap()
 
+	endPhase = s.cfg.phase(PhaseServerHello)
 	endSSL = s.cfg.span(LibSSL)
 	sh := &serverHello{group: ch.group, keyShare: ct, sessionID: ch.sessionID}
 	if _, err := io.ReadFull(rng, sh.random[:]); err != nil {
@@ -181,6 +191,7 @@ func (s *Server) Respond(records []Record) ([]Flush, error) {
 	shMsg := sh.marshal()
 	s.ks.addMessage(shMsg)
 	endSSL()
+	endPhase()
 
 	endCrypto = s.cfg.span(LibCrypto)
 	if s.resumptionPSK != nil {
@@ -222,6 +233,7 @@ func (s *Server) Respond(records []Record) ([]Flush, error) {
 	// which is what removes the PQ authentication cost from resumed
 	// handshakes.
 	if s.resumptionPSK == nil {
+		endPhase = s.cfg.phase(PhaseCertWrite)
 		endSSL = s.cfg.span(LibSSL)
 		raw := make([][]byte, len(s.cfg.Chain))
 		for i, c := range s.cfg.Chain {
@@ -233,8 +245,10 @@ func (s *Server) Respond(records []Record) ([]Flush, error) {
 			emit(rec)
 		}
 		endSSL()
+		endPhase()
 
 		// CertificateVerify: the handshake signature (the expensive step).
+		endPhase = s.cfg.phase(PhaseCVSign)
 		endCrypto = s.cfg.span(LibCrypto)
 		signature, err := s.scheme.Sign(s.cfg.PrivateKey, certVerifyContent(s.ks.transcriptHash()))
 		if err != nil {
@@ -250,9 +264,11 @@ func (s *Server) Respond(records []Record) ([]Flush, error) {
 			emit(rec)
 		}
 		endSSL()
+		endPhase()
 	}
 
 	// Server Finished.
+	endPhase = s.cfg.phase(PhaseFinSend)
 	endCrypto = s.cfg.span(LibCrypto)
 	finMsg := handshakeMsg(typeFinished, finishedMAC(s.ks.serverHSTraffic, s.ks.transcriptHash()))
 	s.ks.addMessage(finMsg)
@@ -263,6 +279,7 @@ func (s *Server) Respond(records []Record) ([]Flush, error) {
 	for _, rec := range s.sealHandshake(finMsg) {
 		emit(rec)
 	}
+	endPhase()
 
 	return s.groupFlushes(timed), nil
 }
@@ -271,6 +288,7 @@ func (s *Server) Respond(records []Record) ([]Flush, error) {
 // when it exceeds the record-layer plaintext limit (SPHINCS+ certificates
 // are several records long).
 func (s *Server) sealHandshake(msg []byte) []Record {
+	defer s.cfg.phase(PhaseRecordWrite)()
 	var out []Record
 	for len(msg) > 0 {
 		n := min(len(msg), maxRecordPayload)
@@ -365,6 +383,7 @@ func (s *Server) Finish(records []Record) error {
 	if s.done {
 		return errors.New("tls13: handshake already complete")
 	}
+	defer s.cfg.phase(PhaseFinVerify)()
 	for _, rec := range records {
 		switch rec.Type {
 		case RecordChangeCipherSpec:
@@ -372,9 +391,11 @@ func (s *Server) Finish(records []Record) error {
 		case RecordAlert:
 			return parseAlert(rec)
 		case RecordApplicationData:
+			endRead := s.cfg.phase(PhaseRecordRead)
 			endCrypto := s.cfg.span(LibCrypto)
 			innerType, plaintext, err := s.recvHC.open(rec)
 			endCrypto()
+			endRead()
 			if err != nil {
 				return err
 			}

@@ -43,6 +43,7 @@ func (s *Server) SessionTicket() ([]Record, *Session, error) {
 	if !s.done {
 		return nil, nil, errors.New("tls13: SessionTicket before handshake completion")
 	}
+	defer s.cfg.phase(PhaseTicketIssue)()
 	store := s.cfg.sessionTickets()
 	if store == nil {
 		return nil, nil, errors.New("tls13: server has no ticket store configured")
@@ -85,6 +86,7 @@ func (c *Client) ProcessTicket(records []Record) (*Session, error) {
 	if !c.done {
 		return nil, errors.New("tls13: ProcessTicket before handshake completion")
 	}
+	defer c.cfg.phase(PhaseTicketProcess)()
 	appKey, appIV := trafficKeys(c.ks.serverAppTraffic)
 	hc, err := newHalfConn(appKey, appIV)
 	if err != nil {

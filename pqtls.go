@@ -63,6 +63,10 @@ type (
 	TicketStore = tls13.TicketStore
 	// BufferPolicy selects the server's flight-assembly behaviour.
 	BufferPolicy = tls13.BufferPolicy
+	// Hooks observe a handshake: phase spans, library CPU buckets, and
+	// public-key operation charges. Install on Config.Hooks — an obs.Tracer
+	// satisfies it, and tls13.MultiHooks stacks several observers.
+	Hooks = tls13.Hooks
 )
 
 // NewTicketStore builds a ticket store over a fixed 16-byte key; instances

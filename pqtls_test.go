@@ -13,8 +13,8 @@ func TestPublicRegistries(t *testing.T) {
 	if len(pqtls.KEMNames()) != 23 {
 		t.Errorf("KEMNames: %d entries, want 23", len(pqtls.KEMNames()))
 	}
-	if len(pqtls.SignatureNames()) != 30 { // 24 paper SAs + 3 ECDSA components + 3 sphincs-s
-		t.Errorf("SignatureNames: %d entries, want 30", len(pqtls.SignatureNames()))
+	if len(pqtls.SignatureNames()) != 31 { // 24 paper SAs + 3 ECDSA components + 3 sphincs-s + ed25519
+		t.Errorf("SignatureNames: %d entries, want 31", len(pqtls.SignatureNames()))
 	}
 	k, err := pqtls.KEMByName("kyber768")
 	if err != nil {

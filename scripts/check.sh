@@ -50,6 +50,9 @@ if [ -z "$d1" ] || [ "$d1" != "$d2" ]; then
     exit 1
 fi
 
+echo "==> phases smoke: span traces + Prometheus /metrics end to end"
+sh scripts/phases_smoke.sh
+
 echo "==> determinism spot check: pqbench all-kem, workers 1 vs 8"
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
