@@ -4,13 +4,15 @@ FUZZTIME ?= 5s
 # (see EXPERIMENTS.md).
 TABLE4FLAGS ?= -samples 5 -timing model
 
-.PHONY: check lint vet build test race fuzz-smoke live-smoke phases-smoke bench table4 clean
+.PHONY: check lint vet build test race fuzz-smoke live-smoke phases-smoke bench bench-gate table4 clean
 
 # check is the CI entry point: static checks, build, the full test suite,
-# the race-enabled suite (exercising the parallel campaign engine), a short
-# fuzz pass over each wire-parsing target, a live loopback smoke run, and
-# the observability smoke (phase traces + Prometheus /metrics).
-check: lint build test race fuzz-smoke live-smoke phases-smoke
+# the race-enabled suite (exercising the parallel campaign engine), the
+# benchmark regression gate (short mode: allocs/op only, since shared
+# runners have noisy timing), a short fuzz pass over each wire-parsing
+# target, a live loopback smoke run, and the observability smoke (phase
+# traces + Prometheus /metrics).
+check: lint build test race bench-gate fuzz-smoke live-smoke phases-smoke
 
 # lint runs the always-available static checks (gofmt, go vet) and, when
 # installed, staticcheck. The toolchain image does not bundle staticcheck,
@@ -67,8 +69,21 @@ live-smoke:
 phases-smoke:
 	sh scripts/phases_smoke.sh
 
+# bench refreshes the committed microbenchmark baseline (kernel ns/op +
+# allocs/op + live loopback handshakes/sec) and runs the go-test-native
+# kernel benchmarks once as a smoke pass. Commit the regenerated JSON when
+# the numbers move for a good reason; scripts/bench_gate.sh fails CI when
+# they move for a bad one.
 bench:
+	$(GO) build -o bin/pqbench ./cmd/pqbench
+	bin/pqbench microbench -out BENCH_5.json
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# bench-gate compares a fresh short microbench run against the newest
+# committed BENCH_*.json (allocs-only in short mode). Run without -short
+# locally for the full >10% ns/op gate.
+bench-gate:
+	sh scripts/bench_gate.sh -short
 
 # table4 regenerates the constrained-network tables (Table 4a/4b) with the
 # parallel engine, verifies worker-count determinism (the -workers 8 output

@@ -52,6 +52,24 @@ func main() {
 		}
 		return
 	}
+	if cmd == "microbench" {
+		// microbench runs the kernel inventory via testing.Benchmark and
+		// emits machine-readable BENCH_*.json — see microbench.go.
+		if err := runMicrobench(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "pqbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if cmd == "benchgate" {
+		// benchgate compares two BENCH_*.json files and fails on
+		// regression — see microbench.go.
+		if err := runBenchGate(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "pqbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if cmd == "phases" {
 		// phases traces one grid cell's handshake span tree — own flag set
 		// (ka, sa, buffer, live, ...) — see phases.go.
@@ -184,8 +202,10 @@ commands: all-kem all-sig deviation improvement whitebox
           all-kem-scenarios all-sig-scenarios rank attack
           cwnd all-sphincs hrr chains resumption capture list
 
-live:   real-socket load test over loopback (own flags; pqbench live -h)
-phases: per-phase handshake breakdown with span traces (own flags; pqbench phases -h)`)
+live:       real-socket load test over loopback (own flags; pqbench live -h)
+phases:     per-phase handshake breakdown with span traces (own flags; pqbench phases -h)
+microbench: kernel ns/op + allocs/op to BENCH_*.json (own flags; pqbench microbench -h)
+benchgate:  compare two BENCH_*.json, fail on regression (own flags; pqbench benchgate -h)`)
 }
 
 func ms(d time.Duration) string {

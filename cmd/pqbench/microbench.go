@@ -1,0 +1,467 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"pqtls"
+	"pqtls/internal/crypto/gf2x"
+	"pqtls/internal/crypto/mldsa"
+	"pqtls/internal/crypto/mlkem"
+	"pqtls/internal/crypto/sha3"
+	"pqtls/internal/crypto/sphincs"
+	"pqtls/internal/harness"
+	"pqtls/internal/live"
+	"pqtls/internal/loadgen"
+	"pqtls/internal/tls13"
+)
+
+// benchSchema versions the BENCH_*.json layout so the gate can refuse to
+// compare incompatible files.
+const benchSchema = "pqbench-microbench/v1"
+
+// benchResult is one kernel measurement in BENCH_*.json.
+type benchResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// liveResult is the end-to-end loopback measurement in BENCH_*.json. It is
+// informational (wall-clock, host-dependent): the regression gate never
+// fails on it.
+type liveResult struct {
+	HandshakesPerSec float64 `json:"handshakes_per_sec"`
+	P50Ms            float64 `json:"p50_ms"`
+	P95Ms            float64 `json:"p95_ms"`
+	Completed        int     `json:"completed"`
+	Failed           int     `json:"failed"`
+}
+
+// benchFile is the full BENCH_*.json document.
+type benchFile struct {
+	Schema     string                 `json:"schema"`
+	Go         string                 `json:"go"`
+	Short      bool                   `json:"short"`
+	Benchmarks map[string]benchResult `json:"benchmarks"`
+	Live       map[string]liveResult  `json:"live,omitempty"`
+}
+
+type namedBench struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// kernelBenchmarks is the microbenchmark inventory: the kernels the
+// paper's white-box profile (Table 3) identifies as handshake-dominant,
+// plus one sans-IO handshake per headline suite. The same inventory backs
+// the `go test -bench` benchmarks in kernels_bench_test.go.
+func kernelBenchmarks() []namedBench {
+	var out []namedBench
+	add := func(name string, fn func(b *testing.B)) {
+		out = append(out, namedBench{name: name, fn: fn})
+	}
+
+	add("sha3/sum256-block", func(b *testing.B) {
+		buf := make([]byte, 136)
+		for i := 0; i < b.N; i++ {
+			_ = sha3.Sum256(buf)
+		}
+	})
+	add("sha3/shake256into-64", func(b *testing.B) {
+		in := make([]byte, 64)
+		dst := make([]byte, 64)
+		for i := 0; i < b.N; i++ {
+			sha3.ShakeSum256Into(dst, in)
+		}
+	})
+
+	kem := func(p *mlkem.Params) {
+		drbg := benchStream("microbench/" + p.Name)
+		add(p.Name+"/keygen", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := p.GenerateKey(drbg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		pk, sk, err := p.GenerateKey(drbg)
+		if err != nil {
+			panic(err)
+		}
+		add(p.Name+"/encap", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := p.Encapsulate(drbg, pk); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		ct, _, err := p.Encapsulate(drbg, pk)
+		if err != nil {
+			panic(err)
+		}
+		add(p.Name+"/decap", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Decapsulate(sk, ct); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	kem(mlkem.Kyber512)
+	kem(mlkem.Kyber768)
+
+	msg := []byte("the performance of post-quantum tls 1.3")
+	{
+		p := mldsa.Dilithium3
+		drbg := benchStream("microbench/dilithium3")
+		pk, sk, err := p.GenerateKey(drbg)
+		if err != nil {
+			panic(err)
+		}
+		sig, err := p.Sign(sk, msg)
+		if err != nil {
+			panic(err)
+		}
+		add("dilithium3/sign", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Sign(sk, msg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		add("dilithium3/verify", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if !p.Verify(pk, msg, sig) {
+					b.Fatal("verify failed")
+				}
+			}
+		})
+	}
+	{
+		p := sphincs.SPHINCS128f
+		drbg := benchStream("microbench/sphincs128f")
+		pk, sk, err := p.GenerateKey(drbg)
+		if err != nil {
+			panic(err)
+		}
+		sig, err := p.Sign(sk, msg)
+		if err != nil {
+			panic(err)
+		}
+		add("sphincs128f/sign", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Sign(sk, msg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		add("sphincs128f/verify", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if !p.Verify(pk, msg, sig) {
+					b.Fatal("verify failed")
+				}
+			}
+		})
+	}
+	{
+		// HQC-128 shapes: r = 17669, dense * weight-75 sparse.
+		const r, w = 17669, 75
+		drbg := benchStream("microbench/gf2x")
+		dense, err := gf2x.Random(drbg, r)
+		if err != nil {
+			panic(err)
+		}
+		sup, err := gf2x.RandomSupport(drbg, r, w)
+		if err != nil {
+			panic(err)
+		}
+		q := gf2x.New(r)
+		for _, pos := range sup {
+			q.SetBit(pos)
+		}
+		dst := gf2x.New(r)
+		add("gf2x/mulsparse-hqc128", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				dense.MulSparse(dst, sup)
+			}
+		})
+		add("gf2x/muldense-hqc128", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				dense.Mul(dst, q)
+			}
+		})
+	}
+
+	add("handshake/kyber768-dilithium3", handshakeBench("kyber768", "dilithium3"))
+	add("handshake/x25519-ed25519", handshakeBench("x25519", "ed25519"))
+	return out
+}
+
+// benchStream is the deterministic input stream for reproducible kernels.
+func benchStream(label string) sha3.XOF {
+	x := sha3.NewShake128()
+	x.Write([]byte("pqtls-kernel-bench/" + label))
+	return x
+}
+
+// handshakeBench runs one full sans-IO handshake per iteration (compute
+// only, no simulated network).
+func handshakeBench(kemName, sigName string) func(b *testing.B) {
+	return func(b *testing.B) {
+		creds, err := harness.CredentialsFor(sigName, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			srv, err := pqtls.NewServer(&pqtls.Config{
+				KEMName: kemName, SigName: sigName, ServerName: "server.example",
+				Chain: creds.Chain, PrivateKey: creds.Priv,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cli, err := pqtls.NewClient(&pqtls.Config{
+				KEMName: kemName, SigName: sigName, ServerName: "server.example",
+				Roots: creds.Roots,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ch, err := cli.Start()
+			if err != nil {
+				b.Fatal(err)
+			}
+			flushes, err := srv.Respond(ch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var final []pqtls.Record
+			for _, f := range flushes {
+				out, done, err := cli.Consume(f.Records)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if done {
+					final = out
+				}
+			}
+			if err := srv.Finish(final); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// runMicrobench is the `pqbench microbench` subcommand: it runs the kernel
+// inventory through testing.Benchmark, optionally measures live loopback
+// handshake throughput, and writes the machine-readable BENCH_*.json the
+// regression gate (scripts/bench_gate.sh) consumes.
+func runMicrobench(args []string) error {
+	fs := flag.NewFlagSet("microbench", flag.ExitOnError)
+	out := fs.String("out", "", "write JSON here (default stdout)")
+	short := fs.Bool("short", false, "fast pass: 100ms per kernel, no live run (allocs/op still exact)")
+	withLive := fs.Bool("live", true, "measure live loopback handshakes/sec for the headline suite")
+	rate := fs.Float64("rate", 200, "live offered load (handshakes/second)")
+	duration := fs.Duration("duration", 2*time.Second, "live schedule span")
+	fs.Parse(args)
+
+	// testing.Benchmark obeys the test.benchtime flag; register the testing
+	// flags and set it explicitly so a plain binary run is deterministic in
+	// duration. allocs/op is exact at any benchtime.
+	testing.Init()
+	benchtime := "1s"
+	if *short {
+		benchtime = "0.1s"
+	}
+	if err := flag.Set("test.benchtime", benchtime); err != nil {
+		return err
+	}
+	flag.Parse()
+
+	doc := benchFile{
+		Schema:     benchSchema,
+		Go:         runtime.Version(),
+		Short:      *short,
+		Benchmarks: map[string]benchResult{},
+	}
+	for _, nb := range kernelBenchmarks() {
+		r := testing.Benchmark(nb.fn)
+		doc.Benchmarks[nb.name] = benchResult{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		fmt.Fprintf(os.Stderr, "%-32s %12.0f ns/op %8d B/op %6d allocs/op\n",
+			nb.name, doc.Benchmarks[nb.name].NsPerOp, r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+
+	if *withLive && !*short {
+		lr, err := liveThroughput("kyber768", "dilithium3", *rate, *duration)
+		if err != nil {
+			return fmt.Errorf("live measurement: %w", err)
+		}
+		doc.Live = map[string]liveResult{"kyber768+dilithium3": *lr}
+		fmt.Fprintf(os.Stderr, "%-32s %12.1f handshakes/s (p50 %.2fms, p95 %.2fms)\n",
+			"live/kyber768-dilithium3", lr.HandshakesPerSec, lr.P50Ms, lr.P95Ms)
+	}
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(*out, enc, 0o644)
+}
+
+// liveThroughput measures real loopback handshakes/sec with the
+// internal/live server runtime and internal/loadgen's open-loop schedule —
+// the same plumbing as `pqbench live`, reduced to the numbers the bench
+// file records.
+func liveThroughput(kemName, sigName string, rate float64, duration time.Duration) (*liveResult, error) {
+	creds, err := harness.CredentialsFor(sigName, 1)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv, err := live.Serve(ln, live.Options{
+		Config: &tls13.Config{
+			KEMName: kemName, SigName: sigName, ServerName: "server.example",
+			Chain: creds.Chain, PrivateKey: creds.Priv, Buffer: tls13.BufferImmediate,
+		},
+		MaxConns:         128,
+		HandshakeTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	warmup := duration / 10
+	sched := loadgen.NewSchedule(1, loadgen.DistExponential, rate, duration)
+	res, err := loadgen.Run(loadgen.Options{
+		Addr:             srv.Addr().String(),
+		Config:           &tls13.Config{KEMName: kemName, SigName: sigName, ServerName: "server.example", Roots: creds.Roots},
+		Schedule:         sched,
+		Warmup:           warmup,
+		MaxConcurrent:    128,
+		HandshakeTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		srv.Shutdown(time.Second)
+		return nil, err
+	}
+	if err := srv.Shutdown(5 * time.Second); err != nil {
+		return nil, err
+	}
+	return &liveResult{
+		HandshakesPerSec: res.Rate(warmup),
+		P50Ms:            float64(res.Hist.Quantile(0.50)) / float64(time.Millisecond),
+		P95Ms:            float64(res.Hist.Quantile(0.95)) / float64(time.Millisecond),
+		Completed:        int(res.Completed),
+		Failed:           int(res.Failed),
+	}, nil
+}
+
+// runBenchGate is the `pqbench benchgate` subcommand: a dependency-free
+// comparison of two BENCH_*.json files. It fails when a kernel regresses
+// by more than -max-regress in ns/op (unless -allocs-only, for noisy CI
+// hosts) or when allocs/op grow at all, and when a previously measured
+// kernel disappears. Live throughput is reported but never gated.
+func runBenchGate(args []string) error {
+	fs := flag.NewFlagSet("benchgate", flag.ExitOnError)
+	oldPath := fs.String("old", "", "baseline BENCH_*.json")
+	newPath := fs.String("new", "", "candidate BENCH_*.json")
+	maxRegress := fs.Float64("max-regress", 0.10, "allowed fractional ns/op regression")
+	allocsOnly := fs.Bool("allocs-only", false, "gate only allocs/op (for hosts with noisy timing)")
+	fs.Parse(args)
+	if *oldPath == "" || *newPath == "" {
+		return fmt.Errorf("benchgate: -old and -new are required")
+	}
+	oldDoc, err := readBenchFile(*oldPath)
+	if err != nil {
+		return err
+	}
+	newDoc, err := readBenchFile(*newPath)
+	if err != nil {
+		return err
+	}
+
+	names := make([]string, 0, len(oldDoc.Benchmarks))
+	for name := range oldDoc.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failures := 0
+	for _, name := range names {
+		old := oldDoc.Benchmarks[name]
+		cur, ok := newDoc.Benchmarks[name]
+		if !ok {
+			fmt.Printf("FAIL %-32s missing from %s\n", name, *newPath)
+			failures++
+			continue
+		}
+		delta := 0.0
+		if old.NsPerOp > 0 {
+			delta = cur.NsPerOp/old.NsPerOp - 1
+		}
+		// Zero-alloc kernels must stay at exactly zero; the rest get 5%+1
+		// headroom because AllocsPerOp is a per-iteration average and
+		// sync.Pool reuse under GC pressure jitters it slightly.
+		allocLimit := old.AllocsPerOp + old.AllocsPerOp/20 + 1
+		if old.AllocsPerOp == 0 {
+			allocLimit = 0
+		}
+		switch {
+		case cur.AllocsPerOp > allocLimit:
+			fmt.Printf("FAIL %-32s allocs/op %d -> %d\n", name, old.AllocsPerOp, cur.AllocsPerOp)
+			failures++
+		case !*allocsOnly && delta > *maxRegress:
+			fmt.Printf("FAIL %-32s %+.1f%% ns/op (%.0f -> %.0f, limit %+.0f%%)\n",
+				name, delta*100, old.NsPerOp, cur.NsPerOp, *maxRegress*100)
+			failures++
+		default:
+			fmt.Printf("ok   %-32s %+.1f%% ns/op, allocs %d -> %d\n",
+				name, delta*100, old.AllocsPerOp, cur.AllocsPerOp)
+		}
+	}
+	for suite, old := range oldDoc.Live {
+		if cur, ok := newDoc.Live[suite]; ok && old.HandshakesPerSec > 0 {
+			fmt.Printf("info live/%s %+.1f%% handshakes/s (not gated)\n",
+				suite, (cur.HandshakesPerSec/old.HandshakesPerSec-1)*100)
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("benchgate: %d regression(s) vs %s", failures, *oldPath)
+	}
+	fmt.Printf("benchgate: %d kernels within limits vs %s\n", len(names), *oldPath)
+	return nil
+}
+
+func readBenchFile(path string) (*benchFile, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc benchFile
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if doc.Schema != benchSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, doc.Schema, benchSchema)
+	}
+	return &doc, nil
+}

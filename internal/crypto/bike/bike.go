@@ -99,6 +99,7 @@ func (p *Params) GenerateKey(rng io.Reader) (pk, sk []byte, err error) {
 // (e0, e1) of total weight T.
 func (p *Params) deriveErrors(m []byte) (e0, e1 []int) {
 	x := sha3.NewShake256()
+	defer sha3.PutXOF(x)
 	x.Write([]byte("BIKE-H"))
 	x.Write(m)
 	sup, err := gf2x.RandomSupport(xofReader{x}, 2*p.R, p.T)

@@ -2,6 +2,8 @@ package bike
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"fmt"
 	"testing"
 )
 
@@ -152,4 +154,53 @@ func BenchmarkBikeL1(b *testing.B) {
 			}
 		}
 	})
+}
+
+// drbg is a fixed-seed byte stream for the pinned known-answer test.
+type drbg struct{ s uint64 }
+
+func (d *drbg) Read(p []byte) (int, error) {
+	for i := range p {
+		d.s = d.s*6364136223846793005 + 1442695040888963407
+		p[i] = byte(d.s >> 56)
+	}
+	return len(p), nil
+}
+
+// TestKnownAnswer pins digests of the full keygen/encaps/decaps transcript
+// from a fixed seed. Any change to the gf2x arithmetic, the sampling
+// order, or the hash domains that alters a single output byte fails here.
+func TestKnownAnswer(t *testing.T) {
+	t.Parallel()
+	want := map[string][4]string{
+		"bikel1": {"80adb94f433d5c8c9ece0011d3c44cffda5e77e76b9e80384325b3a34f27e2f0", "a637ab2b0f25727d7443fc4c65c71a73285c88ac9e38accbb66683095b5aaf87", "7695009f55e661f5ec363d8dc1d0817947c33cc9fc7ccafa6d39901dc5bc2845", "5803b318b7f249b33e22a0c3cc17a01d5a85c213bdca2552b9e20de4d9edbf95"},
+		"bikel3": {"de2259a789185643779c625c77695982c41523066318baad27c4540ce4e7e85b", "b6d3df34954eec732163c37c7f02c2bcfe74ef54b973e71de6eefad95d883062", "a22ac76fcb42df41efd0b530aeb39ae30f4fe0821eb90ab3a383145f1d8a1910", "431f07d9913b1b82ce39303652c9f4a4787097dd5e928a2ec9b460eaeb60e552"},
+	}
+	for _, p := range []*Params{BikeL1, BikeL3} {
+		d := &drbg{s: 0x42494b45} // "BIKE"
+		pk, sk, err := p.GenerateKey(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct, ss, err := p.Encapsulate(d, pk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ss2, err := p.Decapsulate(sk, ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ss, ss2) {
+			t.Fatalf("%s: decapsulation mismatch", p.Name)
+		}
+		got := [4]string{
+			fmt.Sprintf("%x", sha256.Sum256(pk)),
+			fmt.Sprintf("%x", sha256.Sum256(sk)),
+			fmt.Sprintf("%x", sha256.Sum256(ct)),
+			fmt.Sprintf("%x", sha256.Sum256(ss)),
+		}
+		if got != want[p.Name] {
+			t.Errorf("%s: transcript digests changed:\ngot  %q\nwant %q", p.Name, got, want[p.Name])
+		}
+	}
 }

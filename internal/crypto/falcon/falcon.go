@@ -82,6 +82,7 @@ func (p *Params) aHat() []int32 {
 		return a
 	}
 	x := sha3.NewShake128()
+	defer sha3.PutXOF(x)
 	x.Write([]byte("PQTLS-FALCON-A"))
 	x.Write([]byte{byte(p.LogN)})
 	a = make([]int32, p.N)
@@ -141,6 +142,7 @@ func (p *Params) deriveKey(seed [seedSize]byte) (pk, sk []byte) {
 // expandSecret derives the ternary secret polynomials from the seed.
 func (p *Params) expandSecret(seed []byte) (s1, s2 []int32) {
 	x := sha3.NewShake256()
+	defer sha3.PutXOF(x)
 	x.Write([]byte("PQTLS-FALCON-S"))
 	x.Write(seed)
 	sample := func() []int32 {
@@ -232,6 +234,7 @@ func (p *Params) Sign(sk, msg []byte) ([]byte, error) {
 // [-(yMax-1), yMax-1], via 16-bit rejection sampling.
 func (p *Params) sampleY(rhoPrime []byte, kappa, width uint32, yMax int32) []int32 {
 	x := sha3.NewShake256()
+	defer sha3.PutXOF(x)
 	x.Write(rhoPrime)
 	x.Write([]byte{byte(kappa), byte(kappa >> 8), byte(kappa >> 16), byte(kappa >> 24)})
 	y := make([]int32, p.N)
@@ -258,6 +261,7 @@ type challengeTerm struct {
 
 func (p *Params) challenge(seed []byte) []challengeTerm {
 	x := sha3.NewShake256()
+	defer sha3.PutXOF(x)
 	x.Write([]byte("PQTLS-FALCON-C"))
 	x.Write(seed)
 	terms := make([]challengeTerm, 0, p.Tau)

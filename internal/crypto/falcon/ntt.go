@@ -13,6 +13,27 @@ func fqmul(a, b int32) int32 {
 	return int32(int64(a) * int64(b) % Q)
 }
 
+// qInv is q^-1 mod 2^32, computed once by Newton iteration (q is odd, so
+// each step doubles the number of correct low bits).
+var qInv int32
+
+func init() {
+	x := uint32(Q)
+	for i := 0; i < 5; i++ {
+		x *= 2 - uint32(Q)*x
+	}
+	if x*uint32(Q) != 1 {
+		panic("falcon: Montgomery inverse computation failed")
+	}
+	qInv = int32(x)
+}
+
+// montReduce maps a ∈ (-q·2^31, q·2^31) to a·2^-32 mod q in (-q, q).
+func montReduce(a int64) int32 {
+	t := int32(a) * qInv
+	return int32((a - int64(t)*Q) >> 32)
+}
+
 func freduce(a int32) int32 {
 	a %= Q
 	if a < 0 {
@@ -34,13 +55,19 @@ func modpow(b, e int64) int32 {
 }
 
 // zetaTables caches the bit-reversed powers of the 2n-th root of unity for
-// each supported degree. Guarded by an RWMutex: the NTT runs on every
+// each supported degree, in both the plain and Montgomery-scaled
+// (zeta·2^32 mod q) domains. Guarded by an RWMutex: the NTT runs on every
 // Falcon operation, so concurrent workers take only a read lock once the
 // table exists.
+type zetaTable struct {
+	z     []int32 // plain powers
+	zMont []int32 // scaled by the Montgomery radix
+}
+
 var zetaTables = struct {
 	mu sync.RWMutex
-	m  map[int][]int32
-}{m: map[int][]int32{}}
+	m  map[int]*zetaTable
+}{m: map[int]*zetaTable{}}
 
 // primitiveRoot finds a generator of Z_q^* (q-1 = 2^12 * 3).
 func primitiveRoot() int32 {
@@ -51,7 +78,7 @@ func primitiveRoot() int32 {
 	}
 }
 
-func zetasFor(n int, logn uint) []int32 {
+func zetasFor(n int, logn uint) *zetaTable {
 	zetaTables.mu.RLock()
 	z, ok := zetaTables.m[n]
 	zetaTables.mu.RUnlock()
@@ -65,54 +92,67 @@ func zetasFor(n int, logn uint) []int32 {
 	}
 	g := primitiveRoot()
 	psi := modpow(int64(g), int64((Q-1)/(2*n))) // primitive 2n-th root
-	z = make([]int32, n)
+	z = &zetaTable{z: make([]int32, n), zMont: make([]int32, n)}
 	for i := 0; i < n; i++ {
 		br := 0
 		for b := uint(0); b < logn; b++ {
 			br |= (i >> b & 1) << (logn - 1 - b)
 		}
-		z[i] = modpow(int64(psi), int64(br))
+		z.z[i] = modpow(int64(psi), int64(br))
+		z.zMont[i] = int32(int64(z.z[i]) << 32 % Q)
 	}
 	zetaTables.m[n] = z
 	return z
 }
 
 // nttN transforms p (length 2^logn) into the negacyclic NTT domain.
+//
+// Reductions are lazy: only the multiplied wing is Montgomery-reduced, so
+// magnitudes grow by at most q per layer and stay below (logn+1)·q ≤ 11q,
+// far inside int32. The final pass restores [0, q) so every serialized
+// output stays byte-identical to the eager form.
 func nttN(p []int32, logn uint) {
 	n := len(p)
-	zetas := zetasFor(n, logn)
+	zetas := zetasFor(n, logn).zMont
 	k := 1
 	for l := n / 2; l >= 1; l >>= 1 {
 		for start := 0; start < n; start += 2 * l {
-			zeta := zetas[k]
+			zeta := int64(zetas[k])
 			k++
 			for j := start; j < start+l; j++ {
-				t := fqmul(zeta, p[j+l])
-				p[j+l] = freduce(p[j] - t)
-				p[j] = freduce(p[j] + t)
+				t := montReduce(zeta * int64(p[j+l]))
+				p[j+l] = p[j] - t
+				p[j] += t
 			}
 		}
+	}
+	for i := range p {
+		p[i] = freduce(p[i])
 	}
 }
 
 // invNTTN is the inverse transform (reflected-zeta Gentleman-Sande form).
+//
+// Fully lazy: sums double per layer, topping out at n·q ≤ 1024·12289 ≈
+// 1.26e7 « 2^31, and the Montgomery inputs stay below q·2^31. The n^-1
+// scaling folds into one Montgomery multiply per coefficient.
 func invNTTN(p []int32, logn uint) {
 	n := len(p)
-	zetas := zetasFor(n, logn)
+	zetas := zetasFor(n, logn).zMont
 	k := n - 1
 	for l := 1; l <= n/2; l <<= 1 {
 		for start := 0; start < n; start += 2 * l {
-			zeta := zetas[k]
+			zeta := int64(zetas[k])
 			k--
 			for j := start; j < start+l; j++ {
 				t := p[j]
-				p[j] = freduce(t + p[j+l])
-				p[j+l] = fqmul(zeta, freduce(p[j+l]-t+Q))
+				p[j] = t + p[j+l]
+				p[j+l] = montReduce(zeta * int64(p[j+l]-t))
 			}
 		}
 	}
-	nInv := modpow(int64(n), Q-2)
+	fMont := int64(modpow(int64(n), Q-2)) << 32 % Q
 	for i := range p {
-		p[i] = fqmul(p[i], nInv)
+		p[i] = freduce(montReduce(fMont * int64(p[i])))
 	}
 }

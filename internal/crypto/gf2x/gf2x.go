@@ -6,6 +6,7 @@ package gf2x
 import (
 	"io"
 	"math/bits"
+	"sync"
 )
 
 // Poly is a dense polynomial modulo x^r - 1. The unused high bits of the
@@ -129,18 +130,157 @@ func foldHigh(dst *Poly, wide []uint64, r int) {
 	dst.mask()
 }
 
+// wideScratch pools the double-width accumulators used by MulSparse and
+// Mul so the hot decode/encode loops of BIKE and HQC run allocation-free.
+var wideScratch = sync.Pool{New: func() any { return new([]uint64) }}
+
+// getWide returns a zeroed pooled buffer of at least words words.
+func getWide(words int) *[]uint64 {
+	wp := wideScratch.Get().(*[]uint64)
+	if cap(*wp) < words {
+		*wp = make([]uint64, words)
+	}
+	*wp = (*wp)[:words]
+	for i := range *wp {
+		(*wp)[i] = 0
+	}
+	return wp
+}
+
 // MulSparse sets dst = p * q where q is given by its support positions.
 // dst must not alias p.
+//
+// All rotations accumulate into one double-width buffer and the reduction
+// modulo x^r - 1 happens once at the end, instead of the
+// rotate-fold-xor round trip per support position the bit-serial version
+// paid. For a weight-w multiplier this cuts the word traffic from ~6w·r
+// bits to ~w·r + 2r.
 func (p *Poly) MulSparse(dst *Poly, support []int) {
-	for i := range dst.w {
-		dst.w[i] = 0
-	}
-	tmp := New(p.r)
-	wide := make([]uint64, (2*p.r+63)/64)
+	wp := getWide((2*p.r + 63) / 64)
+	wide := *wp
 	for _, pos := range support {
-		p.rotateIntoScratch(tmp, pos, wide)
-		dst.Xor(tmp)
+		k := pos % p.r
+		if k < 0 {
+			k += p.r
+		}
+		xorShifted(wide, p.w, k)
 	}
+	copy(dst.w, wide)
+	dst.mask()
+	foldHigh(dst, wide, p.r)
+	wideScratch.Put(wp)
+}
+
+// clmul32 returns the 64-bit carry-less product of two 32-bit words using
+// the masked-integer-multiply trick: bits are spread into four groups with
+// 4-bit holes, so every column of the plain integer products sums at most
+// 8 contributions and no carry crosses a group boundary. XOR of the four
+// group products then recovers the GF(2) polynomial product exactly.
+func clmul32(x, y uint32) uint64 {
+	const m = 0x11111111
+	x0 := uint64(x & m)
+	x1 := uint64(x & (m << 1))
+	x2 := uint64(x & (m << 2))
+	x3 := uint64(x & (m << 3))
+	y0 := uint64(y & m)
+	y1 := uint64(y & (m << 1))
+	y2 := uint64(y & (m << 2))
+	y3 := uint64(y & (m << 3))
+	z0 := x0*y0 ^ x1*y3 ^ x2*y2 ^ x3*y1
+	z1 := x0*y1 ^ x1*y0 ^ x2*y3 ^ x3*y2
+	z2 := x0*y2 ^ x1*y1 ^ x2*y0 ^ x3*y3
+	z3 := x0*y3 ^ x1*y2 ^ x2*y1 ^ x3*y0
+	const mm = 0x1111111111111111
+	return z0&mm ^ z1&(mm<<1) ^ z2&(mm<<2) ^ z3&(mm<<3)
+}
+
+// clmul64 returns the 128-bit carry-less product of two 64-bit words as a
+// one-level Karatsuba over clmul32 halves (3 half-width multiplies).
+func clmul64(x, y uint64) (hi, lo uint64) {
+	xl, xh := uint32(x), uint32(x>>32)
+	yl, yh := uint32(y), uint32(y>>32)
+	ll := clmul32(xl, yl)
+	hh := clmul32(xh, yh)
+	mid := clmul32(xl^xh, yl^yh) ^ ll ^ hh
+	return hh ^ mid>>32, ll ^ mid<<32
+}
+
+// karatsubaThreshold is the operand size (in words) at or below which the
+// word-level schoolbook product is used directly.
+const karatsubaThreshold = 8
+
+// mulSchoolbook XORs the full 2n-word product of a and b into dst, which
+// must hold len(a)+len(b) words and be pre-zeroed.
+func mulSchoolbook(dst, a, b []uint64) {
+	for i, ai := range a {
+		if ai == 0 {
+			continue
+		}
+		for j, bj := range b {
+			hi, lo := clmul64(ai, bj)
+			dst[i+j] ^= lo
+			dst[i+j+1] ^= hi
+		}
+	}
+}
+
+// mulKaratsuba writes the 2n-word carry-less product of the n-word
+// operands a and b into dst (fully overwritten). tmp must hold at least
+// 4n words of scratch. Operand sizes are padded to a power of two by the
+// caller, so the recursion always splits evenly.
+func mulKaratsuba(dst, a, b, tmp []uint64) {
+	n := len(a)
+	if n <= karatsubaThreshold || n%2 != 0 {
+		for i := range dst[:2*n] {
+			dst[i] = 0
+		}
+		mulSchoolbook(dst[:2*n], a, b)
+		return
+	}
+	h := n / 2
+	sa, sb := tmp[:h], tmp[h:n]
+	mid := tmp[n : 2*n]
+	rec := tmp[2*n:]
+	mulKaratsuba(dst[:n], a[:h], b[:h], rec) // z0 = a0·b0
+	mulKaratsuba(dst[n:], a[h:], b[h:], rec) // z2 = a1·b1
+	for i := 0; i < h; i++ {
+		sa[i] = a[i] ^ a[h+i]
+		sb[i] = b[i] ^ b[h+i]
+	}
+	mulKaratsuba(mid, sa, sb, rec) // (a0^a1)·(b0^b1)
+	for i := 0; i < n; i++ {
+		mid[i] ^= dst[i] ^ dst[n+i] // z1 = mid ^ z0 ^ z2
+	}
+	for i := 0; i < n; i++ {
+		dst[h+i] ^= mid[i]
+	}
+}
+
+// Mul sets dst = p * q mod (x^r - 1) for dense q, via word-level Karatsuba
+// over software carry-less multiplies. Operands are padded to a power of
+// two of words so the recursion splits evenly; scratch comes from the
+// shared pool, so steady-state calls do not allocate. dst must alias
+// neither p nor q.
+func (p *Poly) Mul(dst *Poly, q *Poly) {
+	if p.r != q.r || dst.r != p.r {
+		panic("gf2x: mismatched ring sizes in Mul")
+	}
+	m := karatsubaThreshold
+	for m < len(p.w) {
+		m <<= 1
+	}
+	wp := getWide(8 * m)
+	buf := *wp
+	a, b := buf[:m], buf[m:2*m]
+	wide := buf[2*m : 4*m]
+	tmp := buf[4*m:]
+	copy(a, p.w)
+	copy(b, q.w)
+	mulKaratsuba(wide, a, b, tmp)
+	copy(dst.w, wide)
+	dst.mask()
+	foldHigh(dst, wide, p.r)
+	wideScratch.Put(wp)
 }
 
 // Bytes serializes p little-endian (bit i of the ring is bit i%8 of byte

@@ -171,6 +171,185 @@ func TestRandomSupport(t *testing.T) {
 	}
 }
 
+// mulReference is the retired per-position rotate-fold-xor sparse
+// multiplication, kept as the differential-test oracle for the fused
+// accumulator in MulSparse and the dense Karatsuba path in Mul.
+func mulReference(p *Poly, support []int) *Poly {
+	dst := New(p.r)
+	tmp := New(p.r)
+	for _, pos := range support {
+		p.RotateInto(tmp, pos%p.r)
+		dst.Xor(tmp)
+	}
+	return dst
+}
+
+// drbg is a deterministic byte stream for reproducible differential trials.
+type drbg struct{ s uint64 }
+
+func (d *drbg) Read(p []byte) (int, error) {
+	for i := range p {
+		d.s = d.s*6364136223846793005 + 1442695040888963407
+		p[i] = byte(d.s >> 56)
+	}
+	return len(p), nil
+}
+
+func (d *drbg) intn(n int) int {
+	var b [4]byte
+	d.Read(b[:])
+	v := uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+	return int(v % uint32(n))
+}
+
+// TestMulDifferential cross-checks the three multiplication paths
+// (MulSparse single-fold accumulator, dense Karatsuba Mul, and the
+// bit-serial reference) on thousands of seeded random rings.
+func TestMulDifferential(t *testing.T) {
+	t.Parallel()
+	trials := 10000
+	if testing.Short() {
+		trials = 1000
+	}
+	d := &drbg{s: 0x5eed}
+	for trial := 0; trial < trials; trial++ {
+		r := 65 + d.intn(512)
+		p, err := Random(d, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		weight := 1 + d.intn(20)
+		support := make([]int, 0, weight)
+		seen := map[int]bool{}
+		for len(support) < weight {
+			pos := d.intn(r)
+			if !seen[pos] {
+				seen[pos] = true
+				support = append(support, pos)
+			}
+		}
+		want := mulReference(p, support)
+		sparse := New(r)
+		p.MulSparse(sparse, support)
+		if !sparse.Equal(want) {
+			t.Fatalf("trial %d (r=%d, w=%d): MulSparse differs from reference", trial, r, weight)
+		}
+		q := New(r)
+		for _, pos := range support {
+			q.SetBit(pos)
+		}
+		dense := New(r)
+		p.Mul(dense, q)
+		if !dense.Equal(want) {
+			t.Fatalf("trial %d (r=%d, w=%d): dense Mul differs from reference", trial, r, weight)
+		}
+	}
+}
+
+// TestMulDifferentialRealRings runs the same cross-check at the actual
+// BIKE-L1 and HQC-128 ring sizes, including dense*dense commutativity.
+func TestMulDifferentialRealRings(t *testing.T) {
+	t.Parallel()
+	d := &drbg{s: 0xb1ce}
+	for _, r := range []int{12323, 17669} {
+		p, err := Random(d, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		support, err := RandomSupport(d, r, 71)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := mulReference(p, support)
+		sparse := New(r)
+		p.MulSparse(sparse, support)
+		if !sparse.Equal(want) {
+			t.Fatalf("r=%d: MulSparse differs from reference", r)
+		}
+		q := New(r)
+		for _, pos := range support {
+			q.SetBit(pos)
+		}
+		dense := New(r)
+		p.Mul(dense, q)
+		if !dense.Equal(want) {
+			t.Fatalf("r=%d: dense Mul differs from reference", r)
+		}
+		// Commutativity of the dense path on two dense operands.
+		u, _ := Random(d, r)
+		ab, ba := New(r), New(r)
+		p.Mul(ab, u)
+		u.Mul(ba, p)
+		if !ab.Equal(ba) {
+			t.Fatalf("r=%d: dense Mul is not commutative", r)
+		}
+	}
+}
+
+// clmul64Reference is the textbook shift-and-xor carry-less multiply.
+func clmul64Reference(x, y uint64) (hi, lo uint64) {
+	for i := 0; i < 64; i++ {
+		if y>>i&1 == 1 {
+			lo ^= x << i
+			if i > 0 {
+				hi ^= x >> (64 - i)
+			}
+		}
+	}
+	return
+}
+
+func TestClmul64(t *testing.T) {
+	t.Parallel()
+	f := func(x, y uint64) bool {
+		gh, gl := clmul64(x, y)
+		wh, wl := clmul64Reference(x, y)
+		return gh == wh && gl == wl
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+	// Edge cases the generator may miss.
+	for _, c := range [][2]uint64{{0, 0}, {^uint64(0), ^uint64(0)}, {1, ^uint64(0)}, {1 << 63, 1 << 63}} {
+		gh, gl := clmul64(c[0], c[1])
+		wh, wl := clmul64Reference(c[0], c[1])
+		if gh != wh || gl != wl {
+			t.Errorf("clmul64(%#x, %#x) = (%#x, %#x), want (%#x, %#x)", c[0], c[1], gh, gl, wh, wl)
+		}
+	}
+}
+
+func TestMulSparseNoAlloc(t *testing.T) {
+	r := 17669
+	d := &drbg{s: 7}
+	p, _ := Random(d, r)
+	support, _ := RandomSupport(d, r, 66)
+	dst := New(r)
+	p.MulSparse(dst, support) // warm the pool
+	if n := testing.AllocsPerRun(10, func() { p.MulSparse(dst, support) }); n != 0 {
+		t.Errorf("MulSparse allocates %v times per call, want 0", n)
+	}
+	q := New(r)
+	for _, pos := range support {
+		q.SetBit(pos)
+	}
+	p.Mul(dst, q)
+	if n := testing.AllocsPerRun(10, func() { p.Mul(dst, q) }); n != 0 {
+		t.Errorf("Mul allocates %v times per call, want 0", n)
+	}
+}
+
+func BenchmarkMulDense17669(b *testing.B) {
+	r := 17669
+	p, _ := Random(rand.Reader, r)
+	q, _ := Random(rand.Reader, r)
+	dst := New(r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Mul(dst, q)
+	}
+}
+
 func BenchmarkInverse12323(b *testing.B) {
 	r := 12323
 	support, _ := RandomSupport(rand.Reader, r, 71)

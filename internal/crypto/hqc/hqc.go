@@ -72,6 +72,7 @@ func (p *Params) PrivateKeySize() int { return 8*p.W + 32 + p.PublicKeySize() }
 // expandH derives the dense public ring element h from the 40-byte seed.
 func (p *Params) expandH(seed []byte) *gf2x.Poly {
 	x := sha3.NewShake256()
+	defer sha3.PutXOF(x)
 	x.Write([]byte("HQC-H"))
 	x.Write(seed)
 	buf := make([]byte, (p.N+7)/8)
@@ -122,6 +123,7 @@ func (p *Params) GenerateKey(rng io.Reader) (pk, sk []byte, err error) {
 func (p *Params) deriveVectors(theta []byte) (r1, r2, e []int) {
 	sample := func(label string) []int {
 		x := sha3.NewShake256()
+		defer sha3.PutXOF(x)
 		x.Write([]byte(label))
 		x.Write(theta)
 		sup, err := gf2x.RandomSupport(xofReader{x}, p.N, p.Wr)

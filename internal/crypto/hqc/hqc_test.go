@@ -2,6 +2,8 @@ package hqc
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"fmt"
 	"testing"
 )
 
@@ -222,3 +224,52 @@ func benchHQC(b *testing.B, p *Params) {
 
 func BenchmarkHQC128(b *testing.B) { benchHQC(b, HQC128) }
 func BenchmarkHQC256(b *testing.B) { benchHQC(b, HQC256) }
+
+// kat64 is a fixed-seed byte stream for the pinned known-answer test.
+type kat64 struct{ s uint64 }
+
+func (d *kat64) Read(p []byte) (int, error) {
+	for i := range p {
+		d.s = d.s*6364136223846793005 + 1442695040888963407
+		p[i] = byte(d.s >> 56)
+	}
+	return len(p), nil
+}
+
+// TestKnownAnswer pins digests of the full keygen/encaps/decaps transcript
+// from a fixed seed. Any change to the gf2x arithmetic, the sampling
+// order, or the hash domains that alters a single output byte fails here.
+func TestKnownAnswer(t *testing.T) {
+	t.Parallel()
+	want := map[string][4]string{
+		"hqc128": {"0ab08532e8ead13055fd8804c7be54a1f4b0601ab9b0bcf1b48b6870aa3c8fda", "aa1694a629df5acad9f4ff41873de9d78a8df91d46ad11fd6d8aa71f33b6654a", "db10650d4ee29e22dc3992de51d86786669a52439f1a7485c6d5cf45f4e62fe0", "ad8e83df86cde0fda2b53f089aa6af9510f0163737bb8667b124b99b08aea394"},
+		"hqc192": {"3f2f9f72b9ea60b323bcde989907be0a2bea264043c9472bd27776461a11a293", "4d4118ea3d5963e206e15ebcac26bb8fe35d15345596c9fac50264e77a42acf1", "1322a847c07de88c1995868befeb6ac05a8e664a758eba198d6a3067c5d3bd97", "7d9e6a0c81654eb11f8f1aae9c0a8a99f1ffd707f01a3fe7ca965210ddbbafce"},
+	}
+	for _, p := range []*Params{HQC128, HQC192} {
+		d := &kat64{s: 0x485143} // "HQC"
+		pk, sk, err := p.GenerateKey(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct, ss, err := p.Encapsulate(d, pk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ss2, err := p.Decapsulate(sk, ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ss, ss2) {
+			t.Fatalf("%s: decapsulation mismatch", p.Name)
+		}
+		got := [4]string{
+			fmt.Sprintf("%x", sha256.Sum256(pk)),
+			fmt.Sprintf("%x", sha256.Sum256(sk)),
+			fmt.Sprintf("%x", sha256.Sum256(ct)),
+			fmt.Sprintf("%x", sha256.Sum256(ss)),
+		}
+		if got != want[p.Name] {
+			t.Errorf("%s: transcript digests changed:\ngot  %q\nwant %q", p.Name, got, want[p.Name])
+		}
+	}
+}

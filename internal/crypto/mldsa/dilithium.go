@@ -86,10 +86,14 @@ func (p *Params) deriveKey(zeta [32]byte) (pk, sk []byte) {
 	s1 := make([]poly, p.L)
 	s2 := make([]poly, p.K)
 	for i := range s1 {
-		sampleEta(&s1[i], p.exp.Stream256(rhoPrime, uint16(i)), p.Eta)
+		st := p.exp.Stream256(rhoPrime, uint16(i))
+		sampleEta(&s1[i], st, p.Eta)
+		putStream(st)
 	}
 	for i := range s2 {
-		sampleEta(&s2[i], p.exp.Stream256(rhoPrime, uint16(p.L+i)), p.Eta)
+		st := p.exp.Stream256(rhoPrime, uint16(p.L+i))
+		sampleEta(&s2[i], st, p.Eta)
+		putStream(st)
 	}
 
 	// t = A*s1 + s2.
@@ -117,7 +121,7 @@ func (p *Params) deriveKey(zeta [32]byte) (pk, sk []byte) {
 	pk = make([]byte, 0, p.PublicKeySize())
 	pk = append(pk, rho...)
 	for i := range t1 {
-		pk = append(pk, packBits(&t1[i], 10, func(c int32) uint32 { return uint32(c) })...)
+		pk = packBitsInto(pk, &t1[i], 10, func(c int32) uint32 { return uint32(c) })
 	}
 	tr := sha3.ShakeSum256(32, pk)
 
@@ -132,9 +136,9 @@ func (p *Params) deriveKey(zeta [32]byte) (pk, sk []byte) {
 		sk = append(sk, p.packEta(&s2[i])...)
 	}
 	for i := range t0 {
-		sk = append(sk, packBits(&t0[i], 13, func(c int32) uint32 {
+		sk = packBitsInto(sk, &t0[i], 13, func(c int32) uint32 {
 			return uint32(1<<(D-1) - centered(c))
-		})...)
+		})
 	}
 	return pk, sk
 }
@@ -154,7 +158,9 @@ func (p *Params) expandA(rho []byte) []poly {
 	a := make([]poly, p.K*p.L)
 	for i := 0; i < p.K; i++ {
 		for j := 0; j < p.L; j++ {
-			sampleUniform(&a[i*p.L+j], p.exp.Stream128(rho, uint16(i<<8|j)))
+			st := p.exp.Stream128(rho, uint16(i<<8|j))
+			sampleUniform(&a[i*p.L+j], st)
+			putStream(st)
 		}
 	}
 	return a
@@ -195,19 +201,27 @@ func (p *Params) Sign(sk, msg []byte) ([]byte, error) {
 	mu := sha3.ShakeSum256(64, tr, msg)
 	rhoPrime := sha3.ShakeSum256(64, key, mu)
 
+	// Rejection-loop scratch, allocated once: each iteration re-derives or
+	// zeroes what it needs.
+	y := make([]poly, p.L)
+	yHat := make([]poly, p.L)
+	w := make([]poly, p.K)
+	w1 := make([]poly, p.K)
+	z := make([]poly, p.L)
+	hints := make([]poly, p.K)
+	w1Packed := make([]byte, 0, p.K*N*int(p.W1Bits)/8)
 	for kappa := uint16(0); ; kappa += uint16(p.L) {
 		// Sample the mask vector y and compute w = A*y.
-		y := make([]poly, p.L)
-		yHat := make([]poly, p.L)
 		for i := range y {
-			sampleMask(&y[i], p.exp.Stream256(rhoPrime, kappa+uint16(i)), p.Gamma1, p.Gamma1Bits)
+			st := p.exp.Stream256(rhoPrime, kappa+uint16(i))
+			sampleMask(&y[i], st, p.Gamma1, p.Gamma1Bits)
+			putStream(st)
 			yHat[i] = y[i]
 			yHat[i].ntt()
 		}
-		w := make([]poly, p.K)
-		w1 := make([]poly, p.K)
-		w1Packed := make([]byte, 0, p.K*N*int(p.W1Bits)/8)
+		w1Packed = w1Packed[:0]
 		for i := 0; i < p.K; i++ {
+			w[i] = poly{}
 			for j := 0; j < p.L; j++ {
 				mulAcc(&w[i], &a[i*p.L+j], &yHat[j])
 			}
@@ -215,7 +229,7 @@ func (p *Params) Sign(sk, msg []byte) ([]byte, error) {
 			for n := 0; n < N; n++ {
 				w1[i][n] = highBits(w[i][n], p.Gamma2)
 			}
-			w1Packed = append(w1Packed, packBits(&w1[i], p.W1Bits, func(c int32) uint32 { return uint32(c) })...)
+			w1Packed = packBitsInto(w1Packed, &w1[i], p.W1Bits, func(c int32) uint32 { return uint32(c) })
 		}
 		cTilde := sha3.ShakeSum256(32, mu, w1Packed)
 		c := sampleInBall(cTilde, p.Tau)
@@ -223,7 +237,6 @@ func (p *Params) Sign(sk, msg []byte) ([]byte, error) {
 		cHat.ntt()
 
 		// z = y + c*s1, rejected if too large.
-		z := make([]poly, p.L)
 		ok := true
 		for i := range z {
 			var cs1 poly
@@ -241,9 +254,9 @@ func (p *Params) Sign(sk, msg []byte) ([]byte, error) {
 		}
 
 		// Check the low bits of w - c*s2 and build the hint against c*t0.
-		hints := make([]poly, p.K)
 		hintCount := 0
 		for i := 0; i < p.K && ok; i++ {
+			hints[i] = poly{}
 			var cs2, ct0 poly
 			mulAcc(&cs2, &cHat, &s2Hat[i])
 			cs2.invNTT()
@@ -276,9 +289,9 @@ func (p *Params) Sign(sk, msg []byte) ([]byte, error) {
 		sig = append(sig, cTilde...)
 		for i := range z {
 			g1 := p.Gamma1
-			sig = append(sig, packBits(&z[i], p.Gamma1Bits, func(c int32) uint32 {
+			sig = packBitsInto(sig, &z[i], p.Gamma1Bits, func(c int32) uint32 {
 				return uint32(g1 - centered(c))
-			})...)
+			})
 		}
 		sig = append(sig, p.packHints(hints)...)
 		return sig, nil
@@ -394,7 +407,7 @@ func (p *Params) Verify(pk, msg, sig []byte) bool {
 		for n := 0; n < N; n++ {
 			w1[n] = useHint(hints[i][n], az[n], p.Gamma2)
 		}
-		w1Packed = append(w1Packed, packBits(&w1, p.W1Bits, func(c int32) uint32 { return uint32(c) })...)
+		w1Packed = packBitsInto(w1Packed, &w1, p.W1Bits, func(c int32) uint32 { return uint32(c) })
 	}
 	want := sha3.ShakeSum256(32, mu, w1Packed)
 	return subtle.ConstantTimeCompare(cTilde, want) == 1

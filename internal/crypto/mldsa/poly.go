@@ -18,8 +18,16 @@ const (
 
 type poly [N]int32
 
-// zetas[i] = root^bitrev8(i) mod Q.
-var zetas [N]int32
+// zetas[i] = root^bitrev8(i) mod Q. zetasMont holds the same roots scaled
+// by the Montgomery radix (zetas[i]·2^32 mod Q), so montReduce(x·zetasMont[i])
+// yields x·zetas[i] mod Q in the plain domain with one cheap reduction.
+var (
+	zetas     [N]int32
+	zetasMont [N]int32
+)
+
+// qInv is q^-1 mod 2^32, the low-half multiplier of Montgomery reduction.
+const qInv int32 = 58728449
 
 func init() {
 	pow := func(b, e int64) int64 {
@@ -39,10 +47,21 @@ func init() {
 			br |= (i >> b & 1) << (7 - b)
 		}
 		zetas[i] = int32(pow(root, int64(br)))
+		zetasMont[i] = int32(int64(zetas[i]) << 32 % Q)
 	}
 	if int32(pow(256, Q-2)) != inv256 {
 		panic("mldsa: inv256 constant is wrong")
 	}
+	qi, qq := uint32(qInv), uint32(Q)
+	if qi*qq != 1 {
+		panic("mldsa: qInv constant is wrong")
+	}
+}
+
+// montReduce maps a ∈ (-q·2^31, q·2^31) to a·2^-32 mod q in (-q, q).
+func montReduce(a int64) int32 {
+	t := int32(a) * qInv
+	return int32((a - int64(t)*Q) >> 32)
 }
 
 func fqmul(a, b int32) int32 {
@@ -66,37 +85,54 @@ func centered(a int32) int32 {
 }
 
 // ntt transforms p into the (complete, 8-layer) NTT domain.
+//
+// Reductions are lazy: only the multiplied wing of each butterfly is
+// reduced (Montgomery, via the radix-scaled zeta table), so magnitudes
+// grow by at most q per layer and stay below 9q « 2^31 over the 8 layers.
+// A final pass restores the canonical [0, q) form the serializers and
+// rejection checks expect, keeping every output byte-identical to the
+// eager version.
 func (p *poly) ntt() {
 	k := 1
 	for l := 128; l >= 1; l >>= 1 {
 		for start := 0; start < N; start += 2 * l {
-			zeta := zetas[k]
+			zeta := int64(zetasMont[k])
 			k++
 			for j := start; j < start+l; j++ {
-				t := fqmul(zeta, p[j+l])
-				p[j+l] = freduce(p[j] - t)
-				p[j] = freduce(p[j] + t)
-			}
-		}
-	}
-}
-
-// invNTT is the inverse transform; same reflected-zeta trick as mlkem.
-func (p *poly) invNTT() {
-	k := 255
-	for l := 1; l <= 128; l <<= 1 {
-		for start := 0; start < N; start += 2 * l {
-			zeta := zetas[k]
-			k--
-			for j := start; j < start+l; j++ {
-				t := p[j]
-				p[j] = freduce(t + p[j+l])
-				p[j+l] = fqmul(zeta, freduce(p[j+l]-t+Q))
+				t := montReduce(zeta * int64(p[j+l]))
+				p[j+l] = p[j] - t
+				p[j] += t
 			}
 		}
 	}
 	for i := range p {
-		p[i] = fqmul(p[i], inv256)
+		p[i] = freduce(p[i])
+	}
+}
+
+// invNTT is the inverse transform; same reflected-zeta trick as mlkem.
+//
+// Fully lazy Gentleman-Sande: the sum wing is never reduced mid-transform.
+// Worst-case magnitude after the 8 doubling layers is 256·q =
+// 2,145,386,752, which still fits int32, and the Montgomery inputs
+// zeta·(sum difference) stay below q·2^31. The 256^-1 scaling is folded
+// into one Montgomery multiply per coefficient.
+func (p *poly) invNTT() {
+	k := 255
+	for l := 1; l <= 128; l <<= 1 {
+		for start := 0; start < N; start += 2 * l {
+			zeta := int64(zetasMont[k])
+			k--
+			for j := start; j < start+l; j++ {
+				t := p[j]
+				p[j] = t + p[j+l]
+				p[j+l] = montReduce(zeta * int64(p[j+l]-t))
+			}
+		}
+	}
+	const fMont = int64(inv256) << 32 % Q
+	for i := range p {
+		p[i] = freduce(montReduce(fMont * int64(p[i])))
 	}
 }
 

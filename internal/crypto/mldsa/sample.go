@@ -23,8 +23,10 @@ type shakeExpander struct{}
 func shakeStream(newXOF func() sha3.XOF, seed []byte, nonce uint16) io.Reader {
 	x := newXOF()
 	x.Write(seed)
-	x.Write([]byte{byte(nonce), byte(nonce >> 8)})
-	return xofReader{x}
+	var n [2]byte
+	n[0], n[1] = byte(nonce), byte(nonce>>8)
+	x.Write(n[:])
+	return x
 }
 
 func (shakeExpander) Stream128(seed []byte, nonce uint16) io.Reader {
@@ -35,9 +37,9 @@ func (shakeExpander) Stream256(seed []byte, nonce uint16) io.Reader {
 	return shakeStream(sha3.NewShake256, seed, nonce)
 }
 
-type xofReader struct{ x sha3.XOF }
-
-func (r xofReader) Read(p []byte) (int, error) { return r.x.Read(p) }
+// putStream hands a finished expansion stream back to the sha3 state pool
+// (a no-op for the AES-CTR streams of the *_aes variants).
+func putStream(r io.Reader) { sha3.PutXOF(r) }
 
 type aesExpander struct{}
 
@@ -120,13 +122,17 @@ func sampleEta(p *poly, r io.Reader, eta int32) {
 }
 
 // sampleMask draws coefficients uniform in (-gamma1, gamma1] packed in
-// gamma1Bits bits each.
+// gamma1Bits bits each. The read buffer lives on the stack (640 bytes
+// covers the widest packing, gamma1Bits = 20): this runs once per mask
+// coefficient vector inside the signing rejection loop, so it must not
+// allocate.
 func sampleMask(p *poly, r io.Reader, gamma1 int32, gamma1Bits uint) {
-	buf := make([]byte, N*int(gamma1Bits)/8)
-	if _, err := io.ReadFull(r, buf); err != nil {
+	var buf [N * 20 / 8]byte
+	b := buf[:N*int(gamma1Bits)/8]
+	if _, err := io.ReadFull(r, b); err != nil {
 		panic("mldsa: stream read: " + err.Error())
 	}
-	unpackBits(p, buf, gamma1Bits, func(t uint32) int32 {
+	unpackBits(p, b, gamma1Bits, func(t uint32) int32 {
 		return freduce(gamma1 - int32(t) + Q)
 	})
 }
@@ -134,6 +140,7 @@ func sampleMask(p *poly, r io.Reader, gamma1 int32, gamma1Bits uint) {
 // sampleInBall derives the sparse ternary challenge polynomial from seed.
 func sampleInBall(seed []byte, tau int) poly {
 	x := sha3.NewShake256()
+	defer sha3.PutXOF(x)
 	x.Write(seed)
 	var signBuf [8]byte
 	x.Read(signBuf[:])
@@ -162,23 +169,27 @@ func sampleInBall(seed []byte, tau int) poly {
 	return c
 }
 
-// packBits serializes f(coeff) (width bits each) into a byte slice.
-func packBits(p *poly, width uint, f func(int32) uint32) []byte {
-	out := make([]byte, N*int(width)/8)
+// packBitsInto serializes f(coeff) (width bits each), appending to dst.
+// Appending into a pre-sized buffer keeps the hot packing paths (w1 inside
+// the signing loop, signature assembly) allocation-free.
+func packBitsInto(dst []byte, p *poly, width uint, f func(int32) uint32) []byte {
 	var acc uint64
 	var bits uint
-	j := 0
 	for _, x := range p {
 		acc |= uint64(f(x)&(1<<width-1)) << bits
 		bits += width
 		for bits >= 8 {
-			out[j] = byte(acc)
+			dst = append(dst, byte(acc))
 			acc >>= 8
 			bits -= 8
-			j++
 		}
 	}
-	return out
+	return dst
+}
+
+// packBits serializes f(coeff) (width bits each) into a fresh byte slice.
+func packBits(p *poly, width uint, f func(int32) uint32) []byte {
+	return packBitsInto(make([]byte, 0, N*int(width)/8), p, width, f)
 }
 
 // unpackBits reads width-bit groups and stores f(group) as coefficients.

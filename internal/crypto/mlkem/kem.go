@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Params describes one Kyber parameter set.
@@ -17,7 +18,40 @@ type Params struct {
 	Du   uint // ciphertext compression (vector part)
 	Dv   uint // ciphertext compression (scalar part)
 	sym  symmetric
+
+	// work recycles the per-operation polynomial buffers (the k×k matrix
+	// plus four length-k vectors) across keygen/encaps/decaps calls; the
+	// parameter sets are package singletons, so each set keeps its own
+	// correctly-sized pool.
+	work sync.Pool
 }
+
+// kemWork is the scratch space of one KEM operation. Accumulator vectors
+// must be zeroed by the user before accumulation (the pool hands back
+// dirty buffers).
+type kemWork struct {
+	mat  []poly // k×k matrix A (or A^T)
+	vec1 []poly // s / r
+	vec2 []poly // e / e1
+	vec3 []poly // t / u
+	vec4 []poly // unpacked public vector t in pkeEncrypt
+}
+
+func (p *Params) getWork() *kemWork {
+	w, _ := p.work.Get().(*kemWork)
+	if w == nil {
+		w = &kemWork{
+			mat:  make([]poly, p.K*p.K),
+			vec1: make([]poly, p.K),
+			vec2: make([]poly, p.K),
+			vec3: make([]poly, p.K),
+			vec4: make([]poly, p.K),
+		}
+	}
+	return w
+}
+
+func (p *Params) putWork(w *kemWork) { p.work.Put(w) }
 
 // The six parameter sets benchmarked by the paper.
 var (
@@ -59,23 +93,27 @@ func (p *Params) deriveKey(seed [64]byte) (pk, sk []byte) {
 	g := p.sym.G(seed[:32])
 	rho, sigma := g[:32], g[32:]
 
-	a := p.expandMatrix(rho, false)
-	s := make([]poly, p.K)
-	e := make([]poly, p.K)
+	w := p.getWork()
+	defer p.putWork(w)
+	a, s, e, t := w.mat, w.vec1, w.vec2, w.vec3
+	p.expandMatrix(a, rho, false)
+	var prfBuf [64 * 3]byte // 64·eta bytes, eta <= 3
 	nonce := byte(0)
 	for i := range s {
-		sampleCBD(&s[i], p.sym.PRF(sigma, nonce, 64*p.Eta1), p.Eta1)
+		p.sym.PRF(prfBuf[:64*p.Eta1], sigma, nonce)
+		sampleCBD(&s[i], prfBuf[:64*p.Eta1], p.Eta1)
 		nonce++
 		s[i].ntt()
 	}
 	for i := range e {
-		sampleCBD(&e[i], p.sym.PRF(sigma, nonce, 64*p.Eta1), p.Eta1)
+		p.sym.PRF(prfBuf[:64*p.Eta1], sigma, nonce)
+		sampleCBD(&e[i], prfBuf[:64*p.Eta1], p.Eta1)
 		nonce++
 		e[i].ntt()
 	}
 	// t = A*s + e (all in the NTT domain).
-	t := make([]poly, p.K)
 	for i := 0; i < p.K; i++ {
+		t[i] = poly{}
 		for j := 0; j < p.K; j++ {
 			basemulAcc(&t[i], &a[i*p.K+j], &s[j])
 		}
@@ -103,19 +141,20 @@ func (p *Params) deriveKey(seed [64]byte) (pk, sk []byte) {
 	return pk, sk
 }
 
-// expandMatrix derives the k×k matrix A (or its transpose) from rho.
-func (p *Params) expandMatrix(rho []byte, transpose bool) []poly {
-	a := make([]poly, p.K*p.K)
+// expandMatrix derives the k×k matrix A (or its transpose) from rho into
+// the caller-provided buffer of k² polynomials.
+func (p *Params) expandMatrix(a []poly, rho []byte, transpose bool) {
 	for i := 0; i < p.K; i++ {
 		for j := 0; j < p.K; j++ {
 			x, y := byte(j), byte(i) // A[i][j] uses XOF(rho, j, i)
 			if transpose {
 				x, y = y, x
 			}
-			sampleUniform(&a[i*p.K+j], p.sym.XOF(rho, x, y))
+			xof := p.sym.XOF(rho, x, y)
+			sampleUniform(&a[i*p.K+j], xof)
+			putXOF(xof)
 		}
 	}
-	return a
 }
 
 // Encapsulate generates a shared secret and its encapsulation against pk.
@@ -173,31 +212,35 @@ func (p *Params) Decapsulate(sk, ct []byte) ([]byte, error) {
 
 // pkeEncrypt is the inner IND-CPA encryption K-PKE.Encrypt(pk, m; r).
 func (p *Params) pkeEncrypt(pk, m, coins []byte) []byte {
-	t := make([]poly, p.K)
-	for i := range t {
-		t[i].unpack(12, pk[384*i:384*(i+1)])
+	w := p.getWork()
+	defer p.putWork(w)
+	at, rv, e1, u, tv := w.mat, w.vec1, w.vec2, w.vec3, w.vec4
+	for i := 0; i < p.K; i++ {
+		tv[i].unpack(12, pk[384*i:384*(i+1)])
 	}
 	rho := pk[384*p.K:]
-	at := p.expandMatrix(rho, true)
+	p.expandMatrix(at, rho, true)
 
-	rv := make([]poly, p.K)
-	e1 := make([]poly, p.K)
 	var e2 poly
+	var prfBuf [64 * 3]byte
 	nonce := byte(0)
 	for i := range rv {
-		sampleCBD(&rv[i], p.sym.PRF(coins, nonce, 64*p.Eta1), p.Eta1)
+		p.sym.PRF(prfBuf[:64*p.Eta1], coins, nonce)
+		sampleCBD(&rv[i], prfBuf[:64*p.Eta1], p.Eta1)
 		nonce++
 		rv[i].ntt()
 	}
 	for i := range e1 {
-		sampleCBD(&e1[i], p.sym.PRF(coins, nonce, 64*p.Eta2), p.Eta2)
+		p.sym.PRF(prfBuf[:64*p.Eta2], coins, nonce)
+		sampleCBD(&e1[i], prfBuf[:64*p.Eta2], p.Eta2)
 		nonce++
 	}
-	sampleCBD(&e2, p.sym.PRF(coins, nonce, 64*p.Eta2), p.Eta2)
+	p.sym.PRF(prfBuf[:64*p.Eta2], coins, nonce)
+	sampleCBD(&e2, prfBuf[:64*p.Eta2], p.Eta2)
 
 	// u = invNTT(A^T * r) + e1
-	u := make([]poly, p.K)
 	for i := 0; i < p.K; i++ {
+		u[i] = poly{}
 		for j := 0; j < p.K; j++ {
 			basemulAcc(&u[i], &at[i*p.K+j], &rv[j])
 		}
@@ -207,7 +250,7 @@ func (p *Params) pkeEncrypt(pk, m, coins []byte) []byte {
 	// v = invNTT(t^T * r) + e2 + Decompress1(m)
 	var v, mu poly
 	for j := 0; j < p.K; j++ {
-		basemulAcc(&v, &t[j], &rv[j])
+		basemulAcc(&v, &tv[j], &rv[j])
 	}
 	v.invNTT()
 	v.add(&e2)
@@ -215,21 +258,22 @@ func (p *Params) pkeEncrypt(pk, m, coins []byte) []byte {
 	v.add(&mu)
 
 	ct := make([]byte, 0, p.CiphertextSize())
+	var packBuf [32 * 11]byte // 32·du bytes, du <= 11
 	for i := range u {
 		u[i].compress(p.Du)
-		buf := make([]byte, 32*p.Du)
-		u[i].pack(p.Du, buf)
-		ct = append(ct, buf...)
+		u[i].pack(p.Du, packBuf[:32*p.Du])
+		ct = append(ct, packBuf[:32*p.Du]...)
 	}
 	v.compress(p.Dv)
-	buf := make([]byte, 32*p.Dv)
-	v.pack(p.Dv, buf)
-	return append(ct, buf...)
+	v.pack(p.Dv, packBuf[:32*p.Dv])
+	return append(ct, packBuf[:32*p.Dv]...)
 }
 
 // pkeDecrypt is the inner IND-CPA decryption K-PKE.Decrypt(sk, ct).
 func (p *Params) pkeDecrypt(skPKE, ct []byte) []byte {
-	u := make([]poly, p.K)
+	wk := p.getWork()
+	defer p.putWork(wk)
+	u, s := wk.vec1, wk.vec2
 	for i := range u {
 		u[i].unpack(p.Du, ct[32*int(p.Du)*i:32*int(p.Du)*(i+1)])
 		u[i].decompress(p.Du)
@@ -239,7 +283,6 @@ func (p *Params) pkeDecrypt(skPKE, ct []byte) []byte {
 	v.unpack(p.Dv, ct[32*int(p.Du)*p.K:])
 	v.decompress(p.Dv)
 
-	s := make([]poly, p.K)
 	for i := range s {
 		s[i].unpack(12, skPKE[384*i:384*(i+1)])
 	}

@@ -251,7 +251,7 @@ func TestQuickEncapsRoundtrip(t *testing.T) {
 }
 
 // Sanity-check the zeta tables: 17 must be a primitive 256th root of unity
-// and zetasInv must be the coefficient-wise inverse.
+// and zetasMont must be the Montgomery-scaled copy of zetas.
 func TestZetaTables(t *testing.T) {
 	t.Parallel()
 	pow := new(big.Int).Exp(big.NewInt(17), big.NewInt(128), big.NewInt(Q))
@@ -259,8 +259,12 @@ func TestZetaTables(t *testing.T) {
 		t.Fatalf("17^128 mod q = %v, want q-1", pow)
 	}
 	for i := range zetas {
-		if fqmul(zetas[i], zetasInv[i]) != 1 {
-			t.Fatalf("zetasInv[%d] is not the inverse of zetas[%d]", i, i)
+		if freduce(zetasMont[i]) != fqmul(zetas[i], montR) {
+			t.Fatalf("zetasMont[%d] != zetas[%d]*2^16 mod q", i, i)
+		}
+		// montReduce must undo the radix: montReduce(x*zetasMont) == x*zetas.
+		if freduce(montReduce(int32(zetasMont[i])*7)) != fqmul(zetas[i], 7) {
+			t.Fatalf("montReduce round-trip failed for zeta %d", i)
 		}
 	}
 }
@@ -337,5 +341,20 @@ func TestVariantsDiffer(t *testing.T) {
 	pkB, _ := Kyber90s512.deriveKey(seed)
 	if bytes.Equal(pkA, pkB) {
 		t.Error("kyber512 and kyber90s512 derived identical keys from one seed")
+	}
+}
+
+// The NTT round-trip is the innermost arithmetic loop of every lattice
+// operation and must stay allocation-free.
+func TestNTTZeroAlloc(t *testing.T) {
+	var p poly
+	for i := range p {
+		p[i] = int16(i % Q)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		p.ntt()
+		p.invNTT()
+	}); n != 0 {
+		t.Errorf("NTT round-trip allocates %v times, want 0", n)
 	}
 }

@@ -18,11 +18,20 @@ const (
 type poly [N]int16
 
 // zetas[i] = 17^bitrev7(i) mod q; 17 is a principal 256th root of unity.
-// zetasInv[i] is the modular inverse of zetas[i], used by the
-// Gentleman-Sande butterflies of the inverse transform.
+// zetasMont[i] holds the same root scaled by the Montgomery radix
+// (zetas[i]·2^16 mod q), so montReduce(x·zetasMont[i]) = x·zetas[i] mod q
+// keeps butterfly values in the plain domain with one cheap reduction.
 var (
-	zetas    [128]int16
-	zetasInv [128]int16
+	zetas     [128]int16
+	zetasMont [128]int16
+)
+
+const (
+	// qInvNeg is q^-1 mod 2^16 as a wrapped int16 (62209 - 65536): the
+	// low-half multiplier of Montgomery reduction.
+	qInvNeg int16 = 62209 - 65536
+	// montR is 2^16 mod q, the Montgomery radix residue.
+	montR = (1 << 16) % Q
 )
 
 func init() {
@@ -42,8 +51,30 @@ func init() {
 			br |= (i >> b & 1) << (6 - b)
 		}
 		zetas[i] = int16(pow(17, br))
-		zetasInv[i] = int16(pow(int(zetas[i]), Q-2))
+		zetasMont[i] = int16(int(zetas[i]) * montR % Q)
 	}
+}
+
+// montReduce maps a ∈ (-q·2^15, q·2^15) to a·2^-16 mod q in (-q, q).
+func montReduce(a int32) int16 {
+	u := int16(a) * qInvNeg
+	return int16((a - int32(u)*Q) >> 16)
+}
+
+// barrettReduce maps any int16 to the centered representative of a mod q
+// in [-(q-1)/2, (q-1)/2].
+func barrettReduce(a int16) int16 {
+	const v = ((1 << 26) + Q/2) / Q
+	t := int16((int32(v)*int32(a) + (1 << 25)) >> 26)
+	return a - t*Q
+}
+
+// normalize maps a lazily-reduced coefficient to its canonical
+// representative in [0, q).
+func normalize(a int16) int16 {
+	a = barrettReduce(a)
+	a += (a >> 15) & Q
+	return a
 }
 
 // fqmul multiplies two residues and reduces mod q.
@@ -61,59 +92,85 @@ func freduce(a int16) int16 {
 }
 
 // ntt transforms p in place into the (incomplete, 7-layer) NTT domain.
+//
+// Reductions are lazy, as in the Kyber reference implementation: only the
+// multiplied wing of each butterfly is reduced (Montgomery, via the
+// radix-scaled zeta table), so magnitudes grow by at most q per layer and
+// stay below 8q < 2^15 across the 7 layers. One Barrett pass at the end
+// restores the canonical [0, q) representation the serializers and the
+// base multiplication expect, keeping all outputs byte-identical to the
+// eager form.
 func (p *poly) ntt() {
 	k := 1
 	for l := 128; l >= 2; l >>= 1 {
 		for start := 0; start < N; start += 2 * l {
-			zeta := zetas[k]
+			zeta := int32(zetasMont[k])
 			k++
 			for j := start; j < start+l; j++ {
-				t := fqmul(zeta, p[j+l])
-				p[j+l] = freduce(p[j] - t)
-				p[j] = freduce(p[j] + t)
-			}
-		}
-	}
-}
-
-// invNTT transforms p in place back into the coefficient domain.
-func (p *poly) invNTT() {
-	// Gentleman-Sande butterflies. Walking the forward zeta table backwards
-	// while negating the difference term works because of the reflection
-	// identity -zetas[127-m] = zetas[64+m]^-1 (17^128 = -1 mod q), exactly
-	// as in the Kyber reference implementation.
-	k := 127
-	for l := 2; l <= 128; l <<= 1 {
-		for start := 0; start < N; start += 2 * l {
-			zeta := zetas[k]
-			k--
-			for j := start; j < start+l; j++ {
-				t := p[j]
-				p[j] = freduce(t + p[j+l])
-				p[j+l] = fqmul(zeta, freduce(p[j+l]-t+Q))
+				t := montReduce(zeta * int32(p[j+l]))
+				p[j+l] = p[j] - t
+				p[j] += t
 			}
 		}
 	}
 	for i := range p {
-		p[i] = freduce(fqmul(p[i], qInv128))
+		p[i] = normalize(p[i])
+	}
+}
+
+// invNTT transforms p in place back into the coefficient domain.
+//
+// Gentleman-Sande butterflies. Walking the forward zeta table backwards
+// while negating the difference term works because of the reflection
+// identity -zetas[127-m] = zetas[64+m]^-1 (17^128 = -1 mod q), exactly
+// as in the Kyber reference implementation. The sum wing is kept bounded
+// with a Barrett reduction; the difference wing tolerates the lazy range
+// because Montgomery reduction accepts any |a| < q·2^15.
+func (p *poly) invNTT() {
+	k := 127
+	for l := 2; l <= 128; l <<= 1 {
+		for start := 0; start < N; start += 2 * l {
+			zeta := int32(zetasMont[k])
+			k--
+			for j := start; j < start+l; j++ {
+				t := p[j]
+				p[j] = barrettReduce(t + p[j+l])
+				p[j+l] = montReduce(zeta * int32(p[j+l]-t))
+			}
+		}
+	}
+	// Fold the 128^-1 scaling into one Montgomery multiply per
+	// coefficient (the radix in fMont cancels the 2^-16 of montReduce),
+	// then normalize to [0, q).
+	const fMont = qInv128 * montR % Q
+	for i := range p {
+		p[i] = normalize(montReduce(fMont * int32(p[i])))
 	}
 }
 
 // basemulAcc accumulates a*b (NTT domain, pairwise products modulo
-// X^2 - zeta) into r.
+// X^2 - zeta) into r. Both wings of each degree-2 base multiplication are
+// fused into one pass over fixed-size chunks, which lets the compiler
+// drop the bounds checks in the inner products.
 func basemulAcc(r, a, b *poly) {
 	for i := 0; i < 64; i++ {
 		z := int32(zetas[64+i])
-		mul := func(off int, zeta int32) {
-			a0, a1 := int32(a[off]), int32(a[off+1])
-			b0, b1 := int32(b[off]), int32(b[off+1])
-			c0 := (a0*b0 + a1*b1%Q*zeta) % Q
-			c1 := (a0*b1 + a1*b0) % Q
-			r[off] = freduce(r[off] + int16(c0))
-			r[off+1] = freduce(r[off+1] + int16(c1))
-		}
-		mul(4*i, z)
-		mul(4*i+2, Q-z)
+		ra := r[4*i : 4*i+4 : 4*i+4]
+		aa := a[4*i : 4*i+4 : 4*i+4]
+		bb := b[4*i : 4*i+4 : 4*i+4]
+
+		a0, a1, a2, a3 := int32(aa[0]), int32(aa[1]), int32(aa[2]), int32(aa[3])
+		b0, b1, b2, b3 := int32(bb[0]), int32(bb[1]), int32(bb[2]), int32(bb[3])
+
+		c0 := (a0*b0 + a1*b1%Q*z) % Q
+		c1 := (a0*b1 + a1*b0) % Q
+		c2 := (a2*b2 + a3*b3%Q*(Q-z)) % Q
+		c3 := (a2*b3 + a3*b2) % Q
+
+		ra[0] = freduce(ra[0] + int16(c0))
+		ra[1] = freduce(ra[1] + int16(c1))
+		ra[2] = freduce(ra[2] + int16(c2))
+		ra[3] = freduce(ra[3] + int16(c3))
 	}
 }
 

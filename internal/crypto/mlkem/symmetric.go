@@ -15,10 +15,12 @@ import (
 // sets the paper benchmarks as kyber90s*.
 type symmetric interface {
 	// XOF returns the stream used to expand the matrix A from seed rho at
-	// position (i, j).
+	// position (i, j). Release the stream with putXOF when done so pooled
+	// sponge states can be recycled.
 	XOF(rho []byte, i, j byte) io.Reader
-	// PRF expands (sigma, nonce) into l bytes of noise-sampling randomness.
-	PRF(sigma []byte, nonce byte, l int) []byte
+	// PRF expands (sigma, nonce) into len(dst) bytes of noise-sampling
+	// randomness, writing into dst without allocating.
+	PRF(dst []byte, sigma []byte, nonce byte)
 	// H is the 32-byte hash (SHA3-256 / SHA-256).
 	H(data []byte) [32]byte
 	// G is the 64-byte hash (SHA3-512 / SHA-512).
@@ -27,29 +29,37 @@ type symmetric interface {
 	KDF(data ...[]byte) [32]byte
 }
 
+// putXOF hands a finished XOF stream back to the sha3 state pool (a no-op
+// for the AES-CTR streams of the 90s variants).
+func putXOF(r io.Reader) { sha3.PutXOF(r) }
+
 // shakeSymmetric is the standard (round-3) Kyber instantiation.
 type shakeSymmetric struct{}
 
 func (shakeSymmetric) XOF(rho []byte, i, j byte) io.Reader {
 	x := sha3.NewShake128()
 	x.Write(rho)
-	x.Write([]byte{i, j})
-	return readerFunc(x.Read)
+	var pos [2]byte
+	pos[0], pos[1] = i, j
+	x.Write(pos[:])
+	return x
 }
 
-func (shakeSymmetric) PRF(sigma []byte, nonce byte, l int) []byte {
-	return sha3.ShakeSum256(l, sigma, []byte{nonce})
+func (shakeSymmetric) PRF(dst []byte, sigma []byte, nonce byte) {
+	var n [1]byte
+	n[0] = nonce
+	sha3.ShakeSum256Into(dst, sigma, n[:])
 }
 
 func (shakeSymmetric) H(data []byte) [32]byte { return sha3.Sum256(data) }
 
 func (shakeSymmetric) G(data ...[]byte) [64]byte {
-	return sha3.Sum512(concat(data...))
+	return sha3.Sum512(data...)
 }
 
 func (shakeSymmetric) KDF(data ...[]byte) [32]byte {
 	var out [32]byte
-	copy(out[:], sha3.ShakeSum256(32, concat(data...)))
+	sha3.ShakeSum256Into(out[:], data...)
 	return out
 }
 
@@ -77,12 +87,13 @@ func (aesSymmetric) XOF(rho []byte, i, j byte) io.Reader {
 	})
 }
 
-func (aesSymmetric) PRF(sigma []byte, nonce byte, l int) []byte {
+func (aesSymmetric) PRF(dst []byte, sigma []byte, nonce byte) {
 	var iv [16]byte
 	iv[0] = nonce
-	out := make([]byte, l)
-	aesCTR(sigma, iv).XORKeyStream(out, out)
-	return out
+	for i := range dst {
+		dst[i] = 0
+	}
+	aesCTR(sigma, iv).XORKeyStream(dst, dst)
 }
 
 func (aesSymmetric) H(data []byte) [32]byte { return sha256.Sum256(data) }
@@ -99,6 +110,8 @@ type readerFunc func(p []byte) (int, error)
 
 func (f readerFunc) Read(p []byte) (int, error) { return f(p) }
 
+// concat is used only by the SHA-2 hashes of the 90s variants, whose
+// stdlib one-shot APIs take a single slice.
 func concat(data ...[]byte) []byte {
 	n := 0
 	for _, d := range data {

@@ -7,7 +7,10 @@
 // sponge lives here as a shared substrate.
 package sha3
 
-import "math/bits"
+import (
+	"math/bits"
+	"sync"
+)
 
 // roundConstants are the 24 iota-step constants of Keccak-f[1600].
 var roundConstants = [24]uint64{
@@ -82,8 +85,18 @@ type state struct {
 	squeezing bool
 }
 
+// statePool recycles sponge states across calls. A state is ~420 bytes and
+// every hash/XOF invocation in the lattice and hash-based schemes needs
+// one, so the pool removes the dominant allocation of the Keccak paths
+// (the rate/dsbyte fields are re-stamped on Get, making one pool safe for
+// all SHA-3 and SHAKE variants).
+var statePool = sync.Pool{New: func() any { return new(state) }}
+
 func newState(rate int, dsbyte byte) *state {
-	return &state{rate: rate, dsbyte: dsbyte}
+	s := statePool.Get().(*state)
+	s.rate, s.dsbyte = rate, dsbyte
+	s.Reset()
+	return s
 }
 
 // Write absorbs p into the sponge. It panics if called after reading output,
@@ -94,6 +107,16 @@ func (s *state) Write(p []byte) (int, error) {
 	}
 	n := len(p)
 	for len(p) > 0 {
+		// Full-block fast path: absorb straight from p, skipping the
+		// staging copy through buf.
+		if s.n == 0 && len(p) >= s.rate {
+			for i := 0; i < s.rate/8; i++ {
+				s.a[i] ^= le64(p[8*i:])
+			}
+			keccakF1600Unrolled(&s.a)
+			p = p[s.rate:]
+			continue
+		}
 		c := copy(s.buf[s.n:s.rate], p)
 		s.n += c
 		p = p[c:]
@@ -179,52 +202,68 @@ type XOF interface {
 	Reset()
 }
 
-// NewShake128 returns a SHAKE128 XOF (rate 168, domain 0x1F).
+// NewShake128 returns a SHAKE128 XOF (rate 168, domain 0x1F). The state
+// comes from an internal pool; hand it back with PutXOF when finished to
+// make the next NewShake* call allocation-free.
 func NewShake128() XOF { return newState(168, 0x1F) }
 
-// NewShake256 returns a SHAKE256 XOF (rate 136, domain 0x1F).
+// NewShake256 returns a SHAKE256 XOF (rate 136, domain 0x1F). See
+// NewShake128 for the pooling contract.
 func NewShake256() XOF { return newState(136, 0x1F) }
 
-func digest(rate int, ds byte, size int, data []byte) []byte {
+// PutXOF returns an XOF obtained from NewShake128/NewShake256 to the state
+// pool. It accepts any value so call sites that only hold an io.Reader can
+// release their stream without a type switch; values of other types are
+// ignored. The XOF must not be used after PutXOF.
+func PutXOF(x any) {
+	if s, ok := x.(*state); ok {
+		statePool.Put(s)
+	}
+}
+
+// sumInto absorbs the concatenation of data and squeezes len(dst) bytes,
+// using a pooled state so the whole operation is allocation-free.
+func sumInto(rate int, ds byte, dst []byte, data ...[]byte) {
 	s := newState(rate, ds)
-	s.Write(data)
-	out := make([]byte, size)
-	s.Read(out)
-	return out
-}
-
-// Sum256 computes SHA3-256(data).
-func Sum256(data []byte) [32]byte {
-	var out [32]byte
-	copy(out[:], digest(136, 0x06, 32, data))
-	return out
-}
-
-// Sum512 computes SHA3-512(data).
-func Sum512(data []byte) [64]byte {
-	var out [64]byte
-	copy(out[:], digest(72, 0x06, 64, data))
-	return out
-}
-
-// ShakeSum128 squeezes size bytes of SHAKE128 over the concatenation of data.
-func ShakeSum128(size int, data ...[]byte) []byte {
-	s := NewShake128()
 	for _, d := range data {
 		s.Write(d)
 	}
+	s.Read(dst)
+	statePool.Put(s)
+}
+
+// Sum256 computes SHA3-256 over the concatenation of data.
+func Sum256(data ...[]byte) [32]byte {
+	var out [32]byte
+	sumInto(136, 0x06, out[:], data...)
+	return out
+}
+
+// Sum512 computes SHA3-512 over the concatenation of data.
+func Sum512(data ...[]byte) [64]byte {
+	var out [64]byte
+	sumInto(72, 0x06, out[:], data...)
+	return out
+}
+
+// ShakeSum128Into squeezes len(dst) bytes of SHAKE128 over the
+// concatenation of data into dst without allocating.
+func ShakeSum128Into(dst []byte, data ...[]byte) { sumInto(168, 0x1F, dst, data...) }
+
+// ShakeSum256Into squeezes len(dst) bytes of SHAKE256 over the
+// concatenation of data into dst without allocating.
+func ShakeSum256Into(dst []byte, data ...[]byte) { sumInto(136, 0x1F, dst, data...) }
+
+// ShakeSum128 squeezes size bytes of SHAKE128 over the concatenation of data.
+func ShakeSum128(size int, data ...[]byte) []byte {
 	out := make([]byte, size)
-	s.Read(out)
+	ShakeSum128Into(out, data...)
 	return out
 }
 
 // ShakeSum256 squeezes size bytes of SHAKE256 over the concatenation of data.
 func ShakeSum256(size int, data ...[]byte) []byte {
-	s := NewShake256()
-	for _, d := range data {
-		s.Write(d)
-	}
 	out := make([]byte, size)
-	s.Read(out)
+	ShakeSum256Into(out, data...)
 	return out
 }

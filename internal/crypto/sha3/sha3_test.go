@@ -197,3 +197,28 @@ func BenchmarkKeccakF1600Unrolled(b *testing.B) {
 		keccakF1600Unrolled(&a)
 	}
 }
+
+// The one-shot helpers must not allocate in steady state: every PQ kernel
+// leans on them inside its hot sampling and hashing loops.
+func TestSumZeroAlloc(t *testing.T) {
+	msg := make([]byte, 1024)
+	var out32 [32]byte
+	var out64 [64]byte
+	xof := make([]byte, 64)
+	// Warm the state pool.
+	out32 = Sum256(msg)
+	ShakeSum256Into(xof, msg)
+	if n := testing.AllocsPerRun(100, func() { out32 = Sum256(msg) }); n != 0 {
+		t.Errorf("Sum256 allocates %v times per call, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { out64 = Sum512(msg) }); n != 0 {
+		t.Errorf("Sum512 allocates %v times per call, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { ShakeSum128Into(xof, msg) }); n != 0 {
+		t.Errorf("ShakeSum128Into allocates %v times per call, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { ShakeSum256Into(xof, msg) }); n != 0 {
+		t.Errorf("ShakeSum256Into allocates %v times per call, want 0", n)
+	}
+	_, _ = out32, out64
+}

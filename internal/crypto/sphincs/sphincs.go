@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Params describes one SPHINCS+ parameter set.
@@ -46,6 +47,9 @@ var (
 )
 
 const wotsW = 16
+
+// maxWotsLen bounds wotsLen over all parameter sets (2·32 + 3).
+const maxWotsLen = 67
 
 func (p *Params) len1() int    { return 2 * p.N }
 func (p *Params) len2() int    { return 3 }
@@ -101,26 +105,72 @@ func (a *address) compressed() [22]byte {
 	return c
 }
 
-// thash is the "simple" tweakable hash: SHA-256(PK.seed || ADRSc || M)[:n].
-func (p *Params) thash(pkSeed []byte, adrs *address, msg ...[]byte) []byte {
-	h := sha256.New()
-	h.Write(pkSeed)
-	c := adrs.compressed()
-	h.Write(c[:])
-	for _, m := range msg {
-		h.Write(m)
-	}
-	return h.Sum(nil)[:p.N]
+// hctx carries the scratch buffers of a top-level SPHINCS+ operation
+// through the recursive tree walks. A fast
+// signature evaluates the tweakable hash ~10^5 times; without this every
+// call would allocate a fresh digest state and output slice, and the
+// allocator dominates the profile (the seed implementation spent ~105k
+// allocations per sphincs128 signature on exactly that).
+type hctx struct {
+	p     *Params
+	in    []byte // staging buffer for hash inputs (see thashInto)
+	prfIn []byte // second staging buffer for PRF inputs inside chain loops
+	wots  []byte // wotsLen·n chain-output scratch for PK compression
+	roots []byte // k·n FORS root scratch
 }
 
-// prf derives secret chain/leaf values: SHA-256(PK.seed || ADRSc || SK.seed).
-func (p *Params) prf(pkSeed, skSeed []byte, adrs *address) []byte {
-	h := sha256.New()
-	h.Write(pkSeed)
-	c := adrs.compressed()
-	h.Write(c[:])
-	h.Write(skSeed)
-	return h.Sum(nil)[:p.N]
+var hctxPool sync.Pool
+
+func (p *Params) getCtx() *hctx {
+	c, _ := hctxPool.Get().(*hctx)
+	if c == nil {
+		c = &hctx{in: make([]byte, 0, 2048), prfIn: make([]byte, 0, 128)}
+	}
+	c.p = p
+	if cap(c.wots) < p.wotsLen()*p.N {
+		c.wots = make([]byte, p.wotsLen()*p.N)
+	}
+	c.wots = c.wots[:p.wotsLen()*p.N]
+	if cap(c.roots) < p.K*p.N {
+		c.roots = make([]byte, p.K*p.N)
+	}
+	c.roots = c.roots[:p.K*p.N]
+	return c
+}
+
+func putCtx(c *hctx) { hctxPool.Put(c) }
+
+// thashInto writes the "simple" tweakable hash
+// SHA-256(PK.seed || ADRSc || M)[:n] into dst (len n). dst may alias the
+// message inputs: they are fully absorbed before the output is copied out
+// of the context's sum scratch.
+//
+// All input pieces are staged into the context's reusable buffer and
+// hashed with the one-shot sha256.Sum256: feeding them through a hash.Hash
+// interface makes every stack-resident input (the compressed address, tree
+// child nodes, chain secrets) escape to the heap, one allocation per call.
+func (c *hctx) thashInto(dst, pkSeed []byte, adrs *address, msg ...[]byte) {
+	ca := adrs.compressed()
+	b := append(c.in[:0], pkSeed...)
+	b = append(b, ca[:]...)
+	for _, m := range msg {
+		b = append(b, m...)
+	}
+	c.in = b
+	out := sha256.Sum256(b)
+	copy(dst, out[:])
+}
+
+// prfInto writes SHA-256(PK.seed || ADRSc || SK.seed)[:n] into dst. See
+// thashInto for the staging-buffer rationale.
+func (c *hctx) prfInto(dst, pkSeed, skSeed []byte, adrs *address) {
+	ca := adrs.compressed()
+	b := append(c.in[:0], pkSeed...)
+	b = append(b, ca[:]...)
+	b = append(b, skSeed...)
+	c.in = b
+	out := sha256.Sum256(b)
+	copy(dst, out[:])
 }
 
 // prfMsg computes the randomizer R = HMAC-SHA256(SK.prf, optRand || M)[:n].
@@ -161,25 +211,47 @@ func (p *Params) hashMsg(r, pkSeed, pkRoot, msg []byte) (md []byte, treeIdx uint
 
 // mgf1 is the MGF1-SHA256 mask generation function.
 func mgf1(seed []byte, outLen int) []byte {
-	var out []byte
-	var ctr [4]byte
+	out := make([]byte, 0, (outLen+sha256.Size-1)/sha256.Size*sha256.Size)
+	buf := make([]byte, 0, len(seed)+4)
+	buf = append(buf, seed...)
 	for i := uint32(0); len(out) < outLen; i++ {
+		var ctr [4]byte
 		binary.BigEndian.PutUint32(ctr[:], i)
-		h := sha256.Sum256(append(append([]byte{}, seed...), ctr[:]...))
+		h := sha256.Sum256(append(buf, ctr[:]...))
 		out = append(out, h[:]...)
 	}
 	return out[:outLen]
 }
 
-// chain applies the WOTS+ chaining function count times starting at index
-// start.
-func (p *Params) chain(x []byte, start, count int, pkSeed []byte, adrs *address) []byte {
-	out := x
-	for i := start; i < start+count; i++ {
-		adrs.setHash(uint32(i))
-		out = p.thash(pkSeed, adrs, out)
+// chainInto applies the WOTS+ chaining function count times starting at
+// index start, writing the final value into dst (len n). x may alias dst.
+//
+// The staged hash input (PK.seed || ADRSc || value) is assembled once and
+// mutated in place across iterations — only the 4-byte hash-index word of
+// the compressed address and the n-byte chain value change per step. WOTS+
+// chains account for the bulk of all tweakable-hash calls, so skipping the
+// per-step reassembly is worth the specialization.
+func (c *hctx) chainInto(dst, x []byte, start, count int, pkSeed []byte, adrs *address) {
+	if count <= 0 {
+		copy(dst, x)
+		return
 	}
-	return out
+	n := c.p.N
+	b := append(c.in[:0], pkSeed...)
+	caOff := len(b)
+	ca := adrs.compressed()
+	b = append(b, ca[:]...)
+	valOff := len(b)
+	b = append(b, x[:n]...)
+	c.in = b
+	for i := start; i < start+count; i++ {
+		// The hash-index word sits at bytes 18..22 of the compressed address.
+		binary.BigEndian.PutUint32(b[caOff+18:caOff+22], uint32(i))
+		out := sha256.Sum256(b)
+		copy(b[valOff:valOff+n], out[:n])
+	}
+	adrs.setHash(uint32(start + count - 1))
+	copy(dst, b[valOff:valOff+n])
 }
 
 // baseW converts msg into outLen base-16 digits.
@@ -194,106 +266,146 @@ func baseW(msg []byte, outLen int) []int {
 	return out[:outLen]
 }
 
+// wotsDigitsInto fills d (len wotsLen) with the base-16 digits of the
+// n-byte msg followed by the len2 checksum digits, without allocating.
+func (p *Params) wotsDigitsInto(d []int, msg []byte) {
+	csum := 0
+	for i, b := range msg {
+		hi, lo := int(b>>4), int(b&0x0F)
+		d[2*i], d[2*i+1] = hi, lo
+		csum += 2*(wotsW-1) - hi - lo
+	}
+	// Checksum in len2 big-endian base-w digits, left-shifted by 4 so the
+	// top bits align as in the spec (12 bits is enough for all sets).
+	csum <<= 4
+	d[p.len1()] = csum >> 12 & 0x0F
+	d[p.len1()+1] = csum >> 8 & 0x0F
+	d[p.len1()+2] = csum >> 4 & 0x0F
+}
+
 // wotsDigits maps an n-byte message to len digits including the checksum.
 func (p *Params) wotsDigits(msg []byte) []int {
-	digits := baseW(msg, p.len1())
-	csum := 0
-	for _, d := range digits {
-		csum += wotsW - 1 - d
-	}
-	// Checksum in len2 big-endian base-w digits (12 bits is enough for all sets).
-	csum <<= 4 // left-shift so the top bits align as in the spec
-	csBytes := []byte{byte(csum >> 8), byte(csum)}
-	digits = append(digits, baseW(csBytes, p.len2())...)
-	return digits
+	d := make([]int, p.wotsLen())
+	p.wotsDigitsInto(d, msg)
+	return d
 }
 
-// wotsPKFromSig recomputes the WOTS+ public key implied by a signature.
-func (p *Params) wotsPKFromSig(sig, msg, pkSeed []byte, adrs *address) []byte {
-	digits := p.wotsDigits(msg)
-	tmp := make([]byte, 0, p.wotsLen()*p.N)
-	for i, d := range digits {
+// wotsPKFromSigInto recomputes the WOTS+ public key implied by a signature,
+// writing it into dst (len n). dst may alias msg.
+func (c *hctx) wotsPKFromSigInto(dst, sig, msg, pkSeed []byte, adrs *address) {
+	p := c.p
+	var digs [maxWotsLen]int
+	d := digs[:p.wotsLen()]
+	p.wotsDigitsInto(d, msg)
+	tmp := c.wots
+	for i, dd := range d {
 		adrs.setChain(uint32(i))
-		part := p.chain(sig[i*p.N:(i+1)*p.N], d, wotsW-1-d, pkSeed, adrs)
-		tmp = append(tmp, part...)
+		c.chainInto(tmp[i*p.N:(i+1)*p.N], sig[i*p.N:(i+1)*p.N], dd, wotsW-1-dd, pkSeed, adrs)
 	}
 	wotspkADRS := *adrs
 	wotspkADRS.setType(adrsWOTSPK)
 	wotspkADRS.setKeyPair(binary.BigEndian.Uint32(adrs[20:]))
-	return p.thash(pkSeed, &wotspkADRS, tmp)
+	c.thashInto(dst, pkSeed, &wotspkADRS, tmp)
 }
 
-// wotsSign signs an n-byte message, returning len*n bytes.
-func (p *Params) wotsSign(msg, skSeed, pkSeed []byte, adrs *address) []byte {
-	digits := p.wotsDigits(msg)
-	sig := make([]byte, 0, p.wotsLen()*p.N)
-	for i, d := range digits {
-		skADRS := *adrs
-		skADRS.setType(adrsWOTSPRF)
-		skADRS.setKeyPair(binary.BigEndian.Uint32(adrs[20:]))
-		skADRS.setChain(uint32(i))
-		sk := p.prf(pkSeed, skSeed, &skADRS)
+// stagePRF assembles the WOTS chain-secret PRF input
+// (PK.seed || ADRSc || SK.seed) for chain index 0 into the dedicated PRF
+// staging buffer and returns it along with the offset of the 4-byte chain
+// word, so per-chain loops can update just that word instead of
+// re-staging the whole input.
+func (c *hctx) stagePRF(pkSeed, skSeed []byte, adrs *address) (b []byte, chainOff int) {
+	skADRS := *adrs
+	skADRS.setType(adrsWOTSPRF)
+	skADRS.setKeyPair(binary.BigEndian.Uint32(adrs[20:]))
+	b = append(c.prfIn[:0], pkSeed...)
+	caOff := len(b)
+	ca := skADRS.compressed()
+	b = append(b, ca[:]...)
+	b = append(b, skSeed...)
+	c.prfIn = b
+	// The chain word sits at bytes 14..18 of the compressed address.
+	return b, caOff + 14
+}
+
+// wotsSignInto signs an n-byte message into dst (len wotsLen·n).
+func (c *hctx) wotsSignInto(dst, msg, skSeed, pkSeed []byte, adrs *address) {
+	p := c.p
+	var digs [maxWotsLen]int
+	d := digs[:p.wotsLen()]
+	p.wotsDigitsInto(d, msg)
+	pb, chainOff := c.stagePRF(pkSeed, skSeed, adrs)
+	for i, dd := range d {
+		binary.BigEndian.PutUint32(pb[chainOff:chainOff+4], uint32(i))
+		sk := sha256.Sum256(pb)
 		adrs.setChain(uint32(i))
-		sig = append(sig, p.chain(sk, 0, d, pkSeed, adrs)...)
+		c.chainInto(dst[i*p.N:(i+1)*p.N], sk[:p.N], 0, dd, pkSeed, adrs)
 	}
-	return sig
 }
 
-// wotsPKGen computes a WOTS+ public key (the compressed root value).
-func (p *Params) wotsPKGen(skSeed, pkSeed []byte, adrs *address) []byte {
-	tmp := make([]byte, 0, p.wotsLen()*p.N)
+// wotsPKGenInto computes a WOTS+ public key (the compressed root value)
+// into dst (len n).
+func (c *hctx) wotsPKGenInto(dst, skSeed, pkSeed []byte, adrs *address) {
+	p := c.p
+	tmp := c.wots
+	pb, chainOff := c.stagePRF(pkSeed, skSeed, adrs)
 	for i := 0; i < p.wotsLen(); i++ {
-		skADRS := *adrs
-		skADRS.setType(adrsWOTSPRF)
-		skADRS.setKeyPair(binary.BigEndian.Uint32(adrs[20:]))
-		skADRS.setChain(uint32(i))
-		sk := p.prf(pkSeed, skSeed, &skADRS)
+		binary.BigEndian.PutUint32(pb[chainOff:chainOff+4], uint32(i))
+		sk := sha256.Sum256(pb)
 		adrs.setChain(uint32(i))
-		tmp = append(tmp, p.chain(sk, 0, wotsW-1, pkSeed, adrs)...)
+		c.chainInto(tmp[i*p.N:(i+1)*p.N], sk[:p.N], 0, wotsW-1, pkSeed, adrs)
 	}
 	wotspkADRS := *adrs
 	wotspkADRS.setType(adrsWOTSPK)
 	wotspkADRS.setKeyPair(binary.BigEndian.Uint32(adrs[20:]))
-	return p.thash(pkSeed, &wotspkADRS, tmp)
+	c.thashInto(dst, pkSeed, &wotspkADRS, tmp)
 }
 
-// xmssNode computes the node at (height, index) of an XMSS subtree.
-func (p *Params) xmssNode(skSeed, pkSeed []byte, idx, height uint32, adrs *address) []byte {
+// xmssNodeInto computes the node at (height, index) of an XMSS subtree into
+// dst (len n). The left/right children live in one small stack frame per
+// recursion level, so the whole tree walk is allocation-free.
+func (c *hctx) xmssNodeInto(dst, skSeed, pkSeed []byte, idx, height uint32, adrs *address) {
 	if height == 0 {
 		wotsADRS := *adrs
 		wotsADRS.setType(adrsWOTSHash)
 		wotsADRS.setKeyPair(idx)
-		return p.wotsPKGen(skSeed, pkSeed, &wotsADRS)
+		c.wotsPKGenInto(dst, skSeed, pkSeed, &wotsADRS)
+		return
 	}
-	left := p.xmssNode(skSeed, pkSeed, 2*idx, height-1, adrs)
-	right := p.xmssNode(skSeed, pkSeed, 2*idx+1, height-1, adrs)
+	var lr [2 * sha256.Size]byte
+	left, right := lr[:c.p.N], lr[sha256.Size:sha256.Size+c.p.N]
+	c.xmssNodeInto(left, skSeed, pkSeed, 2*idx, height-1, adrs)
+	c.xmssNodeInto(right, skSeed, pkSeed, 2*idx+1, height-1, adrs)
 	nodeADRS := *adrs
 	nodeADRS.setType(adrsTree)
 	nodeADRS.setTreeHeight(height)
 	nodeADRS.setTreeIndex(idx)
-	return p.thash(pkSeed, &nodeADRS, left, right)
+	c.thashInto(dst, pkSeed, &nodeADRS, left, right)
 }
 
-// xmssSign produces a WOTS+ signature plus authentication path for leaf idx.
-func (p *Params) xmssSign(msg, skSeed, pkSeed []byte, idx uint32, adrs *address) []byte {
-	sig := make([]byte, 0, (p.wotsLen()+p.hPrime())*p.N)
+// xmssSignInto writes a WOTS+ signature plus authentication path for leaf
+// idx into dst (len (wotsLen+h')·n).
+func (c *hctx) xmssSignInto(dst, msg, skSeed, pkSeed []byte, idx uint32, adrs *address) {
+	p := c.p
 	wotsADRS := *adrs
 	wotsADRS.setType(adrsWOTSHash)
 	wotsADRS.setKeyPair(idx)
-	sig = append(sig, p.wotsSign(msg, skSeed, pkSeed, &wotsADRS)...)
+	c.wotsSignInto(dst[:p.wotsLen()*p.N], msg, skSeed, pkSeed, &wotsADRS)
+	off := p.wotsLen() * p.N
 	for h := uint32(0); h < uint32(p.hPrime()); h++ {
 		sibling := (idx >> h) ^ 1
-		sig = append(sig, p.xmssNode(skSeed, pkSeed, sibling, h, adrs)...)
+		c.xmssNodeInto(dst[off:off+p.N], skSeed, pkSeed, sibling, h, adrs)
+		off += p.N
 	}
-	return sig
 }
 
-// xmssPKFromSig recomputes the subtree root from a leaf signature.
-func (p *Params) xmssPKFromSig(idx uint32, sig, msg, pkSeed []byte, adrs *address) []byte {
+// xmssPKFromSigInto recomputes the subtree root from a leaf signature into
+// dst (len n). dst may alias msg.
+func (c *hctx) xmssPKFromSigInto(dst []byte, idx uint32, sig, msg, pkSeed []byte, adrs *address) {
+	p := c.p
 	wotsADRS := *adrs
 	wotsADRS.setType(adrsWOTSHash)
 	wotsADRS.setKeyPair(idx)
-	node := p.wotsPKFromSig(sig[:p.wotsLen()*p.N], msg, pkSeed, &wotsADRS)
+	c.wotsPKFromSigInto(dst, sig[:p.wotsLen()*p.N], msg, pkSeed, &wotsADRS)
 	auth := sig[p.wotsLen()*p.N:]
 	nodeADRS := *adrs
 	nodeADRS.setType(adrsTree)
@@ -302,33 +414,36 @@ func (p *Params) xmssPKFromSig(idx uint32, sig, msg, pkSeed []byte, adrs *addres
 		nodeADRS.setTreeIndex(idx >> (h + 1))
 		sib := auth[h*p.N : (h+1)*p.N]
 		if idx>>h&1 == 0 {
-			node = p.thash(pkSeed, &nodeADRS, node, sib)
+			c.thashInto(dst, pkSeed, &nodeADRS, dst, sib)
 		} else {
-			node = p.thash(pkSeed, &nodeADRS, sib, node)
+			c.thashInto(dst, pkSeed, &nodeADRS, sib, dst)
 		}
 	}
-	return node
 }
 
-// forsNode computes a FORS tree node.
-func (p *Params) forsNode(skSeed, pkSeed []byte, idx, height uint32, adrs *address) []byte {
+// forsNodeInto computes a FORS tree node into dst (len n).
+func (c *hctx) forsNodeInto(dst, skSeed, pkSeed []byte, idx, height uint32, adrs *address) {
 	if height == 0 {
 		skADRS := *adrs
 		skADRS.setType(adrsFORSPRF)
 		skADRS.setKeyPair(binary.BigEndian.Uint32(adrs[20:]))
 		skADRS.setTreeIndex(idx)
-		sk := p.prf(pkSeed, skSeed, &skADRS)
+		var sk [sha256.Size]byte
+		c.prfInto(sk[:c.p.N], pkSeed, skSeed, &skADRS)
 		leafADRS := *adrs
 		leafADRS.setTreeHeight(0)
 		leafADRS.setTreeIndex(idx)
-		return p.thash(pkSeed, &leafADRS, sk)
+		c.thashInto(dst, pkSeed, &leafADRS, sk[:c.p.N])
+		return
 	}
-	left := p.forsNode(skSeed, pkSeed, 2*idx, height-1, adrs)
-	right := p.forsNode(skSeed, pkSeed, 2*idx+1, height-1, adrs)
+	var lr [2 * sha256.Size]byte
+	left, right := lr[:c.p.N], lr[sha256.Size:sha256.Size+c.p.N]
+	c.forsNodeInto(left, skSeed, pkSeed, 2*idx, height-1, adrs)
+	c.forsNodeInto(right, skSeed, pkSeed, 2*idx+1, height-1, adrs)
 	nodeADRS := *adrs
 	nodeADRS.setTreeHeight(height)
 	nodeADRS.setTreeIndex(idx)
-	return p.thash(pkSeed, &nodeADRS, left, right)
+	c.thashInto(dst, pkSeed, &nodeADRS, left, right)
 }
 
 // forsIndices splits the message digest into k a-bit indices.
@@ -346,31 +461,36 @@ func (p *Params) forsIndices(md []byte) []uint32 {
 	return idx
 }
 
-// forsSign produces the FORS part of the signature.
-func (p *Params) forsSign(md, skSeed, pkSeed []byte, adrs *address) []byte {
+// forsSignInto writes the FORS part of the signature into dst
+// (len k·(a+1)·n).
+func (c *hctx) forsSignInto(dst, md, skSeed, pkSeed []byte, adrs *address) {
+	p := c.p
 	indices := p.forsIndices(md)
-	sig := make([]byte, 0, p.K*(p.A+1)*p.N)
+	off := 0
 	for i, idx := range indices {
 		treeOff := uint32(i) << p.A
 		skADRS := *adrs
 		skADRS.setType(adrsFORSPRF)
 		skADRS.setKeyPair(binary.BigEndian.Uint32(adrs[20:]))
 		skADRS.setTreeIndex(treeOff + idx)
-		sig = append(sig, p.prf(pkSeed, skSeed, &skADRS)...)
+		c.prfInto(dst[off:off+p.N], pkSeed, skSeed, &skADRS)
+		off += p.N
 		for h := uint32(0); h < uint32(p.A); h++ {
 			sibling := (treeOff>>h + idx>>h) ^ 1
 			// Note: tree i occupies indices [i*2^a, (i+1)*2^a) at height 0;
 			// at height h its nodes start at (i*2^a)>>h.
-			sig = append(sig, p.forsNode(skSeed, pkSeed, sibling, h, adrs)...)
+			c.forsNodeInto(dst[off:off+p.N], skSeed, pkSeed, sibling, h, adrs)
+			off += p.N
 		}
 	}
-	return sig
 }
 
-// forsPKFromSig recomputes the FORS public key from a signature.
-func (p *Params) forsPKFromSig(sig, md, pkSeed []byte, adrs *address) []byte {
+// forsPKFromSigInto recomputes the FORS public key from a signature into
+// dst (len n).
+func (c *hctx) forsPKFromSigInto(dst, sig, md, pkSeed []byte, adrs *address) {
+	p := c.p
 	indices := p.forsIndices(md)
-	roots := make([]byte, 0, p.K*p.N)
+	roots := c.roots
 	off := 0
 	for i, idx := range indices {
 		treeOff := uint32(i) << p.A
@@ -379,7 +499,8 @@ func (p *Params) forsPKFromSig(sig, md, pkSeed []byte, adrs *address) []byte {
 		leafADRS := *adrs
 		leafADRS.setTreeHeight(0)
 		leafADRS.setTreeIndex(treeOff + idx)
-		node := p.thash(pkSeed, &leafADRS, sk)
+		node := roots[i*p.N : (i+1)*p.N]
+		c.thashInto(node, pkSeed, &leafADRS, sk)
 		pos := treeOff + idx
 		for h := 0; h < p.A; h++ {
 			sib := sig[off : off+p.N]
@@ -388,17 +509,16 @@ func (p *Params) forsPKFromSig(sig, md, pkSeed []byte, adrs *address) []byte {
 			nodeADRS.setTreeHeight(uint32(h + 1))
 			nodeADRS.setTreeIndex(pos >> (h + 1))
 			if pos>>h&1 == 0 {
-				node = p.thash(pkSeed, &nodeADRS, node, sib)
+				c.thashInto(node, pkSeed, &nodeADRS, node, sib)
 			} else {
-				node = p.thash(pkSeed, &nodeADRS, sib, node)
+				c.thashInto(node, pkSeed, &nodeADRS, sib, node)
 			}
 		}
-		roots = append(roots, node...)
 	}
 	pkADRS := *adrs
 	pkADRS.setType(adrsFORSRoots)
 	pkADRS.setKeyPair(binary.BigEndian.Uint32(adrs[20:]))
-	return p.thash(pkSeed, &pkADRS, roots)
+	c.thashInto(dst, pkSeed, &pkADRS, roots)
 }
 
 // GenerateKey creates a key pair from rng (crypto/rand if nil).
@@ -413,9 +533,12 @@ func (p *Params) GenerateKey(rng io.Reader) (pk, sk []byte, err error) {
 	skSeed, pkSeed := seeds[:p.N], seeds[2*p.N:]
 	var adrs address
 	adrs.setLayer(uint32(p.D - 1))
-	root := p.xmssNode(skSeed, pkSeed, 0, uint32(p.hPrime()), &adrs)
-	pk = append(append([]byte{}, pkSeed...), root...)
-	sk = append(append([]byte{}, seeds...), root...)
+	c := p.getCtx()
+	defer putCtx(c)
+	var root [sha256.Size]byte
+	c.xmssNodeInto(root[:p.N], skSeed, pkSeed, 0, uint32(p.hPrime()), &adrs)
+	pk = append(append([]byte{}, pkSeed...), root[:p.N]...)
+	sk = append(append([]byte{}, seeds...), root[:p.N]...)
 	return pk, sk, nil
 }
 
@@ -430,39 +553,48 @@ func (p *Params) Sign(sk, msg []byte) ([]byte, error) {
 	r := p.prfMsg(skPRF, pkSeed, msg) // deterministic: optRand = PK.seed
 	md, treeIdx, leafIdx := p.hashMsg(r, pkSeed, pkRoot, msg)
 
-	sig := make([]byte, 0, p.SignatureSize())
-	sig = append(sig, r...)
+	c := p.getCtx()
+	defer putCtx(c)
+
+	sig := make([]byte, p.SignatureSize())
+	copy(sig, r)
 
 	var adrs address
 	adrs.setLayer(0)
 	adrs.setTree(treeIdx)
 	adrs.setType(adrsFORSTree)
 	adrs.setKeyPair(leafIdx)
-	sig = append(sig, p.forsSign(md, skSeed, pkSeed, &adrs)...)
-	node := p.forsPKFromSig(sig[p.N:], md, pkSeed, &adrs)
+	forsLen := p.K * (p.A + 1) * p.N
+	c.forsSignInto(sig[p.N:p.N+forsLen], md, skSeed, pkSeed, &adrs)
+	var node [sha256.Size]byte
+	c.forsPKFromSigInto(node[:p.N], sig[p.N:p.N+forsLen], md, pkSeed, &adrs)
 
 	// Hypertree signature over the FORS public key.
-	sig = append(sig, p.htSign(node, skSeed, pkSeed, treeIdx, leafIdx)...)
+	c.htSignInto(sig[p.N+forsLen:], node[:p.N], skSeed, pkSeed, treeIdx, leafIdx)
 	return sig, nil
 }
 
-// htSign signs root through the hypertree layers.
-func (p *Params) htSign(msg, skSeed, pkSeed []byte, treeIdx uint64, leafIdx uint32) []byte {
-	sig := make([]byte, 0, p.D*(p.wotsLen()+p.hPrime())*p.N)
-	node := msg
+// htSignInto signs root through the hypertree layers into dst
+// (len d·(wotsLen+h')·n).
+func (c *hctx) htSignInto(dst, msg, skSeed, pkSeed []byte, treeIdx uint64, leafIdx uint32) {
+	p := c.p
+	var node [sha256.Size]byte
+	copy(node[:p.N], msg)
 	idx := leafIdx
 	tree := treeIdx
+	xmssLen := (p.wotsLen() + p.hPrime()) * p.N
+	off := 0
 	for layer := 0; layer < p.D; layer++ {
 		var adrs address
 		adrs.setLayer(uint32(layer))
 		adrs.setTree(tree)
-		part := p.xmssSign(node, skSeed, pkSeed, idx, &adrs)
-		sig = append(sig, part...)
-		node = p.xmssPKFromSig(idx, part, node, pkSeed, &adrs)
+		part := dst[off : off+xmssLen]
+		c.xmssSignInto(part, node[:p.N], skSeed, pkSeed, idx, &adrs)
+		c.xmssPKFromSigInto(node[:p.N], idx, part, node[:p.N], pkSeed, &adrs)
+		off += xmssLen
 		idx = uint32(tree & uint64(1<<p.hPrime()-1))
 		tree >>= p.hPrime()
 	}
-	return sig
 }
 
 // Verify reports whether sig is a valid signature of msg under pk.
@@ -474,13 +606,17 @@ func (p *Params) Verify(pk, msg, sig []byte) bool {
 	r := sig[:p.N]
 	md, treeIdx, leafIdx := p.hashMsg(r, pkSeed, pkRoot, msg)
 
+	c := p.getCtx()
+	defer putCtx(c)
+
 	var adrs address
 	adrs.setLayer(0)
 	adrs.setTree(treeIdx)
 	adrs.setType(adrsFORSTree)
 	adrs.setKeyPair(leafIdx)
 	forsLen := p.K * (p.A + 1) * p.N
-	node := p.forsPKFromSig(sig[p.N:p.N+forsLen], md, pkSeed, &adrs)
+	var node [sha256.Size]byte
+	c.forsPKFromSigInto(node[:p.N], sig[p.N:p.N+forsLen], md, pkSeed, &adrs)
 
 	off := p.N + forsLen
 	xmssLen := (p.wotsLen() + p.hPrime()) * p.N
@@ -490,12 +626,12 @@ func (p *Params) Verify(pk, msg, sig []byte) bool {
 		var ta address
 		ta.setLayer(uint32(layer))
 		ta.setTree(tree)
-		node = p.xmssPKFromSig(idx, sig[off:off+xmssLen], node, pkSeed, &ta)
+		c.xmssPKFromSigInto(node[:p.N], idx, sig[off:off+xmssLen], node[:p.N], pkSeed, &ta)
 		off += xmssLen
 		idx = uint32(tree & uint64(1<<p.hPrime()-1))
 		tree >>= p.hPrime()
 	}
-	return subtle.ConstantTimeCompare(node, pkRoot) == 1
+	return subtle.ConstantTimeCompare(node[:p.N], pkRoot) == 1
 }
 
 // ErrBadKey reports malformed key material.

@@ -475,7 +475,10 @@ func (c *Client) finalFlight() ([]Record, bool, error) {
 	mac := finishedMAC(c.ks.clientHSTraffic, c.ks.transcriptHash())
 	finMsg := handshakeMsg(typeFinished, mac)
 	c.ks.deriveMaster()
-	rec := c.sendHC.seal(RecordHandshake, finMsg)
+	rec, err := c.sendHC.seal(RecordHandshake, finMsg)
+	if err != nil {
+		return nil, false, err
+	}
 	endCrypto()
 	// The paper notes client CCS and Finished always share one IP packet;
 	// they are one flush here.

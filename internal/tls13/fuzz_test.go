@@ -77,7 +77,10 @@ func TestHalfConnOpenRobust(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rec := sender.seal(RecordHandshake, []byte("payload"))
+	rec, err := sender.seal(RecordHandshake, []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
 	for pos := 0; pos < len(rec.Payload); pos++ {
 		receiver, err := newHalfConn(key, iv)
 		if err != nil {
@@ -187,7 +190,10 @@ func FuzzRecordDeprotect(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
-	sealed := sender.seal(RecordHandshake, []byte("finished message payload"))
+	sealed, err := sender.seal(RecordHandshake, []byte("finished message payload"))
+	if err != nil {
+		f.Fatal(err)
+	}
 	f.Add(sealed.Payload)
 	f.Add(sealed.Payload[:len(sealed.Payload)/2])
 	f.Add([]byte{})
@@ -215,7 +221,10 @@ func TestAllZeroInnerPlaintext(t *testing.T) {
 	key := make([]byte, 16)
 	iv := make([]byte, 12)
 	sender, _ := newHalfConn(key, iv)
-	rec := sender.seal(0, nil) // inner type 0 + empty = all-zero inner
+	rec, err := sender.seal(0, nil) // inner type 0 + empty = all-zero inner
+	if err != nil {
+		t.Fatal(err)
+	}
 	receiver, _ := newHalfConn(key, iv)
 	if _, _, err := receiver.open(rec); err == nil {
 		t.Error("all-zero inner plaintext accepted")

@@ -75,10 +75,20 @@ var errShortRecord = errors.New("tls13: short record")
 
 // halfConn is one direction of record protection (AES-128-GCM per the
 // negotiated TLS_AES_128_GCM_SHA256 suite).
+//
+// The scratch buffers make steady-state seal/open allocation-free: the
+// nonce and additional data live in the struct (values passed through the
+// cipher.AEAD interface escape, so stack copies would heap-allocate), and
+// enc/dec staging buffers are reused across records.
 type halfConn struct {
 	aead cipher.AEAD
 	iv   [12]byte
 	seq  uint64
+
+	nonceBuf [12]byte
+	adBuf    [5]byte
+	encBuf   []byte
+	decBuf   []byte
 }
 
 func newHalfConn(key, iv []byte) (*halfConn, error) {
@@ -95,39 +105,70 @@ func newHalfConn(key, iv []byte) (*halfConn, error) {
 	return hc, nil
 }
 
-func (hc *halfConn) nonce() [12]byte {
-	var n [12]byte
-	copy(n[:], hc.iv[:])
-	var seq [8]byte
-	binary.BigEndian.PutUint64(seq[:], hc.seq)
+// fillNonce XORs the current sequence number into the static IV
+// (RFC 8446 §5.3) in the struct-resident nonce buffer.
+func (hc *halfConn) fillNonce() {
+	copy(hc.nonceBuf[:], hc.iv[:])
 	for i := 0; i < 8; i++ {
-		n[4+i] ^= seq[i]
+		hc.nonceBuf[4+i] ^= byte(hc.seq >> (56 - 8*i))
 	}
-	return n
 }
+
+// fillAD writes the record header of the protected record (the AEAD
+// additional data) for the given ciphertext length.
+func (hc *halfConn) fillAD(ctLen int) {
+	hc.adBuf[0] = RecordApplicationData
+	hc.adBuf[1], hc.adBuf[2] = 0x03, 0x03
+	binary.BigEndian.PutUint16(hc.adBuf[3:], uint16(ctLen))
+}
+
+// errSeqExhausted guards the AEAD nonce space: RFC 8446 §5.5 requires the
+// connection to rekey or close before the 64-bit record sequence number
+// wraps, since a repeated (key, nonce) pair breaks AES-GCM entirely.
+var errSeqExhausted = errors.New("tls13: record sequence number exhausted, rekey or close required")
 
 // seal wraps plaintext of the given inner content type into an encrypted
 // application-data record (TLSInnerPlaintext per RFC 8446 §5.2).
-func (hc *halfConn) seal(innerType uint8, plaintext []byte) Record {
-	inner := append(append([]byte{}, plaintext...), innerType)
-	n := hc.nonce()
-	// Additional data is the record header of the protected record.
-	ad := []byte{RecordApplicationData, 0x03, 0x03, 0, 0}
-	binary.BigEndian.PutUint16(ad[3:], uint16(len(inner)+hc.aead.Overhead()))
-	ct := hc.aead.Seal(nil, n[:], inner, ad)
+//
+// The returned payload aliases hc's internal scratch buffer and is only
+// valid until the next seal on this halfConn: callers that accumulate
+// records across seals (multi-record handshake flights) must clone it.
+func (hc *halfConn) seal(innerType uint8, plaintext []byte) (Record, error) {
+	if hc.seq == 1<<64-1 {
+		return Record{}, errSeqExhausted
+	}
+	ctLen := len(plaintext) + 1 + hc.aead.Overhead()
+	if cap(hc.encBuf) < ctLen {
+		hc.encBuf = make([]byte, ctLen)
+	}
+	inner := append(hc.encBuf[:0], plaintext...)
+	inner = append(inner, innerType)
+	hc.fillNonce()
+	hc.fillAD(ctLen)
+	// In-place encryption: dst inner[:0] reuses the staging buffer, which
+	// already has room for the tag.
+	ct := hc.aead.Seal(inner[:0], hc.nonceBuf[:], inner, hc.adBuf[:])
 	hc.seq++
-	return Record{Type: RecordApplicationData, Payload: ct}
+	return Record{Type: RecordApplicationData, Payload: ct}, nil
 }
 
 // open reverses seal, returning the inner content type and plaintext.
+//
+// The returned plaintext aliases hc's internal scratch buffer and is only
+// valid until the next open on this halfConn.
 func (hc *halfConn) open(rec Record) (uint8, []byte, error) {
 	if rec.Type != RecordApplicationData {
 		return 0, nil, fmt.Errorf("tls13: expected protected record, got type %d", rec.Type)
 	}
-	n := hc.nonce()
-	ad := []byte{RecordApplicationData, 0x03, 0x03, 0, 0}
-	binary.BigEndian.PutUint16(ad[3:], uint16(len(rec.Payload)))
-	inner, err := hc.aead.Open(nil, n[:], rec.Payload, ad)
+	if hc.seq == 1<<64-1 {
+		return 0, nil, errSeqExhausted
+	}
+	hc.fillNonce()
+	hc.fillAD(len(rec.Payload))
+	if cap(hc.decBuf) < len(rec.Payload) {
+		hc.decBuf = make([]byte, len(rec.Payload))
+	}
+	inner, err := hc.aead.Open(hc.decBuf[:0], hc.nonceBuf[:], rec.Payload, hc.adBuf[:])
 	if err != nil {
 		return 0, nil, fmt.Errorf("tls13: record decryption failed: %w", err)
 	}

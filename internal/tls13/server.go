@@ -224,7 +224,12 @@ func (s *Server) Respond(records []Record) ([]Flush, error) {
 	endSSL = s.cfg.span(LibSSL)
 	eeMsg := handshakeMsg(typeEncryptedExts, []byte{0, 0})
 	s.ks.addMessage(eeMsg)
-	for _, rec := range s.sealHandshake(eeMsg) {
+	eeRecs, err := s.sealHandshake(eeMsg)
+	if err != nil {
+		endSSL()
+		return nil, err
+	}
+	for _, rec := range eeRecs {
 		emit(rec)
 	}
 	endSSL()
@@ -241,7 +246,13 @@ func (s *Server) Respond(records []Record) ([]Flush, error) {
 		}
 		certMsg := marshalCertificate(raw)
 		s.ks.addMessage(certMsg)
-		for _, rec := range s.sealHandshake(certMsg) {
+		certRecs, err := s.sealHandshake(certMsg)
+		if err != nil {
+			endSSL()
+			endPhase()
+			return nil, err
+		}
+		for _, rec := range certRecs {
 			emit(rec)
 		}
 		endSSL()
@@ -260,7 +271,13 @@ func (s *Server) Respond(records []Record) ([]Flush, error) {
 		endSSL = s.cfg.span(LibSSL)
 		cvMsg := marshalCertVerify(wantSig, signature)
 		s.ks.addMessage(cvMsg)
-		for _, rec := range s.sealHandshake(cvMsg) {
+		cvRecs, err := s.sealHandshake(cvMsg)
+		if err != nil {
+			endSSL()
+			endPhase()
+			return nil, err
+		}
+		for _, rec := range cvRecs {
 			emit(rec)
 		}
 		endSSL()
@@ -276,7 +293,12 @@ func (s *Server) Respond(records []Record) ([]Flush, error) {
 	s.expectedClientFin = finishedMAC(s.ks.clientHSTraffic, s.ks.transcriptHash())
 	s.ks.deriveMaster()
 	endCrypto()
-	for _, rec := range s.sealHandshake(finMsg) {
+	finRecs, err := s.sealHandshake(finMsg)
+	if err != nil {
+		endPhase()
+		return nil, err
+	}
+	for _, rec := range finRecs {
 		emit(rec)
 	}
 	endPhase()
@@ -287,15 +309,22 @@ func (s *Server) Respond(records []Record) ([]Flush, error) {
 // sealHandshake encrypts a handshake message, fragmenting it across records
 // when it exceeds the record-layer plaintext limit (SPHINCS+ certificates
 // are several records long).
-func (s *Server) sealHandshake(msg []byte) []Record {
+func (s *Server) sealHandshake(msg []byte) ([]Record, error) {
 	defer s.cfg.phase(PhaseRecordWrite)()
 	var out []Record
 	for len(msg) > 0 {
 		n := min(len(msg), maxRecordPayload)
-		out = append(out, s.sendHC.seal(RecordHandshake, msg[:n]))
+		rec, err := s.sendHC.seal(RecordHandshake, msg[:n])
+		if err != nil {
+			return nil, err
+		}
+		// seal's payload aliases the halfConn scratch buffer and this
+		// flight accumulates records across seals, so take a stable copy.
+		rec.Payload = append([]byte(nil), rec.Payload...)
+		out = append(out, rec)
 		msg = msg[n:]
 	}
-	return out
+	return out, nil
 }
 
 // groupFlushes applies the buffering policy to the timed record sequence.

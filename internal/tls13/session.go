@@ -76,7 +76,11 @@ func (s *Server) SessionTicket() ([]Record, *Session, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	rec := hc.seal(RecordHandshake, msg)
+	// hc is single-use, so the record may keep aliasing its seal scratch.
+	rec, err := hc.seal(RecordHandshake, msg)
+	if err != nil {
+		return nil, nil, err
+	}
 	return []Record{rec}, &Session{Ticket: ticket, PSK: psk, KEMName: s.cfg.KEMName}, nil
 }
 

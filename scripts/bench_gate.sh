@@ -1,0 +1,40 @@
+#!/bin/sh
+# Benchmark regression gate: re-run `pqbench microbench` and compare the
+# fresh numbers against the newest committed BENCH_*.json baseline.
+#
+#   sh scripts/bench_gate.sh          full gate: >10% ns/op regression or
+#                                     any allocs/op growth fails
+#   sh scripts/bench_gate.sh -short   CI gate: 100ms per kernel and
+#                                     allocs/op only (shared runners have
+#                                     noisy timing; allocation counts are
+#                                     exact at any benchtime)
+#
+# The gate is advisory-by-absence: with no BENCH_*.json baseline yet it
+# succeeds and says so, because the first PR that introduces the baseline
+# has nothing to compare against.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+short=""
+gate_flags=""
+if [ "${1:-}" = "-short" ]; then
+    short="-short"
+    gate_flags="-allocs-only"
+fi
+
+base=$(ls BENCH_*.json 2>/dev/null | sort -V | tail -1 || true)
+if [ -z "$base" ]; then
+    echo "bench_gate: no BENCH_*.json baseline committed yet; nothing to gate"
+    exit 0
+fi
+
+go build -o bin/pqbench ./cmd/pqbench
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+# -live=false: loopback throughput is host wall-clock, never gated, and
+# would only slow the gate down.
+bin/pqbench microbench $short -live=false -out "$tmp"
+
+bin/pqbench benchgate -old "$base" -new "$tmp" $gate_flags

@@ -32,6 +32,9 @@ go test ./...
 echo "==> go test -race"
 go test -race ./...
 
+echo "==> benchmark regression gate (short mode: allocs/op only)"
+sh scripts/bench_gate.sh -short
+
 echo "==> fuzz smoke (${FUZZTIME:-5s} per target)"
 for target in FuzzClientHelloParse FuzzServerHelloParse FuzzRecordDeprotect; do
     go test ./internal/tls13 -run '^$' -fuzz "$target" -fuzztime "${FUZZTIME:-5s}"
