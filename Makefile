@@ -52,7 +52,9 @@ fuzz-smoke:
 # detector: a short pqbench live run for the headline PQ suite, twice, and a
 # check that the seeded arrival schedule (the deterministic half of the
 # subsystem — measured latencies are not) produces the same digest both
-# times.
+# times. A third run turns on the full precompute subsystem (-pool:
+# key-share factory, amortized client caches, signing worker pool) and must
+# produce the same digest and zero failures under the race detector.
 live-smoke:
 	$(GO) build -race -o bin/pqbench-race ./cmd/pqbench
 	@d1=$$(bin/pqbench-race live -kem kyber768 -sig dilithium3 -rate 50 -duration 1s | \
@@ -61,7 +63,11 @@ live-smoke:
 		sed -n 's/.*digest \([0-9a-f]*\).*/\1/p'); \
 	if [ -z "$$d1" ] || [ "$$d1" != "$$d2" ]; then \
 		echo "live-smoke: schedule digest not reproducible: '$$d1' vs '$$d2'"; exit 1; fi; \
-	echo "live-smoke OK: schedule digest $$d1 reproducible across runs"
+	d3=$$(bin/pqbench-race live -kem kyber768 -sig dilithium3 -rate 50 -duration 1s -pool | \
+		tee /dev/stderr | sed -n 's/.*digest \([0-9a-f]*\).*/\1/p'); \
+	if [ "$$d1" != "$$d3" ]; then \
+		echo "live-smoke: -pool changed the schedule digest: '$$d1' vs '$$d3'"; exit 1; fi; \
+	echo "live-smoke OK: schedule digest $$d1 reproducible across runs (incl. -pool)"
 
 # phases-smoke exercises the observability subsystem end to end: `pqbench
 # phases` for a classical and a PQ cell (JSONL schema self-check, flight-wait
@@ -76,7 +82,7 @@ phases-smoke:
 # they move for a bad one.
 bench:
 	$(GO) build -o bin/pqbench ./cmd/pqbench
-	bin/pqbench microbench -out BENCH_5.json
+	bin/pqbench microbench -out BENCH_6.json
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
 # bench-gate compares a fresh short microbench run against the newest

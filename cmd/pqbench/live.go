@@ -35,7 +35,16 @@ func runLive(args []string) error {
 	hsTimeout := fs.Duration("timeout", 10*time.Second, "per-connection handshake deadline")
 	samples := fs.Int("samples", 5, "modeled-campaign samples for the prediction column")
 	metrics := fs.String("metrics", "", "serve Prometheus /metrics + /healthz on this address for the run (e.g. 127.0.0.1:9090)")
+	pool := fs.Bool("pool", false, "enable the precompute subsystem end to end: key-share factory on the client, amortized chain/verifier caches, signing worker pool on the server")
+	signWorkers := fs.Int("sign-workers", 0, "server signing worker pool size (0 = sign inline; -pool defaults this to 2)")
+	amortize := fs.Bool("amortize", false, "share chain-verification and verifier-context caches across client connections (-pool implies)")
 	fs.Parse(args)
+	if *pool {
+		if *signWorkers == 0 {
+			*signWorkers = 2
+		}
+		*amortize = true
+	}
 
 	policy := tls13.BufferImmediate
 	if *buffer == "default" {
@@ -69,9 +78,21 @@ func runLive(args []string) error {
 		IssueTickets:     *resume,
 		MetricsAddr:      *metrics,
 		PhaseMetrics:     *metrics != "",
+		SignWorkers:      *signWorkers,
 	})
 	if err != nil {
 		return err
+	}
+	var keyPool *harness.KeyPool
+	if *pool {
+		keyPool = harness.NewKeyPool()
+		err := keyPool.StartFactory(harness.FactoryOptions{
+			Suites: []string{*kemName}, Target: 128, LowWater: 32, Batch: 32,
+		})
+		if err != nil {
+			return err
+		}
+		defer keyPool.StopFactory()
 	}
 	if a := srv.MetricsAddr(); a != nil {
 		fmt.Printf("metrics: http://%s/metrics (healthz on the same listener)\n", a)
@@ -83,7 +104,7 @@ func runLive(args []string) error {
 	fmt.Printf("schedule: %d arrivals over %v, digest %s (reproducible; latencies below are not)\n",
 		len(sched.Offsets), *duration, sched.Digest())
 
-	res, err := loadgen.Run(loadgen.Options{
+	runOpts := loadgen.Options{
 		Addr:             srv.Addr().String(),
 		Config:           &tls13.Config{KEMName: *kemName, SigName: *sigName, ServerName: "server.example", Roots: creds.Roots},
 		Schedule:         sched,
@@ -91,7 +112,12 @@ func runLive(args []string) error {
 		MaxConcurrent:    *conns,
 		HandshakeTimeout: *hsTimeout,
 		Resume:           *resume,
-	})
+		Amortize:         *amortize,
+	}
+	if keyPool != nil {
+		runOpts.KeyShares = keyPool
+	}
+	res, err := loadgen.Run(runOpts)
 	if err != nil {
 		srv.Shutdown(time.Second)
 		return err
@@ -139,6 +165,15 @@ func runLive(args []string) error {
 	c := srv.Counters()
 	fmt.Printf("server: accepted %d, completed %d (%d resumed), failed %d, accept retries %d\n",
 		c.Accepted, c.Completed, c.Resumed, c.FailedTotal(), c.AcceptRetries)
+	if *signWorkers > 0 {
+		sp := srv.SignPoolStats()
+		fmt.Printf("sign pool: %d workers, %d signatures, %d errors\n", *signWorkers, sp.Signs, sp.Errors)
+	}
+	if keyPool != nil {
+		st := keyPool.FactoryStats()
+		fmt.Printf("key-share factory: %d generated in %d batches, %d pool hits, %d misses\n",
+			st.Generated, st.Batches, st.Hits, st.Misses)
+	}
 	if *resume {
 		ts := srv.TicketStats()
 		fmt.Printf("tickets: issued %d, redeemed %d, rejected %d\n", ts.Issued, ts.Redeemed, ts.Rejected)

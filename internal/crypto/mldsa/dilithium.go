@@ -153,9 +153,32 @@ func (p *Params) unpackEta(s *poly, in []byte) {
 	unpackBits(s, in, p.etaBits(), func(t uint32) int32 { return freduce(eta - int32(t) + Q) })
 }
 
-// expandA derives the K×L matrix in the NTT domain.
+// expandA derives the K×L matrix in the NTT domain. The SHAKE sets absorb
+// all K·L seed blocks in one multi-sponge pass; the *_aes sets keep the
+// per-element stream loop.
 func (p *Params) expandA(rho []byte) []poly {
 	a := make([]poly, p.K*p.L)
+	if _, ok := p.exp.(shakeExpander); ok {
+		var seeds [56][34]byte // K·L <= 56 seeds of rho || nonce16le
+		var inputs [56][]byte
+		kl := p.K * p.L
+		for i := 0; i < p.K; i++ {
+			for j := 0; j < p.L; j++ {
+				idx := i*p.L + j
+				nonce := uint16(i<<8 | j)
+				s := &seeds[idx]
+				copy(s[:32], rho)
+				s[32], s[33] = byte(nonce), byte(nonce>>8)
+				inputs[idx] = s[:]
+			}
+		}
+		m := sha3.NewMultiShake128(inputs[:kl])
+		for idx := range a {
+			sampleUniform(&a[idx], m.Stream(idx))
+		}
+		sha3.PutMultiXOF(m)
+		return a
+	}
 	for i := 0; i < p.K; i++ {
 		for j := 0; j < p.L; j++ {
 			st := p.exp.Stream128(rho, uint16(i<<8|j))
@@ -166,40 +189,25 @@ func (p *Params) expandA(rho []byte) []poly {
 	return a
 }
 
-// Sign produces a deterministic signature over msg.
+// Sign produces a deterministic signature over msg. Callers signing many
+// messages under one key should build a SigningKey once instead — it hoists
+// the matrix expansion and the secret-vector NTTs out of the per-signature
+// cost.
 func (p *Params) Sign(sk, msg []byte) ([]byte, error) {
-	if len(sk) != p.PrivateKeySize() {
-		return nil, fmt.Errorf("mldsa: private key is %d bytes, want %d", len(sk), p.PrivateKeySize())
+	k, err := p.NewSigningKey(sk)
+	if err != nil {
+		return nil, err
 	}
-	rho := sk[:32]
-	key := sk[32:64]
-	tr := sk[64:96]
-	off := 96
-	etaLen := N * int(p.etaBits()) / 8
-	s1Hat := make([]poly, p.L)
-	for i := range s1Hat {
-		p.unpackEta(&s1Hat[i], sk[off:off+etaLen])
-		off += etaLen
-		s1Hat[i].ntt()
-	}
-	s2Hat := make([]poly, p.K)
-	for i := range s2Hat {
-		p.unpackEta(&s2Hat[i], sk[off:off+etaLen])
-		off += etaLen
-		s2Hat[i].ntt()
-	}
-	t0Hat := make([]poly, p.K)
-	for i := range t0Hat {
-		unpackBits(&t0Hat[i], sk[off:off+416], 13, func(t uint32) int32 {
-			return freduce(1<<(D-1) - int32(t) + Q)
-		})
-		off += 416
-		t0Hat[i].ntt()
-	}
+	return k.Sign(msg)
+}
 
-	a := p.expandA(rho)
-	mu := sha3.ShakeSum256(64, tr, msg)
-	rhoPrime := sha3.ShakeSum256(64, key, mu)
+// sign runs the deterministic rejection loop against the precomputed key.
+// All scratch is call-local, so one SigningKey can sign concurrently.
+func (k *SigningKey) sign(msg []byte) ([]byte, error) {
+	p := k.p
+	a, s1Hat, s2Hat, t0Hat := k.a, k.s1Hat, k.s2Hat, k.t0Hat
+	mu := sha3.ShakeSum256(64, k.tr[:], msg)
+	rhoPrime := sha3.ShakeSum256(64, k.key[:], mu)
 
 	// Rejection-loop scratch, allocated once: each iteration re-derives or
 	// zeroes what it needs.
@@ -348,15 +356,24 @@ func (p *Params) unpackHints(in []byte) ([]poly, bool) {
 	return h, true
 }
 
-// Verify reports whether sig is a valid signature of msg under pk.
+// Verify reports whether sig is a valid signature of msg under pk. Callers
+// verifying many signatures under one key should build a VerifyKey once —
+// it hoists the matrix expansion, the t1·2^D NTTs, and the public-key hash
+// out of the per-verification cost.
 func (p *Params) Verify(pk, msg, sig []byte) bool {
-	if len(pk) != p.PublicKeySize() || len(sig) != p.SignatureSize() {
+	k, err := p.NewVerifyKey(pk)
+	if err != nil {
 		return false
 	}
-	rho := pk[:32]
-	t1 := make([]poly, p.K)
-	for i := range t1 {
-		unpackBits(&t1[i], pk[32+320*i:32+320*(i+1)], 10, func(t uint32) int32 { return int32(t) })
+	return k.Verify(msg, sig)
+}
+
+// verify checks one signature against the precomputed key. All scratch is
+// call-local, so one VerifyKey can verify concurrently.
+func (k *VerifyKey) verify(msg, sig []byte) bool {
+	p := k.p
+	if len(sig) != p.SignatureSize() {
+		return false
 	}
 	cTilde := sig[:32]
 	zLen := N * int(p.Gamma1Bits) / 8
@@ -375,9 +392,7 @@ func (p *Params) Verify(pk, msg, sig []byte) bool {
 		return false
 	}
 
-	a := p.expandA(rho)
-	tr := sha3.ShakeSum256(32, pk)
-	mu := sha3.ShakeSum256(64, tr, msg)
+	mu := sha3.ShakeSum256(64, k.tr[:], msg)
 	c := sampleInBall(cTilde, p.Tau)
 	cHat := c
 	cHat.ntt()
@@ -391,16 +406,11 @@ func (p *Params) Verify(pk, msg, sig []byte) bool {
 	for i := 0; i < p.K; i++ {
 		var az poly
 		for j := 0; j < p.L; j++ {
-			mulAcc(&az, &a[i*p.L+j], &zHat[j])
+			mulAcc(&az, &k.a[i*p.L+j], &zHat[j])
 		}
-		// az - c * (t1 * 2^D)
-		var t1Shift poly
-		for n := 0; n < N; n++ {
-			t1Shift[n] = freduce(t1[i][n] << D)
-		}
-		t1Shift.ntt()
+		// az - c * (t1 * 2^D), with NTT(t1 * 2^D) precomputed on the key.
 		var ct1 poly
-		mulAcc(&ct1, &cHat, &t1Shift)
+		mulAcc(&ct1, &cHat, &k.t1ShiftHat[i])
 		az.sub(&ct1)
 		az.invNTT()
 		var w1 poly

@@ -1,0 +1,103 @@
+package mldsa
+
+import (
+	"fmt"
+
+	"pqtls/internal/crypto/sha3"
+)
+
+// SigningKey is a private key expanded into the form the signing loop
+// consumes: the NTT-domain matrix A and the NTT-domain secret vectors
+// s1, s2, t0, unpacked once instead of on every Sign call. A server
+// producing CertificateVerify signatures under one certificate key signs
+// thousands of times with the same key, so the expansion — K·L SHAKE128
+// matrix samples plus K+L+K eta/t0 unpack-and-NTT passes — amortizes to
+// zero. The struct is read-only after construction and safe for concurrent
+// Sign calls.
+type SigningKey struct {
+	p       *Params
+	key, tr [32]byte
+	a       []poly // K×L matrix, NTT domain
+	s1Hat   []poly
+	s2Hat   []poly
+	t0Hat   []poly
+}
+
+// NewSigningKey expands sk into a reusable signing context.
+func (p *Params) NewSigningKey(sk []byte) (*SigningKey, error) {
+	if len(sk) != p.PrivateKeySize() {
+		return nil, fmt.Errorf("mldsa: private key is %d bytes, want %d", len(sk), p.PrivateKeySize())
+	}
+	k := &SigningKey{p: p}
+	rho := sk[:32]
+	copy(k.key[:], sk[32:64])
+	copy(k.tr[:], sk[64:96])
+	off := 96
+	etaLen := N * int(p.etaBits()) / 8
+	k.s1Hat = make([]poly, p.L)
+	for i := range k.s1Hat {
+		p.unpackEta(&k.s1Hat[i], sk[off:off+etaLen])
+		off += etaLen
+		k.s1Hat[i].ntt()
+	}
+	k.s2Hat = make([]poly, p.K)
+	for i := range k.s2Hat {
+		p.unpackEta(&k.s2Hat[i], sk[off:off+etaLen])
+		off += etaLen
+		k.s2Hat[i].ntt()
+	}
+	k.t0Hat = make([]poly, p.K)
+	for i := range k.t0Hat {
+		unpackBits(&k.t0Hat[i], sk[off:off+416], 13, func(t uint32) int32 {
+			return freduce(1<<(D-1) - int32(t) + Q)
+		})
+		off += 416
+		k.t0Hat[i].ntt()
+	}
+	k.a = p.expandA(rho)
+	return k, nil
+}
+
+// Sign produces the same deterministic signature as Params.Sign over the
+// same private key.
+func (k *SigningKey) Sign(msg []byte) ([]byte, error) { return k.sign(msg) }
+
+// VerifyKey is a public key expanded into the form the verifier consumes:
+// the NTT-domain matrix A, the NTT of every t1·2^D vector element, and the
+// public-key hash tr. A client verifying many handshakes against one server
+// certificate re-derives all three on every Params.Verify call; caching
+// them here turns repeat verification into just the z/hint parsing and the
+// A·z recomputation. The struct is read-only after construction and safe
+// for concurrent Verify calls.
+type VerifyKey struct {
+	p          *Params
+	tr         [32]byte
+	a          []poly // K×L matrix, NTT domain
+	t1ShiftHat []poly // NTT(t1 · 2^D) per row
+}
+
+// NewVerifyKey expands pk into a reusable verification context.
+func (p *Params) NewVerifyKey(pk []byte) (*VerifyKey, error) {
+	if len(pk) != p.PublicKeySize() {
+		return nil, fmt.Errorf("mldsa: public key is %d bytes, want %d", len(pk), p.PublicKeySize())
+	}
+	k := &VerifyKey{p: p}
+	rho := pk[:32]
+	k.t1ShiftHat = make([]poly, p.K)
+	for i := range k.t1ShiftHat {
+		var t1 poly
+		unpackBits(&t1, pk[32+320*i:32+320*(i+1)], 10, func(t uint32) int32 { return int32(t) })
+		for n := 0; n < N; n++ {
+			k.t1ShiftHat[i][n] = freduce(t1[n] << D)
+		}
+		k.t1ShiftHat[i].ntt()
+	}
+	k.a = p.expandA(rho)
+	tr := sha3.ShakeSum256(32, pk)
+	copy(k.tr[:], tr)
+	return k, nil
+}
+
+// Verify reports whether sig is valid for msg, with the same result as
+// Params.Verify over the same public key.
+func (k *VerifyKey) Verify(msg, sig []byte) bool { return k.verify(msg, sig) }

@@ -1,0 +1,125 @@
+package mlkem
+
+import (
+	"crypto/rand"
+	"fmt"
+	"io"
+
+	"pqtls/internal/crypto/sha3"
+)
+
+// GenerateKeyBatch creates n key pairs from rng (crypto/rand if nil). The
+// result is byte-identical to n sequential GenerateKey calls on the same
+// rng — the seeds are read in the same order and expanded with the same
+// derivation — but the SHAKE-based parameter sets amortize the symmetric
+// work across the batch: one multi-sponge pass for the n G hashes, one for
+// the 2kn noise PRFs, and one for the n public-key hashes. The 90s (AES)
+// variants fall back to the sequential path.
+func (p *Params) GenerateKeyBatch(rng io.Reader, n int) (pks, sks [][]byte, err error) {
+	if n <= 0 {
+		return nil, nil, nil
+	}
+	if rng == nil {
+		rng = rand.Reader
+	}
+	seeds := make([][64]byte, n)
+	for i := range seeds {
+		if _, err := io.ReadFull(rng, seeds[i][:]); err != nil {
+			return nil, nil, fmt.Errorf("mlkem: reading key seed %d of %d: %w", i, n, err)
+		}
+	}
+	pks = make([][]byte, n)
+	sks = make([][]byte, n)
+	if _, ok := p.sym.(shakeSymmetric); !ok {
+		for i := range seeds {
+			pks[i], sks[i] = p.deriveKey(seeds[i])
+		}
+		return pks, sks, nil
+	}
+
+	// Batch G: (rho_i, sigma_i) = SHA3-512(d_i) for all keys at once.
+	gIn := make([][]byte, n)
+	gOut := make([][]byte, n)
+	gBuf := make([]byte, 64*n)
+	for i := range gIn {
+		gIn[i] = seeds[i][:32]
+		gOut[i] = gBuf[64*i : 64*(i+1)]
+	}
+	sha3.Sum512Batch(gOut, gIn)
+
+	// Batch the noise PRFs: 2k SHAKE256(sigma_i || nonce) expansions per
+	// key, all absorbed in one pass.
+	per := 2 * p.K
+	prfLen := 64 * p.Eta1
+	prfIn := make([][]byte, n*per)
+	prfOut := make([][]byte, n*per)
+	prfSeed := make([]byte, 33*n*per)
+	prfBuf := make([]byte, prfLen*n*per)
+	for i := 0; i < n; i++ {
+		sigma := gOut[i][32:]
+		for nn := 0; nn < per; nn++ {
+			idx := i*per + nn
+			in := prfSeed[33*idx : 33*idx+33]
+			copy(in, sigma)
+			in[32] = byte(nn)
+			prfIn[idx] = in
+			prfOut[idx] = prfBuf[prfLen*idx : prfLen*(idx+1)]
+		}
+	}
+	sha3.ShakeSum256Batch(prfOut, prfIn)
+
+	// Expand each key's matrix and assemble the pair, deferring H(pk).
+	hDsts := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		pks[i], sks[i], hDsts[i] = p.deriveKeyFromParts(&seeds[i], gOut[i], prfOut[i*per:(i+1)*per])
+	}
+	// Batch H: the public-key hash stored in every secret key.
+	sha3.Sum256Batch(hDsts, pks)
+	return pks, sks, nil
+}
+
+// deriveKeyFromParts is deriveKey with the G hash and the noise PRF
+// expansions supplied by the caller (batched). It returns the key pair and
+// the 32-byte region of sk where H(pk) must still be written.
+func (p *Params) deriveKeyFromParts(seed *[64]byte, g []byte, prf [][]byte) (pk, sk, hDst []byte) {
+	rho := g[:32]
+	w := p.getWork()
+	defer p.putWork(w)
+	a, s, e, t := w.mat, w.vec1, w.vec2, w.vec3
+	p.expandMatrix(a, rho, false)
+	for i := range s {
+		sampleCBD(&s[i], prf[i], p.Eta1)
+		s[i].ntt()
+	}
+	for i := range e {
+		sampleCBD(&e[i], prf[p.K+i], p.Eta1)
+		e[i].ntt()
+	}
+	// t = A*s + e (all in the NTT domain).
+	for i := 0; i < p.K; i++ {
+		t[i] = poly{}
+		for j := 0; j < p.K; j++ {
+			basemulAcc(&t[i], &a[i*p.K+j], &s[j])
+		}
+		t[i].add(&e[i])
+	}
+
+	pk = make([]byte, 0, p.PublicKeySize())
+	for i := range t {
+		var buf [384]byte
+		t[i].pack(12, buf[:])
+		pk = append(pk, buf[:]...)
+	}
+	pk = append(pk, rho...)
+
+	sk = make([]byte, 0, p.PrivateKeySize())
+	for i := range s {
+		var buf [384]byte
+		s[i].pack(12, buf[:])
+		sk = append(sk, buf[:]...)
+	}
+	sk = append(sk, pk...)
+	sk = append(sk, make([]byte, 32)...) // H(pk), batch-filled by the caller
+	sk = append(sk, seed[32:]...)
+	return pk, sk, sk[len(sk)-64 : len(sk)-32]
+}

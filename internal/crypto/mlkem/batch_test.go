@@ -1,0 +1,86 @@
+package mlkem
+
+import (
+	"bytes"
+	"testing"
+
+	"pqtls/internal/crypto/sha3"
+)
+
+// drbgReader is a deterministic random stream for differential tests.
+func drbgReader(seed string) sha3.XOF {
+	x := sha3.NewShake256()
+	x.Write([]byte(seed))
+	return x
+}
+
+// TestGenerateKeyBatchMatchesSequential pins the batch-keygen contract: for
+// every parameter set (SHAKE and 90s/AES alike), GenerateKeyBatch over a
+// DRBG must produce byte-identical key pairs to sequential GenerateKey
+// calls consuming the same stream.
+func TestGenerateKeyBatchMatchesSequential(t *testing.T) {
+	sets := []*Params{Kyber512, Kyber768, Kyber1024, Kyber90s512, Kyber90s768, Kyber90s1024}
+	for _, p := range sets {
+		for _, n := range []int{1, 2, 7, 16} {
+			seq := drbgReader(p.Name)
+			batch := drbgReader(p.Name)
+			wantPK := make([][]byte, n)
+			wantSK := make([][]byte, n)
+			for i := 0; i < n; i++ {
+				pk, sk, err := p.GenerateKey(seq)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantPK[i], wantSK[i] = pk, sk
+			}
+			pks, sks, err := p.GenerateKeyBatch(batch, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(pks) != n || len(sks) != n {
+				t.Fatalf("%s n=%d: got %d/%d keys", p.Name, n, len(pks), len(sks))
+			}
+			for i := 0; i < n; i++ {
+				if !bytes.Equal(pks[i], wantPK[i]) {
+					t.Fatalf("%s n=%d: public key %d differs from sequential keygen", p.Name, n, i)
+				}
+				if !bytes.Equal(sks[i], wantSK[i]) {
+					t.Fatalf("%s n=%d: private key %d differs from sequential keygen", p.Name, n, i)
+				}
+			}
+		}
+	}
+}
+
+// TestGenerateKeyBatchKeysWork round-trips an encapsulation through each
+// batched key pair.
+func TestGenerateKeyBatchKeysWork(t *testing.T) {
+	rng := drbgReader("batch-roundtrip")
+	pks, sks, err := Kyber768.GenerateKeyBatch(rng, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pks {
+		ct, ss, err := Kyber768.Encapsulate(rng, pks[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		ss2, err := Kyber768.Decapsulate(sks[i], ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ss, ss2) {
+			t.Fatalf("key %d: shared secrets diverge", i)
+		}
+	}
+}
+
+func BenchmarkKyber768KeygenBatch16(b *testing.B) {
+	rng := drbgReader("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Kyber768.GenerateKeyBatch(rng, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"sync"
+
+	"pqtls/internal/crypto/sha3"
 )
 
 // Params describes one Kyber parameter set.
@@ -142,8 +144,33 @@ func (p *Params) deriveKey(seed [64]byte) (pk, sk []byte) {
 }
 
 // expandMatrix derives the k×k matrix A (or its transpose) from rho into
-// the caller-provided buffer of k² polynomials.
+// the caller-provided buffer of k² polynomials. The SHAKE variants absorb
+// all k² seed blocks in one multi-sponge pass; the AES variants keep the
+// per-element stream loop.
 func (p *Params) expandMatrix(a []poly, rho []byte, transpose bool) {
+	if _, ok := p.sym.(shakeSymmetric); ok {
+		var seeds [16][34]byte // k² <= 16 seeds of rho || x || y
+		var inputs [16][]byte
+		kk := p.K * p.K
+		for i := 0; i < p.K; i++ {
+			for j := 0; j < p.K; j++ {
+				x, y := byte(j), byte(i) // A[i][j] uses XOF(rho, j, i)
+				if transpose {
+					x, y = y, x
+				}
+				s := &seeds[i*p.K+j]
+				copy(s[:32], rho)
+				s[32], s[33] = x, y
+				inputs[i*p.K+j] = s[:]
+			}
+		}
+		m := sha3.NewMultiShake128(inputs[:kk])
+		for idx := 0; idx < kk; idx++ {
+			sampleUniform(&a[idx], m.Stream(idx))
+		}
+		sha3.PutMultiXOF(m)
+		return
+	}
 	for i := 0; i < p.K; i++ {
 		for j := 0; j < p.K; j++ {
 			x, y := byte(j), byte(i) // A[i][j] uses XOF(rho, j, i)

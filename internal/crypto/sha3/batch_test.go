@@ -1,0 +1,139 @@
+package sha3
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+// TestMultiXOFMatchesSingle drives the batched sponge against the one-shot
+// streams over thousands of random shapes: batch sizes 1..12, input lengths
+// from empty through several blocks (crossing both SHAKE rates), squeezed
+// in interleaved chunks. Every stream must be byte-identical to a solo
+// sponge over the same input.
+func TestMultiXOFMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x6a09e667))
+	variants := []struct {
+		name string
+		mk   func([][]byte) *MultiXOF
+		ref  func() XOF
+	}{
+		{"shake128", NewMultiShake128, NewShake128},
+		{"shake256", NewMultiShake256, NewShake256},
+	}
+	for trial := 0; trial < 2500; trial++ {
+		v := variants[trial%len(variants)]
+		n := 1 + rng.Intn(12)
+		inputs := make([][]byte, n)
+		want := make([][]byte, n)
+		outLen := 1 + rng.Intn(400)
+		for i := range inputs {
+			// Cover empty, sub-block, exact-block, and multi-block inputs.
+			l := rng.Intn(3 * 170)
+			if rng.Intn(8) == 0 {
+				l = []int{0, 136, 168, 136 * 2, 168 * 2}[rng.Intn(5)]
+			}
+			inputs[i] = make([]byte, l)
+			rng.Read(inputs[i])
+			x := v.ref()
+			x.Write(inputs[i])
+			want[i] = make([]byte, outLen)
+			x.Read(want[i])
+			PutXOF(x)
+		}
+		m := v.mk(inputs)
+		got := make([][]byte, n)
+		for i := range got {
+			got[i] = make([]byte, outLen)
+		}
+		// Squeeze the streams in interleaved chunks to exercise per-stream
+		// refill positions.
+		for off := 0; off < outLen; {
+			c := 1 + rng.Intn(64)
+			if off+c > outLen {
+				c = outLen - off
+			}
+			for i := 0; i < n; i++ {
+				if _, err := io.ReadFull(m.Stream(i), got[i][off:off+c]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			off += c
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], want[i]) {
+				t.Fatalf("trial %d %s: stream %d/%d (in %dB, out %dB) diverges from single sponge",
+					trial, v.name, i, n, len(inputs[i]), outLen)
+			}
+		}
+		PutMultiXOF(m)
+	}
+}
+
+// TestBatchSumsMatchSingle checks the one-shot batch helpers against the
+// established single-message functions.
+func TestBatchSumsMatchSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xbb67ae85))
+	for trial := 0; trial < 1000; trial++ {
+		n := 1 + rng.Intn(10)
+		msgs := make([][]byte, n)
+		for i := range msgs {
+			msgs[i] = make([]byte, rng.Intn(300))
+			rng.Read(msgs[i])
+		}
+		dst := func(size int) [][]byte {
+			out := make([][]byte, n)
+			for i := range out {
+				out[i] = make([]byte, size)
+			}
+			return out
+		}
+
+		d := dst(32)
+		Sum256Batch(d, msgs)
+		for i := range msgs {
+			if want := Sum256(msgs[i]); !bytes.Equal(d[i], want[:]) {
+				t.Fatalf("trial %d: Sum256Batch[%d] mismatch", trial, i)
+			}
+		}
+		d = dst(64)
+		Sum512Batch(d, msgs)
+		for i := range msgs {
+			if want := Sum512(msgs[i]); !bytes.Equal(d[i], want[:]) {
+				t.Fatalf("trial %d: Sum512Batch[%d] mismatch", trial, i)
+			}
+		}
+		outLen := 1 + rng.Intn(200)
+		d = dst(outLen)
+		ShakeSum128Batch(d, msgs)
+		for i := range msgs {
+			if want := ShakeSum128(outLen, msgs[i]); !bytes.Equal(d[i], want) {
+				t.Fatalf("trial %d: ShakeSum128Batch[%d] mismatch", trial, i)
+			}
+		}
+		d = dst(outLen)
+		ShakeSum256Batch(d, msgs)
+		for i := range msgs {
+			if want := ShakeSum256(outLen, msgs[i]); !bytes.Equal(d[i], want) {
+				t.Fatalf("trial %d: ShakeSum256Batch[%d] mismatch", trial, i)
+			}
+		}
+	}
+	// Degenerate shapes must not panic.
+	Sum256Batch(nil, nil)
+	ShakeSum128Batch([][]byte{}, [][]byte{})
+}
+
+func BenchmarkShake128Batch16x34(b *testing.B) {
+	msgs := make([][]byte, 16)
+	dsts := make([][]byte, 16)
+	for i := range msgs {
+		msgs[i] = make([]byte, 34)
+		dsts[i] = make([]byte, 168)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ShakeSum128Batch(dsts, msgs)
+	}
+}

@@ -41,6 +41,11 @@ type CampaignOptions struct {
 	// Timing selects modeled (default) or measured compute time.
 	// TimingReal forces sequential execution.
 	Timing Timing
+	// KeyPool, when non-nil, offers pre-generated client key shares to each
+	// sample. Campaign samples are DRBG-pinned, so RunHandshake's
+	// deterministic-mode bypass keeps the pool out of the measured stream —
+	// rows stay byte-identical with or without a pool (or factory) attached.
+	KeyPool *KeyPool
 }
 
 // CampaignResult aggregates one suite's campaign, i.e. one table row.
@@ -103,6 +108,7 @@ func runCampaignSample(opts CampaignOptions, i int) (*sampleResult, error) {
 		ChainDepth: opts.ChainDepth,
 		Resume:     opts.Resume,
 		Timing:     opts.Timing,
+		KeyPool:    opts.KeyPool,
 		ClientProf: s.clientProf, ServerProf: s.serverProf,
 	})
 	if err != nil {

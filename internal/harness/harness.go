@@ -242,7 +242,14 @@ func RunHandshake(opts RunOptions) (*HandshakeResult, error) {
 		cliCfg.Rand = opts.Rand
 		srvCfg.Rand = opts.Rand
 	}
-	if opts.KeyPool != nil {
+	// Deterministic-mode bypass: when the run is pinned to a DRBG, taking a
+	// pooled key would skip the client's seed read and shift the shared
+	// stream — whether a given sample drew from the pool then depends on
+	// worker scheduling, and variable-length signatures (Falcon) would make
+	// flight sizes scheduling-dependent too. Pinned runs therefore always
+	// generate inline (same modeled cost either way); the pool serves only
+	// unpinned (live/wall-clock) runs.
+	if opts.KeyPool != nil && opts.Rand == nil {
 		cliCfg.PresetKeyShare = opts.KeyPool.Get(clientKEM)
 	}
 	if opts.ServerProf != nil {

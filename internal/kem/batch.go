@@ -1,0 +1,34 @@
+package kem
+
+import "io"
+
+// BatchGenerator is implemented by KEMs whose key generation amortizes
+// symmetric work across a batch of keys (ML-KEM batches its G/PRF/H hashes
+// through one multi-sponge pass). Batched output is byte-identical to the
+// same number of sequential GenerateKey calls on the same rng.
+type BatchGenerator interface {
+	GenerateKeyBatch(rng io.Reader, n int) (pubs, privs [][]byte, err error)
+}
+
+// GenerateKeyBatch creates n key pairs from k, batched when the KEM
+// supports it and by sequential GenerateKey calls otherwise.
+func GenerateKeyBatch(k KEM, rng io.Reader, n int) (pubs, privs [][]byte, err error) {
+	if bg, ok := k.(BatchGenerator); ok {
+		return bg.GenerateKeyBatch(rng, n)
+	}
+	return seqKeyBatch(k, rng, n)
+}
+
+func seqKeyBatch(k KEM, rng io.Reader, n int) (pubs, privs [][]byte, err error) {
+	pubs = make([][]byte, 0, n)
+	privs = make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		pub, priv, err := k.GenerateKey(rng)
+		if err != nil {
+			return nil, nil, err
+		}
+		pubs = append(pubs, pub)
+		privs = append(privs, priv)
+	}
+	return pubs, privs, nil
+}

@@ -19,6 +19,9 @@ type pqKEM struct {
 	keygen func(io.Reader) (pub, priv []byte, err error)
 	encaps func(io.Reader, []byte) (ct, ss []byte, err error)
 	decaps func(priv, ct []byte) ([]byte, error)
+	// batchKeygen, when set, is the scheme's amortized multi-key generation
+	// (see BatchGenerator); nil falls back to sequential keygen calls.
+	batchKeygen func(io.Reader, int) (pubs, privs [][]byte, err error)
 }
 
 func (k *pqKEM) Name() string          { return k.name }
@@ -40,11 +43,21 @@ func (k *pqKEM) Decapsulate(priv, ct []byte) ([]byte, error) {
 	return k.decaps(priv, ct)
 }
 
+// GenerateKeyBatch implements BatchGenerator, falling back to sequential
+// generation for schemes without a batched keygen.
+func (k *pqKEM) GenerateKeyBatch(rng io.Reader, n int) (pubs, privs [][]byte, err error) {
+	if k.batchKeygen != nil {
+		return k.batchKeygen(rng, n)
+	}
+	return seqKeyBatch(k, rng, n)
+}
+
 func kyberKEM(p *mlkem.Params, level int) KEM {
 	return &pqKEM{
 		name: p.Name, level: level,
 		pkSize: p.PublicKeySize(), ctSize: p.CiphertextSize(), ssSize: p.SharedSecretSize(),
 		keygen: p.GenerateKey, encaps: p.Encapsulate, decaps: p.Decapsulate,
+		batchKeygen: p.GenerateKeyBatch,
 	}
 }
 

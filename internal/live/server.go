@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"pqtls/internal/obs"
+	"pqtls/internal/sig"
 	"pqtls/internal/tls13"
 )
 
@@ -59,6 +60,17 @@ type Options struct {
 	// config, filling pqtls_handshake_phase_seconds{phase=...} histograms
 	// and pqtls_pubkey_ops_total{op,alg} counters.
 	PhaseMetrics bool
+	// SignWorkers, when positive, moves CertificateVerify signing onto a
+	// SignPool of this many workers backed by a precomputed signing context
+	// for Config.SigName/PrivateKey, so the per-key setup (Dilithium's
+	// matrix expansion and secret NTTs) is paid once instead of per
+	// handshake and at most SignWorkers signatures compete for CPU at a
+	// time. 0 signs inline on the connection goroutine.
+	SignWorkers int
+	// SignQueue bounds the sign pool's pending jobs (0 = 4×SignWorkers). A
+	// full queue blocks the submitting connection goroutine — backpressure,
+	// not unbounded buffering.
+	SignQueue int
 }
 
 // Counters is a point-in-time snapshot of a runtime's bookkeeping. Every
@@ -96,6 +108,9 @@ const (
 	MetricTicketsIssued   = "pqtls_tickets_issued_total"
 	MetricTicketsRedeemed = "pqtls_tickets_redeemed_total"
 	MetricTicketsRejected = "pqtls_tickets_rejected_total"
+	MetricSignPoolSigns   = "pqtls_signpool_signs_total"
+	MetricSignPoolErrs    = "pqtls_signpool_errors_total"
+	MetricSignPoolDepth   = "pqtls_signpool_queue_depth"
 )
 
 const handshakesHelp = "Handshake outcomes by result class (ok or a failure class)."
@@ -119,6 +134,8 @@ type Server struct {
 	inflight      *obs.Gauge
 	draining      *obs.Gauge
 	hsDur         *obs.LatencyHistogram
+
+	signPool *SignPool
 
 	metricsLn net.Listener
 	httpSrv   *http.Server
@@ -163,6 +180,15 @@ func Serve(ln net.Listener, opts Options) (*Server, error) {
 	if opts.PhaseMetrics {
 		cfg.Hooks = tls13.MultiHooks(cfg.Hooks, obs.NewPhaseHooks(reg))
 	}
+	var signPool *SignPool
+	if opts.SignWorkers > 0 {
+		scheme, err := sig.ByName(cfg.SigName)
+		if err != nil {
+			return nil, fmt.Errorf("live: sign pool: %w", err)
+		}
+		signPool = NewSignPool(sig.NewSigner(scheme, cfg.PrivateKey), opts.SignWorkers, opts.SignQueue)
+		cfg.Signer = signPool
+	}
 	s := &Server{
 		ln:       ln,
 		opts:     opts,
@@ -173,6 +199,7 @@ func Serve(ln net.Listener, opts Options) (*Server, error) {
 		conns:    make(map[net.Conn]struct{}),
 		failed:   make(map[string]*obs.Counter),
 		reg:      reg,
+		signPool: signPool,
 	}
 	// Every family is registered up front so a scrape sees the full schema
 	// before any traffic arrives.
@@ -191,6 +218,14 @@ func Serve(ln net.Listener, opts Options) (*Server, error) {
 		func() uint64 { return store.Stats().Redeemed })
 	reg.CounterFunc(MetricTicketsRejected, "Presented tickets that failed to open.",
 		func() uint64 { return store.Stats().Rejected })
+	if signPool != nil {
+		reg.CounterFunc(MetricSignPoolSigns, "CertificateVerify signatures produced by the sign pool.",
+			func() uint64 { return signPool.Stats().Signs })
+		reg.CounterFunc(MetricSignPoolErrs, "Sign-pool signer errors propagated to handshakes.",
+			func() uint64 { return signPool.Stats().Errors })
+		reg.GaugeFunc(MetricSignPoolDepth, "Signing jobs queued but not yet picked up by a worker.",
+			func() int64 { return int64(signPool.Stats().Depth) })
+	}
 
 	if opts.MetricsAddr != "" {
 		mln, err := net.Listen("tcp", opts.MetricsAddr)
@@ -415,8 +450,22 @@ func (s *Server) Shutdown(grace time.Duration) error {
 			return fmt.Errorf("live: drain timed out after %v; force-closed %d in-flight connections", grace, n)
 		}
 	}()
+	if s.signPool != nil {
+		// After the drain no connection goroutine can submit new work; the
+		// pool finishes whatever is still queued and its workers exit.
+		s.signPool.Close()
+	}
 	if s.httpSrv != nil {
 		s.httpSrv.Close()
 	}
 	return err
+}
+
+// SignPoolStats returns the sign pool's counters, or a zero snapshot when
+// Options.SignWorkers was 0.
+func (s *Server) SignPoolStats() SignPoolStats {
+	if s.signPool == nil {
+		return SignPoolStats{}
+	}
+	return s.signPool.Stats()
 }

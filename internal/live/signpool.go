@@ -1,0 +1,140 @@
+package live
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"pqtls/internal/sig"
+)
+
+// ErrSignPoolClosed is returned by Submit/Sign after Close.
+var ErrSignPoolClosed = errors.New("live: sign pool closed")
+
+// SignPool runs CertificateVerify signatures on a fixed set of worker
+// goroutines instead of the connection goroutine that asked for them. On a
+// server the PQ sign is by far the largest single compute block in the
+// handshake (Dilithium3's rejection loop runs ~3ms), so pulling it off the
+// accept path bounds how much signing work the limiter's MaxConns
+// connections can pile onto the scheduler at once: at most `workers`
+// signatures make progress, the rest queue. The queue is bounded too — a
+// full queue blocks Submit, which backpressures the connection goroutine
+// exactly like a saturated CPU would, but without the goroutine-thrash.
+//
+// SignPool itself implements sig.Signer, so it plugs directly into
+// tls13.Config.Signer.
+type SignPool struct {
+	signer sig.Signer
+	jobs   chan *SignFuture
+	wg     sync.WaitGroup
+
+	signs atomic.Uint64
+	errs  atomic.Uint64
+
+	mu     sync.RWMutex
+	closed bool
+}
+
+// SignFuture is a pending signature. Wait blocks until a worker has
+// produced the result.
+type SignFuture struct {
+	msg  []byte
+	done chan struct{}
+	sig  []byte
+	err  error
+}
+
+// Wait blocks until the signature is ready and returns it.
+func (f *SignFuture) Wait() ([]byte, error) {
+	<-f.done
+	return f.sig, f.err
+}
+
+// NewSignPool starts workers goroutines signing with signer. queue bounds
+// pending jobs (0 = 4×workers). The signer must be safe for concurrent use
+// — sig.NewSigner contexts and raw schemes both are.
+func NewSignPool(signer sig.Signer, workers, queue int) *SignPool {
+	if workers <= 0 {
+		workers = 1
+	}
+	if queue <= 0 {
+		queue = 4 * workers
+	}
+	p := &SignPool{signer: signer, jobs: make(chan *SignFuture, queue)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *SignPool) worker() {
+	defer p.wg.Done()
+	for f := range p.jobs {
+		f.sig, f.err = p.signer.Sign(f.msg)
+		if f.err != nil {
+			p.errs.Add(1)
+		} else {
+			p.signs.Add(1)
+		}
+		close(f.done)
+	}
+}
+
+// Submit enqueues msg for signing and returns its future. Submit blocks
+// while the queue is full (backpressure); after Close it returns a future
+// already resolved to ErrSignPoolClosed.
+func (p *SignPool) Submit(msg []byte) *SignFuture {
+	f := &SignFuture{msg: msg, done: make(chan struct{})}
+	// The send happens under the read lock so Close's write lock cannot
+	// close(p.jobs) between the closed check and the send. Blocking on a
+	// full queue while holding the read lock is fine: workers keep
+	// draining, and Close simply waits its turn behind the senders.
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		f.err = ErrSignPoolClosed
+		close(f.done)
+		return f
+	}
+	p.jobs <- f
+	p.mu.RUnlock()
+	return f
+}
+
+// Sign implements sig.Signer: Submit then Wait. A connection goroutine
+// calling through tls13.Config.Signer parks here while a worker signs.
+func (p *SignPool) Sign(msg []byte) ([]byte, error) {
+	return p.Submit(msg).Wait()
+}
+
+// Close stops accepting work, lets the workers drain everything already
+// queued, and waits for them to exit. Futures submitted before Close all
+// resolve; Submit afterwards fails fast. Idempotent.
+func (p *SignPool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.jobs)
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// SignPoolStats is a snapshot of a pool's counters.
+type SignPoolStats struct {
+	Signs  uint64 // signatures produced
+	Errors uint64 // signer errors propagated to futures
+	Depth  int    // jobs currently queued (not yet picked up)
+}
+
+// Stats returns a point-in-time snapshot.
+func (p *SignPool) Stats() SignPoolStats {
+	return SignPoolStats{
+		Signs:  p.signs.Load(),
+		Errors: p.errs.Load(),
+		Depth:  len(p.jobs),
+	}
+}

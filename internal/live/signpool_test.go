@@ -1,0 +1,137 @@
+package live_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"pqtls/internal/live"
+	"pqtls/internal/sig"
+)
+
+// TestSignPoolConcurrent pushes 120 concurrent Sign calls through a
+// 4-worker pool and checks every signature verifies and — Dilithium
+// signing being deterministic — is byte-identical to a direct one-shot
+// sign of the same message. Run under -race by `make race`.
+func TestSignPoolConcurrent(t *testing.T) {
+	scheme := sig.MustByName("dilithium2")
+	pub, priv, err := scheme.GenerateKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := live.NewSignPool(sig.NewSigner(scheme, priv), 4, 8)
+	defer pool.Close()
+
+	const calls = 120
+	sigs := make([][]byte, calls)
+	var wg sync.WaitGroup
+	for i := 0; i < calls; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, err := pool.Sign([]byte(fmt.Sprintf("transcript %d", i%10)))
+			if err != nil {
+				t.Errorf("sign %d: %v", i, err)
+				return
+			}
+			sigs[i] = s
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < calls; i++ {
+		msg := []byte(fmt.Sprintf("transcript %d", i%10))
+		if !scheme.Verify(pub, msg, sigs[i]) {
+			t.Fatalf("pool signature %d does not verify", i)
+		}
+		direct, err := scheme.Sign(priv, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(direct, sigs[i]) {
+			t.Fatalf("pool signature %d differs from direct deterministic sign", i)
+		}
+	}
+	if st := pool.Stats(); st.Signs != calls || st.Errors != 0 {
+		t.Fatalf("stats %+v, want %d signs and no errors", st, calls)
+	}
+}
+
+// TestSignPoolFutures exercises the Submit/Wait split directly: futures
+// submitted back-to-back all resolve independently, in any order.
+func TestSignPoolFutures(t *testing.T) {
+	scheme := sig.MustByName("ecdsa-p256")
+	pub, priv, err := scheme.GenerateKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := live.NewSignPool(sig.NewSigner(scheme, priv), 2, 2)
+	defer pool.Close()
+
+	futures := make([]*live.SignFuture, 16)
+	for i := range futures {
+		futures[i] = pool.Submit([]byte{byte(i)})
+	}
+	for i := len(futures) - 1; i >= 0; i-- { // reverse order: completion != wait order
+		s, err := futures[i].Wait()
+		if err != nil {
+			t.Fatalf("future %d: %v", i, err)
+		}
+		if !scheme.Verify(pub, []byte{byte(i)}, s) {
+			t.Fatalf("future %d signature invalid", i)
+		}
+	}
+}
+
+// TestSignPoolClose checks the shutdown contract: Close drains queued work
+// (futures submitted before Close resolve with real signatures), later
+// Submits fail fast with ErrSignPoolClosed, and Close is idempotent.
+func TestSignPoolClose(t *testing.T) {
+	scheme := sig.MustByName("ecdsa-p256")
+	pub, priv, err := scheme.GenerateKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := live.NewSignPool(sig.NewSigner(scheme, priv), 1, 8)
+	var futures []*live.SignFuture
+	for i := 0; i < 6; i++ {
+		futures = append(futures, pool.Submit([]byte{byte(i)}))
+	}
+	pool.Close()
+	for i, f := range futures {
+		s, err := f.Wait()
+		if err != nil {
+			t.Fatalf("pre-Close future %d lost: %v", i, err)
+		}
+		if !scheme.Verify(pub, []byte{byte(i)}, s) {
+			t.Fatalf("pre-Close future %d signature invalid", i)
+		}
+	}
+	if _, err := pool.Sign([]byte("late")); !errors.Is(err, live.ErrSignPoolClosed) {
+		t.Fatalf("post-Close Sign error = %v, want ErrSignPoolClosed", err)
+	}
+	pool.Close() // idempotent
+}
+
+// TestSignPoolErrorPropagation wires a failing signer and checks the error
+// reaches the future and the error counter, without wedging the workers.
+func TestSignPoolErrorPropagation(t *testing.T) {
+	pool := live.NewSignPool(failingSigner{}, 2, 2)
+	defer pool.Close()
+	for i := 0; i < 8; i++ {
+		if _, err := pool.Sign([]byte("x")); err == nil || err.Error() != "synthetic signer failure" {
+			t.Fatalf("call %d: error = %v, want synthetic failure", i, err)
+		}
+	}
+	if st := pool.Stats(); st.Errors != 8 || st.Signs != 0 {
+		t.Fatalf("stats %+v, want 8 errors and no signs", st)
+	}
+}
+
+type failingSigner struct{}
+
+func (failingSigner) Sign([]byte) ([]byte, error) {
+	return nil, errors.New("synthetic signer failure")
+}

@@ -9,6 +9,7 @@ import (
 
 	"pqtls/internal/live"
 	"pqtls/internal/obs"
+	"pqtls/internal/sig"
 	"pqtls/internal/tls13"
 )
 
@@ -41,6 +42,25 @@ type Options struct {
 	// every successful post-warmup handshake: the tls13 phase hooks plus a
 	// flight-wait span around each blocking record read.
 	Trace *obs.Collector
+	// KeyShares, when non-nil, supplies pre-generated key shares for
+	// Config.KEMName so full handshakes skip the client-side keygen.
+	// *harness.KeyPool satisfies this; its factory keeps the pool warm in
+	// the background. A nil Get (pool exhausted) falls back to inline
+	// generation, so a drained pool degrades rather than fails.
+	KeyShares KeySource
+	// Amortize installs a shared chain-verification cache and a shared
+	// verifier-context cache across the whole connection pool, so only the
+	// first full handshake pays the real certificate parse/verify and
+	// per-key verification setup — the steady-state of a client that keeps
+	// talking to one server. Modeled charges are unaffected.
+	Amortize bool
+}
+
+// KeySource hands out pre-generated key shares by KEM name. It is the
+// loadgen-side view of harness.KeyPool, kept as an interface so loadgen
+// does not import the harness.
+type KeySource interface {
+	Get(kemName string) *tls13.KeyShare
 }
 
 // Result aggregates one run.
@@ -94,6 +114,15 @@ func Run(opts Options) (*Result, error) {
 	}
 	if opts.HandshakeTimeout <= 0 {
 		opts.HandshakeTimeout = 10 * time.Second
+	}
+
+	if opts.Amortize {
+		// One shared pair of caches for the whole pool: the per-connection
+		// shallow copies in oneHandshake all point at these.
+		cfg := *opts.Config
+		cfg.ChainCache = tls13.NewChainCache()
+		cfg.Verifiers = sig.NewVerifierCache(0)
+		opts.Config = &cfg
 	}
 
 	var sess *tls13.Session
@@ -171,6 +200,10 @@ func oneHandshake(opts *Options, sess *tls13.Session, sample int) (time.Duration
 
 	cfg := *opts.Config
 	cfg.Session = sess
+	if opts.KeyShares != nil {
+		// nil on pool exhaustion: Start then generates inline as usual.
+		cfg.PresetKeyShare = opts.KeyShares.Get(cfg.KEMName)
+	}
 	var tracer *obs.Tracer
 	waitPhase := func() func() { return func() {} }
 	if opts.Trace != nil {

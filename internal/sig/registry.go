@@ -18,6 +18,10 @@ type pqScheme struct {
 	keygen  func(io.Reader) (pub, priv []byte, err error)
 	sign    func(priv, msg []byte) ([]byte, error)
 	verify  func(pub, msg, sig []byte) bool
+	// signerFn/verifierFn, when set, build the scheme's precomputed
+	// signing/verification contexts (see NewSigner / NewVerifier).
+	signerFn   func(priv []byte) (Signer, error)
+	verifierFn func(pub []byte) (Verifier, error)
 }
 
 func (s *pqScheme) Name() string       { return s.name }
@@ -32,10 +36,30 @@ func (s *pqScheme) GenerateKey(rng io.Reader) (pub, priv []byte, err error) {
 func (s *pqScheme) Sign(priv, msg []byte) ([]byte, error) { return s.sign(priv, msg) }
 func (s *pqScheme) Verify(pub, msg, sig []byte) bool      { return s.verify(pub, msg, sig) }
 
+func (s *pqScheme) newSigner(priv []byte) (Signer, error) {
+	if s.signerFn == nil {
+		return nil, nil
+	}
+	return s.signerFn(priv)
+}
+
+func (s *pqScheme) newVerifier(pub []byte) (Verifier, error) {
+	if s.verifierFn == nil {
+		return nil, nil
+	}
+	return s.verifierFn(pub)
+}
+
 func dilithiumScheme(p *mldsa.Params, level int) Scheme {
 	return &pqScheme{name: p.Name, level: level,
 		pkSize: p.PublicKeySize(), sigSize: p.SignatureSize(),
-		keygen: p.GenerateKey, sign: p.Sign, verify: p.Verify}
+		keygen: p.GenerateKey, sign: p.Sign, verify: p.Verify,
+		signerFn: func(priv []byte) (Signer, error) {
+			return p.NewSigningKey(priv)
+		},
+		verifierFn: func(pub []byte) (Verifier, error) {
+			return p.NewVerifyKey(pub)
+		}}
 }
 
 func falconScheme(p *falcon.Params, level int) Scheme {

@@ -1,0 +1,60 @@
+package tls13
+
+import (
+	"crypto/sha256"
+	"sync"
+
+	"pqtls/internal/pki"
+)
+
+// chainCacheCap bounds the cache; a loadgen fleet sees a handful of
+// distinct server chains, so overflow signals misuse rather than a working
+// set and is handled by random eviction.
+const chainCacheCap = 32
+
+// ChainCache memoizes successful certificate-chain verifications, keyed by
+// the hash of the Certificate message body. The server presents an
+// identical chain on every connection, so after the first full
+// parse-and-verify a client can amortize the real chain-validation compute
+// across all subsequent handshakes; the modeled per-certificate verify
+// charges are unaffected. The cache records only successes — failures
+// always re-run the full path — and must only be shared between configs
+// with identical Roots, since a hit vouches for the chain under the roots
+// that first verified it. Safe for concurrent use.
+type ChainCache struct {
+	mu sync.Mutex
+	m  map[[32]byte]*chainEntry
+}
+
+// chainEntry is the verification outcome a cache hit replays: the leaf
+// certificate plus the algorithm of every chain element (for the modeled
+// per-certificate verify charges).
+type chainEntry struct {
+	leaf *pki.Certificate
+	algs []string
+}
+
+// NewChainCache returns an empty chain-verification cache.
+func NewChainCache() *ChainCache {
+	return &ChainCache{m: make(map[[32]byte]*chainEntry)}
+}
+
+func chainKey(body []byte) [32]byte { return sha256.Sum256(body) }
+
+func (c *ChainCache) lookup(key [32]byte) *chainEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[key]
+}
+
+func (c *ChainCache) store(key [32]byte, e *chainEntry) {
+	c.mu.Lock()
+	if len(c.m) >= chainCacheCap {
+		for k := range c.m {
+			delete(c.m, k)
+			break
+		}
+	}
+	c.m[key] = e
+	c.mu.Unlock()
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"pqtls/internal/pki"
+	"pqtls/internal/sig"
 )
 
 // BufferPolicy selects how the server assembles its handshake flight into
@@ -124,6 +125,24 @@ type Config struct {
 	// is still charged to the Meter — the preset only amortizes the real
 	// compute (harness key pools) without changing modeled timing.
 	PresetKeyShare *KeyShare
+	// Signer, when set on a server, computes the CertificateVerify
+	// signature in place of SigName's one-shot Sign. This is the hook the
+	// live runtime's signing worker pool and precomputed signing contexts
+	// install; it must produce signatures verifiable under PrivateKey's
+	// public key. The modeled sign cost is charged either way.
+	Signer sig.Signer
+	// Verifiers, when set on a client, caches precomputed verification
+	// contexts by public key for the CertificateVerify check, amortizing
+	// per-key setup (Dilithium's matrix expansion) across handshakes that
+	// see the same server key. The modeled verify cost is charged either
+	// way.
+	Verifiers *sig.VerifierCache
+	// ChainCache, when set on a client, memoizes successful certificate
+	// chain verifications by the Certificate message bytes, so repeat
+	// handshakes against the same server skip re-parsing and re-verifying
+	// an unchanged chain. All configs sharing a cache must share identical
+	// Roots and the modeled per-certificate verify costs are still charged.
+	ChainCache *ChainCache
 }
 
 // KeyShare is a pre-generated KEM key pair for PresetKeyShare.

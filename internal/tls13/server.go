@@ -261,7 +261,13 @@ func (s *Server) Respond(records []Record) ([]Flush, error) {
 		// CertificateVerify: the handshake signature (the expensive step).
 		endPhase = s.cfg.phase(PhaseCVSign)
 		endCrypto = s.cfg.span(LibCrypto)
-		signature, err := s.scheme.Sign(s.cfg.PrivateKey, certVerifyContent(s.ks.transcriptHash()))
+		content := certVerifyContent(s.ks.transcriptHash())
+		var signature []byte
+		if s.cfg.Signer != nil {
+			signature, err = s.cfg.Signer.Sign(content)
+		} else {
+			signature, err = s.scheme.Sign(s.cfg.PrivateKey, content)
+		}
 		if err != nil {
 			endCrypto()
 			return nil, fmt.Errorf("tls13: handshake signature: %w", err)
