@@ -4,15 +4,15 @@ FUZZTIME ?= 5s
 # (see EXPERIMENTS.md).
 TABLE4FLAGS ?= -samples 5 -timing model
 
-.PHONY: check lint vet build test race fuzz-smoke live-smoke phases-smoke bench bench-gate table4 clean
+.PHONY: check lint vet build test race fuzz-smoke live-smoke saturate-smoke phases-smoke bench bench-gate table4 clean
 
 # check is the CI entry point: static checks, build, the full test suite,
 # the race-enabled suite (exercising the parallel campaign engine), the
 # benchmark regression gate (short mode: allocs/op only, since shared
 # runners have noisy timing), a short fuzz pass over each wire-parsing
-# target, a live loopback smoke run, and the observability smoke (phase
-# traces + Prometheus /metrics).
-check: lint build test race bench-gate fuzz-smoke live-smoke phases-smoke
+# target, a live loopback smoke run, the sharded-accept saturate smoke, and
+# the observability smoke (phase traces + Prometheus /metrics).
+check: lint build test race bench-gate fuzz-smoke live-smoke saturate-smoke phases-smoke
 
 # lint runs the always-available static checks (gofmt, go vet) and, when
 # installed, staticcheck. The toolchain image does not bundle staticcheck,
@@ -69,6 +69,21 @@ live-smoke:
 		echo "live-smoke: -pool changed the schedule digest: '$$d1' vs '$$d3'"; exit 1; fi; \
 	echo "live-smoke OK: schedule digest $$d1 reproducible across runs (incl. -pool)"
 
+# saturate-smoke runs a short `pqbench saturate` ladder (sharded accept,
+# split-schedule dispatch, resumption on the shared ticket store) under the
+# race detector, twice, and checks the sweep digest — the fingerprint of
+# every rung's seeded arrival plan — is identical both times. Achieved
+# rates are the host's; the offered plans must not be.
+saturate-smoke:
+	$(GO) build -race -o bin/pqbench-race ./cmd/pqbench
+	@d1=$$(bin/pqbench-race saturate -rate 40 -duration 1s -rungs 2 -shards 1,2 -resume | \
+		tee /dev/stderr | sed -n 's/.*sweep digest \([0-9a-f]*\).*/\1/p'); \
+	d2=$$(bin/pqbench-race saturate -rate 40 -duration 1s -rungs 2 -shards 1,2 -resume | \
+		sed -n 's/.*sweep digest \([0-9a-f]*\).*/\1/p'); \
+	if [ -z "$$d1" ] || [ "$$d1" != "$$d2" ]; then \
+		echo "saturate-smoke: sweep digest not reproducible: '$$d1' vs '$$d2'"; exit 1; fi; \
+	echo "saturate-smoke OK: sweep digest $$d1 reproducible across runs"
+
 # phases-smoke exercises the observability subsystem end to end: `pqbench
 # phases` for a classical and a PQ cell (JSONL schema self-check, flight-wait
 # visible), then a real pqtls-server scraped over /metrics and /healthz.
@@ -82,7 +97,7 @@ phases-smoke:
 # they move for a bad one.
 bench:
 	$(GO) build -o bin/pqbench ./cmd/pqbench
-	bin/pqbench microbench -out BENCH_6.json
+	bin/pqbench microbench -out BENCH_7.json
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
 # bench-gate compares a fresh short microbench run against the newest

@@ -52,6 +52,15 @@ func main() {
 		}
 		return
 	}
+	if cmd == "saturate" {
+		// saturate sweeps accept-shard counts against an escalating offered
+		// rate to find the host's handshake ceiling — see saturate.go.
+		if err := runSaturate(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "pqbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if cmd == "microbench" {
 		// microbench runs the kernel inventory via testing.Benchmark and
 		// emits machine-readable BENCH_*.json — see microbench.go.
@@ -203,6 +212,7 @@ commands: all-kem all-sig deviation improvement whitebox
           cwnd all-sphincs hrr chains resumption capture list
 
 live:       real-socket load test over loopback (own flags; pqbench live -h)
+saturate:   sharded-accept scaling sweep to the host's handshake ceiling (own flags; pqbench saturate -h)
 phases:     per-phase handshake breakdown with span traces (own flags; pqbench phases -h)
 microbench: kernel ns/op + allocs/op to BENCH_*.json (own flags; pqbench microbench -h)
 benchgate:  compare two BENCH_*.json, fail on regression (own flags; pqbench benchgate -h)`)

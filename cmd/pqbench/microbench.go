@@ -275,6 +275,44 @@ func kernelBenchmarks() []namedBench {
 		})
 	}
 
+	{
+		// TLS 1.3 key-schedule kernel: one full server-side HKDF derivation
+		// chain (early → handshake → master, both traffic secret pairs,
+		// finished MACs) through the scratch-buffer key schedule. Gated at
+		// zero allocs — this runs once per handshake on the accept path.
+		ks := tls13.NewKeyScheduleKernel()
+		ss := make([]byte, 32)
+		transcript := make([]byte, 512)
+		benchStream("microbench/keyschedule").Read(ss)
+		benchStream("microbench/keyschedule-transcript").Read(transcript)
+		var sink byte
+		add("tls13/keyschedule", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sink ^= ks.Run(ss, transcript)
+			}
+			_ = sink
+		})
+	}
+	{
+		// Session-ticket seal + open round trip on the key-sharded store —
+		// the per-resumption cost of ticket issuance and redemption with the
+		// atomic counters and cached AEAD on the hot path.
+		ts := tls13.NewTicketStore([16]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+		psk := make([]byte, 32)
+		benchStream("microbench/ticket").Read(psk)
+		add("tls13/ticket-seal-open", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tkt, err := ts.Seal(psk, "kyber768")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := ts.Open(tkt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
 	add("handshake/kyber768-dilithium3", handshakeBench("kyber768", "dilithium3"))
 	add("handshake/x25519-ed25519", handshakeBench("x25519", "ed25519"))
 	return out
@@ -345,8 +383,8 @@ func runMicrobench(args []string) error {
 	short := fs.Bool("short", false, "fast pass: 100ms per kernel, no live run (allocs/op still exact)")
 	withLive := fs.Bool("live", true, "measure live loopback handshakes/sec for the headline suite")
 	rate := fs.Float64("rate", 200, "live offered load (handshakes/second)")
-	poolRate := fs.Float64("pool-rate", 600, "offered load for the precompute-enabled live probe")
-	duration := fs.Duration("duration", 2*time.Second, "live schedule span")
+	poolRate := fs.Float64("pool-rate", 800, "offered load for the precompute-enabled live probe")
+	duration := fs.Duration("duration", 4*time.Second, "live schedule span")
 	fs.Parse(args)
 
 	// testing.Benchmark obeys the test.benchtime flag; register the testing
@@ -368,17 +406,12 @@ func runMicrobench(args []string) error {
 		Short:      *short,
 		Benchmarks: map[string]benchResult{},
 	}
-	for _, nb := range kernelBenchmarks() {
-		r := testing.Benchmark(nb.fn)
-		doc.Benchmarks[nb.name] = benchResult{
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			AllocsPerOp: r.AllocsPerOp(),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-		}
-		fmt.Fprintf(os.Stderr, "%-32s %12.0f ns/op %8d B/op %6d allocs/op\n",
-			nb.name, doc.Benchmarks[nb.name].NsPerOp, r.AllocedBytesPerOp(), r.AllocsPerOp())
-	}
 
+	// The live probes run before the kernel sweep: tens of seconds of
+	// saturated benchmarking can trip host-level CPU throttling (thermal or
+	// cgroup quota), which would bias a trailing wall-clock throughput
+	// measurement. Kernel benches self-calibrate per kernel and gate on
+	// allocs in CI, so ordering does not affect them the same way.
 	if *withLive && !*short {
 		lr, err := liveThroughput("kyber768", "dilithium3", *rate, *duration, false)
 		if err != nil {
@@ -402,6 +435,17 @@ func runMicrobench(args []string) error {
 			"live/kyber768-dilithium3+pool", pr.HandshakesPerSec, pr.P50Ms, pr.P95Ms)
 	}
 
+	for _, nb := range kernelBenchmarks() {
+		r := testing.Benchmark(nb.fn)
+		doc.Benchmarks[nb.name] = benchResult{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		fmt.Fprintf(os.Stderr, "%-32s %12.0f ns/op %8d B/op %6d allocs/op\n",
+			nb.name, doc.Benchmarks[nb.name].NsPerOp, r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+
 	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
@@ -417,39 +461,56 @@ func runMicrobench(args []string) error {
 // liveThroughput measures real loopback handshakes/sec with the
 // internal/live server runtime and internal/loadgen's open-loop schedule —
 // the same plumbing as `pqbench live`, reduced to the numbers the bench
-// file records.
+// file records. The pooled probe runs the sharded accept path (one shard
+// per core) with the schedule split across as many dispatchers, the same
+// configuration `pqbench saturate` sweeps.
 func liveThroughput(kemName, sigName string, rate float64, duration time.Duration, pooled bool) (*liveResult, error) {
 	creds, err := harness.CredentialsFor(sigName, 1)
 	if err != nil {
 		return nil, err
 	}
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return nil, err
+	srvCfg := &tls13.Config{
+		KEMName: kemName, SigName: sigName, ServerName: "server.example",
+		Chain: creds.Chain, PrivateKey: creds.Priv, Buffer: tls13.BufferImmediate,
 	}
 	srvOpts := live.Options{
-		Config: &tls13.Config{
-			KEMName: kemName, SigName: sigName, ServerName: "server.example",
-			Chain: creds.Chain, PrivateKey: creds.Priv, Buffer: tls13.BufferImmediate,
-		},
+		Config:           srvCfg,
 		MaxConns:         128,
 		HandshakeTimeout: 10 * time.Second,
 	}
+	workers := 1
+	var addr string
+	var shutdown func(time.Duration) error
 	if pooled {
 		srvOpts.SignWorkers = 2
-	}
-	srv, err := live.Serve(ln, srvOpts)
-	if err != nil {
-		return nil, err
+		srvOpts.MaxConns = 256
+		workers = runtime.GOMAXPROCS(0)
+		ss, err := live.ServeSharded("127.0.0.1:0", srvOpts, workers)
+		if err != nil {
+			return nil, err
+		}
+		addr = ss.Addr().String()
+		shutdown = ss.Shutdown
+	} else {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		srv, err := live.Serve(ln, srvOpts)
+		if err != nil {
+			return nil, err
+		}
+		addr = srv.Addr().String()
+		shutdown = srv.Shutdown
 	}
 	warmup := duration / 10
 	sched := loadgen.NewSchedule(1, loadgen.DistExponential, rate, duration)
 	runOpts := loadgen.Options{
-		Addr:             srv.Addr().String(),
+		Addr:             addr,
 		Config:           &tls13.Config{KEMName: kemName, SigName: sigName, ServerName: "server.example", Roots: creds.Roots},
 		Schedule:         sched,
 		Warmup:           warmup,
-		MaxConcurrent:    128,
+		MaxConcurrent:    srvOpts.MaxConns,
 		HandshakeTimeout: 10 * time.Second,
 	}
 	if pooled {
@@ -458,19 +519,30 @@ func liveThroughput(kemName, sigName string, rate float64, duration time.Duratio
 			Suites: []string{kemName}, Target: 128, LowWater: 32, Batch: 32,
 		})
 		if err != nil {
-			srv.Shutdown(time.Second)
+			shutdown(time.Second)
 			return nil, err
 		}
 		defer keyPool.StopFactory()
 		runOpts.KeyShares = keyPool
 		runOpts.Amortize = true
+		// Discarded warm-up pass against the same server before the clock
+		// matters: fills the key-share factory, sizes the GC heap, and warms
+		// the shard runtimes — the steady state a saturate ladder reaches on
+		// its earlier rungs. Without it the probe measures cold-start.
+		warmOpts := runOpts
+		warmOpts.Schedule = loadgen.NewSchedule(2, loadgen.DistExponential, rate/3, time.Second)
+		warmOpts.Warmup = 0
+		if _, err := loadgen.RunWorkers(warmOpts, workers); err != nil {
+			shutdown(time.Second)
+			return nil, err
+		}
 	}
-	res, err := loadgen.Run(runOpts)
+	res, err := loadgen.RunWorkers(runOpts, workers)
 	if err != nil {
-		srv.Shutdown(time.Second)
+		shutdown(time.Second)
 		return nil, err
 	}
-	if err := srv.Shutdown(5 * time.Second); err != nil {
+	if err := shutdown(5 * time.Second); err != nil {
 		return nil, err
 	}
 	return &liveResult{

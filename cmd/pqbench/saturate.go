@@ -1,0 +1,244 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"pqtls/internal/harness"
+	"pqtls/internal/live"
+	"pqtls/internal/loadgen"
+	"pqtls/internal/tls13"
+)
+
+// runSaturate is the `pqbench saturate` subcommand: it answers "how many
+// handshakes per second can this host actually do, and does the sharded
+// accept path scale?" For each accept-shard count in the sweep it starts a
+// ShardedServer, then climbs an offered-rate ladder — each rung a seeded
+// open-loop schedule dispatched by as many loadgen workers as the server
+// has shards — until achieved/offered drops below the knee threshold. The
+// arrival plans are deterministic (same seed, same digests); only the
+// measured rates are host-dependent.
+func runSaturate(args []string) error {
+	fs := flag.NewFlagSet("saturate", flag.ExitOnError)
+	kemName := fs.String("kem", "kyber768", "key agreement (see pqbench list)")
+	sigName := fs.String("sig", "dilithium3", "certificate signature algorithm")
+	resume := fs.Bool("resume", false, "measure PSK-resumed handshakes")
+	duration := fs.Duration("duration", 2*time.Second, "schedule span per ladder rung")
+	warmup := fs.Duration("warmup", 0, "per-rung warmup (default duration/10)")
+	dist := fs.String("dist", "exp", "inter-arrival distribution: exp|uniform")
+	seed := fs.Int64("seed", 1, "arrival-schedule seed")
+	startRate := fs.Float64("rate", 200, "offered load of the first ladder rung (handshakes/s)")
+	growth := fs.Float64("growth", 1.5, "offered-rate multiplier between rungs")
+	maxRate := fs.Float64("rate-max", 0, "stop the ladder beyond this offered rate (0 = no cap)")
+	knee := fs.Float64("knee", 0.9, "achieved/offered ratio below which the ladder stops")
+	maxRungs := fs.Int("rungs", 10, "maximum ladder rungs per shard count")
+	shardsFlag := fs.String("shards", "", "comma-separated accept-shard counts to sweep (default 1..GOMAXPROCS)")
+	conns := fs.Int("conns", 256, "max concurrent handshakes (client pool and server limiter)")
+	hsTimeout := fs.Duration("timeout", 10*time.Second, "per-connection handshake deadline")
+	pool := fs.Bool("pool", true, "precompute subsystem end to end: key-share factory, amortized caches, signing workers")
+	signWorkers := fs.Int("sign-workers", 2, "server signing worker pool size when -pool is set")
+	csvPath := fs.String("csv", "", "also write one CSV row per rung to this file")
+	fs.Parse(args)
+	if *warmup <= 0 {
+		*warmup = *duration / 10
+	}
+	distVal, err := loadgen.ParseDist(*dist)
+	if err != nil {
+		return err
+	}
+	shardCounts, err := parseShardSweep(*shardsFlag)
+	if err != nil {
+		return err
+	}
+
+	creds, err := harness.CredentialsFor(*sigName, 1)
+	if err != nil {
+		return err
+	}
+	srvCfg := &tls13.Config{
+		KEMName: *kemName, SigName: *sigName, ServerName: "server.example",
+		Chain: creds.Chain, PrivateKey: creds.Priv, Buffer: tls13.BufferImmediate,
+	}
+	cliCfg := &tls13.Config{
+		KEMName: *kemName, SigName: *sigName, ServerName: "server.example", Roots: creds.Roots,
+	}
+
+	var keyPool *harness.KeyPool
+	if *pool {
+		keyPool = harness.NewKeyPool()
+		err := keyPool.StartFactory(harness.FactoryOptions{
+			Suites: []string{*kemName}, Target: 128, LowWater: 32, Batch: 32,
+		})
+		if err != nil {
+			return err
+		}
+		defer keyPool.StopFactory()
+	}
+
+	fmt.Printf("pqbench saturate: %s + %s over loopback, shard sweep %v, ladder from %g/s ×%g (knee %.2f)\n",
+		*kemName, *sigName, shardCounts, *startRate, *growth, *knee)
+
+	type rung struct {
+		shards           int
+		offered          float64
+		achieved         float64
+		ratio            float64
+		p50, p95         time.Duration
+		completed, fails uint64
+		digest           string
+	}
+	var rungs []rung
+	peak := make(map[int]rung) // best achieved rung per shard count
+	sweep := sha256.New()      // running fingerprint of every rung's arrival plan
+
+	for _, n := range shardCounts {
+		ss, err := live.ServeSharded("127.0.0.1:0", live.Options{
+			Config:           srvCfg,
+			MaxConns:         *conns,
+			HandshakeTimeout: *hsTimeout,
+			IssueTickets:     *resume,
+			SignWorkers:      boolInt(*pool) * *signWorkers,
+		}, n)
+		if err != nil {
+			return err
+		}
+
+		offered := *startRate
+		for r := 0; r < *maxRungs; r++ {
+			if *maxRate > 0 && offered > *maxRate {
+				break
+			}
+			sched := loadgen.NewSchedule(*seed, distVal, offered, *duration)
+			if len(sched.Offsets) == 0 {
+				break
+			}
+			opts := loadgen.Options{
+				Addr:             ss.Addr().String(),
+				Config:           cliCfg,
+				Schedule:         sched,
+				Warmup:           *warmup,
+				MaxConcurrent:    *conns,
+				HandshakeTimeout: *hsTimeout,
+				Resume:           *resume,
+				Amortize:         *pool,
+			}
+			if keyPool != nil {
+				opts.KeyShares = keyPool
+			}
+			res, err := loadgen.RunWorkers(opts, n)
+			if err != nil {
+				ss.Shutdown(time.Second)
+				return err
+			}
+			achieved := res.Rate(*warmup)
+			ratio := 0.0
+			if offered > 0 {
+				ratio = achieved / offered
+			}
+			rg := rung{
+				shards: n, offered: offered, achieved: achieved, ratio: ratio,
+				p50: res.Hist.Quantile(0.50), p95: res.Hist.Quantile(0.95),
+				completed: res.Completed, fails: res.Failed, digest: sched.Digest(),
+			}
+			rungs = append(rungs, rg)
+			fmt.Fprintf(sweep, "%d|%s\n", n, rg.digest)
+			fmt.Printf("  shards %d rung %d: offered %7.1f/s achieved %7.1f/s ratio %.3f p50 %s failed %d digest %s\n",
+				n, r, offered, achieved, ratio, ms(rg.p50)+"ms", res.Failed, rg.digest)
+			if best, ok := peak[n]; !ok || achieved > best.achieved {
+				peak[n] = rg
+			}
+			if ratio < *knee {
+				break // the knee: the host stopped keeping up with the plan
+			}
+			offered *= *growth
+		}
+		if err := ss.Shutdown(5 * time.Second); err != nil {
+			fmt.Fprintln(os.Stderr, "pqbench:", err)
+		}
+	}
+
+	// The handshakes/sec-vs-cores table: one row per shard count, at the
+	// rung where that configuration achieved its highest rate.
+	fmt.Println("\nscaling (peak achieved rate per accept-shard count):")
+	fmt.Println("  shards | offered/s | achieved/s | ratio |  p50 ms |  p95 ms | failed")
+	fmt.Println("  -------+-----------+------------+-------+---------+---------+-------")
+	for _, n := range shardCounts {
+		p, ok := peak[n]
+		if !ok {
+			continue
+		}
+		fmt.Printf("  %6d | %9.1f | %10.1f | %5.3f | %7s | %7s | %6d\n",
+			n, p.offered, p.achieved, p.ratio, ms(p.p50), ms(p.p95), p.fails)
+	}
+	fmt.Printf("sweep digest %x (seeded arrival plans; rates are this host's)\n",
+		sweep.Sum(nil)[:8])
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		w := csv.NewWriter(f)
+		w.Write([]string{"shards", "offered_hs_s", "achieved_hs_s", "ratio",
+			"p50_us", "p95_us", "completed", "failed", "digest"})
+		for _, rg := range rungs {
+			w.Write([]string{
+				strconv.Itoa(rg.shards),
+				fmt.Sprintf("%.2f", rg.offered),
+				fmt.Sprintf("%.2f", rg.achieved),
+				fmt.Sprintf("%.4f", rg.ratio),
+				strconv.FormatInt(rg.p50.Microseconds(), 10),
+				strconv.FormatInt(rg.p95.Microseconds(), 10),
+				strconv.FormatUint(rg.completed, 10),
+				strconv.FormatUint(rg.fails, 10),
+				rg.digest,
+			})
+		}
+		w.Flush()
+		if err := w.Error(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d rungs to %s\n", len(rungs), *csvPath)
+	}
+	return nil
+}
+
+// parseShardSweep turns "-shards 1,2,4" into the sweep list; empty means
+// every count from 1 to GOMAXPROCS.
+func parseShardSweep(s string) ([]int, error) {
+	if s == "" {
+		n := runtime.GOMAXPROCS(0)
+		out := make([]int, 0, n)
+		for i := 1; i <= n; i++ {
+			out = append(out, i)
+		}
+		return out, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("pqbench: bad -shards entry %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

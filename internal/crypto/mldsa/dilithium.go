@@ -205,7 +205,7 @@ func (p *Params) Sign(sk, msg []byte) ([]byte, error) {
 // All scratch is call-local, so one SigningKey can sign concurrently.
 func (k *SigningKey) sign(msg []byte) ([]byte, error) {
 	p := k.p
-	a, s1Hat, s2Hat, t0Hat := k.a, k.s1Hat, k.s2Hat, k.t0Hat
+	aMont, s1Hat, s2Hat, t0Hat := k.aMont, k.s1Hat, k.s2Hat, k.t0Hat
 	mu := sha3.ShakeSum256(64, k.tr[:], msg)
 	rhoPrime := sha3.ShakeSum256(64, k.key[:], mu)
 
@@ -229,10 +229,7 @@ func (k *SigningKey) sign(msg []byte) ([]byte, error) {
 		}
 		w1Packed = w1Packed[:0]
 		for i := 0; i < p.K; i++ {
-			w[i] = poly{}
-			for j := 0; j < p.L; j++ {
-				mulAcc(&w[i], &a[i*p.L+j], &yHat[j])
-			}
+			polyDotMont(&w[i], aMont[i*p.L:(i+1)*p.L], yHat)
 			w[i].invNTT()
 			for n := 0; n < N; n++ {
 				w1[i][n] = highBits(w[i][n], p.Gamma2)
@@ -243,12 +240,16 @@ func (k *SigningKey) sign(msg []byte) ([]byte, error) {
 		c := sampleInBall(cTilde, p.Tau)
 		cHat := c
 		cHat.ntt()
+		// One Montgomery lift of c per iteration pays for every c·{s1,s2,t0}
+		// product below via the cheaper montReduce pointwise multiply.
+		cHatMont := cHat
+		cHatMont.toMont()
 
 		// z = y + c*s1, rejected if too large.
 		ok := true
 		for i := range z {
 			var cs1 poly
-			mulAcc(&cs1, &cHat, &s1Hat[i])
+			polyMulMont(&cs1, &cHatMont, &s1Hat[i])
 			cs1.invNTT()
 			z[i] = y[i]
 			z[i].add(&cs1)
@@ -266,9 +267,9 @@ func (k *SigningKey) sign(msg []byte) ([]byte, error) {
 		for i := 0; i < p.K && ok; i++ {
 			hints[i] = poly{}
 			var cs2, ct0 poly
-			mulAcc(&cs2, &cHat, &s2Hat[i])
+			polyMulMont(&cs2, &cHatMont, &s2Hat[i])
 			cs2.invNTT()
-			mulAcc(&ct0, &cHat, &t0Hat[i])
+			polyMulMont(&ct0, &cHatMont, &t0Hat[i])
 			ct0.invNTT()
 			if ct0.normExceeds(p.Gamma2) {
 				ok = false
@@ -396,6 +397,8 @@ func (k *VerifyKey) verify(msg, sig []byte) bool {
 	c := sampleInBall(cTilde, p.Tau)
 	cHat := c
 	cHat.ntt()
+	cHatMont := cHat
+	cHatMont.toMont()
 
 	zHat := make([]poly, p.L)
 	for i := range zHat {
@@ -405,12 +408,10 @@ func (k *VerifyKey) verify(msg, sig []byte) bool {
 	w1Packed := make([]byte, 0, p.K*N*int(p.W1Bits)/8)
 	for i := 0; i < p.K; i++ {
 		var az poly
-		for j := 0; j < p.L; j++ {
-			mulAcc(&az, &k.a[i*p.L+j], &zHat[j])
-		}
+		polyDotMont(&az, k.aMont[i*p.L:(i+1)*p.L], zHat)
 		// az - c * (t1 * 2^D), with NTT(t1 * 2^D) precomputed on the key.
 		var ct1 poly
-		mulAcc(&ct1, &cHat, &k.t1ShiftHat[i])
+		polyMulMont(&ct1, &cHatMont, &k.t1ShiftHat[i])
 		az.sub(&ct1)
 		az.invNTT()
 		var w1 poly

@@ -29,6 +29,10 @@ var (
 // qInv is q^-1 mod 2^32, the low-half multiplier of Montgomery reduction.
 const qInv int32 = 58728449
 
+// r2Mont is 2^64 mod q: multiplying by it under montReduce lifts a plain
+// residue into the Montgomery domain (a·2^32 mod q). Filled in init.
+var r2Mont int64
+
 func init() {
 	pow := func(b, e int64) int64 {
 		r := int64(1)
@@ -49,6 +53,7 @@ func init() {
 		zetas[i] = int32(pow(root, int64(br)))
 		zetasMont[i] = int32(int64(zetas[i]) << 32 % Q)
 	}
+	r2Mont = pow(2, 64)
 	if int32(pow(256, Q-2)) != inv256 {
 		panic("mldsa: inv256 constant is wrong")
 	}
@@ -68,12 +73,16 @@ func fqmul(a, b int32) int32 {
 	return int32(int64(a) * int64(b) % Q)
 }
 
+// freduce maps a to its canonical residue in [0, q), branch-free: the
+// shift-based estimate t ≈ a/q (exact to ±1 for |a| ≤ 2^31 − 2^22, which
+// covers every caller — the largest inputs are the lazy NTT's ≤ 9q
+// magnitudes) leaves a centered remainder in (−q, q); the sign-mask add
+// then lifts negatives. Division-free, so it stays cheap inside the
+// per-coefficient loops the signing profile is dominated by.
 func freduce(a int32) int32 {
-	a %= Q
-	if a < 0 {
-		a += Q
-	}
-	return a
+	t := (a + (1 << 22)) >> 23
+	a -= t * Q
+	return a + (a>>31)&Q
 }
 
 // centered maps a residue in [0, Q) to its representative in (-Q/2, Q/2].
@@ -137,9 +146,43 @@ func (p *poly) invNTT() {
 }
 
 // mulAcc accumulates the pointwise NTT-domain product a*b into r.
+// Cold-path helper (keygen); the signing and verification loops use the
+// Montgomery-domain variants below, which replace the int64 division in
+// fqmul with a single montReduce per coefficient.
 func mulAcc(r, a, b *poly) {
 	for i := range r {
 		r[i] = freduce(r[i] + fqmul(a[i], b[i]))
+	}
+}
+
+// toMont lifts p into the Montgomery domain (p[i]·2^32 mod q). Inputs must
+// be canonical; outputs are canonical representatives of the scaled values.
+func (p *poly) toMont() {
+	for i := range p {
+		p[i] = freduce(montReduce(r2Mont * int64(p[i])))
+	}
+}
+
+// polyMulMont sets r[i] = aMont[i]·b[i]·2^-32 mod q — the plain-domain
+// pointwise product when aMont is Montgomery-scaled and b canonical.
+func polyMulMont(r, aMont, b *poly) {
+	for i := range r {
+		r[i] = freduce(montReduce(int64(aMont[i]) * int64(b[i])))
+	}
+}
+
+// polyDotMont sets r to the NTT-domain dot product Σ_j aMont[j]∘b[j] of a
+// Montgomery-scaled matrix row with a canonical vector. The int64
+// accumulator tolerates up to 2^31/q ≈ 256 terms before a reduction is
+// needed — far above the ≤ 8 rows of any parameter set — so the whole row
+// costs one montReduce+freduce per coefficient instead of one per term.
+func polyDotMont(r *poly, aMont, b []poly) {
+	for i := 0; i < N; i++ {
+		var acc int64
+		for j := range aMont {
+			acc += int64(aMont[j][i]) * int64(b[j][i])
+		}
+		r[i] = freduce(montReduce(acc))
 	}
 }
 
@@ -179,17 +222,23 @@ func power2Round(r int32) (r1, r0 int32) {
 }
 
 // decompose splits r = r1*alpha + r0 (alpha = 2*gamma2, centered r0) with
-// the q-1 wraparound fix from the spec.
+// the q-1 wraparound fix from the spec. Division-free: the high part comes
+// from a fixed-point multiply tuned per gamma2 (only (q-1)/32 and (q-1)/88
+// exist across the parameter sets), and the wraparound case r1 = (q-1)/alpha
+// folds to 0 via a mask instead of a branch. Output is identical to the
+// schoolbook r % alpha / (r-r0)/alpha form for every r in [0, q).
 func decompose(r, gamma2 int32) (r1, r0 int32) {
-	alpha := 2 * gamma2
-	r0 = r % alpha
-	if r0 > gamma2 {
-		r0 -= alpha
+	r1 = (r + 127) >> 7
+	if gamma2 == (Q-1)/32 {
+		r1 = (r1*1025 + (1 << 21)) >> 22
+		r1 &= 15
+	} else { // gamma2 == (Q-1)/88
+		r1 = (r1*11275 + (1 << 23)) >> 24
+		r1 ^= ((43 - r1) >> 31) & r1
 	}
-	if r-r0 == Q-1 {
-		return 0, r0 - 1
-	}
-	return (r - r0) / alpha, r0
+	r0 = r - r1*2*gamma2
+	r0 -= (((Q-1)/2 - r0) >> 31) & Q
+	return r1, r0
 }
 
 // highBits returns the r1 part of decompose.

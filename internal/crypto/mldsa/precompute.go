@@ -17,7 +17,7 @@ import (
 type SigningKey struct {
 	p       *Params
 	key, tr [32]byte
-	a       []poly // K×L matrix, NTT domain
+	aMont   []poly // K×L matrix, NTT domain, Montgomery-scaled (·2^32 mod q)
 	s1Hat   []poly
 	s2Hat   []poly
 	t0Hat   []poly
@@ -54,7 +54,13 @@ func (p *Params) NewSigningKey(sk []byte) (*SigningKey, error) {
 		off += 416
 		k.t0Hat[i].ntt()
 	}
-	k.a = p.expandA(rho)
+	// The matrix is consumed exclusively by Montgomery-domain row products
+	// (polyDotMont/polyMulMont), so scale it once here: the 2^32 factor
+	// cancels against montReduce in every later multiply.
+	k.aMont = p.expandA(rho)
+	for i := range k.aMont {
+		k.aMont[i].toMont()
+	}
 	return k, nil
 }
 
@@ -72,7 +78,7 @@ func (k *SigningKey) Sign(msg []byte) ([]byte, error) { return k.sign(msg) }
 type VerifyKey struct {
 	p          *Params
 	tr         [32]byte
-	a          []poly // K×L matrix, NTT domain
+	aMont      []poly // K×L matrix, NTT domain, Montgomery-scaled (·2^32 mod q)
 	t1ShiftHat []poly // NTT(t1 · 2^D) per row
 }
 
@@ -92,7 +98,10 @@ func (p *Params) NewVerifyKey(pk []byte) (*VerifyKey, error) {
 		}
 		k.t1ShiftHat[i].ntt()
 	}
-	k.a = p.expandA(rho)
+	k.aMont = p.expandA(rho)
+	for i := range k.aMont {
+		k.aMont[i].toMont()
+	}
 	tr := sha3.ShakeSum256(32, pk)
 	copy(k.tr[:], tr)
 	return k, nil

@@ -1,0 +1,36 @@
+//go:build linux
+
+package live
+
+import (
+	"context"
+	"net"
+	"syscall"
+)
+
+// reusePortAvailable gates the per-shard-listener accept path: on Linux,
+// SO_REUSEPORT lets every shard bind its own listener on one address and
+// the kernel hash connections across them, removing the single accept
+// queue from the hot path.
+const reusePortAvailable = true
+
+// soReusePort is SO_REUSEPORT (15 on every Linux architecture); the syscall
+// package predates the option and never exported it.
+const soReusePort = 0xf
+
+// listenReusePort binds a TCP listener with SO_REUSEPORT set, so several
+// listeners can share one address.
+func listenReusePort(addr string) (net.Listener, error) {
+	lc := net.ListenConfig{
+		Control: func(_, _ string, c syscall.RawConn) error {
+			var serr error
+			if err := c.Control(func(fd uintptr) {
+				serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+			}); err != nil {
+				return err
+			}
+			return serr
+		},
+	}
+	return lc.Listen(context.Background(), "tcp", addr)
+}

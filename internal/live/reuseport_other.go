@@ -1,0 +1,16 @@
+//go:build !linux
+
+package live
+
+import (
+	"errors"
+	"net"
+)
+
+// Without SO_REUSEPORT the sharded runtime falls back to N accept
+// goroutines fanning out from one shared listener.
+const reusePortAvailable = false
+
+func listenReusePort(string) (net.Listener, error) {
+	return nil, errors.ErrUnsupported
+}

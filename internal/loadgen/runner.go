@@ -1,8 +1,10 @@
 package loadgen
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -12,6 +14,23 @@ import (
 	"pqtls/internal/sig"
 	"pqtls/internal/tls13"
 )
+
+// readerPool recycles per-connection buffered readers; the record layer
+// otherwise pays two read syscalls per record. Readers are returned after
+// the last read a connection will ever make, so pooling cannot swallow
+// bytes another connection needs.
+var readerPool = sync.Pool{
+	New: func() any { return bufio.NewReaderSize(nil, 4096) },
+}
+
+// bufferedConn reads through a pooled bufio.Reader and writes straight
+// through to the socket (handshake flights are already single writes).
+type bufferedConn struct {
+	r *bufio.Reader
+	io.Writer
+}
+
+func (b bufferedConn) Read(p []byte) (int, error) { return b.r.Read(p) }
 
 // Options configure one open-loop load-generation run against a live
 // server.
@@ -96,10 +115,50 @@ func (r *Result) Rate(warmup time.Duration) float64 {
 	return float64(r.Hist.Count()) / span.Seconds()
 }
 
+// Merge folds another run's counters and latency histogram into r. The
+// log-bucketed histogram merges exactly (bucket-wise addition), so a run
+// split across dispatchers — or across machines — aggregates to the same
+// Result a single dispatcher would have produced.
+func (r *Result) Merge(o *Result) {
+	if o == nil {
+		return
+	}
+	r.Hist.Merge(&o.Hist)
+	r.Offered += o.Offered
+	r.Started += o.Started
+	r.Completed += o.Completed
+	r.Failed += o.Failed
+	r.Warmup += o.Warmup
+	r.Resumed += o.Resumed
+	for class, n := range o.Errors {
+		if r.Errors == nil {
+			r.Errors = make(map[string]uint64)
+		}
+		r.Errors[class] += n
+	}
+	if o.MaxLag > r.MaxLag {
+		r.MaxLag = o.MaxLag
+	}
+	if o.Elapsed > r.Elapsed {
+		r.Elapsed = o.Elapsed
+	}
+}
+
 // Run executes the schedule against the server. It returns an error only
 // for setup failures (bad options, resumption priming); individual
 // handshake failures are counted in the Result.
 func Run(opts Options) (*Result, error) {
+	return RunWorkers(opts, 1)
+}
+
+// RunWorkers executes the schedule with its arrival plan split round-robin
+// across workers dispatcher goroutines, each pacing its own slice of the
+// offsets against one shared clock and one shared concurrency limiter. A
+// single dispatcher tops out at roughly one arrival per scheduler wakeup;
+// splitting the plan keeps the offered rate honest at saturation. The
+// per-worker Results are merged bucket-exactly, so workers only changes
+// dispatch parallelism, never the semantics of the run.
+func RunWorkers(opts Options, workers int) (*Result, error) {
 	if opts.Schedule == nil || len(opts.Schedule.Offsets) == 0 {
 		return nil, errors.New("loadgen: empty schedule")
 	}
@@ -114,6 +173,9 @@ func Run(opts Options) (*Result, error) {
 	}
 	if opts.HandshakeTimeout <= 0 {
 		opts.HandshakeTimeout = 10 * time.Second
+	}
+	if workers <= 0 {
+		workers = 1
 	}
 
 	if opts.Amortize {
@@ -134,16 +196,41 @@ func Run(opts Options) (*Result, error) {
 		}
 	}
 
+	parts := opts.Schedule.Split(workers)
+	sem := make(chan struct{}, opts.MaxConcurrent)
+	results := make([]*Result, len(parts))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w, part := range parts {
+		wg.Add(1)
+		go func(w int, part *Schedule) {
+			defer wg.Done()
+			// Sample w of part i is sample w + i*len(parts) of the original
+			// plan (round-robin split), so trace sample IDs stay unique.
+			results[w] = dispatch(&opts, part, sess, start, sem, w, len(parts))
+		}(w, part)
+	}
+	wg.Wait()
+	res := results[0]
+	for _, o := range results[1:] {
+		res.Merge(o)
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// dispatch paces one slice of the arrival plan. Offsets are absolute (from
+// the shared start instant), so concurrent dispatchers reproduce the exact
+// arrival process of the unsplit schedule.
+func dispatch(opts *Options, sched *Schedule, sess *tls13.Session, start time.Time, sem chan struct{}, worker, stride int) *Result {
 	res := &Result{
-		Offered: uint64(len(opts.Schedule.Offsets)),
+		Offered: uint64(len(sched.Offsets)),
 		Errors:  make(map[string]uint64),
 	}
-	sem := make(chan struct{}, opts.MaxConcurrent)
 	var wg sync.WaitGroup
-	var mu sync.Mutex // guards res aggregation from worker goroutines
+	var mu sync.Mutex // guards res aggregation from handshake goroutines
 
-	start := time.Now()
-	for _, off := range opts.Schedule.Offsets {
+	for i, off := range sched.Offsets {
 		// Open loop: fire at the scheduled offset no matter what earlier
 		// handshakes are doing; only pool saturation may delay a start.
 		if d := off - time.Since(start); d > 0 {
@@ -151,14 +238,14 @@ func Run(opts Options) (*Result, error) {
 		}
 		sem <- struct{}{}
 		if lag := time.Since(start) - off; lag > res.MaxLag {
-			res.MaxLag = lag // main goroutine only; no lock needed
+			res.MaxLag = lag // dispatcher goroutine only; no lock needed
 		}
 		res.Started++
 		wg.Add(1)
 		go func(sample int, scheduled time.Duration) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			lat, tracer, err := oneHandshake(&opts, sess, sample)
+			lat, tracer, err := oneHandshake(opts, sess, sample)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -178,11 +265,11 @@ func Run(opts Options) (*Result, error) {
 			if opts.Trace != nil {
 				opts.Trace.Add(tracer)
 			}
-		}(int(res.Started)-1, off)
+		}(worker+i*stride, off)
 	}
 	wg.Wait()
 	res.Elapsed = time.Since(start)
-	return res, nil
+	return res
 }
 
 // oneHandshake dials and completes a single handshake, timing the span from
@@ -197,6 +284,13 @@ func oneHandshake(opts *Options, sess *tls13.Session, sample int) (time.Duration
 	}
 	defer conn.Close()
 	conn.SetDeadline(time.Now().Add(opts.HandshakeTimeout))
+	br := readerPool.Get().(*bufio.Reader)
+	br.Reset(conn)
+	defer func() {
+		br.Reset(nil) // drop the conn reference before pooling
+		readerPool.Put(br)
+	}()
+	rw := bufferedConn{r: br, Writer: conn}
 
 	cfg := *opts.Config
 	cfg.Session = sess
@@ -230,12 +324,12 @@ func oneHandshake(opts *Options, sess *tls13.Session, sample int) (time.Duration
 		return 0, nil, err
 	}
 	t0 := time.Now()
-	if err := tls13.WriteRecords(conn, flight); err != nil {
+	if err := tls13.WriteRecords(rw, flight); err != nil {
 		return 0, nil, err
 	}
 	for {
 		endWait := waitPhase()
-		rec, err := tls13.ReadRecord(conn)
+		rec, err := tls13.ReadRecord(rw)
 		endWait()
 		if err != nil {
 			return 0, nil, err
@@ -245,7 +339,7 @@ func oneHandshake(opts *Options, sess *tls13.Session, sample int) (time.Duration
 			return 0, nil, err
 		}
 		if len(out) > 0 {
-			if err := tls13.WriteRecords(conn, out); err != nil {
+			if err := tls13.WriteRecords(rw, out); err != nil {
 				return 0, nil, err
 			}
 		}
@@ -265,11 +359,20 @@ func Prime(addr string, cfg *tls13.Config, dialTimeout, hsTimeout time.Duration)
 	}
 	defer conn.Close()
 	conn.SetDeadline(time.Now().Add(hsTimeout))
-	cli, err := tls13.ClientHandshake(conn, cfg)
+	br := readerPool.Get().(*bufio.Reader)
+	br.Reset(conn)
+	defer func() {
+		br.Reset(nil)
+		readerPool.Put(br)
+	}()
+	// The ticket flight may already sit in the buffer after the handshake
+	// flights, so the follow-up read must go through the same reader.
+	rw := bufferedConn{r: br, Writer: conn}
+	cli, err := tls13.ClientHandshake(rw, cfg)
 	if err != nil {
 		return nil, err
 	}
-	rec, err := tls13.ReadRecord(conn)
+	rec, err := tls13.ReadRecord(rw)
 	if err != nil {
 		return nil, fmt.Errorf("reading NewSessionTicket: %w", err)
 	}

@@ -3,14 +3,15 @@ package tls13
 import (
 	"crypto/sha256"
 	"sync"
+	"sync/atomic"
 
 	"pqtls/internal/pki"
 )
 
-// chainCacheCap bounds the cache; a loadgen fleet sees a handful of
+// defaultChainCacheCap bounds the cache; a loadgen fleet sees a handful of
 // distinct server chains, so overflow signals misuse rather than a working
 // set and is handled by random eviction.
-const chainCacheCap = 32
+const defaultChainCacheCap = 32
 
 // ChainCache memoizes successful certificate-chain verifications, keyed by
 // the hash of the Certificate message body. The server presents an
@@ -22,8 +23,14 @@ const chainCacheCap = 32
 // with identical Roots, since a hit vouches for the chain under the roots
 // that first verified it. Safe for concurrent use.
 type ChainCache struct {
+	cap int
+
 	mu sync.Mutex
 	m  map[[32]byte]*chainEntry
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
 }
 
 // chainEntry is the verification outcome a cache hit replays: the leaf
@@ -34,27 +41,65 @@ type chainEntry struct {
 	algs []string
 }
 
-// NewChainCache returns an empty chain-verification cache.
+// NewChainCache returns an empty chain-verification cache with the default
+// size cap.
 func NewChainCache() *ChainCache {
-	return &ChainCache{m: make(map[[32]byte]*chainEntry)}
+	return NewChainCacheCap(defaultChainCacheCap)
+}
+
+// NewChainCacheCap returns an empty cache holding at most capacity entries
+// (minimum 1); overflow evicts a random resident entry.
+func NewChainCacheCap(capacity int) *ChainCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &ChainCache{cap: capacity, m: make(map[[32]byte]*chainEntry)}
 }
 
 func chainKey(body []byte) [32]byte { return sha256.Sum256(body) }
 
 func (c *ChainCache) lookup(key [32]byte) *chainEntry {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.m[key]
+	e := c.m[key]
+	c.mu.Unlock()
+	if e == nil {
+		c.misses.Add(1)
+	} else {
+		c.hits.Add(1)
+	}
+	return e
 }
 
 func (c *ChainCache) store(key [32]byte, e *chainEntry) {
 	c.mu.Lock()
-	if len(c.m) >= chainCacheCap {
+	if _, resident := c.m[key]; !resident && len(c.m) >= c.cap {
 		for k := range c.m {
 			delete(c.m, k)
 			break
 		}
+		c.evictions.Add(1)
 	}
 	c.m[key] = e
 	c.mu.Unlock()
+}
+
+// ChainCacheStats is a point-in-time view of the cache's counters.
+type ChainCacheStats struct {
+	Hits      uint64 // lookups answered from the cache
+	Misses    uint64 // lookups that fell through to a full verification
+	Evictions uint64 // resident entries displaced by the size cap
+	Entries   int    // current resident count (≤ the cap)
+}
+
+// Stats returns the cache's counters and current size.
+func (c *ChainCache) Stats() ChainCacheStats {
+	c.mu.Lock()
+	n := len(c.m)
+	c.mu.Unlock()
+	return ChainCacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   n,
+	}
 }

@@ -1,0 +1,84 @@
+package tls13
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// A capped cache must stay capped under a many-distinct-chain churn and
+// account for every displacement.
+func TestChainCacheCappedUnderChurn(t *testing.T) {
+	t.Parallel()
+	const capacity, distinct = 8, 200
+	c := NewChainCacheCap(capacity)
+	for i := 0; i < distinct; i++ {
+		key := chainKey([]byte(fmt.Sprintf("chain-%d", i)))
+		c.store(key, &chainEntry{algs: []string{"dilithium3"}})
+		if st := c.Stats(); st.Entries > capacity {
+			t.Fatalf("cache grew to %d entries, cap is %d", st.Entries, capacity)
+		}
+	}
+	st := c.Stats()
+	if st.Entries != capacity {
+		t.Errorf("entries = %d, want %d", st.Entries, capacity)
+	}
+	if st.Evictions != distinct-capacity {
+		t.Errorf("evictions = %d, want %d", st.Evictions, distinct-capacity)
+	}
+}
+
+// Re-storing a resident key must not evict anyone.
+func TestChainCacheRestoreNoEviction(t *testing.T) {
+	t.Parallel()
+	c := NewChainCacheCap(2)
+	k1 := chainKey([]byte("one"))
+	k2 := chainKey([]byte("two"))
+	c.store(k1, &chainEntry{})
+	c.store(k2, &chainEntry{})
+	c.store(k1, &chainEntry{})
+	if st := c.Stats(); st.Evictions != 0 || st.Entries != 2 {
+		t.Errorf("stats = %+v, want 2 entries and no evictions", st)
+	}
+}
+
+func TestChainCacheStats(t *testing.T) {
+	t.Parallel()
+	c := NewChainCache()
+	key := chainKey([]byte("the chain"))
+	if c.lookup(key) != nil {
+		t.Fatal("hit on empty cache")
+	}
+	c.store(key, &chainEntry{})
+	if c.lookup(key) == nil {
+		t.Fatal("miss after store")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+}
+
+// Concurrent lookup/store/stats churn; run under -race in make check.
+func TestChainCacheConcurrent(t *testing.T) {
+	t.Parallel()
+	c := NewChainCacheCap(4)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := chainKey([]byte(fmt.Sprintf("g%d-%d", g, i%8)))
+				if c.lookup(key) == nil {
+					c.store(key, &chainEntry{})
+				}
+				_ = c.Stats()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Entries > 4 {
+		t.Errorf("cap violated under concurrency: %d entries", st.Entries)
+	}
+}

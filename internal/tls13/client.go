@@ -324,16 +324,16 @@ func (c *Client) tryProcessServerHello() error {
 	endDecap()
 	if c.resuming {
 		// psk_dhe_ke: the early secret absorbs the resumption PSK.
-		c.ks.earlySecret = hkdfExtract(nil, c.cfg.Session.PSK)
+		c.ks.setEarlySecret(c.cfg.Session.PSK)
 	}
 	c.ks.setSharedSecret(ss)
-	recvKey, recvIV := trafficKeys(c.ks.serverHSTraffic)
+	recvKey, recvIV := c.ks.trafficKeys(c.ks.serverHSTraffic[:])
 	c.recvHC, err = newHalfConn(recvKey, recvIV)
 	if err != nil {
 		endCrypto()
 		return err
 	}
-	sendKey, sendIV := trafficKeys(c.ks.clientHSTraffic)
+	sendKey, sendIV := c.ks.trafficKeys(c.ks.clientHSTraffic[:])
 	c.sendHC, err = newHalfConn(sendKey, sendIV)
 	if err != nil {
 		endCrypto()
@@ -477,7 +477,7 @@ func (c *Client) handleMessage(typ uint8, body, full []byte) error {
 		}
 		defer c.cfg.phase(PhaseFinVerify)()
 		endCrypto := c.cfg.span(LibCrypto)
-		want := finishedMAC(c.ks.serverHSTraffic, c.ks.transcriptHash())
+		want := c.ks.finishedMsg(c.ks.serverHSTraffic[:], c.ks.transcriptHash())
 		endCrypto()
 		if !hmac.Equal(body, want) {
 			return errors.New("tls13: server Finished verification failed")
@@ -495,7 +495,7 @@ func (c *Client) handleMessage(typ uint8, body, full []byte) error {
 func (c *Client) finalFlight() ([]Record, bool, error) {
 	defer c.cfg.phase(PhaseFinSend)()
 	endCrypto := c.cfg.span(LibCrypto)
-	mac := finishedMAC(c.ks.clientHSTraffic, c.ks.transcriptHash())
+	mac := c.ks.finishedMsg(c.ks.clientHSTraffic[:], c.ks.transcriptHash())
 	finMsg := handshakeMsg(typeFinished, mac)
 	c.ks.deriveMaster()
 	rec, err := c.sendHC.seal(RecordHandshake, finMsg)
@@ -514,5 +514,5 @@ func (c *Client) Done() bool { return c.done }
 // AppTrafficSecrets returns the application traffic secrets (client, server)
 // once the handshake is complete.
 func (c *Client) AppTrafficSecrets() (client, server []byte) {
-	return c.ks.clientAppTraffic, c.ks.serverAppTraffic
+	return c.ks.clientAppTraffic[:], c.ks.serverAppTraffic[:]
 }

@@ -3,6 +3,7 @@ package tls13
 import (
 	"io"
 	"time"
+	"unsafe"
 
 	"pqtls/internal/pki"
 	"pqtls/internal/sig"
@@ -143,6 +144,13 @@ type Config struct {
 	// an unchanged chain. All configs sharing a cache must share identical
 	// Roots and the modeled per-certificate verify costs are still charged.
 	ChainCache *ChainCache
+
+	// certMsgCache and ticketCache memoize per-Config derived state (the
+	// marshaled Certificate message; the TicketStore behind a bare
+	// TicketKey). They are unsafe.Pointer instead of atomic.Pointer[T]
+	// because Config values are copied; see configcache.go.
+	certMsgCache unsafe.Pointer // *certMsgCache
+	ticketCache  unsafe.Pointer // *ticketStoreCache
 }
 
 // KeyShare is a pre-generated KEM key pair for PresetKeyShare.

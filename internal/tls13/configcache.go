@@ -1,0 +1,75 @@
+package tls13
+
+import (
+	"sync/atomic"
+	"unsafe"
+
+	"pqtls/internal/pki"
+)
+
+// Per-Config caches for state that is identical on every handshake built
+// from the same Config: the marshaled Certificate message and the transient
+// TicketStore backing a bare TicketKey.
+//
+// The fields live on Config as plain unsafe.Pointer slots (see config.go)
+// rather than atomic.Pointer[T] because Config is value-copied throughout
+// the codebase and atomic.Pointer's noCopy marker would trip vet. Each
+// cache entry records the identity of the input it was built from and is
+// rebuilt on mismatch, so a copied-then-mutated Config stays correct — it
+// just repopulates its own slot.
+
+// certMsgCache memoizes the marshaled Certificate message for a chain.
+type certMsgCache struct {
+	chain0 *pki.Certificate // identity of the chain it was built from
+	n      int
+	msg    []byte
+}
+
+// certificateMessage returns the marshaled Certificate handshake message for
+// c.Chain, cached across handshakes. The returned bytes are shared: callers
+// must not mutate them (sealHandshake clones record payloads, so the normal
+// server path never does).
+func (c *Config) certificateMessage() []byte {
+	if len(c.Chain) == 0 {
+		return nil
+	}
+	if p := (*certMsgCache)(atomic.LoadPointer(&c.certMsgCache)); p != nil &&
+		p.chain0 == c.Chain[0] && p.n == len(c.Chain) {
+		return p.msg
+	}
+	raw := make([][]byte, len(c.Chain))
+	for i, cert := range c.Chain {
+		raw[i] = cert.Marshal()
+	}
+	entry := &certMsgCache{chain0: c.Chain[0], n: len(c.Chain), msg: marshalCertificate(raw)}
+	atomic.StorePointer(&c.certMsgCache, unsafe.Pointer(entry))
+	return entry.msg
+}
+
+// ticketStoreCache memoizes the transient store built from a bare TicketKey.
+type ticketStoreCache struct {
+	key   *[ticketKeySize]byte // identity of the TicketKey it was built from
+	store *TicketStore
+}
+
+// sessionTickets resolves the server's ticket machinery: the shared Tickets
+// store when configured, else a per-Config store over the legacy TicketKey,
+// else nil. The TicketKey store used to be rebuilt on every handshake, which
+// discarded its counters and paid an AEAD construction per connection; it is
+// now cached on the Config, so all handshakes from one Config share one
+// store (two racing first calls may transiently build two stores over the
+// same key — their tickets interoperate, and later calls converge).
+func (c *Config) sessionTickets() *TicketStore {
+	if c.Tickets != nil {
+		return c.Tickets
+	}
+	if c.TicketKey == nil {
+		return nil
+	}
+	if p := (*ticketStoreCache)(atomic.LoadPointer(&c.ticketCache)); p != nil && p.key == c.TicketKey {
+		return p.store
+	}
+	entry := &ticketStoreCache{key: c.TicketKey, store: NewTicketStore(*c.TicketKey)}
+	atomic.StorePointer(&c.ticketCache, unsafe.Pointer(entry))
+	return entry.store
+}

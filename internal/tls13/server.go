@@ -32,7 +32,7 @@ type Server struct {
 	sendHC *halfConn // server handshake traffic (server -> client)
 	recvHC *halfConn // client handshake traffic (client -> server)
 
-	expectedClientFin []byte
+	expectedClientFin [32]byte
 	resumptionPSK     []byte
 	hrrSent           bool
 	done              bool
@@ -195,16 +195,16 @@ func (s *Server) Respond(records []Record) ([]Flush, error) {
 
 	endCrypto = s.cfg.span(LibCrypto)
 	if s.resumptionPSK != nil {
-		s.ks.earlySecret = hkdfExtract(nil, s.resumptionPSK)
+		s.ks.setEarlySecret(s.resumptionPSK)
 	}
 	s.ks.setSharedSecret(ss)
-	sendKey, sendIV := trafficKeys(s.ks.serverHSTraffic)
+	sendKey, sendIV := s.ks.trafficKeys(s.ks.serverHSTraffic[:])
 	s.sendHC, err = newHalfConn(sendKey, sendIV)
 	if err != nil {
 		endCrypto()
 		return nil, err
 	}
-	recvKey, recvIV := trafficKeys(s.ks.clientHSTraffic)
+	recvKey, recvIV := s.ks.trafficKeys(s.ks.clientHSTraffic[:])
 	s.recvHC, err = newHalfConn(recvKey, recvIV)
 	if err != nil {
 		endCrypto()
@@ -240,11 +240,9 @@ func (s *Server) Respond(records []Record) ([]Flush, error) {
 	if s.resumptionPSK == nil {
 		endPhase = s.cfg.phase(PhaseCertWrite)
 		endSSL = s.cfg.span(LibSSL)
-		raw := make([][]byte, len(s.cfg.Chain))
-		for i, c := range s.cfg.Chain {
-			raw[i] = c.Marshal()
-		}
-		certMsg := marshalCertificate(raw)
+		// Marshaled once per Config; identical for every handshake (shared
+		// read-only bytes, sealHandshake clones record payloads).
+		certMsg := s.cfg.certificateMessage()
 		s.ks.addMessage(certMsg)
 		certRecs, err := s.sealHandshake(certMsg)
 		if err != nil {
@@ -293,10 +291,10 @@ func (s *Server) Respond(records []Record) ([]Flush, error) {
 	// Server Finished.
 	endPhase = s.cfg.phase(PhaseFinSend)
 	endCrypto = s.cfg.span(LibCrypto)
-	finMsg := handshakeMsg(typeFinished, finishedMAC(s.ks.serverHSTraffic, s.ks.transcriptHash()))
+	finMsg := handshakeMsg(typeFinished, s.ks.finishedMsg(s.ks.serverHSTraffic[:], s.ks.transcriptHash()))
 	s.ks.addMessage(finMsg)
 	// The client's Finished covers the transcript through server Finished.
-	s.expectedClientFin = finishedMAC(s.ks.clientHSTraffic, s.ks.transcriptHash())
+	s.ks.finishedMACInto(&s.expectedClientFin, s.ks.clientHSTraffic[:], s.ks.transcriptHash())
 	s.ks.deriveMaster()
 	endCrypto()
 	finRecs, err := s.sealHandshake(finMsg)
@@ -444,7 +442,7 @@ func (s *Server) Finish(records []Record) error {
 			if typ != typeFinished {
 				return fmt.Errorf("tls13: expected client Finished, got type %d", typ)
 			}
-			if !hmac.Equal(body, s.expectedClientFin) {
+			if !hmac.Equal(body, s.expectedClientFin[:]) {
 				return errors.New("tls13: client Finished verification failed")
 			}
 			s.done = true
@@ -468,5 +466,5 @@ func (s *Server) ResumedSession() bool { return s.resumptionPSK != nil }
 // AppTrafficSecrets returns the application traffic secrets (client, server)
 // once the handshake is complete.
 func (s *Server) AppTrafficSecrets() (client, server []byte) {
-	return s.ks.clientAppTraffic, s.ks.serverAppTraffic
+	return s.ks.clientAppTraffic[:], s.ks.serverAppTraffic[:]
 }

@@ -2,12 +2,9 @@ package tls13
 
 import (
 	"bytes"
-	"crypto/aes"
-	"crypto/cipher"
 	"crypto/rand"
 	"crypto/sha256"
 	"errors"
-	"fmt"
 	"io"
 )
 
@@ -53,7 +50,7 @@ func (s *Server) SessionTicket() ([]Record, *Session, error) {
 	if _, err := io.ReadFull(rand.Reader, nonce[:]); err != nil {
 		return nil, nil, err
 	}
-	resMaster := deriveSecret(s.ks.masterSecret, "res master", s.ks.transcriptHash())
+	resMaster := deriveSecret(s.ks.masterSecret[:], "res master", s.ks.transcriptHash())
 	psk := hkdfExpandLabel(resMaster, "resumption", nonce[:], sha256.Size)
 
 	ticket, err := store.Seal(psk, s.cfg.KEMName)
@@ -71,7 +68,7 @@ func (s *Server) SessionTicket() ([]Record, *Session, error) {
 	msg := handshakeMsg(typeNewSessionTicket, body.Bytes())
 
 	// Post-handshake messages travel under the application traffic keys.
-	appKey, appIV := trafficKeys(s.ks.serverAppTraffic)
+	appKey, appIV := s.ks.trafficKeys(s.ks.serverAppTraffic[:])
 	hc, err := newHalfConn(appKey, appIV)
 	if err != nil {
 		return nil, nil, err
@@ -91,7 +88,7 @@ func (c *Client) ProcessTicket(records []Record) (*Session, error) {
 		return nil, errors.New("tls13: ProcessTicket before handshake completion")
 	}
 	defer c.cfg.phase(PhaseTicketProcess)()
-	appKey, appIV := trafficKeys(c.ks.serverAppTraffic)
+	appKey, appIV := c.ks.trafficKeys(c.ks.serverAppTraffic[:])
 	hc, err := newHalfConn(appKey, appIV)
 	if err != nil {
 		return nil, err
@@ -131,71 +128,11 @@ func (c *Client) ProcessTicket(records []Record) (*Session, error) {
 		if err != nil {
 			return nil, err
 		}
-		resMaster := deriveSecret(c.ks.masterSecret, "res master", c.ks.transcriptHash())
+		resMaster := deriveSecret(c.ks.masterSecret[:], "res master", c.ks.transcriptHash())
 		psk := hkdfExpandLabel(resMaster, "resumption", nonce, sha256.Size)
 		return &Session{Ticket: ticket, PSK: psk, KEMName: c.cfg.KEMName}, nil
 	}
 	return nil, errors.New("tls13: no NewSessionTicket in flight")
-}
-
-// sealTicket encrypts (psk, kemName) under the ticket key.
-func sealTicket(key *[ticketKeySize]byte, psk []byte, kemName string) ([]byte, error) {
-	var plain bytes.Buffer
-	plain.WriteByte(byte(len(psk)))
-	plain.Write(psk)
-	plain.WriteByte(byte(len(kemName)))
-	plain.WriteString(kemName)
-
-	block, err := aes.NewCipher(key[:])
-	if err != nil {
-		return nil, err
-	}
-	aead, err := cipher.NewGCM(block)
-	if err != nil {
-		return nil, err
-	}
-	nonce := make([]byte, aead.NonceSize())
-	if _, err := io.ReadFull(rand.Reader, nonce); err != nil {
-		return nil, err
-	}
-	return append(nonce, aead.Seal(nil, nonce, plain.Bytes(), nil)...), nil
-}
-
-// openTicket reverses sealTicket.
-func openTicket(key *[ticketKeySize]byte, ticket []byte) (psk []byte, kemName string, err error) {
-	block, err := aes.NewCipher(key[:])
-	if err != nil {
-		return nil, "", err
-	}
-	aead, err := cipher.NewGCM(block)
-	if err != nil {
-		return nil, "", err
-	}
-	if len(ticket) < aead.NonceSize() {
-		return nil, "", errors.New("tls13: short ticket")
-	}
-	plain, err := aead.Open(nil, ticket[:aead.NonceSize()], ticket[aead.NonceSize():], nil)
-	if err != nil {
-		return nil, "", fmt.Errorf("tls13: ticket decryption: %w", err)
-	}
-	r := bytes.NewReader(plain)
-	pskLen, err := r.ReadByte()
-	if err != nil {
-		return nil, "", err
-	}
-	psk, err = readN(r, int(pskLen))
-	if err != nil {
-		return nil, "", err
-	}
-	nameLen, err := r.ReadByte()
-	if err != nil {
-		return nil, "", err
-	}
-	name, err := readN(r, int(nameLen))
-	if err != nil {
-		return nil, "", err
-	}
-	return psk, string(name), nil
 }
 
 // binderKey derives the PSK binder key from the resumption PSK.

@@ -155,11 +155,13 @@ func TestTicketSealRoundtrip(t *testing.T) {
 	var key [16]byte
 	key[3] = 7
 	psk := bytes.Repeat([]byte{0xAB}, 32)
-	ticket, err := sealTicket(&key, psk, "kyber768")
+	ticket, err := NewTicketStore(key).Seal(psk, "kyber768")
 	if err != nil {
 		t.Fatal(err)
 	}
-	gotPSK, gotName, err := openTicket(&key, ticket)
+	// A second store over the same key models the shared-STEK deployment.
+	peer := NewTicketStore(key)
+	gotPSK, gotName, err := peer.Open(ticket)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,8 +169,12 @@ func TestTicketSealRoundtrip(t *testing.T) {
 		t.Error("ticket roundtrip corrupted state")
 	}
 	ticket[len(ticket)-1] ^= 1
-	if _, _, err := openTicket(&key, ticket); err == nil {
+	if _, _, err := peer.Open(ticket); err == nil {
 		t.Error("tampered ticket accepted")
+	}
+	st := peer.Stats()
+	if st.Redeemed != 1 || st.Rejected != 1 {
+		t.Errorf("stats = %+v, want 1 redeemed / 1 rejected", st)
 	}
 }
 

@@ -335,16 +335,43 @@ func TestKeySchedule(t *testing.T) {
 	ss := bytes.Repeat([]byte{7}, 32)
 	ks1.setSharedSecret(ss)
 	ks2.setSharedSecret(ss)
-	if !bytes.Equal(ks1.clientHSTraffic, ks2.clientHSTraffic) {
+	if ks1.clientHSTraffic != ks2.clientHSTraffic {
 		t.Error("key schedule is not deterministic")
 	}
-	if bytes.Equal(ks1.clientHSTraffic, ks1.serverHSTraffic) {
+	if ks1.clientHSTraffic == ks1.serverHSTraffic {
 		t.Error("client and server traffic secrets are equal")
 	}
-	k, iv := trafficKeys(ks1.clientHSTraffic)
+	k, iv := ks1.trafficKeys(ks1.clientHSTraffic[:])
 	if len(k) != 16 || len(iv) != 12 {
 		t.Errorf("traffic key sizes: key=%d iv=%d", len(k), len(iv))
 	}
+	// The zero-alloc schedule must agree with the reference HKDF functions.
+	hs := hkdfExtract(deriveSecret(noPSKEarly[:], "derived", emptyHash()), ss)
+	th := ks1.transcriptHash()
+	want := deriveSecret(hs, "c hs traffic", append([]byte{}, th...))
+	if !bytes.Equal(want, ks1.clientHSTraffic[:]) {
+		t.Error("scratch-based schedule diverges from reference HKDF")
+	}
+	wantKey := hkdfExpandLabel(ks1.clientHSTraffic[:], "key", nil, 16)
+	if !bytes.Equal(wantKey, k) {
+		t.Error("trafficKeys diverges from reference HKDF-Expand-Label")
+	}
+}
+
+// The post-construction key schedule must not allocate: transcript absorb,
+// secret derivation, traffic keys, and Finished MACs all run in scratch.
+func TestKeyScheduleZeroAlloc(t *testing.T) {
+	kern := NewKeyScheduleKernel()
+	ss := bytes.Repeat([]byte{7}, 32)
+	msg := bytes.Repeat([]byte{3}, 512)
+	var sink byte
+	allocs := testing.AllocsPerRun(200, func() {
+		sink ^= kern.Run(ss, msg)
+	})
+	if allocs != 0 {
+		t.Errorf("key schedule kernel allocates %.1f/op, want 0", allocs)
+	}
+	_ = sink
 }
 
 func BenchmarkHandshake(b *testing.B) {

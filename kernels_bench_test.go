@@ -18,6 +18,7 @@ import (
 	"pqtls/internal/crypto/sha3"
 	"pqtls/internal/crypto/sphincs"
 	"pqtls/internal/harness"
+	"pqtls/internal/tls13"
 )
 
 // benchDRBG returns a deterministic byte stream so benchmark iterations are
@@ -219,6 +220,44 @@ func benchHandshake(b *testing.B, kemName, sigName string) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKeySchedule runs one full server-side HKDF derivation chain
+// (early → handshake → master secrets, both traffic pairs, finished MACs)
+// through the scratch-buffer key schedule. It must report 0 allocs/op:
+// this chain runs once per accepted handshake.
+func BenchmarkKeySchedule(b *testing.B) {
+	ks := tls13.NewKeyScheduleKernel()
+	ss := make([]byte, 32)
+	transcript := make([]byte, 512)
+	benchDRBG("keyschedule").Read(ss)
+	benchDRBG("keyschedule-transcript").Read(transcript)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink byte
+	for i := 0; i < b.N; i++ {
+		sink ^= ks.Run(ss, transcript)
+	}
+	_ = sink
+}
+
+// BenchmarkTicketSealOpen measures a session-ticket issue + redeem round
+// trip on the key-sharded store (cached AEAD, atomic counters).
+func BenchmarkTicketSealOpen(b *testing.B) {
+	ts := tls13.NewTicketStore([16]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	psk := make([]byte, 32)
+	benchDRBG("ticket").Read(psk)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tkt, err := ts.Seal(psk, "kyber768")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := ts.Open(tkt); err != nil {
 			b.Fatal(err)
 		}
 	}

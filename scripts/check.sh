@@ -47,9 +47,20 @@ d1=$("$livedir/pqbench-race" live -kem kyber768 -sig dilithium3 -rate 50 -durati
     tee /dev/stderr | sed -n 's/.*digest \([0-9a-f]*\).*/\1/p')
 d2=$("$livedir/pqbench-race" live -kem kyber768 -sig dilithium3 -rate 50 -duration 1s |
     sed -n 's/.*digest \([0-9a-f]*\).*/\1/p')
-rm -rf "$livedir"
 if [ -z "$d1" ] || [ "$d1" != "$d2" ]; then
+    rm -rf "$livedir"
     echo "live smoke: schedule digest not reproducible: '$d1' vs '$d2'"
+    exit 1
+fi
+
+echo "==> saturate smoke: sharded accept + split-schedule dispatch under -race, sweep digest reproducible"
+s1=$("$livedir/pqbench-race" saturate -rate 40 -duration 1s -rungs 2 -shards 1,2 -resume |
+    tee /dev/stderr | sed -n 's/.*sweep digest \([0-9a-f]*\).*/\1/p')
+s2=$("$livedir/pqbench-race" saturate -rate 40 -duration 1s -rungs 2 -shards 1,2 -resume |
+    sed -n 's/.*sweep digest \([0-9a-f]*\).*/\1/p')
+rm -rf "$livedir"
+if [ -z "$s1" ] || [ "$s1" != "$s2" ]; then
+    echo "saturate smoke: sweep digest not reproducible: '$s1' vs '$s2'"
     exit 1
 fi
 
