@@ -4,15 +4,16 @@ FUZZTIME ?= 5s
 # (see EXPERIMENTS.md).
 TABLE4FLAGS ?= -samples 5 -timing model
 
-.PHONY: check lint vet build test race fuzz-smoke live-smoke saturate-smoke phases-smoke bench bench-gate table4 clean
+.PHONY: check lint vet build test race fuzz-smoke live-smoke saturate-smoke dist-smoke phases-smoke bench bench-gate table4 clean
 
 # check is the CI entry point: static checks, build, the full test suite,
 # the race-enabled suite (exercising the parallel campaign engine), the
 # benchmark regression gate (short mode: allocs/op only, since shared
 # runners have noisy timing), a short fuzz pass over each wire-parsing
-# target, a live loopback smoke run, the sharded-accept saturate smoke, and
-# the observability smoke (phase traces + Prometheus /metrics).
-check: lint build test race bench-gate fuzz-smoke live-smoke saturate-smoke phases-smoke
+# target, a live loopback smoke run, the sharded-accept saturate smoke, the
+# distributed coordinator/worker smoke, and the observability smoke (phase
+# traces + Prometheus /metrics).
+check: lint build test race bench-gate fuzz-smoke live-smoke saturate-smoke dist-smoke phases-smoke
 
 # lint runs the always-available static checks (gofmt, go vet) and, when
 # installed, staticcheck. The toolchain image does not bundle staticcheck,
@@ -83,6 +84,23 @@ saturate-smoke:
 	if [ -z "$$d1" ] || [ "$$d1" != "$$d2" ]; then \
 		echo "saturate-smoke: sweep digest not reproducible: '$$d1' vs '$$d2'"; exit 1; fi; \
 	echo "saturate-smoke OK: sweep digest $$d1 reproducible across runs"
+
+# dist-smoke exercises the distributed load-generation subsystem end to end
+# under the race detector, in Simulate mode (where the merged Result is a
+# pure function of the arrival plan, so exact equality is checkable). Leg 1
+# splits one plan across two self-spawned dist-worker processes; -verify
+# fails unless the merged digest, counters, and p50/p95/p99 equal a
+# single-process run of the identical plan. Leg 2 SIGKILLs one worker
+# mid-run: the coordinator must detect the death by heartbeat timeout,
+# reassign the orphaned shard to the survivor, and still verify exactly.
+dist-smoke:
+	$(GO) build -race -o bin/pqbench-race ./cmd/pqbench
+	bin/pqbench-race dist-coordinator -simulate -verify -workers 2 -workers-local 2 \
+		-rate 80 -duration 1s -start-delay 50ms -heartbeat-timeout 2s
+	bin/pqbench-race dist-coordinator -simulate -verify -workers 2 -workers-local 2 \
+		-rate 80 -duration 1s -start-delay 50ms \
+		-heartbeat-timeout 400ms -kill-worker-after 500ms
+	@echo "dist-smoke OK: distributed run reproduces the single-process digest (incl. kill/reassign leg)"
 
 # phases-smoke exercises the observability subsystem end to end: `pqbench
 # phases` for a classical and a PQ cell (JSONL schema self-check, flight-wait

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"sort"
@@ -38,6 +40,7 @@ func runLive(args []string) error {
 	pool := fs.Bool("pool", false, "enable the precompute subsystem end to end: key-share factory on the client, amortized chain/verifier caches, signing worker pool on the server")
 	signWorkers := fs.Int("sign-workers", 0, "server signing worker pool size (0 = sign inline; -pool defaults this to 2)")
 	amortize := fs.Bool("amortize", false, "share chain-verification and verifier-context caches across client connections (-pool implies)")
+	jsonOut := fs.Bool("json", false, "emit the run's Result on stdout in the canonical JSON encoding (the same layout the distributed protocol pins); human-readable chatter moves to stderr")
 	fs.Parse(args)
 	if *pool {
 		if *signWorkers == 0 {
@@ -94,14 +97,20 @@ func runLive(args []string) error {
 		}
 		defer keyPool.StopFactory()
 	}
+	// In -json mode stdout carries exactly one JSON document; everything
+	// human-readable moves to stderr.
+	out := io.Writer(os.Stdout)
+	if *jsonOut {
+		out = os.Stderr
+	}
 	if a := srv.MetricsAddr(); a != nil {
-		fmt.Printf("metrics: http://%s/metrics (healthz on the same listener)\n", a)
+		fmt.Fprintf(out, "metrics: http://%s/metrics (healthz on the same listener)\n", a)
 	}
 
 	sched := loadgen.NewSchedule(*seed, distVal, *rate, *duration)
-	fmt.Printf("pqbench live: %s + %s over loopback (%s buffering, %s arrivals at %g/s, seed %d)\n",
+	fmt.Fprintf(out, "pqbench live: %s + %s over loopback (%s buffering, %s arrivals at %g/s, seed %d)\n",
 		*kemName, *sigName, *buffer, distVal, *rate, *seed)
-	fmt.Printf("schedule: %d arrivals over %v, digest %s (reproducible; latencies below are not)\n",
+	fmt.Fprintf(out, "schedule: %d arrivals over %v, digest %s (reproducible; latencies below are not)\n",
 		len(sched.Offsets), *duration, sched.Digest())
 
 	runOpts := loadgen.Options{
@@ -124,6 +133,24 @@ func runLive(args []string) error {
 	}
 	if err := srv.Shutdown(5 * time.Second); err != nil {
 		fmt.Fprintln(os.Stderr, "pqbench:", err)
+	}
+
+	if *jsonOut {
+		// One machine-readable document: the grid coordinate, the schedule
+		// fingerprint, and the Result in its canonical JSON shape.
+		doc := struct {
+			KEM            string          `json:"kem"`
+			Sig            string          `json:"sig"`
+			Buffer         string          `json:"buffer"`
+			Resumed        bool            `json:"resumed"`
+			Seed           int64           `json:"seed"`
+			ScheduleDigest string          `json:"schedule_digest"`
+			ResultDigest   string          `json:"result_digest"`
+			Result         *loadgen.Result `json:"result"`
+		}{*kemName, *sigName, *buffer, *resume, *seed, sched.Digest(), res.Digest(), res}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
 	}
 
 	// Modeled prediction for the same grid cell (deterministic).

@@ -61,6 +61,24 @@ func main() {
 		}
 		return
 	}
+	if cmd == "dist-coordinator" {
+		// dist-coordinator partitions one arrival plan across dist-worker
+		// processes and merges their results bucket-exactly — see dist.go.
+		if err := runDistCoordinator(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "pqbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if cmd == "dist-worker" {
+		// dist-worker registers with a coordinator and executes assigned
+		// load-generation shards — see dist.go.
+		if err := runDistWorker(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "pqbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if cmd == "microbench" {
 		// microbench runs the kernel inventory via testing.Benchmark and
 		// emits machine-readable BENCH_*.json — see microbench.go.
@@ -213,6 +231,8 @@ commands: all-kem all-sig deviation improvement whitebox
 
 live:       real-socket load test over loopback (own flags; pqbench live -h)
 saturate:   sharded-accept scaling sweep to the host's handshake ceiling (own flags; pqbench saturate -h)
+dist-coordinator: split one load plan across dist-worker processes, merge bucket-exactly (own flags)
+dist-worker: load-generation worker driven by a dist-coordinator (own flags)
 phases:     per-phase handshake breakdown with span traces (own flags; pqbench phases -h)
 microbench: kernel ns/op + allocs/op to BENCH_*.json (own flags; pqbench microbench -h)
 benchgate:  compare two BENCH_*.json, fail on regression (own flags; pqbench benchgate -h)`)

@@ -46,6 +46,9 @@ func runSaturate(args []string) error {
 	signWorkers := fs.Int("sign-workers", 2, "server signing worker pool size when -pool is set")
 	csvPath := fs.String("csv", "", "also write one CSV row per rung to this file")
 	fs.Parse(args)
+	if err := validateSaturate(*startRate, *growth, *knee, *maxRate, *maxRungs, *duration); err != nil {
+		return err
+	}
 	if *warmup <= 0 {
 		*warmup = *duration / 10
 	}
@@ -53,9 +56,12 @@ func runSaturate(args []string) error {
 	if err != nil {
 		return err
 	}
-	shardCounts, err := parseShardSweep(*shardsFlag)
+	shardCounts, warnings, err := parseShardSweep(*shardsFlag, runtime.GOMAXPROCS(0))
 	if err != nil {
 		return err
+	}
+	for _, w := range warnings {
+		fmt.Fprintln(os.Stderr, "pqbench:", w)
 	}
 
 	creds, err := harness.CredentialsFor(*sigName, 1)
@@ -214,26 +220,60 @@ func runSaturate(args []string) error {
 	return nil
 }
 
+// validateSaturate rejects ladder parameters under which the sweep would
+// never terminate, never climb, or never measure: non-positive starting
+// rate, a growth factor at or below 1 (the ladder must climb to find the
+// knee), a knee ratio outside (0, 1], a negative rate cap, fewer than one
+// rung, or a non-positive rung duration.
+func validateSaturate(rate, growth, knee, maxRate float64, rungs int, duration time.Duration) error {
+	if rate <= 0 {
+		return fmt.Errorf("pqbench: -rate %g must be positive", rate)
+	}
+	if growth <= 1 {
+		return fmt.Errorf("pqbench: -growth %g must exceed 1 (the ladder has to climb)", growth)
+	}
+	if knee <= 0 || knee > 1 {
+		return fmt.Errorf("pqbench: -knee %g must be in (0, 1]", knee)
+	}
+	if maxRate < 0 {
+		return fmt.Errorf("pqbench: -rate-max %g must not be negative", maxRate)
+	}
+	if rungs < 1 {
+		return fmt.Errorf("pqbench: -rungs %d must be at least 1", rungs)
+	}
+	if duration <= 0 {
+		return fmt.Errorf("pqbench: -duration %v must be positive", duration)
+	}
+	return nil
+}
+
 // parseShardSweep turns "-shards 1,2,4" into the sweep list; empty means
-// every count from 1 to GOMAXPROCS.
-func parseShardSweep(s string) ([]int, error) {
+// every count from 1 to maxShards (GOMAXPROCS). Zero and negative counts
+// are errors; counts beyond maxShards are capped with a warning — accept
+// shards beyond the core count only add contention, never throughput.
+func parseShardSweep(s string, maxShards int) ([]int, []string, error) {
 	if s == "" {
-		n := runtime.GOMAXPROCS(0)
-		out := make([]int, 0, n)
-		for i := 1; i <= n; i++ {
+		out := make([]int, 0, maxShards)
+		for i := 1; i <= maxShards; i++ {
 			out = append(out, i)
 		}
-		return out, nil
+		return out, nil, nil
 	}
 	var out []int
+	var warnings []string
 	for _, part := range strings.Split(s, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil || v < 1 {
-			return nil, fmt.Errorf("pqbench: bad -shards entry %q", part)
+			return nil, nil, fmt.Errorf("pqbench: bad -shards entry %q (want a positive count)", part)
+		}
+		if v > maxShards {
+			warnings = append(warnings,
+				fmt.Sprintf("-shards %d exceeds GOMAXPROCS (%d); capping — extra shards only contend", v, maxShards))
+			v = maxShards
 		}
 		out = append(out, v)
 	}
-	return out, nil
+	return out, warnings, nil
 }
 
 func boolInt(b bool) int {

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestValidateSaturate pins the ladder guard: parameters under which the
+// sweep would hang (growth <= 1 with no rate cap), spin (non-positive
+// rate), or never stop (knee outside (0,1]) are rejected before any server
+// starts.
+func TestValidateSaturate(t *testing.T) {
+	ok := func(rate, growth, knee, maxRate float64, rungs int, d time.Duration) error {
+		return validateSaturate(rate, growth, knee, maxRate, rungs, d)
+	}
+	if err := ok(200, 1.5, 0.9, 0, 10, 2*time.Second); err != nil {
+		t.Fatalf("default parameters rejected: %v", err)
+	}
+	bad := []struct {
+		name                    string
+		rate, growth, knee, max float64
+		rungs                   int
+		d                       time.Duration
+	}{
+		{"zero rate", 0, 1.5, 0.9, 0, 10, time.Second},
+		{"negative rate", -5, 1.5, 0.9, 0, 10, time.Second},
+		{"flat growth", 200, 1, 0.9, 0, 10, time.Second},
+		{"shrinking growth", 200, 0.5, 0.9, 0, 10, time.Second},
+		{"zero knee", 200, 1.5, 0, 0, 10, time.Second},
+		{"negative knee", 200, 1.5, -0.1, 0, 10, time.Second},
+		{"knee above 1", 200, 1.5, 1.1, 0, 10, time.Second},
+		{"negative rate cap", 200, 1.5, 0.9, -1, 10, time.Second},
+		{"zero rungs", 200, 1.5, 0.9, 0, 0, time.Second},
+		{"negative rungs", 200, 1.5, 0.9, 0, -3, time.Second},
+		{"zero duration", 200, 1.5, 0.9, 0, 10, 0},
+	}
+	for _, c := range bad {
+		if err := ok(c.rate, c.growth, c.knee, c.max, c.rungs, c.d); err == nil {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+}
+
+// TestParseShardSweep pins the -shards parser: explicit lists parse in
+// order, zero/negative/garbage entries error, counts beyond GOMAXPROCS cap
+// with a warning, and the empty default enumerates 1..GOMAXPROCS.
+func TestParseShardSweep(t *testing.T) {
+	got, warns, err := parseShardSweep("1, 2,4", 8)
+	if err != nil || len(warns) != 0 || !reflect.DeepEqual(got, []int{1, 2, 4}) {
+		t.Fatalf("parseShardSweep(\"1, 2,4\") = %v, %v, %v", got, warns, err)
+	}
+	for _, in := range []string{"0", "-1", "2,x", "", " "} {
+		if in == "" {
+			continue // empty is the default sweep, tested below
+		}
+		if _, _, err := parseShardSweep(in, 8); err == nil {
+			t.Errorf("parseShardSweep(%q) accepted", in)
+		}
+	}
+	got, warns, err = parseShardSweep("2,64", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int{2, 4}) {
+		t.Fatalf("capped sweep = %v, want [2 4]", got)
+	}
+	if len(warns) != 1 {
+		t.Fatalf("capping produced %d warnings, want 1", len(warns))
+	}
+	got, warns, err = parseShardSweep("", 3)
+	if err != nil || len(warns) != 0 || !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Fatalf("default sweep = %v, %v, %v", got, warns, err)
+	}
+}

@@ -1,0 +1,592 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pqtls/internal/loadgen"
+	"pqtls/internal/obs"
+)
+
+// Metric family names the coordinator and worker register. Both roles share
+// the families, split by the role label, so one scrape of a co-located
+// coordinator+worker registry stays unambiguous.
+const (
+	MetricWorkersJoined    = "pqdist_workers_joined_total"
+	MetricWorkersLost      = "pqdist_workers_lost_total"
+	MetricShardsReassigned = "pqdist_shards_reassigned_total"
+	MetricResultsDuplicate = "pqdist_results_duplicate_total"
+	MetricFramesSent       = "pqdist_frames_sent_total"
+	MetricFramesRecv       = "pqdist_frames_received_total"
+	MetricBytesSent        = "pqdist_bytes_sent_total"
+	MetricBytesRecv        = "pqdist_bytes_received_total"
+)
+
+// registerProtoStats exposes one endpoint's frame/byte counters.
+func registerProtoStats(reg *obs.Registry, role string, s *Stats) {
+	reg.CounterFunc(MetricFramesSent, "Protocol frames written to peers.",
+		func() uint64 { return s.FramesSent.Load() }, "role", role)
+	reg.CounterFunc(MetricFramesRecv, "Protocol frames read from peers.",
+		func() uint64 { return s.FramesRecv.Load() }, "role", role)
+	reg.CounterFunc(MetricBytesSent, "Protocol bytes written to peers.",
+		func() uint64 { return s.BytesSent.Load() }, "role", role)
+	reg.CounterFunc(MetricBytesRecv, "Protocol bytes read from peers.",
+		func() uint64 { return s.BytesRecv.Load() }, "role", role)
+}
+
+// CoordinatorOptions configure a coordinator.
+type CoordinatorOptions struct {
+	// Workers is how many workers one Run partitions the plan across; Run
+	// blocks until that many have joined (0 = 2). Extra workers that join
+	// stay idle as spares and are preferred targets for reassignment.
+	Workers int
+	// JoinTimeout bounds how long Run waits for the worker quorum (0 = 30s).
+	JoinTimeout time.Duration
+	// HeartbeatTimeout declares a worker dead when nothing — heartbeat,
+	// progress, or result — arrives from it for this long (0 = 5s). Dead
+	// workers' unfinished shards are reassigned to live ones.
+	HeartbeatTimeout time.Duration
+	// Registry, when non-nil, receives the coordinator's counters.
+	Registry *obs.Registry
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+// CoordinatorStats is a point-in-time snapshot of fleet bookkeeping.
+type CoordinatorStats struct {
+	WorkersJoined, WorkersLost       uint64
+	ShardsReassigned, DuplicateAcked uint64
+	FramesSent, FramesRecv           uint64
+	BytesSent, BytesRecv             uint64
+}
+
+// Coordinator accepts worker registrations and drives runs. One Run is
+// active at a time; workers may join before or during a run.
+type Coordinator struct {
+	ln   net.Listener
+	opts CoordinatorOptions
+
+	proto      Stats
+	joined     atomic.Uint64
+	lost       atomic.Uint64
+	reassigned atomic.Uint64
+	duplicates atomic.Uint64
+
+	mu       sync.Mutex
+	workers  map[uint32]*remoteWorker
+	joinWait chan struct{} // closed and re-armed on membership growth
+	run      *runState
+	nextID   uint32
+	rrCursor int
+	closed   bool
+
+	wg sync.WaitGroup // accept loop + per-connection readers
+}
+
+// remoteWorker is the coordinator's view of one registered worker.
+type remoteWorker struct {
+	id       uint32
+	name     string
+	pc       *protoConn
+	lastSeen atomic.Int64 // unix nanos of the last frame
+	live     counters     // latest heartbeat totals (under Coordinator.mu)
+	shards   map[int]bool // assigned, not yet finished (under Coordinator.mu)
+	lost     bool         // under Coordinator.mu
+}
+
+// runState tracks one Run's shards.
+type runState struct {
+	job     JobSpec
+	parts   []*loadgen.Schedule
+	results []*loadgen.Result // by shard id; nil = outstanding
+	byName  []string          // worker that delivered each shard's result
+	pending int
+	done    chan struct{}
+	failure error // set before done closes on fatal conditions
+}
+
+// ShardReport is one shard's outcome in a RunReport.
+type ShardReport struct {
+	Shard  int
+	Worker string // worker that delivered the accepted result
+	Result *loadgen.Result
+}
+
+// RunReport is the outcome of one distributed run.
+type RunReport struct {
+	// Merged is the bucket-exact merge of every shard's Result — the same
+	// aggregate a single process running the unsplit schedule computes.
+	Merged *loadgen.Result
+	// Shards lists per-shard outcomes in shard order.
+	Shards []ShardReport
+	// Reassigned counts shard assignments that moved to another worker
+	// after the original owner was declared dead.
+	Reassigned uint64
+	// WorkersJoined and WorkersLost cover the coordinator's lifetime.
+	WorkersJoined, WorkersLost uint64
+}
+
+// NewCoordinator listens on addr (use ":0" for an ephemeral port) and
+// starts accepting worker registrations immediately.
+func NewCoordinator(addr string, opts CoordinatorOptions) (*Coordinator, error) {
+	if opts.Workers <= 0 {
+		opts.Workers = 2
+	}
+	if opts.JoinTimeout <= 0 {
+		opts.JoinTimeout = 30 * time.Second
+	}
+	if opts.HeartbeatTimeout <= 0 {
+		opts.HeartbeatTimeout = 5 * time.Second
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dist: coordinator listen: %w", err)
+	}
+	c := &Coordinator{
+		ln:       ln,
+		opts:     opts,
+		workers:  make(map[uint32]*remoteWorker),
+		joinWait: make(chan struct{}),
+	}
+	if opts.Registry != nil {
+		reg := opts.Registry
+		reg.CounterFunc(MetricWorkersJoined, "Workers that completed the hello/welcome handshake.",
+			func() uint64 { return c.joined.Load() }, "role", "coordinator")
+		reg.CounterFunc(MetricWorkersLost, "Workers declared dead (disconnect, abort, or heartbeat timeout).",
+			func() uint64 { return c.lost.Load() }, "role", "coordinator")
+		reg.CounterFunc(MetricShardsReassigned, "Shards moved to a live worker after their owner died.",
+			func() uint64 { return c.reassigned.Load() }, "role", "coordinator")
+		reg.CounterFunc(MetricResultsDuplicate, "Shard results dropped because the shard already completed.",
+			func() uint64 { return c.duplicates.Load() }, "role", "coordinator")
+		registerProtoStats(reg, "coordinator", &c.proto)
+	}
+	c.wg.Add(1)
+	go c.acceptLoop()
+	return c, nil
+}
+
+// Addr returns the coordinator's listen address.
+func (c *Coordinator) Addr() net.Addr { return c.ln.Addr() }
+
+// Workers returns how many live workers are currently registered.
+func (c *Coordinator) Workers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.workers)
+}
+
+// Stats snapshots the coordinator's counters.
+func (c *Coordinator) Stats() CoordinatorStats {
+	return CoordinatorStats{
+		WorkersJoined: c.joined.Load(), WorkersLost: c.lost.Load(),
+		ShardsReassigned: c.reassigned.Load(), DuplicateAcked: c.duplicates.Load(),
+		FramesSent: c.proto.FramesSent.Load(), FramesRecv: c.proto.FramesRecv.Load(),
+		BytesSent: c.proto.BytesSent.Load(), BytesRecv: c.proto.BytesRecv.Load(),
+	}
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.opts.Logf != nil {
+		c.opts.Logf(format, args...)
+	}
+}
+
+// acceptLoop registers workers until the listener closes.
+func (c *Coordinator) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return // listener closed by Close
+		}
+		c.wg.Add(1)
+		go c.serveConn(conn)
+	}
+}
+
+// serveConn runs one worker connection: the hello/welcome handshake, then
+// the frame loop until the worker disconnects or is declared lost.
+func (c *Coordinator) serveConn(conn net.Conn) {
+	defer c.wg.Done()
+	pc := newProtoConn(conn, &c.proto)
+	// The handshake gets its own deadline so a connect-and-stall peer
+	// cannot hold a registration slot; frames after the handshake are
+	// governed by the heartbeat timeout instead.
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	t, payload, err := pc.recv()
+	if err != nil || t != FrameHello {
+		if err == nil {
+			pc.send(FrameAbort, encodeAbort(fmt.Sprintf("expected hello, got %s", t)))
+		}
+		pc.close()
+		return
+	}
+	name, err := decodeHello(payload)
+	if err != nil {
+		// The one frame a version-mismatched peer can rely on: an Abort
+		// naming the problem, then a close.
+		pc.send(FrameAbort, encodeAbort(err.Error()))
+		pc.close()
+		c.logf("dist: rejected worker: %v", err)
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		pc.send(FrameAbort, encodeAbort("coordinator shutting down"))
+		pc.close()
+		return
+	}
+	c.nextID++
+	w := &remoteWorker{id: c.nextID, name: name, pc: pc, shards: make(map[int]bool)}
+	if w.name == "" {
+		w.name = fmt.Sprintf("worker-%d", w.id)
+	}
+	w.lastSeen.Store(time.Now().UnixNano())
+	c.workers[w.id] = w
+	// Wake every Run goroutine waiting on membership, then re-arm.
+	close(c.joinWait)
+	c.joinWait = make(chan struct{})
+	c.mu.Unlock()
+	c.joined.Add(1)
+
+	if err := pc.send(FrameWelcome, encodeWelcome(w.id)); err != nil {
+		c.dropWorker(w, fmt.Errorf("welcome: %w", err))
+		return
+	}
+	c.logf("dist: worker %q joined (id %d, %s)", w.name, w.id, conn.RemoteAddr())
+
+	for {
+		t, payload, err := pc.recv()
+		if err != nil {
+			c.dropWorker(w, err)
+			return
+		}
+		w.lastSeen.Store(time.Now().UnixNano())
+		switch t {
+		case FrameHeartbeat:
+			if live, err := decodeHeartbeat(payload); err == nil {
+				c.mu.Lock()
+				w.live = live
+				c.mu.Unlock()
+			}
+		case FrameProgress:
+			// Per-shard progress is informational; liveness was already
+			// refreshed above.
+			if shard, live, err := decodeProgress(payload); err == nil {
+				c.logf("dist: worker %q shard %d: started %d completed %d failed %d",
+					w.name, shard, live.Started, live.Completed, live.Failed)
+			}
+		case FrameResult:
+			shard, res, err := decodeResult(payload)
+			if err != nil {
+				c.dropWorker(w, fmt.Errorf("undecodable result: %w", err))
+				return
+			}
+			c.acceptResult(w, shard, res)
+		case FrameAbort:
+			c.dropWorker(w, fmt.Errorf("worker aborted: %s", decodeAbort(payload)))
+			return
+		default:
+			c.dropWorker(w, fmt.Errorf("unexpected %s frame from worker", t))
+			return
+		}
+	}
+}
+
+// acceptResult records a finished shard, deduplicating by shard id: after a
+// reassignment both the replacement and a slow-but-alive original may
+// deliver, and exactly one copy may enter the merge.
+func (c *Coordinator) acceptResult(w *remoteWorker, shard int, res *loadgen.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	run := c.run
+	if run == nil || shard < 0 || shard >= len(run.results) {
+		c.duplicates.Add(1) // a result with no run to own it
+		return
+	}
+	delete(w.shards, shard)
+	if run.results[shard] != nil {
+		c.duplicates.Add(1)
+		c.logf("dist: duplicate result for shard %d from %q dropped", shard, w.name)
+		return
+	}
+	run.results[shard] = res
+	run.byName[shard] = w.name
+	run.pending--
+	c.logf("dist: shard %d done by %q (%d outstanding)", shard, w.name, run.pending)
+	if run.pending == 0 {
+		close(run.done)
+	}
+}
+
+// dropWorker removes a worker and reassigns its unfinished shards. Safe to
+// call multiple times; only the first has effect.
+func (c *Coordinator) dropWorker(w *remoteWorker, cause error) {
+	c.mu.Lock()
+	if w.lost {
+		c.mu.Unlock()
+		return
+	}
+	w.lost = true
+	delete(c.workers, w.id)
+	orphans := make([]int, 0, len(w.shards))
+	for shard := range w.shards {
+		orphans = append(orphans, shard)
+	}
+	w.shards = make(map[int]bool)
+	c.mu.Unlock()
+
+	c.lost.Add(1)
+	w.pc.close()
+	c.logf("dist: worker %q lost: %v (%d shards to reassign)", w.name, cause, len(orphans))
+	for _, shard := range orphans {
+		c.reassignShard(shard)
+	}
+}
+
+// reassignShard hands an orphaned shard to the next live worker, round
+// robin. With no live workers left the run fails rather than hangs.
+func (c *Coordinator) reassignShard(shard int) {
+	c.mu.Lock()
+	run := c.run
+	if run == nil || run.results[shard] != nil {
+		c.mu.Unlock()
+		return // run over, or a result landed before the owner died
+	}
+	ids := make([]uint32, 0, len(c.workers))
+	for id := range c.workers {
+		ids = append(ids, id)
+	}
+	if len(ids) == 0 {
+		if run.failure == nil {
+			run.failure = fmt.Errorf("dist: no live workers left to take shard %d", shard)
+			close(run.done)
+		}
+		c.mu.Unlock()
+		return
+	}
+	// Deterministic-ish rotation: sort ids, pick by cursor. Map order is
+	// random; the sort keeps reassignment from favoring one worker.
+	sortUint32(ids)
+	w := c.workers[ids[c.rrCursor%len(ids)]]
+	c.rrCursor++
+	w.shards[shard] = true
+	payload := encodeAssign(shard, len(run.parts), run.job, run.parts[shard])
+	c.mu.Unlock()
+
+	c.reassigned.Add(1)
+	c.logf("dist: reassigning shard %d to %q", shard, w.name)
+	if err := w.pc.send(FrameAssign, payload); err != nil {
+		c.dropWorker(w, fmt.Errorf("assign shard %d: %w", shard, err))
+	}
+}
+
+func sortUint32(ids []uint32) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// Run partitions sched across the worker quorum and blocks until every
+// shard has exactly one accepted Result, the context is canceled, or the
+// fleet dies. The merged Result is the bucket-exact aggregate of the
+// shards; in Simulate mode its digest equals the single-process digest for
+// the same schedule and shard count.
+func (c *Coordinator) Run(ctx context.Context, job JobSpec, sched *loadgen.Schedule) (*RunReport, error) {
+	if sched == nil || len(sched.Offsets) == 0 {
+		return nil, errors.New("dist: empty schedule")
+	}
+	if err := c.awaitQuorum(ctx); err != nil {
+		return nil, err
+	}
+
+	nshards := c.opts.Workers
+	if n := len(sched.Offsets); nshards > n {
+		nshards = n // Split rejects more parts than arrivals
+	}
+	parts, err := sched.Split(nshards)
+	if err != nil {
+		return nil, err
+	}
+
+	c.mu.Lock()
+	if c.run != nil {
+		c.mu.Unlock()
+		return nil, errors.New("dist: a run is already active")
+	}
+	run := &runState{
+		job:     job,
+		parts:   parts,
+		results: make([]*loadgen.Result, nshards),
+		byName:  make([]string, nshards),
+		pending: nshards,
+		done:    make(chan struct{}),
+	}
+	c.run = run
+	// Initial assignment: shard i to the i-th live worker in join order.
+	ids := make([]uint32, 0, len(c.workers))
+	for id := range c.workers {
+		ids = append(ids, id)
+	}
+	sortUint32(ids)
+	assignees := make([]*remoteWorker, nshards)
+	for i := range parts {
+		w := c.workers[ids[i%len(ids)]]
+		w.shards[i] = true
+		assignees[i] = w
+	}
+	c.mu.Unlock()
+
+	for i, w := range assignees {
+		if err := w.pc.send(FrameAssign, encodeAssign(i, nshards, job, parts[i])); err != nil {
+			c.dropWorker(w, fmt.Errorf("assign shard %d: %w", i, err))
+		}
+	}
+
+	// The watchdog declares silent workers dead. Any frame refreshes
+	// lastSeen, so only a truly wedged or vanished worker trips it.
+	watchdogDone := make(chan struct{})
+	defer close(watchdogDone)
+	go c.watchdog(watchdogDone)
+
+	select {
+	case <-run.done:
+	case <-ctx.Done():
+		c.abortRun("coordinator draining")
+		c.finishRun()
+		return nil, ctx.Err()
+	}
+	report := c.finishRun()
+	if run.failure != nil {
+		return report, run.failure
+	}
+	return report, nil
+}
+
+// awaitQuorum blocks until opts.Workers workers are registered.
+func (c *Coordinator) awaitQuorum(ctx context.Context) error {
+	deadline := time.NewTimer(c.opts.JoinTimeout)
+	defer deadline.Stop()
+	for {
+		c.mu.Lock()
+		n, wait := len(c.workers), c.joinWait
+		c.mu.Unlock()
+		if n >= c.opts.Workers {
+			return nil
+		}
+		c.logf("dist: waiting for workers: %d/%d joined", n, c.opts.Workers)
+		select {
+		case <-wait:
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-deadline.C:
+			return fmt.Errorf("dist: only %d of %d workers joined within %v", n, c.opts.Workers, c.opts.JoinTimeout)
+		}
+	}
+}
+
+// watchdog scans worker liveness until the run ends.
+func (c *Coordinator) watchdog(done <-chan struct{}) {
+	interval := c.opts.HeartbeatTimeout / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-tick.C:
+		}
+		cutoff := time.Now().Add(-c.opts.HeartbeatTimeout).UnixNano()
+		c.mu.Lock()
+		var stale []*remoteWorker
+		for _, w := range c.workers {
+			if len(w.shards) > 0 && w.lastSeen.Load() < cutoff {
+				stale = append(stale, w)
+			}
+		}
+		c.mu.Unlock()
+		for _, w := range stale {
+			c.dropWorker(w, fmt.Errorf("heartbeat timeout (%v)", c.opts.HeartbeatTimeout))
+		}
+	}
+}
+
+// abortRun tells every live worker to stand down.
+func (c *Coordinator) abortRun(reason string) {
+	c.mu.Lock()
+	ws := make([]*remoteWorker, 0, len(c.workers))
+	for _, w := range c.workers {
+		ws = append(ws, w)
+	}
+	c.mu.Unlock()
+	payload := encodeAbort(reason)
+	for _, w := range ws {
+		w.pc.send(FrameAbort, payload)
+	}
+}
+
+// finishRun detaches the active run and builds its report from whatever
+// shards completed.
+func (c *Coordinator) finishRun() *RunReport {
+	c.mu.Lock()
+	run := c.run
+	c.run = nil
+	for _, w := range c.workers {
+		w.shards = make(map[int]bool)
+	}
+	c.mu.Unlock()
+	if run == nil {
+		return nil
+	}
+	report := &RunReport{
+		Reassigned:    c.reassigned.Load(),
+		WorkersJoined: c.joined.Load(),
+		WorkersLost:   c.lost.Load(),
+	}
+	merged := &loadgen.Result{}
+	for i, res := range run.results {
+		if res == nil {
+			continue
+		}
+		report.Shards = append(report.Shards, ShardReport{Shard: i, Worker: run.byName[i], Result: res})
+		merged.Merge(res)
+	}
+	report.Merged = merged
+	return report
+}
+
+// Close shuts the coordinator down: the listener stops, every worker gets
+// an Abort, and all connection goroutines are joined.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	ws := make([]*remoteWorker, 0, len(c.workers))
+	for _, w := range c.workers {
+		ws = append(ws, w)
+	}
+	c.mu.Unlock()
+	err := c.ln.Close()
+	for _, w := range ws {
+		w.pc.send(FrameAbort, encodeAbort("coordinator shutting down"))
+		w.pc.close()
+	}
+	c.wg.Wait()
+	return err
+}

@@ -1,0 +1,339 @@
+package dist
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pqtls/internal/loadgen"
+)
+
+// simJob is the deterministic job every integration test runs: Simulate
+// mode makes the distributed outcome byte-comparable to a single-process
+// reference.
+func simJob() JobSpec {
+	return JobSpec{KEM: "kyber768", Sig: "dilithium3", Simulate: true, MaxConcurrent: 64}
+}
+
+// reference runs the same plan single-process, split the same number of
+// ways, producing the Result a correct distributed run must reproduce.
+func reference(t *testing.T, sched *loadgen.Schedule, shards int) *loadgen.Result {
+	t.Helper()
+	ref, err := loadgen.RunWorkers(loadgen.Options{Schedule: sched, Simulate: true, MaxConcurrent: 64}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ref
+}
+
+func startWorker(t *testing.T, ctx context.Context, addr, name string) <-chan error {
+	t.Helper()
+	errc := make(chan error, 1)
+	go func() {
+		errc <- RunWorker(ctx, WorkerOptions{
+			Coordinator:       addr,
+			Name:              name,
+			HeartbeatInterval: 50 * time.Millisecond,
+			ConnectAttempts:   10,
+			ConnectBackoff:    20 * time.Millisecond,
+		})
+	}()
+	return errc
+}
+
+// expectClean drains a worker's error channel: nil (coordinator closed the
+// connection) and ErrAborted (explicit shutdown) are both clean exits.
+func expectClean(t *testing.T, name string, errc <-chan error) {
+	t.Helper()
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, ErrAborted) {
+			t.Errorf("worker %s exited with %v", name, err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Errorf("worker %s did not exit", name)
+	}
+}
+
+// TestDistributedMatchesSingleProcess is the subsystem's correctness bar: a
+// run split across workers over the real wire protocol reproduces the
+// single-process digest, counters, and quantiles exactly.
+func TestDistributedMatchesSingleProcess(t *testing.T) {
+	sched := loadgen.NewSchedule(11, loadgen.DistExponential, 150, 400*time.Millisecond)
+	coord, err := NewCoordinator("127.0.0.1:0", CoordinatorOptions{
+		Workers: 3, JoinTimeout: 5 * time.Second, HeartbeatTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	ctx := context.Background()
+	w1 := startWorker(t, ctx, coord.Addr().String(), "w1")
+	w2 := startWorker(t, ctx, coord.Addr().String(), "w2")
+	w3 := startWorker(t, ctx, coord.Addr().String(), "w3")
+
+	report, err := coord.Run(ctx, simJob(), sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Shards) != 3 {
+		t.Fatalf("%d shard reports, want 3", len(report.Shards))
+	}
+	ref := reference(t, sched, 3)
+	if got, want := report.Merged.Digest(), ref.Digest(); got != want {
+		t.Fatalf("merged digest %s, single-process %s", got, want)
+	}
+	if report.Merged.Offered != ref.Offered || report.Merged.Completed != ref.Completed ||
+		report.Merged.Failed != ref.Failed || report.Merged.Started != ref.Started {
+		t.Fatalf("counters diverge: merged %+v, reference %+v", report.Merged, ref)
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if m, r := report.Merged.Hist.Quantile(q), ref.Hist.Quantile(q); m != r {
+			t.Fatalf("q%.2f: merged %v, reference %v", q, m, r)
+		}
+	}
+	coord.Close()
+	expectClean(t, "w1", w1)
+	expectClean(t, "w2", w2)
+	expectClean(t, "w3", w3)
+}
+
+// TestCoordinatorRejectsVersionMismatch pins the registration gate: a peer
+// speaking another protocol version gets an Abort frame naming the problem
+// and the connection closed — it never joins the fleet.
+func TestCoordinatorRejectsVersionMismatch(t *testing.T) {
+	coord, err := NewCoordinator("127.0.0.1:0", CoordinatorOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	conn, err := net.Dial("tcp", coord.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	pc := newProtoConn(conn, &Stats{})
+	hello := encodeHello("time-traveler")
+	binary.BigEndian.PutUint16(hello[4:], Version+1)
+	if err := pc.send(FrameHello, hello); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := pc.recv()
+	if err != nil {
+		t.Fatalf("expected an abort frame, got %v", err)
+	}
+	if typ != FrameAbort {
+		t.Fatalf("got %s frame, want abort", typ)
+	}
+	if reason := decodeAbort(payload); !strings.Contains(reason, "version") {
+		t.Fatalf("abort reason %q does not name the version mismatch", reason)
+	}
+	if _, _, err := pc.recv(); err == nil {
+		t.Fatal("connection stayed open after rejection")
+	}
+	if n := coord.Workers(); n != 0 {
+		t.Fatalf("rejected peer counted as %d registered workers", n)
+	}
+}
+
+// TestHeartbeatTimeoutReassignment pins the failure model: a worker that
+// takes a shard and then falls silent is declared dead, its shard moves to
+// a live worker, and the merged Result is still exact.
+func TestHeartbeatTimeoutReassignment(t *testing.T) {
+	sched := loadgen.NewSchedule(5, loadgen.DistExponential, 120, 300*time.Millisecond)
+	coord, err := NewCoordinator("127.0.0.1:0", CoordinatorOptions{
+		Workers: 2, JoinTimeout: 5 * time.Second, HeartbeatTimeout: 250 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	// The silent worker registers first (so it is assigned shard 0), then
+	// never sends another frame.
+	silent, err := net.Dial("tcp", coord.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer silent.Close()
+	spc := newProtoConn(silent, &Stats{})
+	if err := spc.send(FrameHello, encodeHello("silent")); err != nil {
+		t.Fatal(err)
+	}
+	if typ, _, err := spc.recv(); err != nil || typ != FrameWelcome {
+		t.Fatalf("silent worker handshake: %v frame, %v", typ, err)
+	}
+
+	ctx := context.Background()
+	live := startWorker(t, ctx, coord.Addr().String(), "live")
+
+	report, err := coord.Run(ctx, simJob(), sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Reassigned == 0 {
+		t.Fatal("silent worker's shard was never reassigned")
+	}
+	if report.WorkersLost == 0 {
+		t.Fatal("silent worker was never declared lost")
+	}
+	for _, s := range report.Shards {
+		if s.Worker != "live" {
+			t.Fatalf("shard %d delivered by %q, want the live worker", s.Shard, s.Worker)
+		}
+	}
+	ref := reference(t, sched, 2)
+	if got, want := report.Merged.Digest(), ref.Digest(); got != want {
+		t.Fatalf("merged digest %s after reassignment, single-process %s", got, want)
+	}
+	coord.Close()
+	expectClean(t, "live", live)
+}
+
+// TestDuplicateResultDedup pins result dedup by shard id: a worker sending
+// the same shard's Result twice has the second copy dropped and counted,
+// and the merge stays exact.
+func TestDuplicateResultDedup(t *testing.T) {
+	sched := loadgen.NewSchedule(9, loadgen.DistExponential, 100, 300*time.Millisecond)
+	coord, err := NewCoordinator("127.0.0.1:0", CoordinatorOptions{
+		Workers: 1, JoinTimeout: 5 * time.Second, HeartbeatTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	conn, err := net.Dial("tcp", coord.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	pc := newProtoConn(conn, &Stats{})
+	if err := pc.send(FrameHello, encodeHello("echoer")); err != nil {
+		t.Fatal(err)
+	}
+	if typ, _, err := pc.recv(); err != nil || typ != FrameWelcome {
+		t.Fatalf("handshake: %v frame, %v", typ, err)
+	}
+
+	// Behave like a worker — run the assigned shard for real — but deliver
+	// the result twice.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		typ, payload, err := pc.recv()
+		if err != nil || typ != FrameAssign {
+			t.Errorf("expected assign, got %v / %v", typ, err)
+			return
+		}
+		shard, stride, job, part, err := decodeAssign(payload)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		res, err := loadgen.RunShard(loadgen.Options{
+			Schedule: part, Simulate: job.Simulate, MaxConcurrent: job.MaxConcurrent,
+		}, shard, stride)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		frame := encodeResult(shard, res)
+		pc.send(FrameResult, frame)
+		pc.send(FrameResult, frame)
+	}()
+
+	report, err := coord.Run(context.Background(), simJob(), sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	ref := reference(t, sched, 1)
+	if got, want := report.Merged.Digest(), ref.Digest(); got != want {
+		t.Fatalf("merged digest %s with duplicate result, single-process %s", got, want)
+	}
+	if report.Merged.Offered != ref.Offered {
+		t.Fatalf("duplicate was merged: offered %d, want %d", report.Merged.Offered, ref.Offered)
+	}
+	// The duplicate may be processed after Run returns; poll the counter.
+	deadline := time.Now().Add(5 * time.Second)
+	for coord.Stats().DuplicateAcked == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("duplicate result was never counted")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestWorkerBoundedRetry pins the connect loop: a worker aimed at a dead
+// address fails after its bounded attempts, naming the count.
+func TestWorkerBoundedRetry(t *testing.T) {
+	// Grab a port and close it so the dial is refused deterministically.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	start := time.Now()
+	err = RunWorker(context.Background(), WorkerOptions{
+		Coordinator:     addr,
+		ConnectAttempts: 3,
+		ConnectBackoff:  20 * time.Millisecond,
+	})
+	if err == nil || !strings.Contains(err.Error(), "3 attempts") {
+		t.Fatalf("bounded retry error = %v", err)
+	}
+	// Backoff doubles: 20 + 40 ms of sleeping across the three attempts.
+	if elapsed := time.Since(start); elapsed < 60*time.Millisecond {
+		t.Fatalf("retries finished in %v; backoff not applied", elapsed)
+	}
+}
+
+// TestWorkerDrainOnCancel pins the SIGINT path: canceling the worker's
+// context mid-run announces the drain, stops dispatching, and exits.
+func TestWorkerDrainOnCancel(t *testing.T) {
+	sched := loadgen.NewSchedule(2, loadgen.DistExponential, 50, 2*time.Second)
+	coord, err := NewCoordinator("127.0.0.1:0", CoordinatorOptions{
+		Workers: 1, JoinTimeout: 5 * time.Second, HeartbeatTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := startWorker(t, ctx, coord.Addr().String(), "draining")
+	runDone := make(chan struct{})
+	go func() {
+		// The run will not complete (its only worker drains away mid-run);
+		// the coordinator reports the fleet death instead of hanging.
+		_, err := coord.Run(context.Background(), simJob(), sched)
+		if err == nil {
+			t.Error("run completed despite its only worker draining")
+		}
+		close(runDone)
+	}()
+
+	time.Sleep(300 * time.Millisecond) // let the shard start
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("drained worker exited with %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker did not drain")
+	}
+	select {
+	case <-runDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("coordinator run did not observe the fleet dying")
+	}
+}

@@ -1,0 +1,248 @@
+package loadgen
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Canonical Result encoding. The distributed wire protocol ships per-shard
+// Results between processes, `pqbench live -json` exports them, and the
+// Result digest hashes them — all three share this one layout so a byte
+// seen on the wire, in a JSON artifact, and under the digest is the same
+// byte. The binary form is pinned by a golden test:
+//
+//	u8  version (resultCodecV1)
+//	histogram (obs canonical encoding, self-delimiting)
+//	u64 offered, started, completed, failed, warmup, resumed
+//	u32 error-class count, then per class (sorted by name):
+//	    u16 name length, name bytes, u64 count
+//	i64 max-lag, elapsed (nanoseconds)
+//
+// All integers big-endian. Error classes are sorted so the encoding is a
+// pure function of the Result's value, never of map iteration order.
+const resultCodecV1 = 1
+
+// maxErrorClassLen bounds one error-class name; Classify strings are short,
+// so anything longer is a corrupt frame, not a real class.
+const maxErrorClassLen = 256
+
+// AppendBinary appends the canonical encoding of r to b.
+func (r *Result) AppendBinary(b []byte) []byte {
+	b = append(b, resultCodecV1)
+	b = r.Hist.AppendBinary(b)
+	for _, v := range []uint64{r.Offered, r.Started, r.Completed, r.Failed, r.Warmup, r.Resumed} {
+		b = binary.BigEndian.AppendUint64(b, v)
+	}
+	classes := make([]string, 0, len(r.Errors))
+	for c := range r.Errors {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(classes)))
+	for _, c := range classes {
+		b = binary.BigEndian.AppendUint16(b, uint16(len(c)))
+		b = append(b, c...)
+		b = binary.BigEndian.AppendUint64(b, r.Errors[c])
+	}
+	b = binary.BigEndian.AppendUint64(b, uint64(r.MaxLag))
+	b = binary.BigEndian.AppendUint64(b, uint64(r.Elapsed))
+	return b
+}
+
+// MarshalBinary returns the canonical encoding of r.
+func (r *Result) MarshalBinary() ([]byte, error) {
+	return r.AppendBinary(nil), nil
+}
+
+// UnmarshalBinary decodes a canonical encoding into r, replacing its
+// contents. Truncated or structurally invalid input is an error, never a
+// partial decode.
+func (r *Result) UnmarshalBinary(b []byte) error {
+	if len(b) < 1 {
+		return fmt.Errorf("loadgen: result encoding empty")
+	}
+	if b[0] != resultCodecV1 {
+		return fmt.Errorf("loadgen: unknown result encoding version %d", b[0])
+	}
+	*r = Result{}
+	off := 1
+	n, err := r.Hist.UnmarshalBinary(b[off:])
+	if err != nil {
+		return fmt.Errorf("loadgen: result histogram: %w", err)
+	}
+	off += n
+	need := func(k int) error {
+		if len(b)-off < k {
+			return fmt.Errorf("loadgen: result encoding truncated at offset %d", off)
+		}
+		return nil
+	}
+	if err := need(6 * 8); err != nil {
+		return err
+	}
+	for _, p := range []*uint64{&r.Offered, &r.Started, &r.Completed, &r.Failed, &r.Warmup, &r.Resumed} {
+		*p = binary.BigEndian.Uint64(b[off:])
+		off += 8
+	}
+	if err := need(4); err != nil {
+		return err
+	}
+	nerr := int(binary.BigEndian.Uint32(b[off:]))
+	off += 4
+	for i := 0; i < nerr; i++ {
+		if err := need(2); err != nil {
+			return err
+		}
+		l := int(binary.BigEndian.Uint16(b[off:]))
+		off += 2
+		if l == 0 || l > maxErrorClassLen {
+			return fmt.Errorf("loadgen: result error-class length %d invalid", l)
+		}
+		if err := need(l + 8); err != nil {
+			return err
+		}
+		class := string(b[off : off+l])
+		off += l
+		if r.Errors == nil {
+			r.Errors = make(map[string]uint64, nerr)
+		}
+		r.Errors[class] = binary.BigEndian.Uint64(b[off:])
+		off += 8
+	}
+	if err := need(2 * 8); err != nil {
+		return err
+	}
+	r.MaxLag = time.Duration(binary.BigEndian.Uint64(b[off:]))
+	r.Elapsed = time.Duration(binary.BigEndian.Uint64(b[off+8:]))
+	if rest := len(b) - off - 16; rest != 0 {
+		return fmt.Errorf("loadgen: result encoding has %d trailing bytes", rest)
+	}
+	return nil
+}
+
+// resultJSON is the JSON shape of a Result: the same information as the
+// binary encoding, readable by external tooling (`pqbench live -json`).
+type resultJSON struct {
+	Offered   uint64            `json:"offered"`
+	Started   uint64            `json:"started"`
+	Completed uint64            `json:"completed"`
+	Failed    uint64            `json:"failed"`
+	Warmup    uint64            `json:"warmup"`
+	Resumed   uint64            `json:"resumed"`
+	Errors    map[string]uint64 `json:"errors,omitempty"`
+	MaxLagNS  int64             `json:"max_lag_ns"`
+	ElapsedNS int64             `json:"elapsed_ns"`
+	Hist      *Histogram        `json:"hist"`
+}
+
+// MarshalJSON renders the Result in the canonical JSON shape.
+func (r *Result) MarshalJSON() ([]byte, error) {
+	return json.Marshal(resultJSON{
+		Offered: r.Offered, Started: r.Started, Completed: r.Completed,
+		Failed: r.Failed, Warmup: r.Warmup, Resumed: r.Resumed,
+		Errors: r.Errors, MaxLagNS: int64(r.MaxLag), ElapsedNS: int64(r.Elapsed),
+		Hist: &r.Hist,
+	})
+}
+
+// UnmarshalJSON decodes the canonical JSON shape into r.
+func (r *Result) UnmarshalJSON(b []byte) error {
+	var j resultJSON
+	j.Hist = &Histogram{}
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	*r = Result{
+		Offered: j.Offered, Started: j.Started, Completed: j.Completed,
+		Failed: j.Failed, Warmup: j.Warmup, Resumed: j.Resumed,
+		Errors: j.Errors, MaxLag: time.Duration(j.MaxLagNS), Elapsed: time.Duration(j.ElapsedNS),
+		Hist: *j.Hist,
+	}
+	return nil
+}
+
+// Digest is a short hex fingerprint of the Result's deterministic content:
+// the canonical binary encoding with MaxLag and Elapsed zeroed, since those
+// two fields measure the host's scheduling, not the run's outcome. In
+// Simulate mode every remaining field is a pure function of the schedule,
+// so a distributed run's merged digest must equal the single-process
+// digest — the exactness check `make dist-smoke` asserts.
+func (r *Result) Digest() string {
+	c := *r
+	c.MaxLag, c.Elapsed = 0, 0
+	sum := sha256.Sum256(c.AppendBinary(nil))
+	return fmt.Sprintf("%x", sum)[:16]
+}
+
+// Canonical Schedule encoding, used by the distributed Assign frame so a
+// worker paces exactly the offsets the coordinator split for it:
+//
+//	u8  version (scheduleCodecV1)
+//	i64 seed, u8 dist, f64 rate (IEEE-754 bits)
+//	u32 offset count, then i64 nanosecond offsets (ascending)
+const scheduleCodecV1 = 1
+
+// maxScheduleOffsets bounds a decoded plan (64M arrivals ≈ 512 MB of
+// offsets); a larger count is a corrupt frame.
+const maxScheduleOffsets = 1 << 26
+
+// AppendBinary appends the canonical encoding of s to b.
+func (s *Schedule) AppendBinary(b []byte) []byte {
+	b = append(b, scheduleCodecV1)
+	b = binary.BigEndian.AppendUint64(b, uint64(s.Seed))
+	b = append(b, byte(s.Dist))
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(s.Rate))
+	b = binary.BigEndian.AppendUint32(b, uint32(len(s.Offsets)))
+	for _, off := range s.Offsets {
+		b = binary.BigEndian.AppendUint64(b, uint64(off))
+	}
+	return b
+}
+
+// MarshalBinary returns the canonical encoding of s.
+func (s *Schedule) MarshalBinary() ([]byte, error) {
+	return s.AppendBinary(nil), nil
+}
+
+// UnmarshalBinary decodes a canonical encoding into s, enforcing offset
+// monotonicity (the dispatcher's pacing loop depends on it).
+func (s *Schedule) UnmarshalBinary(b []byte) error {
+	const head = 1 + 8 + 1 + 8 + 4
+	if len(b) < head {
+		return fmt.Errorf("loadgen: schedule encoding truncated (%d bytes)", len(b))
+	}
+	if b[0] != scheduleCodecV1 {
+		return fmt.Errorf("loadgen: unknown schedule encoding version %d", b[0])
+	}
+	*s = Schedule{
+		Seed: int64(binary.BigEndian.Uint64(b[1:])),
+		Dist: Dist(b[9]),
+		Rate: math.Float64frombits(binary.BigEndian.Uint64(b[10:])),
+	}
+	n := int(binary.BigEndian.Uint32(b[18:]))
+	if n > maxScheduleOffsets {
+		return fmt.Errorf("loadgen: schedule encoding claims %d offsets", n)
+	}
+	if len(b) != head+8*n {
+		return fmt.Errorf("loadgen: schedule encoding: %d offsets need %d bytes, have %d", n, head+8*n, len(b))
+	}
+	if n == 0 {
+		return nil
+	}
+	s.Offsets = make([]time.Duration, n)
+	var prev time.Duration
+	for i := range s.Offsets {
+		off := time.Duration(binary.BigEndian.Uint64(b[head+8*i:]))
+		if off < prev {
+			return fmt.Errorf("loadgen: schedule offsets not monotone at %d", i)
+		}
+		s.Offsets[i] = off
+		prev = off
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+package loadgen
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// goldenResult is a fixed Result exercising every encoded field: histogram
+// records across buckets, all counters, two error classes, extremes.
+func goldenResult() *Result {
+	r := &Result{
+		Offered: 7, Started: 7, Completed: 5, Failed: 2, Warmup: 1, Resumed: 3,
+		Errors:  map[string]uint64{"dial": 1, "timeout": 1},
+		MaxLag:  1500 * time.Microsecond,
+		Elapsed: 2 * time.Second,
+	}
+	for _, d := range []time.Duration{
+		800 * time.Nanosecond, // below histBase: bucket 0 + exact min
+		time.Millisecond,
+		time.Millisecond, // repeat: bucket count 2
+		40 * time.Millisecond,
+	} {
+		r.Hist.Record(d)
+	}
+	return r
+}
+
+// TestResultCodecGolden pins the canonical byte encoding. The distributed
+// wire protocol, the -json artifacts, and the Result digest all assume
+// these exact bytes; a change here is a protocol version bump, not a
+// refactor.
+func TestResultCodecGolden(t *testing.T) {
+	const want = "01010000000000000004000000000280e1a000000000000003200000000002625a00000000030000000000000000000100b00000000000000002010e00000000000000010000000000000007000000000000000700000000000000050000000000000002000000000000000100000000000000030000000200046469616c0000000000000001000774696d656f75740000000000000001000000000016e3600000000077359400"
+	b, err := goldenResult().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hex.EncodeToString(b); got != want {
+		t.Errorf("canonical encoding changed:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestResultCodecRoundTrip(t *testing.T) {
+	r := goldenResult()
+	b, err := r.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := back.UnmarshalBinary(b); err != nil {
+		t.Fatalf("UnmarshalBinary: %v", err)
+	}
+	if !reflect.DeepEqual(r, &back) {
+		t.Fatalf("binary round trip mismatch:\n got %+v\nwant %+v", back, *r)
+	}
+	if r.Digest() != back.Digest() {
+		t.Fatal("round trip changed the digest")
+	}
+
+	j, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jback Result
+	if err := json.Unmarshal(j, &jback); err != nil {
+		t.Fatalf("json round trip: %v", err)
+	}
+	if !reflect.DeepEqual(r, &jback) {
+		t.Fatalf("JSON round trip mismatch:\n got %+v\nwant %+v", jback, *r)
+	}
+	// Quantiles survive both trips bucket-exactly.
+	for _, q := range []float64{0, 0.5, 0.95, 1} {
+		if back.Hist.Quantile(q) != r.Hist.Quantile(q) || jback.Hist.Quantile(q) != r.Hist.Quantile(q) {
+			t.Fatalf("q%.2f changed across codec round trip", q)
+		}
+	}
+}
+
+// TestResultCodecInvalid feeds the decoder the malformed inputs a hostile
+// or corrupt peer could: truncations at every byte, a bad version, a bucket
+// sum that contradicts the count header, and trailing garbage.
+func TestResultCodecInvalid(t *testing.T) {
+	b, _ := goldenResult().MarshalBinary()
+	for cut := 0; cut < len(b); cut++ {
+		var r Result
+		if err := r.UnmarshalBinary(b[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded without error", cut)
+		}
+	}
+	bad := append([]byte(nil), b...)
+	bad[0] = 99
+	var r Result
+	if err := r.UnmarshalBinary(bad); err == nil {
+		t.Fatal("unknown version decoded without error")
+	}
+	if err := r.UnmarshalBinary(append(append([]byte(nil), b...), 0)); err == nil {
+		t.Fatal("trailing garbage decoded without error")
+	}
+	// Corrupt the histogram's n so buckets no longer sum to it.
+	bad = append([]byte(nil), b...)
+	bad[8]++ // low byte of the histogram's u64 n
+	if err := r.UnmarshalBinary(bad); err == nil {
+		t.Fatal("bucket/count mismatch decoded without error")
+	}
+}
+
+// TestResultDigest pins what the digest covers: everything deterministic,
+// nothing host-dependent (MaxLag, Elapsed).
+func TestResultDigest(t *testing.T) {
+	a, b := goldenResult(), goldenResult()
+	b.MaxLag = 99 * time.Second
+	b.Elapsed = time.Hour
+	if a.Digest() != b.Digest() {
+		t.Error("digest depends on MaxLag/Elapsed; it must not")
+	}
+	b.Completed++
+	if a.Digest() == b.Digest() {
+		t.Error("digest ignored a counter change")
+	}
+	c := goldenResult()
+	c.Hist.Record(time.Millisecond)
+	if a.Digest() == c.Digest() {
+		t.Error("digest ignored a histogram change")
+	}
+}
+
+func TestScheduleCodecRoundTrip(t *testing.T) {
+	s := NewSchedule(42, DistUniform, 250, time.Second)
+	b, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Schedule
+	if err := back.UnmarshalBinary(b); err != nil {
+		t.Fatalf("UnmarshalBinary: %v", err)
+	}
+	if !reflect.DeepEqual(s, &back) {
+		t.Fatal("schedule round trip mismatch")
+	}
+	if s.Digest() != back.Digest() {
+		t.Fatal("schedule round trip changed the digest")
+	}
+	// Split parts survive the codec too — the Assign frame's exact case.
+	parts, err := s.Split(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb := parts[1].AppendBinary(nil)
+	var part Schedule
+	if err := part.UnmarshalBinary(pb); err != nil {
+		t.Fatal(err)
+	}
+	if part.Digest() != parts[1].Digest() {
+		t.Fatal("split part round trip changed the digest")
+	}
+}
+
+func TestScheduleCodecInvalid(t *testing.T) {
+	s := NewSchedule(1, DistExponential, 100, time.Second)
+	b, _ := s.MarshalBinary()
+	for _, cut := range []int{0, 5, len(b) - 1} {
+		var back Schedule
+		if err := back.UnmarshalBinary(b[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded without error", cut)
+		}
+	}
+	bad := append([]byte(nil), b...)
+	bad[0] = 9
+	var back Schedule
+	if err := back.UnmarshalBinary(bad); err == nil {
+		t.Fatal("unknown version decoded without error")
+	}
+	// Non-monotone offsets are rejected (the dispatcher paces in order).
+	bad = append([]byte(nil), b...)
+	copy(bad[len(bad)-8:], []byte{0, 0, 0, 0, 0, 0, 0, 1})
+	if err := back.UnmarshalBinary(bad); err == nil {
+		t.Fatal("non-monotone offsets decoded without error")
+	}
+}

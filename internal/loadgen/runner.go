@@ -2,11 +2,15 @@ package loadgen
 
 import (
 	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pqtls/internal/live"
@@ -73,6 +77,31 @@ type Options struct {
 	// per-key verification setup — the steady-state of a client that keeps
 	// talking to one server. Modeled charges are unaffected.
 	Amortize bool
+	// Simulate replaces every real dial+handshake with a synthetic latency
+	// that is a pure function of (Schedule.Seed, sample index). The
+	// dispatch machinery — open-loop pacing, the concurrency limiter,
+	// warmup classification, histogram recording — runs unchanged, but the
+	// Result becomes fully deterministic: the same schedule produces the
+	// same histogram, counters, and digest on any host, whole or split
+	// across any number of workers or machines. This is the mode the
+	// distributed subsystem's exactness checks run in (Addr, Config,
+	// Resume, and KeyShares are ignored).
+	Simulate bool
+	// Cancel, when non-nil, aborts the run once closed: no further arrivals
+	// are dispatched, in-flight handshakes finish, and the Result covers
+	// what actually ran (Offered still counts the full plan). This is the
+	// graceful-drain path a SIGINT takes.
+	Cancel <-chan struct{}
+	// Progress, when non-nil, is updated with atomic adds as the run
+	// advances, so a reporting goroutine (the distributed worker's progress
+	// frames) can observe live counters without touching the Result.
+	Progress *Progress
+}
+
+// Progress mirrors the Result's headline counters as atomics a concurrent
+// observer may read mid-run.
+type Progress struct {
+	Started, Completed, Failed atomic.Uint64
 }
 
 // KeySource hands out pre-generated key shares by KEM name. It is the
@@ -159,26 +188,17 @@ func Run(opts Options) (*Result, error) {
 // per-worker Results are merged bucket-exactly, so workers only changes
 // dispatch parallelism, never the semantics of the run.
 func RunWorkers(opts Options, workers int) (*Result, error) {
-	if opts.Schedule == nil || len(opts.Schedule.Offsets) == 0 {
-		return nil, errors.New("loadgen: empty schedule")
-	}
-	if opts.Config == nil {
-		return nil, errors.New("loadgen: Options.Config is required")
-	}
-	if opts.MaxConcurrent <= 0 {
-		opts.MaxConcurrent = 128
-	}
-	if opts.DialTimeout <= 0 {
-		opts.DialTimeout = 5 * time.Second
-	}
-	if opts.HandshakeTimeout <= 0 {
-		opts.HandshakeTimeout = 10 * time.Second
+	if err := normalize(&opts); err != nil {
+		return nil, err
 	}
 	if workers <= 0 {
 		workers = 1
 	}
+	if n := len(opts.Schedule.Offsets); workers > n {
+		workers = n // fewer arrivals than dispatchers: shrink, don't idle
+	}
 
-	if opts.Amortize {
+	if opts.Amortize && !opts.Simulate {
 		// One shared pair of caches for the whole pool: the per-connection
 		// shallow copies in oneHandshake all point at these.
 		cfg := *opts.Config
@@ -188,7 +208,7 @@ func RunWorkers(opts Options, workers int) (*Result, error) {
 	}
 
 	var sess *tls13.Session
-	if opts.Resume {
+	if opts.Resume && !opts.Simulate {
 		var err error
 		sess, err = Prime(opts.Addr, opts.Config, opts.DialTimeout, opts.HandshakeTimeout)
 		if err != nil {
@@ -196,7 +216,10 @@ func RunWorkers(opts Options, workers int) (*Result, error) {
 		}
 	}
 
-	parts := opts.Schedule.Split(workers)
+	parts, err := opts.Schedule.Split(workers)
+	if err != nil {
+		return nil, err
+	}
 	sem := make(chan struct{}, opts.MaxConcurrent)
 	results := make([]*Result, len(parts))
 	var wg sync.WaitGroup
@@ -219,6 +242,84 @@ func RunWorkers(opts Options, workers int) (*Result, error) {
 	return res, nil
 }
 
+// normalize validates the options and fills in defaults. Simulate mode
+// needs no Config: nothing is dialed.
+func normalize(opts *Options) error {
+	if opts.Schedule == nil || len(opts.Schedule.Offsets) == 0 {
+		return errors.New("loadgen: empty schedule")
+	}
+	if opts.Config == nil && !opts.Simulate {
+		return errors.New("loadgen: Options.Config is required")
+	}
+	if opts.MaxConcurrent <= 0 {
+		opts.MaxConcurrent = 128
+	}
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 5 * time.Second
+	}
+	if opts.HandshakeTimeout <= 0 {
+		opts.HandshakeTimeout = 10 * time.Second
+	}
+	return nil
+}
+
+// RunShard executes one pre-split part of a larger plan: opts.Schedule must
+// be shard `worker` of a schedule that was Split(stride) ways. Samples are
+// numbered worker + i·stride — exactly as the same shard numbers them
+// inside RunWorkers — so a shard farmed out to another process times (and,
+// in Simulate mode, reproduces) the identical samples, and the per-shard
+// Results merge back into the unsplit run's aggregate. This is the
+// distributed worker's entry point.
+func RunShard(opts Options, worker, stride int) (*Result, error) {
+	if err := normalize(&opts); err != nil {
+		return nil, err
+	}
+	if worker < 0 || stride < 1 || worker >= stride {
+		return nil, fmt.Errorf("loadgen: RunShard(%d, %d): worker must be in [0, stride)", worker, stride)
+	}
+	if opts.Amortize && !opts.Simulate {
+		cfg := *opts.Config
+		cfg.ChainCache = tls13.NewChainCache()
+		cfg.Verifiers = sig.NewVerifierCache(0)
+		opts.Config = &cfg
+	}
+	var sess *tls13.Session
+	if opts.Resume && !opts.Simulate {
+		var err error
+		sess, err = Prime(opts.Addr, opts.Config, opts.DialTimeout, opts.HandshakeTimeout)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: resumption priming: %w", err)
+		}
+	}
+	sem := make(chan struct{}, opts.MaxConcurrent)
+	start := time.Now()
+	res := dispatch(&opts, opts.Schedule, sess, start, sem, worker, stride)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// simLatency is Simulate mode's synthetic handshake duration for one
+// sample: a deterministic exponential draw (mean 1 ms, clamped to 20 ms)
+// from a SHA-256 counter DRBG over (seed, sample). Only (seed, sample)
+// matter — not which worker, process, or host runs the sample — which is
+// the whole point: a split run reproduces the unsplit histogram exactly.
+func simLatency(seed int64, sample int) time.Duration {
+	var block [24]byte
+	copy(block[:8], "pqsimlat")
+	binary.BigEndian.PutUint64(block[8:], uint64(seed))
+	binary.BigEndian.PutUint64(block[16:], uint64(sample))
+	sum := sha256.Sum256(block[:])
+	u := float64(binary.BigEndian.Uint64(sum[:8])>>11) / (1 << 53)
+	lat := time.Duration(-math.Log(1-u) * float64(time.Millisecond))
+	if lat > 20*time.Millisecond {
+		lat = 20 * time.Millisecond
+	}
+	if lat < time.Microsecond {
+		lat = time.Microsecond
+	}
+	return lat
+}
+
 // dispatch paces one slice of the arrival plan. Offsets are absolute (from
 // the shared start instant), so concurrent dispatchers reproduce the exact
 // arrival process of the unsplit schedule.
@@ -230,30 +331,63 @@ func dispatch(opts *Options, sched *Schedule, sess *tls13.Session, start time.Ti
 	var wg sync.WaitGroup
 	var mu sync.Mutex // guards res aggregation from handshake goroutines
 
+arrivals:
 	for i, off := range sched.Offsets {
 		// Open loop: fire at the scheduled offset no matter what earlier
-		// handshakes are doing; only pool saturation may delay a start.
+		// handshakes are doing; only pool saturation may delay a start. A
+		// close of opts.Cancel stops dispatching new arrivals (a nil Cancel
+		// channel never fires, so the selects degrade to the plain path).
 		if d := off - time.Since(start); d > 0 {
-			time.Sleep(d)
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-opts.Cancel:
+				t.Stop()
+				break arrivals
+			}
 		}
-		sem <- struct{}{}
+		select {
+		case sem <- struct{}{}:
+		case <-opts.Cancel:
+			break arrivals
+		}
 		if lag := time.Since(start) - off; lag > res.MaxLag {
 			res.MaxLag = lag // dispatcher goroutine only; no lock needed
 		}
 		res.Started++
+		if opts.Progress != nil {
+			opts.Progress.Started.Add(1)
+		}
 		wg.Add(1)
 		go func(sample int, scheduled time.Duration) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			lat, tracer, err := oneHandshake(opts, sess, sample)
+			var lat time.Duration
+			var tracer *obs.Tracer
+			var err error
+			if opts.Simulate {
+				// Deterministic synthetic latency; sleeping it keeps the
+				// limiter and goroutine interleaving honest without
+				// touching the recorded value.
+				lat = simLatency(sched.Seed, sample)
+				time.Sleep(lat)
+			} else {
+				lat, tracer, err = oneHandshake(opts, sess, sample)
+			}
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
 				res.Failed++
 				res.Errors[live.Classify(err)]++
+				if opts.Progress != nil {
+					opts.Progress.Failed.Add(1)
+				}
 				return
 			}
 			res.Completed++
+			if opts.Progress != nil {
+				opts.Progress.Completed.Add(1)
+			}
 			if sess != nil {
 				res.Resumed++
 			}

@@ -96,12 +96,18 @@ func NewSchedule(seed int64, dist Dist, rate float64, span time.Duration) *Sched
 // monotone), so n dispatchers pacing the parts against one clock reproduce
 // the unsplit arrival process. The partition is a pure function of the
 // schedule and n — same seed and worker count, same parts, same digests.
-func (s *Schedule) Split(n int) []*Schedule {
+//
+// n must be in [1, len(Offsets)]: a non-positive count has no meaning, and
+// more parts than arrivals would mint empty shards a distributed
+// coordinator would then assign as no-op work. Both edges are explicit
+// errors, never a panic or a silent clamp — the caller decides how to
+// shrink its worker count.
+func (s *Schedule) Split(n int) ([]*Schedule, error) {
 	if n < 1 {
-		n = 1
+		return nil, fmt.Errorf("loadgen: Split(%d): part count must be positive", n)
 	}
-	if n > len(s.Offsets) && len(s.Offsets) > 0 {
-		n = len(s.Offsets)
+	if n > len(s.Offsets) {
+		return nil, fmt.Errorf("loadgen: Split(%d): schedule has only %d arrivals", n, len(s.Offsets))
 	}
 	parts := make([]*Schedule, n)
 	for i := range parts {
@@ -111,7 +117,7 @@ func (s *Schedule) Split(n int) []*Schedule {
 		p := parts[i%n]
 		p.Offsets = append(p.Offsets, off)
 	}
-	return parts
+	return parts, nil
 }
 
 // Digest is a short hex fingerprint of the exact arrival offsets. Two runs

@@ -96,7 +96,10 @@ func TestParseDist(t *testing.T) {
 func TestScheduleSplit(t *testing.T) {
 	s := NewSchedule(7, DistExponential, 300, 2*time.Second)
 	const n = 3
-	parts := s.Split(n)
+	parts, err := s.Split(n)
+	if err != nil {
+		t.Fatalf("Split(%d): %v", n, err)
+	}
 	if len(parts) != n {
 		t.Fatalf("Split(%d) returned %d parts", n, len(parts))
 	}
@@ -123,18 +126,47 @@ func TestScheduleSplit(t *testing.T) {
 		}
 	}
 	// Determinism across independent builds of the same plan.
-	again := NewSchedule(7, DistExponential, 300, 2*time.Second).Split(n)
+	again, err := NewSchedule(7, DistExponential, 300, 2*time.Second).Split(n)
+	if err != nil {
+		t.Fatalf("second Split(%d): %v", n, err)
+	}
 	for w := range parts {
 		if parts[w].Digest() != again[w].Digest() {
 			t.Fatalf("part %d digest differs across identical splits", w)
 		}
 	}
-	// Degenerate worker counts clamp rather than fail.
-	if got := s.Split(0); len(got) != 1 || got[0].Digest() != s.Digest() {
-		t.Error("Split(0) should return the whole plan as one part")
+}
+
+// TestScheduleSplitEdges pins the guard contract: non-positive part counts
+// and counts beyond the plan size are explicit errors — never a panic, a
+// clamp, or a batch of empty shards a coordinator would assign as no-ops.
+func TestScheduleSplitEdges(t *testing.T) {
+	s := NewSchedule(7, DistExponential, 300, 2*time.Second)
+	for _, n := range []int{0, -1, -100} {
+		parts, err := s.Split(n)
+		if err == nil {
+			t.Errorf("Split(%d) = %d parts, want error", n, len(parts))
+		}
 	}
-	if got := s.Split(len(s.Offsets) + 5); len(got) != len(s.Offsets) {
-		t.Errorf("Split beyond plan size returned %d parts, want %d", len(got), len(s.Offsets))
+	for _, n := range []int{len(s.Offsets) + 1, len(s.Offsets) * 2} {
+		parts, err := s.Split(n)
+		if err == nil {
+			t.Errorf("Split(%d) with %d arrivals = %d parts, want error", n, len(s.Offsets), len(parts))
+		}
+	}
+	// The boundary itself is legal: one arrival per part, no empties.
+	parts, err := s.Split(len(s.Offsets))
+	if err != nil {
+		t.Fatalf("Split(len) errored: %v", err)
+	}
+	for w, p := range parts {
+		if len(p.Offsets) != 1 {
+			t.Fatalf("part %d has %d offsets, want exactly 1", w, len(p.Offsets))
+		}
+	}
+	// An empty schedule cannot be split at all.
+	if _, err := (&Schedule{}).Split(1); err == nil {
+		t.Error("Split(1) on an empty schedule should error")
 	}
 }
 

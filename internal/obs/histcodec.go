@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// Canonical histogram encoding. The distributed loadgen protocol ships
+// histograms between processes and the merged-result digest hashes them, so
+// the byte layout is pinned (a golden test in internal/loadgen guards it):
+//
+//	u8  version (histCodecV1)
+//	u64 n            observations
+//	i64 sum, min, max (nanoseconds, exact)
+//	u32 k            non-zero buckets
+//	k × (u16 bucket index, u64 count), ascending index
+//
+// All integers big-endian. The sparse bucket list keeps an idle histogram at
+// 30 bytes while staying exact: Merge of a decoded histogram is bucket-wise
+// identical to merging the original.
+const histCodecV1 = 1
+
+// AppendBinary appends the canonical encoding of h to b.
+func (h *Histogram) AppendBinary(b []byte) []byte {
+	b = append(b, histCodecV1)
+	b = binary.BigEndian.AppendUint64(b, h.n)
+	b = binary.BigEndian.AppendUint64(b, uint64(h.sum))
+	b = binary.BigEndian.AppendUint64(b, uint64(h.min))
+	b = binary.BigEndian.AppendUint64(b, uint64(h.max))
+	var k uint32
+	for _, c := range h.counts {
+		if c != 0 {
+			k++
+		}
+	}
+	b = binary.BigEndian.AppendUint32(b, k)
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		b = binary.BigEndian.AppendUint16(b, uint16(i))
+		b = binary.BigEndian.AppendUint64(b, c)
+	}
+	return b
+}
+
+// MarshalBinary returns the canonical encoding of h.
+func (h *Histogram) MarshalBinary() ([]byte, error) {
+	return h.AppendBinary(nil), nil
+}
+
+// UnmarshalBinary decodes into h (replacing its contents) and returns the
+// bytes consumed, so the histogram can be embedded in a larger frame. It
+// rejects version or structure mismatches rather than decoding garbage.
+func (h *Histogram) UnmarshalBinary(b []byte) (int, error) {
+	const head = 1 + 8 + 8 + 8 + 8 + 4
+	if len(b) < head {
+		return 0, fmt.Errorf("obs: histogram encoding truncated (%d bytes)", len(b))
+	}
+	if b[0] != histCodecV1 {
+		return 0, fmt.Errorf("obs: unknown histogram encoding version %d", b[0])
+	}
+	*h = Histogram{}
+	h.n = binary.BigEndian.Uint64(b[1:])
+	h.sum = time.Duration(binary.BigEndian.Uint64(b[9:]))
+	h.min = time.Duration(binary.BigEndian.Uint64(b[17:]))
+	h.max = time.Duration(binary.BigEndian.Uint64(b[25:]))
+	k := binary.BigEndian.Uint32(b[33:])
+	n := head + int(k)*10
+	if len(b) < n {
+		return 0, fmt.Errorf("obs: histogram encoding truncated: %d buckets need %d bytes, have %d", k, n, len(b))
+	}
+	var total uint64
+	prev := -1
+	for j := 0; j < int(k); j++ {
+		off := head + j*10
+		i := int(binary.BigEndian.Uint16(b[off:]))
+		c := binary.BigEndian.Uint64(b[off+2:])
+		if i >= histBuckets || i <= prev || c == 0 {
+			return 0, fmt.Errorf("obs: histogram encoding invalid at bucket entry %d (index %d, count %d)", j, i, c)
+		}
+		h.counts[i] = c
+		total += c
+		prev = i
+	}
+	if total != h.n {
+		return 0, fmt.Errorf("obs: histogram bucket counts sum to %d, header says %d", total, h.n)
+	}
+	return n, nil
+}
+
+// histJSON is the JSON shape of a histogram: exact extremes and sum as
+// nanoseconds, sparse buckets as [index, count] pairs in ascending order —
+// the same information as the binary encoding, readable by external tooling.
+type histJSON struct {
+	N       uint64      `json:"n"`
+	SumNS   int64       `json:"sum_ns"`
+	MinNS   int64       `json:"min_ns"`
+	MaxNS   int64       `json:"max_ns"`
+	Buckets [][2]uint64 `json:"buckets"`
+}
+
+// MarshalJSON renders the histogram in the canonical JSON shape.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	j := histJSON{N: h.n, SumNS: int64(h.sum), MinNS: int64(h.min), MaxNS: int64(h.max)}
+	for i, c := range h.counts {
+		if c != 0 {
+			j.Buckets = append(j.Buckets, [2]uint64{uint64(i), c})
+		}
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON decodes the canonical JSON shape, applying the same
+// structural checks as the binary decoder.
+func (h *Histogram) UnmarshalJSON(b []byte) error {
+	var j histJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	*h = Histogram{n: j.N, sum: time.Duration(j.SumNS), min: time.Duration(j.MinNS), max: time.Duration(j.MaxNS)}
+	var total uint64
+	prev := -1
+	for _, e := range j.Buckets {
+		i, c := int(e[0]), e[1]
+		if i >= histBuckets || i <= prev || c == 0 {
+			return fmt.Errorf("obs: histogram JSON invalid bucket [%d, %d]", i, c)
+		}
+		h.counts[i] = c
+		total += c
+		prev = i
+	}
+	if total != j.N {
+		return fmt.Errorf("obs: histogram JSON bucket counts sum to %d, n says %d", total, j.N)
+	}
+	return nil
+}

@@ -58,11 +58,20 @@ s1=$("$livedir/pqbench-race" saturate -rate 40 -duration 1s -rungs 2 -shards 1,2
     tee /dev/stderr | sed -n 's/.*sweep digest \([0-9a-f]*\).*/\1/p')
 s2=$("$livedir/pqbench-race" saturate -rate 40 -duration 1s -rungs 2 -shards 1,2 -resume |
     sed -n 's/.*sweep digest \([0-9a-f]*\).*/\1/p')
-rm -rf "$livedir"
 if [ -z "$s1" ] || [ "$s1" != "$s2" ]; then
+    rm -rf "$livedir"
     echo "saturate smoke: sweep digest not reproducible: '$s1' vs '$s2'"
     exit 1
 fi
+
+echo "==> dist smoke: coordinator/worker under -race, merged digest equals single-process"
+"$livedir/pqbench-race" dist-coordinator -simulate -verify -workers 2 -workers-local 2 \
+    -rate 80 -duration 1s -start-delay 50ms -heartbeat-timeout 2s
+echo "==> dist smoke: kill one worker mid-run, reassignment must keep totals exact"
+"$livedir/pqbench-race" dist-coordinator -simulate -verify -workers 2 -workers-local 2 \
+    -rate 80 -duration 1s -start-delay 50ms \
+    -heartbeat-timeout 400ms -kill-worker-after 500ms
+rm -rf "$livedir"
 
 echo "==> phases smoke: span traces + Prometheus /metrics end to end"
 sh scripts/phases_smoke.sh
