@@ -4,16 +4,17 @@ FUZZTIME ?= 5s
 # (see EXPERIMENTS.md).
 TABLE4FLAGS ?= -samples 5 -timing model
 
-.PHONY: check lint vet build test race fuzz-smoke live-smoke saturate-smoke dist-smoke phases-smoke bench bench-gate table4 clean
+.PHONY: check lint vet build test race fuzz-smoke live-smoke saturate-smoke dist-smoke phases-smoke timeline-smoke bench bench-gate table4 clean
 
 # check is the CI entry point: static checks, build, the full test suite,
 # the race-enabled suite (exercising the parallel campaign engine), the
 # benchmark regression gate (short mode: allocs/op only, since shared
 # runners have noisy timing), a short fuzz pass over each wire-parsing
 # target, a live loopback smoke run, the sharded-accept saturate smoke, the
-# distributed coordinator/worker smoke, and the observability smoke (phase
-# traces + Prometheus /metrics).
-check: lint build test race bench-gate fuzz-smoke live-smoke saturate-smoke dist-smoke phases-smoke
+# distributed coordinator/worker smoke, the observability smokes (phase
+# traces + Prometheus /metrics), and the streaming-telemetry smoke (windowed
+# timeline artifacts from a 2-worker dist run, digest-exact vs single-process).
+check: lint build test race bench-gate fuzz-smoke live-smoke saturate-smoke dist-smoke phases-smoke timeline-smoke
 
 # lint runs the always-available static checks (gofmt, go vet) and, when
 # installed, staticcheck. The toolchain image does not bundle staticcheck,
@@ -108,6 +109,14 @@ dist-smoke:
 phases-smoke:
 	sh scripts/phases_smoke.sh
 
+# timeline-smoke exercises the streaming-telemetry subsystem end to end: a
+# 2-worker distributed Simulate run under the race detector with -window
+# telemetry on, where -verify asserts the merged fleet timeline is
+# digest-exact vs the single-process run, plus schema checks on the written
+# .jsonl/.csv artifacts and a round-trip through `pqbench timeline`.
+timeline-smoke:
+	sh scripts/timeline_smoke.sh
+
 # bench refreshes the committed microbenchmark baseline (kernel ns/op +
 # allocs/op + live loopback handshakes/sec) and runs the go-test-native
 # kernel benchmarks once as a smoke pass. Commit the regenerated JSON when
@@ -115,7 +124,7 @@ phases-smoke:
 # they move for a bad one.
 bench:
 	$(GO) build -o bin/pqbench ./cmd/pqbench
-	bin/pqbench microbench -out BENCH_7.json
+	bin/pqbench microbench -out BENCH_9.json
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
 # bench-gate compares a fresh short microbench run against the newest

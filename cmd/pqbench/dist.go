@@ -51,8 +51,11 @@ func runDistCoordinator(args []string) error {
 	addr := fs.String("addr", "", "target server address for real runs (empty = start a loopback server here)")
 	verify := fs.Bool("verify", false, "with -simulate: rerun single-process and require exact digest/counter/quantile equality")
 	killAfter := fs.Duration("kill-worker-after", 0, "fault-injection: SIGKILL one local worker after this delay and require a reassignment (needs -workers-local)")
-	metrics := fs.String("metrics", "", "serve Prometheus /metrics on this address for the run")
+	metrics := fs.String("metrics", "", "serve Prometheus /metrics + /healthz on this address for the run")
+	window := fs.Duration("window", 0, "windowed telemetry interval: workers stream per-window snapshots, the coordinator prints fleet-rollup progress lines and -verify pins the merged timeline (0 = off)")
+	timelinePath := fs.String("timeline", "", "write the merged fleet timeline artifacts to this path base (.jsonl + .csv; implies -window 1s if unset)")
 	fs.Parse(args)
+	*window = resolveWindow(*window, *timelinePath)
 
 	if *workers < 1 {
 		return fmt.Errorf("dist-coordinator: -workers %d must be at least 1", *workers)
@@ -73,17 +76,6 @@ func runDistCoordinator(args []string) error {
 
 	logf := func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
 	reg := obs.NewRegistry()
-	if *metrics != "" {
-		mln, err := net.Listen("tcp", *metrics)
-		if err != nil {
-			return err
-		}
-		defer mln.Close()
-		mux := http.NewServeMux()
-		mux.Handle("/metrics", reg.Handler())
-		go http.Serve(mln, mux)
-		fmt.Printf("metrics: http://%s/metrics\n", mln.Addr())
-	}
 
 	// Real runs need a server under test; by default the coordinator hosts
 	// one on loopback, exactly as `pqbench live` does.
@@ -92,6 +84,7 @@ func runDistCoordinator(args []string) error {
 		Simulate: *simulate, Resume: *resume, Amortize: *amortize,
 		Warmup: *warmup, MaxConcurrent: *conns,
 		HandshakeTimeout: *hsTimeout, StartDelay: *startDelay,
+		WindowInterval: *window,
 	}
 	var srv *live.Server
 	if !*simulate && *addr == "" {
@@ -121,12 +114,15 @@ func runDistCoordinator(args []string) error {
 
 	coord, err := dist.NewCoordinator(*listen, dist.CoordinatorOptions{
 		Workers: *workers, JoinTimeout: *joinTimeout, HeartbeatTimeout: *hbTimeout,
-		Registry: reg, Logf: logf,
+		Registry: reg, MetricsAddr: *metrics, Logf: logf,
 	})
 	if err != nil {
 		return err
 	}
 	defer coord.Close()
+	if a := coord.MetricsAddr(); a != nil {
+		fmt.Printf("metrics: http://%s/metrics (healthz on the same listener)\n", a)
+	}
 	fmt.Printf("pqbench dist-coordinator: listening on %s (quorum %d)\n", coord.Addr(), *workers)
 
 	// Self-spawned local workers re-exec this binary as dist-worker; their
@@ -176,7 +172,9 @@ func runDistCoordinator(args []string) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	stopProgress := startTimelineProgress("fleet", *window, coord.FleetTimeline)
 	report, err := coord.Run(ctx, job, sched)
+	stopProgress()
 	if err != nil {
 		return err
 	}
@@ -205,6 +203,12 @@ func runDistCoordinator(args []string) error {
 		sort.Strings(classes)
 		for _, c := range classes {
 			fmt.Printf("error[%s]: %d\n", c, merged.Errors[c])
+		}
+	}
+
+	if *timelinePath != "" {
+		if err := writeTimelineArtifacts(merged.Timeline, *timelinePath); err != nil {
+			return err
 		}
 	}
 
@@ -248,6 +252,7 @@ func runDistCoordinator(args []string) error {
 		}
 		ref, err := loadgen.RunWorkers(loadgen.Options{
 			Schedule: sched, Simulate: true, Warmup: *warmup, MaxConcurrent: *conns,
+			WindowInterval: *window,
 		}, nshards)
 		if err != nil {
 			return err
@@ -264,6 +269,18 @@ func runDistCoordinator(args []string) error {
 			if m, r := merged.Hist.Quantile(q), ref.Hist.Quantile(q); m != r {
 				return fmt.Errorf("dist-coordinator: VERIFY FAILED: p%.0f %v != single-process %v", q*100, m, r)
 			}
+		}
+		if *window > 0 {
+			// Window-level determinism: the fleet's merged timeline must be
+			// byte-identical to the one the unsplit single-process run built.
+			if merged.Timeline == nil || ref.Timeline == nil {
+				return errors.New("dist-coordinator: VERIFY FAILED: -window set but a timeline is missing")
+			}
+			if got, want := merged.Timeline.Digest(), ref.Timeline.Digest(); got != want {
+				return fmt.Errorf("dist-coordinator: VERIFY FAILED: merged timeline digest %s != single-process %s", got, want)
+			}
+			fmt.Printf("verify: timeline digest %s equals single-process (window %v, %d windows)\n",
+				merged.Timeline.Digest(), *window, len(merged.Timeline.Windows()))
 		}
 		fmt.Printf("verify: PASS — distributed digest %s equals single-process digest (counters and p50/p95/p99 exact)\n", merged.Digest())
 	}

@@ -13,6 +13,7 @@ import (
 	"pqtls/internal/harness"
 	"pqtls/internal/live"
 	"pqtls/internal/loadgen"
+	"pqtls/internal/obs"
 	"pqtls/internal/tls13"
 )
 
@@ -41,7 +42,10 @@ func runLive(args []string) error {
 	signWorkers := fs.Int("sign-workers", 0, "server signing worker pool size (0 = sign inline; -pool defaults this to 2)")
 	amortize := fs.Bool("amortize", false, "share chain-verification and verifier-context caches across client connections (-pool implies)")
 	jsonOut := fs.Bool("json", false, "emit the run's Result on stdout in the canonical JSON encoding (the same layout the distributed protocol pins); human-readable chatter moves to stderr")
+	window := fs.Duration("window", 0, "windowed telemetry interval: per-window snapshots, a live progress line, and the timeline in -json output (0 = off)")
+	timelinePath := fs.String("timeline", "", "write the run's timeline artifacts to this path base (.jsonl + .csv; implies -window 1s if unset)")
 	fs.Parse(args)
+	*window = resolveWindow(*window, *timelinePath)
 	if *pool {
 		if *signWorkers == 0 {
 			*signWorkers = 2
@@ -126,13 +130,28 @@ func runLive(args []string) error {
 	if keyPool != nil {
 		runOpts.KeyShares = keyPool
 	}
+	var tl *obs.Timeline
+	stopProgress := func() {}
+	if *window > 0 {
+		// The CLI owns the timeline so the progress printer can watch it
+		// while the dispatch loop records into it.
+		tl = obs.NewTimeline(*window)
+		runOpts.Timeline = tl
+		stopProgress = startTimelineProgress("live", *window, func() *obs.Timeline { return tl })
+	}
 	res, err := loadgen.Run(runOpts)
+	stopProgress()
 	if err != nil {
 		srv.Shutdown(time.Second)
 		return err
 	}
 	if err := srv.Shutdown(5 * time.Second); err != nil {
 		fmt.Fprintln(os.Stderr, "pqbench:", err)
+	}
+	if *timelinePath != "" {
+		if err := writeTimelineArtifacts(res.Timeline, *timelinePath); err != nil {
+			return err
+		}
 	}
 
 	if *jsonOut {

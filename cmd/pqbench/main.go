@@ -97,6 +97,15 @@ func main() {
 		}
 		return
 	}
+	if cmd == "timeline" {
+		// timeline renders a windowed-telemetry JSONL artifact written by
+		// live/saturate/dist-coordinator -timeline — see timeline.go.
+		if err := runTimeline(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "pqbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if cmd == "phases" {
 		// phases traces one grid cell's handshake span tree — own flag set
 		// (ka, sa, buffer, live, ...) — see phases.go.
@@ -234,6 +243,7 @@ saturate:   sharded-accept scaling sweep to the host's handshake ceiling (own fl
 dist-coordinator: split one load plan across dist-worker processes, merge bucket-exactly (own flags)
 dist-worker: load-generation worker driven by a dist-coordinator (own flags)
 phases:     per-phase handshake breakdown with span traces (own flags; pqbench phases -h)
+timeline:   render a windowed-telemetry JSONL artifact as a table (pqbench timeline -h)
 microbench: kernel ns/op + allocs/op to BENCH_*.json (own flags; pqbench microbench -h)
 benchgate:  compare two BENCH_*.json, fail on regression (own flags; pqbench benchgate -h)`)
 }

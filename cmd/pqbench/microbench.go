@@ -20,6 +20,7 @@ import (
 	"pqtls/internal/harness"
 	"pqtls/internal/live"
 	"pqtls/internal/loadgen"
+	"pqtls/internal/obs"
 	"pqtls/internal/tls13"
 )
 
@@ -307,6 +308,44 @@ func kernelBenchmarks() []namedBench {
 					b.Fatal(err)
 				}
 				if _, _, err := ts.Open(tkt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	{
+		// Windowed-telemetry kernels. window-record is the loadgen hot path
+		// with -window set — counter adds plus one histogram bucket increment
+		// under the timeline mutex, into windows that already exist. Gated at
+		// zero allocs: window creation happens once per interval, never per
+		// handshake. window-merge is the coordinator's per-progress-frame
+		// fold of a worker snapshot (allocates clones by design; ns/op only).
+		add("obs/window-record", func(b *testing.B) {
+			tl := obs.NewTimeline(100 * time.Millisecond)
+			for i := 0; i < 64; i++ {
+				tl.RecordStart(time.Duration(i) * 100 * time.Millisecond)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				at := time.Duration(i%64) * 100 * time.Millisecond
+				tl.RecordComplete(at, time.Millisecond, i%4 == 0, false)
+			}
+		})
+		add("obs/window-merge", func(b *testing.B) {
+			src := obs.NewTimeline(100 * time.Millisecond)
+			for i := 0; i < 32; i++ {
+				at := time.Duration(i) * 100 * time.Millisecond
+				src.RecordStart(at)
+				src.RecordComplete(at+time.Millisecond, time.Duration(i+1)*time.Millisecond, i%2 == 0, false)
+			}
+			dst := obs.NewTimeline(100 * time.Millisecond)
+			if err := dst.Merge(src); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := dst.Merge(src); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -14,6 +14,7 @@ import (
 	"pqtls/internal/harness"
 	"pqtls/internal/live"
 	"pqtls/internal/loadgen"
+	"pqtls/internal/obs"
 	"pqtls/internal/tls13"
 )
 
@@ -45,7 +46,10 @@ func runSaturate(args []string) error {
 	pool := fs.Bool("pool", true, "precompute subsystem end to end: key-share factory, amortized caches, signing workers")
 	signWorkers := fs.Int("sign-workers", 2, "server signing worker pool size when -pool is set")
 	csvPath := fs.String("csv", "", "also write one CSV row per rung to this file")
+	window := fs.Duration("window", 0, "windowed telemetry interval: per-rung progress lines and peak-rung timelines (0 = off)")
+	timelinePath := fs.String("timeline", "", "write each shard count's peak-rung timeline artifacts to <base>_shards<N>.{jsonl,csv} (implies -window 1s if unset)")
 	fs.Parse(args)
+	*window = resolveWindow(*window, *timelinePath)
 	if err := validateSaturate(*startRate, *growth, *knee, *maxRate, *maxRungs, *duration); err != nil {
 		return err
 	}
@@ -99,6 +103,7 @@ func runSaturate(args []string) error {
 		p50, p95         time.Duration
 		completed, fails uint64
 		digest           string
+		timeline         *obs.Timeline
 	}
 	var rungs []rung
 	peak := make(map[int]rung) // best achieved rung per shard count
@@ -138,7 +143,18 @@ func runSaturate(args []string) error {
 			if keyPool != nil {
 				opts.KeyShares = keyPool
 			}
+			stopProgress := func() {}
+			if *window > 0 {
+				// Each rung gets a fresh timeline (offsets restart at the
+				// rung's own schedule zero) and its own progress line.
+				tl := obs.NewTimeline(*window)
+				opts.Timeline = tl
+				stopProgress = startTimelineProgress(
+					fmt.Sprintf("saturate shards=%d rung=%d", n, r), *window,
+					func() *obs.Timeline { return tl })
+			}
 			res, err := loadgen.RunWorkers(opts, n)
+			stopProgress()
 			if err != nil {
 				ss.Shutdown(time.Second)
 				return err
@@ -152,6 +168,7 @@ func runSaturate(args []string) error {
 				shards: n, offered: offered, achieved: achieved, ratio: ratio,
 				p50: res.Hist.Quantile(0.50), p95: res.Hist.Quantile(0.95),
 				completed: res.Completed, fails: res.Failed, digest: sched.Digest(),
+				timeline: res.Timeline,
 			}
 			rungs = append(rungs, rg)
 			fmt.Fprintf(sweep, "%d|%s\n", n, rg.digest)
@@ -185,6 +202,21 @@ func runSaturate(args []string) error {
 	}
 	fmt.Printf("sweep digest %x (seeded arrival plans; rates are this host's)\n",
 		sweep.Sum(nil)[:8])
+
+	if *timelinePath != "" {
+		// One artifact pair per shard count, at its peak rung — the windowed
+		// view of the configuration's best sustained minute.
+		for _, n := range shardCounts {
+			p, ok := peak[n]
+			if !ok {
+				continue
+			}
+			base := fmt.Sprintf("%s_shards%d", *timelinePath, n)
+			if err := writeTimelineArtifacts(p.timeline, base); err != nil {
+				return err
+			}
+		}
+	}
 
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,6 +26,17 @@ const (
 	MetricFramesRecv       = "pqdist_frames_received_total"
 	MetricBytesSent        = "pqdist_bytes_sent_total"
 	MetricBytesRecv        = "pqdist_bytes_received_total"
+	// Fleet gauges: live membership and progress of the active run.
+	MetricWorkersLive       = "pqdist_workers_live"
+	MetricShardsOutstanding = "pqdist_shards_outstanding"
+	MetricHeartbeatAge      = "pqdist_last_heartbeat_age_ms"
+	// Fleet windowed-telemetry rollups, merged from every shard's latest
+	// timeline (progress snapshots while running, final Result timelines
+	// once shards finish).
+	MetricWinWindows   = "pqwin_windows"
+	MetricWinStarted   = "pqwin_started_total"
+	MetricWinCompleted = "pqwin_completed_total"
+	MetricWinFailed    = "pqwin_failed_total"
 )
 
 // registerProtoStats exposes one endpoint's frame/byte counters.
@@ -51,8 +63,14 @@ type CoordinatorOptions struct {
 	// progress, or result — arrives from it for this long (0 = 5s). Dead
 	// workers' unfinished shards are reassigned to live ones.
 	HeartbeatTimeout time.Duration
-	// Registry, when non-nil, receives the coordinator's counters.
+	// Registry, when non-nil, receives the coordinator's counters; nil with
+	// MetricsAddr set gives the coordinator a private registry.
 	Registry *obs.Registry
+	// MetricsAddr, when non-empty, starts an HTTP listener at this address
+	// serving GET /metrics (the coordinator's registry, including the
+	// pqdist_* fleet gauges and pqwin_* rollups) and GET /healthz. Use ":0"
+	// for an ephemeral port and read it back with (*Coordinator).MetricsAddr.
+	MetricsAddr string
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -77,13 +95,18 @@ type Coordinator struct {
 	reassigned atomic.Uint64
 	duplicates atomic.Uint64
 
-	mu       sync.Mutex
-	workers  map[uint32]*remoteWorker
-	joinWait chan struct{} // closed and re-armed on membership growth
-	run      *runState
-	nextID   uint32
-	rrCursor int
-	closed   bool
+	metricsLn   net.Listener
+	httpSrv     *http.Server
+	metricsDone chan struct{}
+
+	mu           sync.Mutex
+	workers      map[uint32]*remoteWorker
+	joinWait     chan struct{} // closed and re-armed on membership growth
+	run          *runState
+	lastTimeline *obs.Timeline // final fleet timeline of the last finished run
+	nextID       uint32
+	rrCursor     int
+	closed       bool
 
 	wg sync.WaitGroup // accept loop + per-connection readers
 }
@@ -101,13 +124,14 @@ type remoteWorker struct {
 
 // runState tracks one Run's shards.
 type runState struct {
-	job     JobSpec
-	parts   []*loadgen.Schedule
-	results []*loadgen.Result // by shard id; nil = outstanding
-	byName  []string          // worker that delivered each shard's result
-	pending int
-	done    chan struct{}
-	failure error // set before done closes on fatal conditions
+	job       JobSpec
+	parts     []*loadgen.Schedule
+	results   []*loadgen.Result     // by shard id; nil = outstanding
+	byName    []string              // worker that delivered each shard's result
+	timelines map[int]*obs.Timeline // latest progress snapshot per shard
+	pending   int
+	done      chan struct{}
+	failure   error // set before done closes on fatal conditions
 }
 
 // ShardReport is one shard's outcome in a RunReport.
@@ -147,6 +171,9 @@ func NewCoordinator(addr string, opts CoordinatorOptions) (*Coordinator, error) 
 	if err != nil {
 		return nil, fmt.Errorf("dist: coordinator listen: %w", err)
 	}
+	if opts.Registry == nil && opts.MetricsAddr != "" {
+		opts.Registry = obs.NewRegistry()
+	}
 	c := &Coordinator{
 		ln:       ln,
 		opts:     opts,
@@ -163,15 +190,149 @@ func NewCoordinator(addr string, opts CoordinatorOptions) (*Coordinator, error) 
 			func() uint64 { return c.reassigned.Load() }, "role", "coordinator")
 		reg.CounterFunc(MetricResultsDuplicate, "Shard results dropped because the shard already completed.",
 			func() uint64 { return c.duplicates.Load() }, "role", "coordinator")
+		reg.GaugeFunc(MetricWorkersLive, "Workers currently registered and live.",
+			func() int64 { return int64(c.Workers()) }, "role", "coordinator")
+		reg.GaugeFunc(MetricShardsOutstanding, "Shards of the active run without an accepted result.",
+			func() int64 { return c.shardsOutstanding() }, "role", "coordinator")
+		reg.GaugeFunc(MetricHeartbeatAge, "Milliseconds since the stalest live worker was last heard from.",
+			func() int64 { return c.heartbeatAgeMS() }, "role", "coordinator")
+		reg.GaugeFunc(MetricWinWindows, "Distinct windows in the merged fleet timeline.",
+			func() int64 { return int64(len(c.fleetWindows())) })
+		reg.CounterFunc(MetricWinStarted, "Handshakes started, summed over the fleet timeline.",
+			func() uint64 { return c.fleetTotals().Started })
+		reg.CounterFunc(MetricWinCompleted, "Handshakes completed, summed over the fleet timeline.",
+			func() uint64 { return c.fleetTotals().Completed })
+		reg.CounterFunc(MetricWinFailed, "Handshakes failed, summed over the fleet timeline.",
+			func() uint64 { return c.fleetTotals().Failed })
 		registerProtoStats(reg, "coordinator", &c.proto)
+	}
+	if opts.MetricsAddr != "" {
+		mln, err := net.Listen("tcp", opts.MetricsAddr)
+		if err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("dist: coordinator metrics listener: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", opts.Registry.Handler())
+		mux.HandleFunc("/healthz", c.healthz)
+		c.metricsLn = mln
+		c.httpSrv = &http.Server{Handler: mux}
+		c.metricsDone = make(chan struct{})
+		go func() {
+			defer close(c.metricsDone)
+			c.httpSrv.Serve(mln)
+		}()
 	}
 	c.wg.Add(1)
 	go c.acceptLoop()
 	return c, nil
 }
 
+// healthz reports readiness: 200 while accepting workers, 503 once closed.
+func (c *Coordinator) healthz(w http.ResponseWriter, _ *http.Request) {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if closed {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status":"closed"}`)
+		return
+	}
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+// shardsOutstanding is the active run's unfinished shard count (0 when idle).
+func (c *Coordinator) shardsOutstanding() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.run == nil {
+		return 0
+	}
+	return int64(c.run.pending)
+}
+
+// heartbeatAgeMS is how long ago the stalest live worker last sent any
+// frame — the watchdog's view of fleet health (0 with no workers).
+func (c *Coordinator) heartbeatAgeMS() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var oldest int64
+	now := time.Now().UnixNano()
+	for _, w := range c.workers {
+		if age := now - w.lastSeen.Load(); age > oldest {
+			oldest = age
+		}
+	}
+	return oldest / int64(time.Millisecond)
+}
+
 // Addr returns the coordinator's listen address.
 func (c *Coordinator) Addr() net.Addr { return c.ln.Addr() }
+
+// MetricsAddr returns the metrics listener's address, or nil when
+// CoordinatorOptions.MetricsAddr was empty.
+func (c *Coordinator) MetricsAddr() net.Addr {
+	if c.metricsLn == nil {
+		return nil
+	}
+	return c.metricsLn.Addr()
+}
+
+// FleetTimeline merges every shard's latest timeline into one fleet view:
+// finished shards contribute their Result's final timeline, still-running
+// shards their most recent progress snapshot. With no active run it returns
+// the last finished run's merged timeline, and nil when no windowed
+// telemetry has ever arrived. Merging is exact (absolute window indices), so
+// once every shard has finished the fleet timeline is byte-identical to the
+// unsplit run's.
+func (c *Coordinator) FleetTimeline() *obs.Timeline {
+	c.mu.Lock()
+	run := c.run
+	var srcs []*obs.Timeline
+	if run != nil {
+		for shard, res := range run.results {
+			switch {
+			case res != nil && res.Timeline != nil:
+				srcs = append(srcs, res.Timeline)
+			case run.timelines[shard] != nil:
+				srcs = append(srcs, run.timelines[shard])
+			}
+		}
+	} else if c.lastTimeline != nil {
+		srcs = append(srcs, c.lastTimeline)
+	}
+	c.mu.Unlock()
+	if len(srcs) == 0 {
+		return nil
+	}
+	out := obs.NewTimeline(srcs[0].Interval())
+	for _, tl := range srcs {
+		if err := out.Merge(tl); err != nil {
+			return nil // mixed intervals: no meaningful fleet view
+		}
+	}
+	return out
+}
+
+// fleetTotals folds the fleet timeline into lifetime totals for the pqwin_*
+// rollup series (a zero Window when no telemetry exists).
+func (c *Coordinator) fleetTotals() obs.Window {
+	tl := c.FleetTimeline()
+	if tl == nil {
+		return obs.Window{}
+	}
+	return tl.Totals()
+}
+
+// fleetWindows returns the fleet timeline's windows (nil when empty).
+func (c *Coordinator) fleetWindows() []obs.Window {
+	tl := c.FleetTimeline()
+	if tl == nil {
+		return nil
+	}
+	return tl.Windows()
+}
 
 // Workers returns how many live workers are currently registered.
 func (c *Coordinator) Workers() int {
@@ -278,9 +439,17 @@ func (c *Coordinator) serveConn(conn net.Conn) {
 				c.mu.Unlock()
 			}
 		case FrameProgress:
-			// Per-shard progress is informational; liveness was already
-			// refreshed above.
-			if shard, live, err := decodeProgress(payload); err == nil {
+			// Per-shard progress refreshes the fleet timeline; liveness was
+			// already refreshed above. Snapshots replace, never accumulate —
+			// each one is the shard's full timeline so far.
+			if shard, live, tl, err := decodeProgress(payload); err == nil {
+				if tl != nil {
+					c.mu.Lock()
+					if c.run != nil && shard >= 0 && shard < len(c.run.results) {
+						c.run.timelines[shard] = tl
+					}
+					c.mu.Unlock()
+				}
 				c.logf("dist: worker %q shard %d: started %d completed %d failed %d",
 					w.name, shard, live.Started, live.Completed, live.Failed)
 			}
@@ -425,12 +594,13 @@ func (c *Coordinator) Run(ctx context.Context, job JobSpec, sched *loadgen.Sched
 		return nil, errors.New("dist: a run is already active")
 	}
 	run := &runState{
-		job:     job,
-		parts:   parts,
-		results: make([]*loadgen.Result, nshards),
-		byName:  make([]string, nshards),
-		pending: nshards,
-		done:    make(chan struct{}),
+		job:       job,
+		parts:     parts,
+		results:   make([]*loadgen.Result, nshards),
+		byName:    make([]string, nshards),
+		timelines: make(map[int]*obs.Timeline),
+		pending:   nshards,
+		done:      make(chan struct{}),
 	}
 	c.run = run
 	// Initial assignment: shard i to the i-th live worker in join order.
@@ -565,6 +735,13 @@ func (c *Coordinator) finishRun() *RunReport {
 		merged.Merge(res)
 	}
 	report.Merged = merged
+	// Keep the final fleet timeline for post-run scrapes of the pqwin_*
+	// rollups and for artifact writers that ask after Run returns.
+	if merged.Timeline != nil {
+		c.mu.Lock()
+		c.lastTimeline = merged.Timeline
+		c.mu.Unlock()
+	}
 	return report
 }
 
@@ -588,5 +765,11 @@ func (c *Coordinator) Close() error {
 		w.pc.close()
 	}
 	c.wg.Wait()
+	if c.httpSrv != nil {
+		// Close the listener and wait for the Serve goroutine, so Close
+		// leaves no coordinator goroutines behind.
+		c.httpSrv.Close()
+		<-c.metricsDone
+	}
 	return err
 }

@@ -4,7 +4,11 @@ import (
 	"context"
 	"encoding/binary"
 	"errors"
+	"fmt"
+	"io"
 	"net"
+	"net/http"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -101,6 +105,118 @@ func TestDistributedMatchesSingleProcess(t *testing.T) {
 	expectClean(t, "w1", w1)
 	expectClean(t, "w2", w2)
 	expectClean(t, "w3", w3)
+}
+
+// TestDistributedTimelineExact extends the correctness bar to windowed
+// telemetry: a run with WindowInterval set, split over the real wire
+// protocol, merges to the byte-identical timeline (and Result digest) of the
+// single-process run, and the coordinator's fleet rollup endpoints see it.
+func TestDistributedTimelineExact(t *testing.T) {
+	sched := loadgen.NewSchedule(13, loadgen.DistExponential, 150, 400*time.Millisecond)
+	coord, err := NewCoordinator("127.0.0.1:0", CoordinatorOptions{
+		Workers: 2, JoinTimeout: 5 * time.Second, HeartbeatTimeout: 2 * time.Second,
+		MetricsAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	ctx := context.Background()
+	w1 := startWorker(t, ctx, coord.Addr().String(), "w1")
+	w2 := startWorker(t, ctx, coord.Addr().String(), "w2")
+
+	job := simJob()
+	job.WindowInterval = 100 * time.Millisecond
+	report, err := coord.Run(ctx, job, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Merged.Timeline == nil {
+		t.Fatal("merged result has no timeline despite WindowInterval")
+	}
+	ref, err := loadgen.RunWorkers(loadgen.Options{
+		Schedule: sched, Simulate: true, MaxConcurrent: 64,
+		WindowInterval: 100 * time.Millisecond,
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := report.Merged.Timeline.Digest(), ref.Timeline.Digest(); got != want {
+		t.Fatalf("merged timeline digest %s, single-process %s", got, want)
+	}
+	if got, want := report.Merged.Digest(), ref.Digest(); got != want {
+		t.Fatalf("merged result digest %s, single-process %s", got, want)
+	}
+	// After the run the coordinator keeps the final fleet timeline for
+	// rollups and artifact writers.
+	fleet := coord.FleetTimeline()
+	if fleet == nil || fleet.Digest() != ref.Timeline.Digest() {
+		t.Fatalf("fleet timeline after run = %v, want digest %s", fleet, ref.Timeline.Digest())
+	}
+	// The coordinator's own scrape endpoint serves the fleet gauges and
+	// pqwin_* rollups.
+	resp, err := http.Get("http://" + coord.MetricsAddr().String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics scrape: status %d, %v", resp.StatusCode, err)
+	}
+	for _, fam := range []string{MetricWorkersLive, MetricShardsOutstanding, MetricHeartbeatAge, MetricWinCompleted, MetricWinWindows} {
+		if !strings.Contains(string(body), fam) {
+			t.Errorf("scrape is missing family %s", fam)
+		}
+	}
+	if !strings.Contains(string(body), fmt.Sprintf("%s %d", MetricWinCompleted, ref.Completed)) {
+		t.Errorf("pqwin completed rollup does not match the run (%d completions)", ref.Completed)
+	}
+	coord.Close()
+	expectClean(t, "w1", w1)
+	expectClean(t, "w2", w2)
+}
+
+// TestCoordinatorMetricsListenerNoLeak is the regression test for the
+// coordinator's metrics listener lifecycle: repeated open/scrape/close
+// cycles must not leave listener or handler goroutines behind.
+func TestCoordinatorMetricsListenerNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	for i := 0; i < 3; i++ {
+		coord, err := NewCoordinator("127.0.0.1:0", CoordinatorOptions{
+			Workers: 1, MetricsAddr: "127.0.0.1:0",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := client.Get("http://" + coord.MetricsAddr().String() + "/healthz")
+		if err != nil {
+			coord.Close()
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			coord.Close()
+			t.Fatalf("healthz status %d before close", resp.StatusCode)
+		}
+		if err := coord.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Goroutine counts settle asynchronously (connection teardown); poll with
+	// a deadline instead of asserting instantly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines grew from %d to %d across coordinator lifecycles", before, runtime.NumGoroutine())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
 }
 
 // TestCoordinatorRejectsVersionMismatch pins the registration gate: a peer

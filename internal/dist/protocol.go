@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"pqtls/internal/loadgen"
+	"pqtls/internal/obs"
 )
 
 // Wire constants. Every connection opens with a Hello/Welcome exchange
@@ -41,8 +42,10 @@ const (
 	Magic = uint32(0x50514c47)
 	// Version is the protocol version; there is no negotiation, only
 	// equality. Bump it when any frame layout (including the loadgen
-	// codecs) changes.
-	Version = uint16(1)
+	// codecs) changes. Version 2: JobSpec gained WindowInterval, Progress
+	// frames carry an optional windowed timeline, and the Result codec
+	// grew its trailing timeline (resultCodecV2).
+	Version = uint16(2)
 	// MaxFrame bounds one frame's body (type byte + payload). The largest
 	// legitimate frame is an Assign carrying a shard's offsets (8 bytes per
 	// arrival); 16 MiB is ~2M arrivals per shard. Anything larger is a
@@ -190,6 +193,11 @@ type JobSpec struct {
 	// StartDelay is slept between receiving an Assign and pacing the first
 	// offset.
 	StartDelay time.Duration
+	// WindowInterval, when > 0, enables per-shard windowed telemetry
+	// (loadgen.Options.WindowInterval): progress frames then carry timeline
+	// snapshots and the shard Result ships its timeline for the
+	// coordinator's fleet merge.
+	WindowInterval time.Duration
 }
 
 const (
@@ -351,6 +359,7 @@ func encodeAssign(shard, stride int, job JobSpec, part *loadgen.Schedule) []byte
 	b = binary.BigEndian.AppendUint64(b, uint64(job.DialTimeout))
 	b = binary.BigEndian.AppendUint64(b, uint64(job.HandshakeTimeout))
 	b = binary.BigEndian.AppendUint64(b, uint64(job.StartDelay))
+	b = binary.BigEndian.AppendUint64(b, uint64(job.WindowInterval))
 	return part.AppendBinary(b)
 }
 
@@ -371,6 +380,7 @@ func decodeAssign(payload []byte) (shard, stride int, job JobSpec, part *loadgen
 	job.DialTimeout = time.Duration(r.u64())
 	job.HandshakeTimeout = time.Duration(r.u64())
 	job.StartDelay = time.Duration(r.u64())
+	job.WindowInterval = time.Duration(r.u64())
 	sched := r.rest()
 	if r.err != nil {
 		return 0, 0, JobSpec{}, nil, r.err
@@ -410,16 +420,46 @@ func decodeHeartbeat(payload []byte) (counters, error) {
 	return c, r.err
 }
 
-// encodeProgress carries one running shard's live counters.
-func encodeProgress(shard int, c counters) []byte {
-	return encodeCounters(binary.BigEndian.AppendUint32(nil, uint32(shard)), c)
+// encodeProgress carries one running shard's live counters plus, when the
+// job enabled windowed telemetry, a snapshot of the shard's timeline so the
+// coordinator can serve fleet-wide rollups mid-run.
+func encodeProgress(shard int, c counters, tl *obs.Timeline) []byte {
+	b := encodeCounters(binary.BigEndian.AppendUint32(nil, uint32(shard)), c)
+	if tl != nil {
+		b = append(b, 1)
+		return tl.AppendBinary(b)
+	}
+	return append(b, 0)
 }
 
-func decodeProgress(payload []byte) (int, counters, error) {
+func decodeProgress(payload []byte) (int, counters, *obs.Timeline, error) {
 	r := &frameReader{b: payload}
 	shard := int(r.u32())
 	c := r.counters()
-	return shard, c, r.err
+	flag := r.u8()
+	body := r.rest()
+	if r.err != nil {
+		return 0, counters{}, nil, r.err
+	}
+	switch flag {
+	case 0:
+		if len(body) != 0 {
+			return 0, counters{}, nil, fmt.Errorf("dist: progress frame has %d trailing bytes", len(body))
+		}
+		return shard, c, nil, nil
+	case 1:
+		tl := &obs.Timeline{}
+		n, err := tl.UnmarshalBinary(body)
+		if err != nil {
+			return 0, counters{}, nil, err
+		}
+		if n != len(body) {
+			return 0, counters{}, nil, fmt.Errorf("dist: progress frame has %d trailing bytes", len(body)-n)
+		}
+		return shard, c, tl, nil
+	default:
+		return 0, counters{}, nil, fmt.Errorf("dist: progress timeline flag %d invalid", flag)
+	}
 }
 
 // encodeResult carries a finished shard's canonical Result.

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"pqtls/internal/loadgen"
+	"pqtls/internal/obs"
 )
 
 // tcpPair returns two ends of a real loopback TCP connection (net.Pipe has
@@ -152,7 +153,8 @@ func TestAssignRoundTrip(t *testing.T) {
 		Simulate: true, Resume: true, Amortize: true,
 		Warmup: 50 * time.Millisecond, MaxConcurrent: 64,
 		DialTimeout: time.Second, HandshakeTimeout: 2 * time.Second,
-		StartDelay: 100 * time.Millisecond,
+		StartDelay:     100 * time.Millisecond,
+		WindowInterval: 250 * time.Millisecond,
 	}
 	payload := encodeAssign(1, 2, job, parts[1])
 	shard, stride, gotJob, part, err := decodeAssign(payload)
@@ -189,9 +191,30 @@ func TestSmallFrameCodecs(t *testing.T) {
 	if _, err := decodeHeartbeat([]byte{1}); err == nil {
 		t.Fatal("truncated heartbeat accepted")
 	}
-	shard, pc, err := decodeProgress(encodeProgress(3, c))
-	if err != nil || shard != 3 || pc != c {
-		t.Fatalf("progress = %d, %+v, %v", shard, pc, err)
+	shard, pc, tl, err := decodeProgress(encodeProgress(3, c, nil))
+	if err != nil || shard != 3 || pc != c || tl != nil {
+		t.Fatalf("progress = %d, %+v, %v, %v", shard, pc, tl, err)
+	}
+	// With windowed telemetry on, the frame carries a timeline snapshot.
+	win := obs.NewTimeline(100 * time.Millisecond)
+	win.RecordStart(5 * time.Millisecond)
+	win.RecordComplete(35*time.Millisecond, time.Millisecond, false, false)
+	withTL := encodeProgress(4, c, win)
+	shard, pc, gotTL, err := decodeProgress(withTL)
+	if err != nil || shard != 4 || pc != c || gotTL == nil {
+		t.Fatalf("progress+timeline = %d, %+v, %v, %v", shard, pc, gotTL, err)
+	}
+	if gotTL.Digest() != win.Digest() {
+		t.Fatal("timeline changed across the progress frame")
+	}
+	// Truncations inside the timeline and trailing garbage are errors.
+	for cut := 0; cut < len(withTL); cut++ {
+		if _, _, _, err := decodeProgress(withTL[:cut]); err == nil {
+			t.Fatalf("progress truncated to %d bytes decoded", cut)
+		}
+	}
+	if _, _, _, err := decodeProgress(append(append([]byte(nil), withTL...), 0)); err == nil {
+		t.Fatal("progress frame with trailing garbage accepted")
 	}
 	res := &loadgen.Result{Offered: 5, Started: 5, Completed: 5}
 	res.Hist.Record(time.Millisecond)

@@ -90,7 +90,11 @@ func RunWorker(ctx context.Context, opts WorkerOptions) error {
 		return fmt.Errorf("dist: expected welcome, got %s", t)
 	}
 
-	w := &workerSession{pc: pc, logf: logf, progress: &loadgen.Progress{}}
+	w := &workerSession{
+		pc: pc, logf: logf,
+		interval: opts.HeartbeatInterval,
+		shards:   make(map[int]*loadgen.Progress),
+	}
 	w.cancel = make(chan struct{})
 
 	// Heartbeats carry the aggregate live counters so the coordinator's
@@ -108,11 +112,7 @@ func RunWorker(ctx context.Context, opts WorkerOptions) error {
 				return
 			case <-tick.C:
 			}
-			pc.send(FrameHeartbeat, encodeHeartbeat(counters{
-				Started:   w.progress.Started.Load(),
-				Completed: w.progress.Completed.Load(),
-				Failed:    w.progress.Failed.Load(),
-			}))
+			pc.send(FrameHeartbeat, encodeHeartbeat(w.totals()))
 		}
 	}()
 	defer func() {
@@ -180,9 +180,26 @@ func RunWorker(ctx context.Context, opts WorkerOptions) error {
 type workerSession struct {
 	pc       *protoConn
 	logf     func(string, ...any)
-	progress *loadgen.Progress
+	interval time.Duration // progress/heartbeat cadence
 	cancel   chan struct{}
 	wg       sync.WaitGroup
+
+	mu     sync.Mutex
+	shards map[int]*loadgen.Progress // live counters, one per running shard
+}
+
+// totals sums every shard's live counters — the aggregate the heartbeat
+// frames carry.
+func (w *workerSession) totals() counters {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var c counters
+	for _, p := range w.shards {
+		c.Started += p.Started.Load()
+		c.Completed += p.Completed.Load()
+		c.Failed += p.Failed.Load()
+	}
+	return c
 }
 
 // runShard executes one assigned shard and streams the Result back.
@@ -198,6 +215,10 @@ func (w *workerSession) runShard(shard, stride int, job JobSpec, part *loadgen.S
 			t.Stop()
 		}
 	}
+	prog := &loadgen.Progress{}
+	w.mu.Lock()
+	w.shards[shard] = prog
+	w.mu.Unlock()
 	opts := loadgen.Options{
 		Addr:             job.Addr,
 		Schedule:         part,
@@ -209,7 +230,46 @@ func (w *workerSession) runShard(shard, stride int, job JobSpec, part *loadgen.S
 		Amortize:         job.Amortize,
 		Simulate:         job.Simulate,
 		Cancel:           w.cancel,
-		Progress:         w.progress,
+		Progress:         prog,
+	}
+	if job.WindowInterval > 0 {
+		opts.WindowInterval = job.WindowInterval
+		opts.Timeline = obs.NewTimeline(job.WindowInterval)
+	}
+
+	// Stream this shard's live counters (and, when windowed telemetry is on,
+	// a timeline snapshot) at the heartbeat cadence so the coordinator can
+	// serve fleet rollups mid-run. The sender stops before the Result goes
+	// out: the Result's own timeline supersedes every snapshot.
+	progStop := make(chan struct{})
+	var progWG sync.WaitGroup
+	progWG.Add(1)
+	go func() {
+		defer progWG.Done()
+		tick := time.NewTicker(w.interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-progStop:
+				return
+			case <-w.cancel:
+				return
+			case <-tick.C:
+			}
+			var snap *obs.Timeline
+			if opts.Timeline != nil {
+				snap = opts.Timeline.Clone()
+			}
+			w.pc.send(FrameProgress, encodeProgress(shard, counters{
+				Started:   prog.Started.Load(),
+				Completed: prog.Completed.Load(),
+				Failed:    prog.Failed.Load(),
+			}, snap))
+		}
+	}()
+	stopProgress := func() {
+		close(progStop)
+		progWG.Wait()
 	}
 	if !job.Simulate {
 		// Reconstruct the client trust roots locally: the harness credential
@@ -218,6 +278,7 @@ func (w *workerSession) runShard(shard, stride int, job JobSpec, part *loadgen.S
 		// bulky crosses the wire.
 		creds, err := harness.CredentialsFor(job.Sig, 1)
 		if err != nil {
+			stopProgress()
 			w.fail(shard, fmt.Errorf("credentials for %s: %w", job.Sig, err))
 			return
 		}
@@ -227,6 +288,7 @@ func (w *workerSession) runShard(shard, stride int, job JobSpec, part *loadgen.S
 		}
 	}
 	res, err := loadgen.RunShard(opts, shard, stride)
+	stopProgress()
 	if err != nil {
 		w.fail(shard, err)
 		return

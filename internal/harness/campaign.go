@@ -119,6 +119,9 @@ func runCampaignSample(opts CampaignOptions, i int) (*sampleResult, error) {
 }
 
 // aggregateCampaign folds per-sample results (in sample order) into a row.
+// It is the buffered reference implementation: the grid itself streams
+// samples through cellAggregator (see streaming.go), and the differential
+// tests pin the two to byte-identical rows.
 func aggregateCampaign(opts CampaignOptions, samples []*sampleResult) *CampaignResult {
 	var (
 		partA, partB, total, cycles []time.Duration

@@ -81,9 +81,11 @@ func forEach(n, workers int, fn func(i int) error) error {
 
 // runCampaignGrid executes many campaigns through one flat worker pool:
 // every (campaign, sample) pair is one task, so a slow suite (SPHINCS+,
-// BIKE) cannot serialize the whole grid behind it. Results are collected
-// positionally and aggregated in sample order, making the output identical
-// to running each campaign sequentially.
+// BIKE) cannot serialize the whole grid behind it. Samples stream into one
+// cellAggregator per spec the moment they complete and are then dropped, so
+// memory per cell is bounded by distinct metric values, not Samples. Every
+// aggregate is order-independent (sums and exact order-statistic medians),
+// making the output identical to running each campaign sequentially.
 func runCampaignGrid(specs []CampaignOptions, workers int) ([]*CampaignResult, error) {
 	for i := range specs {
 		normalizeCampaign(&specs[i])
@@ -95,9 +97,9 @@ func runCampaignGrid(specs []CampaignOptions, workers int) ([]*CampaignResult, e
 	// Flatten to (spec, sample) tasks.
 	type task struct{ spec, sample int }
 	var tasks []task
-	samplesOf := make([][]*sampleResult, len(specs))
+	aggs := make([]*cellAggregator, len(specs))
 	for si := range specs {
-		samplesOf[si] = make([]*sampleResult, specs[si].Samples)
+		aggs[si] = newCellAggregator(specs[si].Profile)
 		for i := 0; i < specs[si].Samples; i++ {
 			tasks = append(tasks, task{spec: si, sample: i})
 		}
@@ -108,7 +110,7 @@ func runCampaignGrid(specs []CampaignOptions, workers int) ([]*CampaignResult, e
 		if err != nil {
 			return err
 		}
-		samplesOf[t.spec][t.sample] = res
+		aggs[t.spec].add(res)
 		return nil
 	})
 	if err != nil {
@@ -116,7 +118,7 @@ func runCampaignGrid(specs []CampaignOptions, workers int) ([]*CampaignResult, e
 	}
 	out := make([]*CampaignResult, len(specs))
 	for si := range specs {
-		out[si] = aggregateCampaign(specs[si], samplesOf[si])
+		out[si] = aggs[si].finalize(specs[si])
 	}
 	return out, nil
 }

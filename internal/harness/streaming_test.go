@@ -1,0 +1,241 @@
+package harness
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"pqtls/internal/netsim"
+	"pqtls/internal/nettap"
+	"pqtls/internal/perf"
+	"pqtls/internal/tls13"
+)
+
+// The streaming cellAggregator replaced the buffered [][]*sampleResult
+// collection in runCampaignGrid. aggregateCampaign survives as the buffered
+// reference implementation, and these tests pin the two paths to each other:
+// every row the streaming grid emits must be deep-equal to what buffering
+// all samples and aggregating them in sample order would have produced.
+
+// bufferedGrid is the pre-streaming pipeline, reconstructed sample by sample:
+// run every sample sequentially, hold all of them, aggregate in order.
+func bufferedGrid(t *testing.T, specs []CampaignOptions) []*CampaignResult {
+	t.Helper()
+	out := make([]*CampaignResult, len(specs))
+	for si := range specs {
+		normalizeCampaign(&specs[si])
+		samples := make([]*sampleResult, specs[si].Samples)
+		for i := range samples {
+			s, err := runCampaignSample(specs[si], i)
+			if err != nil {
+				t.Fatalf("spec %d sample %d: %v", si, i, err)
+			}
+			samples[i] = s
+		}
+		out[si] = aggregateCampaign(specs[si], samples)
+	}
+	return out
+}
+
+// TestStreamingMatchesBufferedAggregation is the refactor's differential
+// pin: the streaming grid at several worker counts (completion order
+// scrambled by the pool) against the buffered sample-order reference.
+// Odd and even sample counts cover both branches of the median, and the
+// lossy 5G link gives the medians genuine per-sample value diversity.
+// Profiles are excluded here — perf spans measure wall time, so two *runs*
+// of the same sample differ; their merge is pinned on shared inputs in
+// TestStreamingProfileMergeMatchesBuffered instead.
+func TestStreamingMatchesBufferedAggregation(t *testing.T) {
+	t.Parallel()
+	specs := []CampaignOptions{
+		{KEM: "x25519", Sig: "rsa:2048", Link: ScenarioTestbed,
+			Buffer: tls13.BufferImmediate, Samples: 7, Seed: 42},
+		{KEM: "kyber512", Sig: "dilithium2", Link: ScenarioTestbed,
+			Buffer: tls13.BufferImmediate, Samples: 6, Seed: 42},
+		{KEM: "p256_kyber512", Sig: "rsa3072_dilithium2", Link: netsim.Scenario5G,
+			Buffer: tls13.BufferImmediate, Samples: 5, Seed: 7},
+	}
+	want := bufferedGrid(t, append([]CampaignOptions(nil), specs...))
+	for _, workers := range []int{1, 4, 8} {
+		got, err := runCampaignGrid(append([]CampaignOptions(nil), specs...), workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for si := range specs {
+			if !reflect.DeepEqual(got[si], want[si]) {
+				t.Errorf("workers=%d spec %d: streaming row\n%+v\n!= buffered row\n%+v",
+					workers, si, got[si], want[si])
+			}
+		}
+	}
+}
+
+// syntheticSample builds a sampleResult with the given latency profile; the
+// memory test cycles a handful of these to model the modeled pipeline's
+// few-distinct-values-per-cell behavior at scale.
+func syntheticSample(partA, partB, cycle time.Duration, bytes, pkts int, profile bool) *sampleResult {
+	s := &sampleResult{res: &HandshakeResult{
+		Phases:      nettap.Phases{PartA: partA, PartB: partB},
+		Cycle:       cycle,
+		ClientBytes: bytes, ServerBytes: bytes + 100,
+		ClientPackets: pkts, ServerPackets: pkts + 1,
+		ClientCPU: partA / 2, ServerCPU: partB / 2,
+	}}
+	if profile {
+		s.clientProf = perf.NewProfiler()
+		s.serverProf = perf.NewProfiler()
+		s.clientProf.AddTotal(partA)
+		s.serverProf.AddTotal(partB)
+	}
+	return s
+}
+
+// TestStreamingProfileMergeMatchesBuffered pins the profiled path on shared
+// inputs: the same synthetic profilers fed to the streaming aggregator in
+// reverse completion order must merge to the exact snapshot the buffered
+// sample-order reference produces — profiler merge is span-wise addition,
+// so completion order must be invisible.
+func TestStreamingProfileMergeMatchesBuffered(t *testing.T) {
+	t.Parallel()
+	opts := CampaignOptions{KEM: "kyber768", Sig: "dilithium3",
+		Link: ScenarioTestbed, Samples: 9, Profile: true}
+	samples := make([]*sampleResult, opts.Samples)
+	for i := range samples {
+		d := time.Duration(i+1) * 100 * time.Microsecond
+		s := syntheticSample(d, 3*d, 5*d, 1200+i, 12, true)
+		s.clientProf.Attribute(perf.LibCrypto, d)
+		s.serverProf.Attribute(perf.Kernel, 2*d)
+		if i%2 == 0 {
+			s.clientProf.Attribute(perf.LibSSL, d/3)
+		}
+		samples[i] = s
+	}
+	agg := newCellAggregator(true)
+	for i := len(samples) - 1; i >= 0; i-- {
+		agg.add(samples[i])
+	}
+	got, want := agg.finalize(opts), aggregateCampaign(opts, samples)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("streaming profiled row\n%+v\n!= buffered row\n%+v", got, want)
+	}
+}
+
+// TestStreamingMemoryBoundAt100kSamples pins the O(1)-per-cell claim at the
+// acceptance scale: 100k samples drawn from 7 distinct value profiles must
+// leave the aggregator holding at most 7 distinct entries per distribution
+// (memory bounded by value diversity, not sample count), while still
+// finalizing to the exact row the buffered reference produces.
+func TestStreamingMemoryBoundAt100kSamples(t *testing.T) {
+	t.Parallel()
+	const (
+		samples  = 100_000
+		distinct = 7
+	)
+	profiles := make([]*sampleResult, distinct)
+	for i := range profiles {
+		d := time.Duration(i+1) * time.Millisecond
+		profiles[i] = syntheticSample(d, 2*d, 4*d, 1000+i, 10+i, false)
+	}
+	opts := CampaignOptions{KEM: "kyber768", Sig: "dilithium3",
+		Link: ScenarioTestbed, Samples: samples}
+
+	agg := newCellAggregator(false)
+	buffered := make([]*sampleResult, 0, samples)
+	for i := 0; i < samples; i++ {
+		s := profiles[i%distinct]
+		agg.add(s)
+		buffered = append(buffered, s)
+	}
+	if got := agg.maxDistinct(); got > distinct {
+		t.Fatalf("aggregator holds %d distinct values after %d samples, want <= %d",
+			got, samples, distinct)
+	}
+	got := agg.finalize(opts)
+	want := aggregateCampaign(opts, buffered)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("streaming row\n%+v\n!= buffered row\n%+v", got, want)
+	}
+}
+
+// TestStreamingHeapDoesNotScaleWithSamples measures the claim directly:
+// aggregating 10x the samples (same value diversity) must not grow the
+// retained heap in proportion. The per-sample inputs are shared objects, so
+// any growth would come from the aggregator retaining per-sample state.
+func TestStreamingHeapDoesNotScaleWithSamples(t *testing.T) {
+	profiles := make([]*sampleResult, 5)
+	for i := range profiles {
+		d := time.Duration(i+1) * time.Millisecond
+		profiles[i] = syntheticSample(d, 2*d, 4*d, 900+i, 9+i, false)
+	}
+	retained := func(samples int) uint64 {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		agg := newCellAggregator(false)
+		for i := 0; i < samples; i++ {
+			agg.add(profiles[i%len(profiles)])
+		}
+		runtime.GC()
+		runtime.ReadMemStats(&after)
+		if agg.n != uint64(samples) { // keep agg live through the measurement
+			t.Fatalf("aggregated %d, want %d", agg.n, samples)
+		}
+		if after.HeapAlloc < before.HeapAlloc {
+			return 0
+		}
+		return after.HeapAlloc - before.HeapAlloc
+	}
+	small := retained(10_000)
+	large := retained(100_000)
+	// Allow generous absolute slack for allocator noise; what must not
+	// happen is linear growth (10x samples => ~10x retained bytes).
+	if large > small*3+64*1024 {
+		t.Errorf("retained heap grew from %d to %d bytes for 10x samples", small, large)
+	}
+}
+
+// The counting distribution must reproduce stats.Median's two-middle
+// integer average exactly, including odd/even and duplicate-heavy inputs.
+func TestCountingDistMedianParity(t *testing.T) {
+	t.Parallel()
+	cases := [][]time.Duration{
+		{},
+		{5},
+		{3, 1},
+		{1, 2, 3},
+		{4, 1, 3, 2},
+		{7, 7, 7, 7, 7},
+		{1, 1, 2, 2},
+		{1, 1, 1, 9},
+		{time.Millisecond, time.Microsecond, time.Second, time.Microsecond},
+	}
+	for _, xs := range cases {
+		d := newCountingDist()
+		for _, x := range xs {
+			d.add(x)
+		}
+		want := referenceMedian(xs)
+		if got := d.median(); got != want {
+			t.Errorf("median(%v) = %v, want %v", xs, got, want)
+		}
+	}
+}
+
+// referenceMedian mirrors stats.Median locally so the parity test reads as
+// a specification, not a call into the code under comparison.
+func referenceMedian(xs []time.Duration) time.Duration {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), xs...)
+	for i := 1; i < len(s); i++ { // insertion sort: tiny fixtures
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	if len(s)%2 == 1 {
+		return s[len(s)/2]
+	}
+	return (s[len(s)/2-1] + s[len(s)/2]) / 2
+}

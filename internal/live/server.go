@@ -92,6 +92,16 @@ type Options struct {
 	// full queue blocks the submitting connection goroutine — backpressure,
 	// not unbounded buffering.
 	SignQueue int
+	// WindowInterval, when > 0, additionally records every accept,
+	// completion, and failure into a windowed Timeline at this interval,
+	// stamped with wall-clock offsets from the runtime's start. The timeline
+	// is readable mid-run via (*Server).Timeline (snapshot with Clone) and
+	// feeds the run timeline artifacts.
+	WindowInterval time.Duration
+	// Timeline, when non-nil, receives the windowed events instead of a
+	// freshly created timeline — ServeSharded passes one shared timeline to
+	// every shard. Its interval wins over WindowInterval.
+	Timeline *obs.Timeline
 }
 
 // Counters is a point-in-time snapshot of a runtime's bookkeeping. Every
@@ -145,6 +155,9 @@ type Server struct {
 	shutdown chan struct{}
 	loopDone chan struct{}
 	wg       sync.WaitGroup
+
+	timeline *obs.Timeline // nil unless windowed telemetry is enabled
+	start    time.Time     // timeline epoch
 
 	reg           *obs.Registry
 	accepted      *obs.Counter
@@ -222,6 +235,13 @@ func Serve(ln net.Listener, opts Options) (*Server, error) {
 		failed:   make(map[string]*obs.Counter),
 		reg:      reg,
 		signPool: signPool,
+		start:    time.Now(),
+	}
+	switch {
+	case opts.Timeline != nil:
+		s.timeline = opts.Timeline
+	case opts.WindowInterval > 0:
+		s.timeline = obs.NewTimeline(opts.WindowInterval)
 	}
 	// Every family is registered up front so a scrape sees the full schema
 	// before any traffic arrives.
@@ -284,6 +304,11 @@ func (s *Server) MetricsAddr() net.Addr {
 
 // Registry returns the registry the runtime records into.
 func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Timeline returns the runtime's windowed timeline, or nil when neither
+// Options.WindowInterval nor Options.Timeline enabled one. Snapshot a live
+// runtime with Clone before encoding.
+func (s *Server) Timeline() *obs.Timeline { return s.timeline }
 
 // TicketStats exposes the shared ticket store's counters.
 func (s *Server) TicketStats() tls13.TicketStats { return s.cfg.Tickets.Stats() }
@@ -419,6 +444,9 @@ func (s *Server) handle(conn net.Conn) {
 	// The deadline covers the whole exchange: a peer that stalls mid-flight
 	// unblocks the read and frees the slot instead of leaking a goroutine.
 	conn.SetDeadline(time.Now().Add(s.opts.HandshakeTimeout))
+	if s.timeline != nil {
+		s.timeline.RecordStart(time.Since(s.start))
+	}
 	t0 := time.Now()
 	br := readerPool.Get().(*bufio.Reader)
 	br.Reset(conn)
@@ -430,14 +458,21 @@ func (s *Server) handle(conn net.Conn) {
 	if err != nil {
 		class := Classify(err)
 		s.failedCounter(class).Inc()
+		if s.timeline != nil {
+			s.timeline.RecordFailure(time.Since(s.start), class)
+		}
 		s.logf("live: %s: handshake failed (%s): %v", conn.RemoteAddr(), class, err)
 		return
 	}
-	s.hsDur.Observe(time.Since(t0))
+	hsDur := time.Since(t0)
+	s.hsDur.Observe(hsDur)
 	resumed := srv.ResumedSession()
 	s.completed.Inc()
 	if resumed {
 		s.resumed.Inc()
+	}
+	if s.timeline != nil {
+		s.timeline.RecordComplete(time.Since(s.start), hsDur, resumed, false)
 	}
 
 	if s.opts.IssueTickets && !resumed {

@@ -76,6 +76,11 @@ func ServeSharded(addr string, opts Options, shards int) (*ShardedServer, error)
 		opts.SignWorkers = 0 // shards must not build private pools
 	}
 	opts.Config = &cfg
+	if opts.Timeline == nil && opts.WindowInterval > 0 {
+		// One shared timeline across shards, like the registry: windows are
+		// fleet-wide from the start, no post-hoc merge step.
+		opts.Timeline = obs.NewTimeline(opts.WindowInterval)
+	}
 
 	lns, err := shardListeners(addr, shards)
 	if err != nil {
@@ -157,6 +162,10 @@ func (ss *ShardedServer) MetricsAddr() net.Addr {
 
 // Registry returns the registry shared by every shard.
 func (ss *ShardedServer) Registry() *obs.Registry { return ss.reg }
+
+// Timeline returns the windowed timeline shared by every shard, or nil when
+// windowed telemetry was not enabled.
+func (ss *ShardedServer) Timeline() *obs.Timeline { return ss.shards[0].Timeline() }
 
 // TicketStats exposes the shared ticket store's counters.
 func (ss *ShardedServer) TicketStats() tls13.TicketStats { return ss.tickets.Stats() }

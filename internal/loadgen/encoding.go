@@ -8,6 +8,8 @@ import (
 	"math"
 	"sort"
 	"time"
+
+	"pqtls/internal/obs"
 )
 
 // Canonical Result encoding. The distributed wire protocol ships per-shard
@@ -16,16 +18,20 @@ import (
 // seen on the wire, in a JSON artifact, and under the digest is the same
 // byte. The binary form is pinned by a golden test:
 //
-//	u8  version (resultCodecV1)
+//	u8  version (resultCodecV2)
 //	histogram (obs canonical encoding, self-delimiting)
 //	u64 offered, started, completed, failed, warmup, resumed
 //	u32 error-class count, then per class (sorted by name):
 //	    u16 name length, name bytes, u64 count
 //	i64 max-lag, elapsed (nanoseconds)
+//	u8  timeline present (0/1), then the timeline's canonical encoding
 //
 // All integers big-endian. Error classes are sorted so the encoding is a
 // pure function of the Result's value, never of map iteration order.
-const resultCodecV1 = 1
+// Version 2 added the trailing windowed-telemetry timeline; there is no
+// negotiation, only equality — the dist protocol version bump rejects
+// mixed fleets before a Result ever crosses the wire.
+const resultCodecV2 = 2
 
 // maxErrorClassLen bounds one error-class name; Classify strings are short,
 // so anything longer is a corrupt frame, not a real class.
@@ -33,7 +39,7 @@ const maxErrorClassLen = 256
 
 // AppendBinary appends the canonical encoding of r to b.
 func (r *Result) AppendBinary(b []byte) []byte {
-	b = append(b, resultCodecV1)
+	b = append(b, resultCodecV2)
 	b = r.Hist.AppendBinary(b)
 	for _, v := range []uint64{r.Offered, r.Started, r.Completed, r.Failed, r.Warmup, r.Resumed} {
 		b = binary.BigEndian.AppendUint64(b, v)
@@ -51,6 +57,12 @@ func (r *Result) AppendBinary(b []byte) []byte {
 	}
 	b = binary.BigEndian.AppendUint64(b, uint64(r.MaxLag))
 	b = binary.BigEndian.AppendUint64(b, uint64(r.Elapsed))
+	if r.Timeline != nil {
+		b = append(b, 1)
+		b = r.Timeline.AppendBinary(b)
+	} else {
+		b = append(b, 0)
+	}
 	return b
 }
 
@@ -66,7 +78,7 @@ func (r *Result) UnmarshalBinary(b []byte) error {
 	if len(b) < 1 {
 		return fmt.Errorf("loadgen: result encoding empty")
 	}
-	if b[0] != resultCodecV1 {
+	if b[0] != resultCodecV2 {
 		return fmt.Errorf("loadgen: unknown result encoding version %d", b[0])
 	}
 	*r = Result{}
@@ -119,7 +131,26 @@ func (r *Result) UnmarshalBinary(b []byte) error {
 	}
 	r.MaxLag = time.Duration(binary.BigEndian.Uint64(b[off:]))
 	r.Elapsed = time.Duration(binary.BigEndian.Uint64(b[off+8:]))
-	if rest := len(b) - off - 16; rest != 0 {
+	off += 16
+	if err := need(1); err != nil {
+		return err
+	}
+	switch b[off] {
+	case 0:
+		off++
+	case 1:
+		off++
+		tl := &obs.Timeline{}
+		n, err := tl.UnmarshalBinary(b[off:])
+		if err != nil {
+			return fmt.Errorf("loadgen: result timeline: %w", err)
+		}
+		off += n
+		r.Timeline = tl
+	default:
+		return fmt.Errorf("loadgen: result timeline flag %d invalid", b[off])
+	}
+	if rest := len(b) - off; rest != 0 {
 		return fmt.Errorf("loadgen: result encoding has %d trailing bytes", rest)
 	}
 	return nil
@@ -138,6 +169,7 @@ type resultJSON struct {
 	MaxLagNS  int64             `json:"max_lag_ns"`
 	ElapsedNS int64             `json:"elapsed_ns"`
 	Hist      *Histogram        `json:"hist"`
+	Timeline  *obs.Timeline     `json:"timeline,omitempty"`
 }
 
 // MarshalJSON renders the Result in the canonical JSON shape.
@@ -146,7 +178,7 @@ func (r *Result) MarshalJSON() ([]byte, error) {
 		Offered: r.Offered, Started: r.Started, Completed: r.Completed,
 		Failed: r.Failed, Warmup: r.Warmup, Resumed: r.Resumed,
 		Errors: r.Errors, MaxLagNS: int64(r.MaxLag), ElapsedNS: int64(r.Elapsed),
-		Hist: &r.Hist,
+		Hist: &r.Hist, Timeline: r.Timeline,
 	})
 }
 
@@ -161,7 +193,7 @@ func (r *Result) UnmarshalJSON(b []byte) error {
 		Offered: j.Offered, Started: j.Started, Completed: j.Completed,
 		Failed: j.Failed, Warmup: j.Warmup, Resumed: j.Resumed,
 		Errors: j.Errors, MaxLag: time.Duration(j.MaxLagNS), Elapsed: time.Duration(j.ElapsedNS),
-		Hist: *j.Hist,
+		Hist: *j.Hist, Timeline: j.Timeline,
 	}
 	return nil
 }

@@ -6,10 +6,13 @@ import (
 	"reflect"
 	"testing"
 	"time"
+
+	"pqtls/internal/obs"
 )
 
 // goldenResult is a fixed Result exercising every encoded field: histogram
-// records across buckets, all counters, two error classes, extremes.
+// records across buckets, all counters, two error classes, extremes, and a
+// trailing windowed timeline.
 func goldenResult() *Result {
 	r := &Result{
 		Offered: 7, Started: 7, Completed: 5, Failed: 2, Warmup: 1, Resumed: 3,
@@ -25,6 +28,12 @@ func goldenResult() *Result {
 	} {
 		r.Hist.Record(d)
 	}
+	tl := obs.NewTimeline(100 * time.Millisecond)
+	tl.RecordStart(5 * time.Millisecond)
+	tl.RecordStart(150 * time.Millisecond)
+	tl.RecordComplete(35*time.Millisecond, time.Millisecond, true, false)
+	tl.RecordFailure(210*time.Millisecond, "dial")
+	r.Timeline = tl
 	return r
 }
 
@@ -33,7 +42,7 @@ func goldenResult() *Result {
 // these exact bytes; a change here is a protocol version bump, not a
 // refactor.
 func TestResultCodecGolden(t *testing.T) {
-	const want = "01010000000000000004000000000280e1a000000000000003200000000002625a00000000030000000000000000000100b00000000000000002010e00000000000000010000000000000007000000000000000700000000000000050000000000000002000000000000000100000000000000030000000200046469616c0000000000000001000774696d656f75740000000000000001000000000016e3600000000077359400"
+	const want = "02010000000000000004000000000280e1a000000000000003200000000002625a00000000030000000000000000000100b00000000000000002010e00000000000000010000000000000007000000000000000700000000000000050000000000000002000000000000000100000000000000030000000200046469616c0000000000000001000774696d656f75740000000000000001000000000016e360000000007735940001010000000005f5e100000000030000000000000000000000000000000100000000000000010000000000000000000000000000000000000000000000010000000001000000000000000100000000000f424000000000000f424000000000000f42400000000100b0000000000000000100000000000000010000000000000001000000000000000000000000000000000000000000000000000000000000000000000000010000000000000000000000000000000000000000000000000000000000000000000000000000000000000002000000000000000000000000000000000000000000000001000000000000000000000000000000000000000100046469616c000000000000000101000000000000000000000000000000000000000000000000000000000000000000000000"
 	b, err := goldenResult().MarshalBinary()
 	if err != nil {
 		t.Fatal(err)

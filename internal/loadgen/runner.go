@@ -96,6 +96,20 @@ type Options struct {
 	// advances, so a reporting goroutine (the distributed worker's progress
 	// frames) can observe live counters without touching the Result.
 	Progress *Progress
+	// WindowInterval, when > 0, enables per-window telemetry: every start,
+	// completion, and failure is also recorded into a Timeline at this
+	// window width, and the Result carries it. In Simulate mode events are
+	// stamped with virtual offsets (scheduled arrival, arrival + synthetic
+	// latency), making the timeline — like the rest of the Result — a pure
+	// function of the arrival plan: a run split across workers or machines
+	// merges to the byte-identical timeline of the unsplit run. Live runs
+	// stamp wall-clock offsets from the shared start instant.
+	WindowInterval time.Duration
+	// Timeline, when non-nil, receives the windowed events instead of a
+	// freshly created timeline — the handle a concurrent observer (progress
+	// frames, a live status line) snapshots mid-run via Clone. Its interval
+	// wins over WindowInterval.
+	Timeline *obs.Timeline
 }
 
 // Progress mirrors the Result's headline counters as atomics a concurrent
@@ -132,6 +146,10 @@ type Result struct {
 	// Elapsed spans run start to last completion; Rate is post-warmup
 	// completed handshakes per second of post-warmup elapsed time.
 	Elapsed time.Duration
+	// Timeline holds the run's windowed telemetry when
+	// Options.WindowInterval enabled it (nil otherwise). It participates in
+	// the canonical encoding and the digest.
+	Timeline *obs.Timeline
 }
 
 // Rate returns achieved handshakes/second over the measured (post-warmup)
@@ -170,6 +188,16 @@ func (r *Result) Merge(o *Result) {
 	}
 	if o.Elapsed > r.Elapsed {
 		r.Elapsed = o.Elapsed
+	}
+	if o.Timeline != nil {
+		if r.Timeline == nil {
+			r.Timeline = obs.NewTimeline(o.Timeline.Interval())
+		}
+		if err := r.Timeline.Merge(o.Timeline); err != nil {
+			// Mixed-interval timelines cannot be merged meaningfully; drop
+			// the aggregate rather than keep a partial one that looks whole.
+			r.Timeline = nil
+		}
 	}
 }
 
@@ -238,6 +266,9 @@ func RunWorkers(opts Options, workers int) (*Result, error) {
 	for _, o := range results[1:] {
 		res.Merge(o)
 	}
+	// Every dispatcher recorded into the one shared timeline; it joins the
+	// Result only here, after the merge, so it is counted exactly once.
+	res.Timeline = opts.Timeline
 	res.Elapsed = time.Since(start)
 	return res, nil
 }
@@ -259,6 +290,9 @@ func normalize(opts *Options) error {
 	}
 	if opts.HandshakeTimeout <= 0 {
 		opts.HandshakeTimeout = 10 * time.Second
+	}
+	if opts.Timeline == nil && opts.WindowInterval > 0 {
+		opts.Timeline = obs.NewTimeline(opts.WindowInterval)
 	}
 	return nil
 }
@@ -294,6 +328,7 @@ func RunShard(opts Options, worker, stride int) (*Result, error) {
 	sem := make(chan struct{}, opts.MaxConcurrent)
 	start := time.Now()
 	res := dispatch(&opts, opts.Schedule, sess, start, sem, worker, stride)
+	res.Timeline = opts.Timeline
 	res.Elapsed = time.Since(start)
 	return res, nil
 }
@@ -358,6 +393,15 @@ arrivals:
 		if opts.Progress != nil {
 			opts.Progress.Started.Add(1)
 		}
+		if opts.Timeline != nil {
+			// Simulate stamps the scheduled offset (virtual time, a pure
+			// function of the plan); live runs stamp the wall clock.
+			at := off
+			if !opts.Simulate {
+				at = time.Since(start)
+			}
+			opts.Timeline.RecordStart(at)
+		}
 		wg.Add(1)
 		go func(sample int, scheduled time.Duration) {
 			defer wg.Done()
@@ -374,6 +418,13 @@ arrivals:
 			} else {
 				lat, tracer, err = oneHandshake(opts, sess, sample)
 			}
+			// The completion instant mirrors the start stamp: virtual
+			// (scheduled + synthetic latency) in Simulate mode, wall clock
+			// otherwise. The timeline has its own lock.
+			doneAt := scheduled + lat
+			if !opts.Simulate {
+				doneAt = time.Since(start)
+			}
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -381,6 +432,9 @@ arrivals:
 				res.Errors[live.Classify(err)]++
 				if opts.Progress != nil {
 					opts.Progress.Failed.Add(1)
+				}
+				if opts.Timeline != nil {
+					opts.Timeline.RecordFailure(doneAt, live.Classify(err))
 				}
 				return
 			}
@@ -390,6 +444,9 @@ arrivals:
 			}
 			if sess != nil {
 				res.Resumed++
+			}
+			if opts.Timeline != nil {
+				opts.Timeline.RecordComplete(doneAt, lat, sess != nil, scheduled < opts.Warmup)
 			}
 			if scheduled < opts.Warmup {
 				res.Warmup++

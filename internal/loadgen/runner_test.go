@@ -117,6 +117,50 @@ func TestRunResumed(t *testing.T) {
 	}
 }
 
+// TestSimulateTimelineDeterministic pins the timeline's determinism claim:
+// in Simulate mode events are stamped with virtual offsets, so the same
+// schedule produces byte-identical timelines — and Result digests — whether
+// it runs on one dispatcher or split across several.
+func TestSimulateTimelineDeterministic(t *testing.T) {
+	sched := NewSchedule(11, DistExponential, 400, 500*time.Millisecond)
+	run := func(workers int) *Result {
+		res, err := RunWorkers(Options{
+			Schedule: sched, Simulate: true,
+			Warmup:         50 * time.Millisecond,
+			WindowInterval: 100 * time.Millisecond,
+		}, workers)
+		if err != nil {
+			t.Fatalf("simulate run (%d workers): %v", workers, err)
+		}
+		if res.Timeline == nil {
+			t.Fatalf("no timeline despite WindowInterval (%d workers)", workers)
+		}
+		return res
+	}
+	base := run(1)
+	tot := base.Timeline.Totals()
+	if tot.Started != base.Started || tot.Completed != base.Completed || tot.Failed != base.Failed {
+		t.Errorf("timeline totals %d/%d/%d disagree with result %d/%d/%d",
+			tot.Started, tot.Completed, tot.Failed, base.Started, base.Completed, base.Failed)
+	}
+	if tot.Warmup != base.Warmup || tot.Resumed != base.Resumed {
+		t.Errorf("timeline warmup/resumed %d/%d, result %d/%d",
+			tot.Warmup, tot.Resumed, base.Warmup, base.Resumed)
+	}
+	if tot.Hist.Count() != base.Hist.Count() {
+		t.Errorf("timeline histogram holds %d samples, result %d", tot.Hist.Count(), base.Hist.Count())
+	}
+	for _, workers := range []int{2, 7} {
+		split := run(workers)
+		if got, want := split.Timeline.Digest(), base.Timeline.Digest(); got != want {
+			t.Errorf("%d-worker timeline digest %s, 1-worker %s", workers, got, want)
+		}
+		if got, want := split.Digest(), base.Digest(); got != want {
+			t.Errorf("%d-worker result digest %s, 1-worker %s", workers, got, want)
+		}
+	}
+}
+
 // TestRunRejectsBadOptions covers the setup-error paths.
 func TestRunRejectsBadOptions(t *testing.T) {
 	if _, err := Run(Options{Config: &tls13.Config{}}); err == nil {

@@ -196,7 +196,31 @@ func fmtFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
+// seriesSnap is one series' value captured during the snapshot pass: the
+// scalar pre-rendered, the histogram copied.
+type seriesSnap struct {
+	labels string
+	value  string     // rendered scalar ("" for histograms)
+	hist   *Histogram // non-nil for histograms
+}
+
+// famSnap is one family's snapshot.
+type famSnap struct {
+	name, help string
+	kind       metricKind
+	series     []seriesSnap
+}
+
 // WriteText renders every family in name order, series in label order.
+//
+// Collection and rendering are two strictly separated passes: every value —
+// counter loads, gauge loads, func-series callbacks, histogram snapshots —
+// is sampled under one registry lock acquisition before a single byte is
+// written. Interleaving sampling with writer I/O (the previous layout)
+// exposed torn cross-series views: a slow scrape client could observe
+// series sampled milliseconds apart, so two func series reading one shared
+// datum disagreed within the same exposition. Func callbacks run while the
+// registry lock is held and therefore must not call back into the registry.
 func (r *Registry) WriteText(w io.Writer) error {
 	r.mu.Lock()
 	names := make([]string, 0, len(r.families))
@@ -204,13 +228,38 @@ func (r *Registry) WriteText(w io.Writer) error {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	fams := make([]*family, len(names))
-	for i, name := range names {
-		fams[i] = r.families[name]
+	snaps := make([]famSnap, 0, len(names))
+	for _, name := range names {
+		f := r.families[name]
+		fs := famSnap{name: f.name, help: f.help, kind: f.kind}
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := f.series[k]
+			snap := seriesSnap{labels: s.labels}
+			switch {
+			case s.counter != nil:
+				snap.value = strconv.FormatUint(s.counter.Value(), 10)
+			case s.cfn != nil:
+				snap.value = strconv.FormatUint(s.cfn(), 10)
+			case s.gauge != nil:
+				snap.value = strconv.FormatInt(s.gauge.Value(), 10)
+			case s.gfn != nil:
+				snap.value = strconv.FormatInt(s.gfn(), 10)
+			case s.hist != nil:
+				h := s.hist.Snapshot()
+				snap.hist = &h
+			}
+			fs.series = append(fs.series, snap)
+		}
+		snaps = append(snaps, fs)
 	}
 	r.mu.Unlock()
 
-	for _, f := range fams {
+	for _, f := range snaps {
 		if f.help != "" {
 			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
 				return err
@@ -219,19 +268,8 @@ func (r *Registry) WriteText(w io.Writer) error {
 		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
 			return err
 		}
-		r.mu.Lock()
-		keys := make([]string, 0, len(f.series))
-		for k := range f.series {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		sers := make([]*series, len(keys))
-		for i, k := range keys {
-			sers[i] = f.series[k]
-		}
-		r.mu.Unlock()
-		for _, s := range sers {
-			if err := writeSeries(w, f, s); err != nil {
+		for _, s := range f.series {
+			if err := writeSeriesSnap(w, f.name, s); err != nil {
 				return err
 			}
 		}
@@ -239,48 +277,36 @@ func (r *Registry) WriteText(w io.Writer) error {
 	return nil
 }
 
-func writeSeries(w io.Writer, f *family, s *series) error {
-	switch {
-	case s.counter != nil:
-		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, s.counter.Value())
+func writeSeriesSnap(w io.Writer, name string, s seriesSnap) error {
+	if s.hist == nil {
+		_, err := fmt.Fprintf(w, "%s%s %s\n", name, s.labels, s.value)
 		return err
-	case s.cfn != nil:
-		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, s.cfn())
-		return err
-	case s.gauge != nil:
-		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, s.gauge.Value())
-		return err
-	case s.gfn != nil:
-		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, s.gfn())
-		return err
-	case s.hist != nil:
-		h := s.hist.Snapshot()
-		// Re-wrap the series labels to splice in le.
-		base := strings.TrimSuffix(strings.TrimPrefix(s.labels, "{"), "}")
-		for _, le := range histogramLE {
-			labels := fmt.Sprintf("le=%q", fmtFloat(le))
-			if base != "" {
-				labels = base + "," + labels
-			}
-			n := h.CumulativeLE(time.Duration(le * float64(time.Second)))
-			if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", f.name, labels, n); err != nil {
-				return err
-			}
-		}
-		labels := `le="+Inf"`
+	}
+	h := s.hist
+	// Re-wrap the series labels to splice in le.
+	base := strings.TrimSuffix(strings.TrimPrefix(s.labels, "{"), "}")
+	for _, le := range histogramLE {
+		labels := fmt.Sprintf("le=%q", fmtFloat(le))
 		if base != "" {
 			labels = base + "," + labels
 		}
-		if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", f.name, labels, h.Count()); err != nil {
+		n := h.CumulativeLE(time.Duration(le * float64(time.Second)))
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", name, labels, n); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, s.labels, fmtFloat(h.Sum().Seconds())); err != nil {
-			return err
-		}
-		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, s.labels, h.Count())
+	}
+	labels := `le="+Inf"`
+	if base != "" {
+		labels = base + "," + labels
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", name, labels, h.Count()); err != nil {
 		return err
 	}
-	return nil
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, s.labels, fmtFloat(h.Sum().Seconds())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, s.labels, h.Count())
+	return err
 }
 
 // Handler serves the registry as a Prometheus scrape endpoint.

@@ -2,11 +2,13 @@ package obs
 
 import (
 	"bytes"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -187,4 +189,84 @@ func TestPhaseHooks(t *testing.T) {
 	if want := `pqtls_pubkey_ops_total{alg="mlkem768",op="kem/decaps"} 2` + "\n"; !strings.Contains(buf.String(), want) {
 		t.Errorf("exposition missing %q:\n%s", want, buf.String())
 	}
+}
+
+// tornWriter increments a shared datum on every Write call. With lazy
+// per-series sampling (the old WriteText layout), two func series reading
+// that datum were sampled on either side of a Write and disagreed within
+// one exposition; the single snapshot pass must render them identically.
+type tornWriter struct {
+	buf   bytes.Buffer
+	datum *int64
+}
+
+func (t *tornWriter) Write(p []byte) (int, error) {
+	*t.datum++
+	return t.buf.Write(p)
+}
+
+func TestRegistryConsistentFuncSnapshot(t *testing.T) {
+	t.Parallel()
+	reg := NewRegistry()
+	var datum int64
+	read := func() int64 { return datum }
+	// Family names sort apart so several Writes land between them.
+	reg.GaugeFunc("a_first", "h", read)
+	reg.GaugeFunc("z_last", "h", read)
+	w := &tornWriter{datum: &datum}
+	if err := reg.WriteText(w); err != nil {
+		t.Fatal(err)
+	}
+	out := w.buf.String()
+	var first, last int64
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "a_first ") {
+			fmt.Sscanf(line, "a_first %d", &first)
+		}
+		if strings.HasPrefix(line, "z_last ") {
+			fmt.Sscanf(line, "z_last %d", &last)
+		}
+	}
+	if first != last {
+		t.Fatalf("torn scrape: a_first %d, z_last %d (func series sampled mid-write)", first, last)
+	}
+}
+
+// TestRegistryScrapeVsUpdateRace drives concurrent scrapes against counter,
+// gauge, histogram, and func-series updates plus lazy registration; run
+// under -race this is the regression net for the snapshot-pass locking.
+func TestRegistryScrapeVsUpdateRace(t *testing.T) {
+	t.Parallel()
+	reg := NewRegistry()
+	var shared atomic.Int64
+	reg.GaugeFunc("fn_gauge", "h", func() int64 { return shared.Load() })
+	reg.CounterFunc("fn_counter_total", "h", func() uint64 { return uint64(shared.Load()) })
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				shared.Add(1)
+				reg.Counter("upd_total", "h").Inc()
+				reg.Gauge("upd_gauge", "h").Add(1)
+				reg.Histogram("upd_seconds", "h").Observe(time.Millisecond)
+				reg.Counter("lazy_total", "h", "worker", fmt.Sprint(i), "j", fmt.Sprint(j%7)).Inc()
+			}
+		}(i)
+	}
+	for i := 0; i < 50; i++ {
+		var buf bytes.Buffer
+		if err := reg.WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
 }

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// TimelineSchema tags the JSONL artifact's header line so downstream
+// tooling can reject files it does not understand.
+const TimelineSchema = "pqtls-timeline/v1"
+
+// timelineHeader is the first line of a timeline JSONL artifact.
+type timelineHeader struct {
+	Schema     string `json:"schema"`
+	IntervalNS int64  `json:"interval_ns"`
+	Digest     string `json:"digest"`
+}
+
+// WriteJSONL writes the timeline as a JSONL artifact: one header line
+// (schema, interval, digest of the canonical binary encoding) followed by
+// one window object per line in ascending index order. The format is
+// line-appendable and digest-checkable, which is what a results/ artifact
+// needs.
+func (t *Timeline) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	hdr, err := json.Marshal(timelineHeader{
+		Schema: TimelineSchema, IntervalNS: int64(t.interval), Digest: t.Digest(),
+	})
+	if err != nil {
+		return err
+	}
+	bw.Write(hdr)
+	bw.WriteByte('\n')
+	for _, win := range t.snapshot() {
+		line, err := json.Marshal(windowToJSON(win))
+		if err != nil {
+			return err
+		}
+		bw.Write(line)
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// ReadTimelineJSONL parses a JSONL artifact written by WriteJSONL,
+// verifying the schema tag and the header digest against the reconstructed
+// timeline.
+func ReadTimelineJSONL(r io.Reader) (*Timeline, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("obs: timeline JSONL empty")
+	}
+	var hdr timelineHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return nil, fmt.Errorf("obs: timeline JSONL header: %w", err)
+	}
+	if hdr.Schema != TimelineSchema {
+		return nil, fmt.Errorf("obs: timeline JSONL schema %q, want %q", hdr.Schema, TimelineSchema)
+	}
+	if hdr.IntervalNS <= 0 {
+		return nil, fmt.Errorf("obs: timeline JSONL interval %d invalid", hdr.IntervalNS)
+	}
+	t := NewTimeline(time.Duration(hdr.IntervalNS))
+	var prev uint64
+	n := 0
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var wj windowJSON
+		if err := json.Unmarshal(sc.Bytes(), &wj); err != nil {
+			return nil, fmt.Errorf("obs: timeline JSONL window %d: %w", n, err)
+		}
+		if n > 0 && wj.Index <= prev {
+			return nil, fmt.Errorf("obs: timeline JSONL windows not ascending at index %d", wj.Index)
+		}
+		t.windows[wj.Index] = windowFromJSON(wj)
+		prev = wj.Index
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if got := t.Digest(); hdr.Digest != "" && got != hdr.Digest {
+		return nil, fmt.Errorf("obs: timeline JSONL digest %s, header claims %s", got, hdr.Digest)
+	}
+	return t, nil
+}
+
+// TimelineCSVHeader is the column schema of WriteCSV; the timeline-smoke CI
+// leg validates artifacts against it.
+const TimelineCSVHeader = "index,start_ms,started,completed,failed,resumed,warmup,inflight,hs_s,p50_us,p95_us"
+
+// WriteCSV renders the timeline as a per-window CSV: cumulative inflight is
+// derived (started − completed − failed up to each window's end), hs_s is
+// the window's completion rate, and the quantiles come from the window's
+// own histogram. Only windows that saw events appear; the index column
+// makes gaps explicit.
+func (t *Timeline) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, TimelineCSVHeader)
+	sec := t.interval.Seconds()
+	var started, completed, failed uint64
+	for _, win := range t.snapshot() {
+		started += win.Started
+		completed += win.Completed
+		failed += win.Failed
+		inflight := int64(started) - int64(completed) - int64(failed)
+		fmt.Fprintf(bw, "%d,%s,%d,%d,%d,%d,%d,%d,%s,%s,%s\n",
+			win.Index,
+			fmtFloat(float64(win.Index)*sec*1000),
+			win.Started, win.Completed, win.Failed, win.Resumed, win.Warmup,
+			inflight,
+			fmtFloat(float64(win.Completed)/sec),
+			fmtFloat(float64(win.Hist.Quantile(0.50))/1e3),
+			fmtFloat(float64(win.Hist.Quantile(0.95))/1e3),
+		)
+	}
+	return bw.Flush()
+}

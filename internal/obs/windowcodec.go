@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Canonical timeline encoding. Progress frames ship timelines between dist
+// workers and the coordinator, the Result codec embeds them, and the
+// timeline digest hashes them, so the byte layout is pinned (a golden test
+// guards it):
+//
+//	u8  version (timelineCodecV1)
+//	u64 interval (nanoseconds)
+//	u32 window count, then per window (ascending index):
+//	    u64 index
+//	    u64 started, completed, failed, warmup, resumed
+//	    u32 error-class count, then per class (sorted by name):
+//	        u16 name length, name bytes, u64 count
+//	    histogram (canonical encoding, self-delimiting)
+//
+// All integers big-endian. Windows and error classes are sorted so the
+// encoding is a pure function of the timeline's value, never of map
+// iteration order — the property the merge-equals-unsplit digest checks
+// rest on.
+const timelineCodecV1 = 1
+
+// maxTimelineWindows bounds a decoded timeline (2^20 windows is 12 days at
+// one second); a larger count is a corrupt frame, not a real run.
+const maxTimelineWindows = 1 << 20
+
+// maxWindowErrClassLen mirrors the loadgen result codec's bound on one
+// error-class name.
+const maxWindowErrClassLen = 256
+
+// AppendBinary appends the canonical encoding of t to b.
+func (t *Timeline) AppendBinary(b []byte) []byte {
+	windows := t.snapshot()
+	b = append(b, timelineCodecV1)
+	b = binary.BigEndian.AppendUint64(b, uint64(t.interval))
+	b = binary.BigEndian.AppendUint32(b, uint32(len(windows)))
+	for _, w := range windows {
+		b = binary.BigEndian.AppendUint64(b, w.Index)
+		for _, v := range []uint64{w.Started, w.Completed, w.Failed, w.Warmup, w.Resumed} {
+			b = binary.BigEndian.AppendUint64(b, v)
+		}
+		classes := make([]string, 0, len(w.Errors))
+		for c := range w.Errors {
+			classes = append(classes, c)
+		}
+		sort.Strings(classes)
+		b = binary.BigEndian.AppendUint32(b, uint32(len(classes)))
+		for _, c := range classes {
+			b = binary.BigEndian.AppendUint16(b, uint16(len(c)))
+			b = append(b, c...)
+			b = binary.BigEndian.AppendUint64(b, w.Errors[c])
+		}
+		b = w.Hist.AppendBinary(b)
+	}
+	return b
+}
+
+// MarshalBinary returns the canonical encoding of t.
+func (t *Timeline) MarshalBinary() ([]byte, error) {
+	return t.AppendBinary(nil), nil
+}
+
+// UnmarshalBinary decodes into t (replacing its contents) and returns the
+// bytes consumed, so a timeline can be embedded in a larger frame. It
+// rejects version or structure mismatches rather than decoding garbage.
+func (t *Timeline) UnmarshalBinary(b []byte) (int, error) {
+	const head = 1 + 8 + 4
+	if len(b) < head {
+		return 0, fmt.Errorf("obs: timeline encoding truncated (%d bytes)", len(b))
+	}
+	if b[0] != timelineCodecV1 {
+		return 0, fmt.Errorf("obs: unknown timeline encoding version %d", b[0])
+	}
+	interval := time.Duration(binary.BigEndian.Uint64(b[1:]))
+	if interval <= 0 {
+		return 0, fmt.Errorf("obs: timeline interval %d invalid", interval)
+	}
+	count := int(binary.BigEndian.Uint32(b[9:]))
+	if count > maxTimelineWindows {
+		return 0, fmt.Errorf("obs: timeline encoding claims %d windows", count)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.interval = interval
+	t.windows = make(map[uint64]*Window, count)
+	off := head
+	need := func(k int) error {
+		if len(b)-off < k {
+			return fmt.Errorf("obs: timeline encoding truncated at offset %d", off)
+		}
+		return nil
+	}
+	var prevIdx uint64
+	for wi := 0; wi < count; wi++ {
+		if err := need(6 * 8); err != nil {
+			return 0, err
+		}
+		w := &Window{Index: binary.BigEndian.Uint64(b[off:])}
+		if wi > 0 && w.Index <= prevIdx {
+			return 0, fmt.Errorf("obs: timeline windows not ascending at entry %d (index %d)", wi, w.Index)
+		}
+		off += 8
+		for _, p := range []*uint64{&w.Started, &w.Completed, &w.Failed, &w.Warmup, &w.Resumed} {
+			*p = binary.BigEndian.Uint64(b[off:])
+			off += 8
+		}
+		if err := need(4); err != nil {
+			return 0, err
+		}
+		nerr := int(binary.BigEndian.Uint32(b[off:]))
+		off += 4
+		prevClass := ""
+		for j := 0; j < nerr; j++ {
+			if err := need(2); err != nil {
+				return 0, err
+			}
+			l := int(binary.BigEndian.Uint16(b[off:]))
+			off += 2
+			if l == 0 || l > maxWindowErrClassLen {
+				return 0, fmt.Errorf("obs: timeline error-class length %d invalid", l)
+			}
+			if err := need(l + 8); err != nil {
+				return 0, err
+			}
+			class := string(b[off : off+l])
+			off += l
+			if j > 0 && class <= prevClass {
+				return 0, fmt.Errorf("obs: timeline error classes not sorted at %q", class)
+			}
+			prevClass = class
+			if w.Errors == nil {
+				w.Errors = make(map[string]uint64, nerr)
+			}
+			w.Errors[class] = binary.BigEndian.Uint64(b[off:])
+			off += 8
+		}
+		n, err := w.Hist.UnmarshalBinary(b[off:])
+		if err != nil {
+			return 0, fmt.Errorf("obs: timeline window %d histogram: %w", w.Index, err)
+		}
+		off += n
+		t.windows[w.Index] = w
+		prevIdx = w.Index
+	}
+	return off, nil
+}
+
+// windowJSON is the JSON shape of one window: the same information as the
+// binary encoding, readable by external tooling.
+type windowJSON struct {
+	Index     uint64            `json:"index"`
+	Started   uint64            `json:"started"`
+	Completed uint64            `json:"completed"`
+	Failed    uint64            `json:"failed"`
+	Warmup    uint64            `json:"warmup"`
+	Resumed   uint64            `json:"resumed"`
+	Errors    map[string]uint64 `json:"errors,omitempty"`
+	Hist      *Histogram        `json:"hist"`
+}
+
+func windowToJSON(w *Window) windowJSON {
+	h := w.Hist
+	return windowJSON{
+		Index: w.Index, Started: w.Started, Completed: w.Completed,
+		Failed: w.Failed, Warmup: w.Warmup, Resumed: w.Resumed,
+		Errors: w.Errors, Hist: &h,
+	}
+}
+
+func windowFromJSON(j windowJSON) *Window {
+	w := &Window{
+		Index: j.Index, Started: j.Started, Completed: j.Completed,
+		Failed: j.Failed, Warmup: j.Warmup, Resumed: j.Resumed,
+		Errors: j.Errors,
+	}
+	if j.Hist != nil {
+		w.Hist = *j.Hist
+	}
+	return w
+}
+
+// timelineJSON is the JSON shape of a timeline.
+type timelineJSON struct {
+	IntervalNS int64        `json:"interval_ns"`
+	Windows    []windowJSON `json:"windows"`
+}
+
+// MarshalJSON renders the timeline in the canonical JSON shape (windows in
+// ascending index order).
+func (t *Timeline) MarshalJSON() ([]byte, error) {
+	j := timelineJSON{IntervalNS: int64(t.interval)}
+	for _, w := range t.snapshot() {
+		j.Windows = append(j.Windows, windowToJSON(w))
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON decodes the canonical JSON shape, applying the same
+// structural checks as the binary decoder.
+func (t *Timeline) UnmarshalJSON(b []byte) error {
+	var j timelineJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	if j.IntervalNS <= 0 {
+		return fmt.Errorf("obs: timeline JSON interval %d invalid", j.IntervalNS)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.interval = time.Duration(j.IntervalNS)
+	t.windows = make(map[uint64]*Window, len(j.Windows))
+	var prev uint64
+	for i, wj := range j.Windows {
+		if i > 0 && wj.Index <= prev {
+			return fmt.Errorf("obs: timeline JSON windows not ascending at index %d", wj.Index)
+		}
+		t.windows[wj.Index] = windowFromJSON(wj)
+		prev = wj.Index
+	}
+	return nil
+}

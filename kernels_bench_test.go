@@ -10,6 +10,7 @@ package pqtls_test
 import (
 	"io"
 	"testing"
+	"time"
 
 	"pqtls"
 	"pqtls/internal/crypto/gf2x"
@@ -18,6 +19,7 @@ import (
 	"pqtls/internal/crypto/sha3"
 	"pqtls/internal/crypto/sphincs"
 	"pqtls/internal/harness"
+	"pqtls/internal/obs"
 	"pqtls/internal/tls13"
 )
 
@@ -258,6 +260,45 @@ func BenchmarkTicketSealOpen(b *testing.B) {
 			b.Fatal(err)
 		}
 		if _, _, err := ts.Open(tkt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWindowRecord measures the windowed-telemetry hot path: recording
+// a completion into a window that already exists. It must report 0
+// allocs/op — this runs once per handshake whenever -window is set, and
+// window creation is amortized over the interval, never paid per event.
+func BenchmarkWindowRecord(b *testing.B) {
+	tl := obs.NewTimeline(100 * time.Millisecond)
+	for i := 0; i < 64; i++ {
+		tl.RecordStart(time.Duration(i) * 100 * time.Millisecond)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at := time.Duration(i%64) * 100 * time.Millisecond
+		tl.RecordComplete(at, time.Millisecond, i%4 == 0, false)
+	}
+}
+
+// BenchmarkWindowMerge measures the coordinator's per-progress-frame fold
+// of one worker timeline snapshot into the fleet rollup (32 active
+// windows). Cloning allocates by design; this pins ns/op.
+func BenchmarkWindowMerge(b *testing.B) {
+	src := obs.NewTimeline(100 * time.Millisecond)
+	for i := 0; i < 32; i++ {
+		at := time.Duration(i) * 100 * time.Millisecond
+		src.RecordStart(at)
+		src.RecordComplete(at+time.Millisecond, time.Duration(i+1)*time.Millisecond, i%2 == 0, false)
+	}
+	dst := obs.NewTimeline(100 * time.Millisecond)
+	if err := dst.Merge(src); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := dst.Merge(src); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -76,6 +76,9 @@ rm -rf "$livedir"
 echo "==> phases smoke: span traces + Prometheus /metrics end to end"
 sh scripts/phases_smoke.sh
 
+echo "==> timeline smoke: windowed telemetry artifacts, fleet merge digest-exact"
+sh scripts/timeline_smoke.sh
+
 echo "==> determinism spot check: pqbench all-kem, workers 1 vs 8"
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT

@@ -1,0 +1,47 @@
+#!/bin/sh
+# Streaming-telemetry smoke: a 2-worker distributed Simulate run under the
+# race detector with windowed telemetry on. -verify asserts the merged
+# fleet timeline is byte-identical (digest-exact) to the single-process run
+# of the same plan; this script additionally checks the written artifacts —
+# the CSV schema matches obs.TimelineCSVHeader, the JSONL round-trips
+# through `pqbench timeline` (which re-verifies the header digest), and the
+# rendered totals agree with the merged run counters.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+go build -race -o "$tmpdir/pqbench-race" ./cmd/pqbench
+
+echo "==> timeline smoke: 2-worker dist run, merged timeline must equal single-process"
+"$tmpdir/pqbench-race" dist-coordinator -simulate -verify -workers 2 -workers-local 2 \
+    -rate 80 -duration 1s -start-delay 50ms -heartbeat-timeout 2s \
+    -window 100ms -timeline "$tmpdir/timeline_dist" | tee "$tmpdir/run.txt"
+grep -q "verify: timeline digest" "$tmpdir/run.txt"
+
+echo "==> timeline smoke: CSV artifact schema"
+want_header="index,start_ms,started,completed,failed,resumed,warmup,inflight,hs_s,p50_us,p95_us"
+got_header=$(head -n 1 "$tmpdir/timeline_dist.csv")
+if [ "$got_header" != "$want_header" ]; then
+    echo "timeline smoke: CSV header mismatch:"
+    echo "  got:  $got_header"
+    echo "  want: $want_header"
+    exit 1
+fi
+# Every data row must have exactly the header's column count.
+awk -F, -v cols="$(echo "$want_header" | awk -F, '{print NF}')" \
+    'NR > 1 && NF != cols { print "bad column count at line " NR ": " $0; exit 1 }' \
+    "$tmpdir/timeline_dist.csv"
+
+echo "==> timeline smoke: JSONL round-trip through pqbench timeline (digest re-verified)"
+"$tmpdir/pqbench-race" timeline "$tmpdir/timeline_dist.jsonl" | tee "$tmpdir/render.txt"
+merged_completed=$(sed -n 's/^merged: offered [0-9]*, completed \([0-9]*\).*/\1/p' "$tmpdir/run.txt")
+rendered_completed=$(sed -n 's/^totals: .*started [0-9]*, completed \([0-9]*\).*/\1/p' "$tmpdir/render.txt")
+if [ -z "$merged_completed" ] || [ "$merged_completed" != "$rendered_completed" ]; then
+    echo "timeline smoke: artifact totals ($rendered_completed) != merged run completed ($merged_completed)"
+    exit 1
+fi
+
+echo "timeline-smoke OK: merged timeline digest-exact vs single-process, artifacts schema-valid"
