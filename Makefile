@@ -4,7 +4,7 @@ FUZZTIME ?= 5s
 # (see EXPERIMENTS.md).
 TABLE4FLAGS ?= -samples 5 -timing model
 
-.PHONY: check lint vet build test race fuzz-smoke live-smoke saturate-smoke dist-smoke phases-smoke timeline-smoke bench bench-gate table4 clean
+.PHONY: check lint vet build test race fuzz-smoke live-smoke clientpath-smoke saturate-smoke dist-smoke phases-smoke timeline-smoke bench bench-gate table4 clean
 
 # check is the CI entry point: static checks, build, the full test suite,
 # the race-enabled suite (exercising the parallel campaign engine), the
@@ -14,7 +14,7 @@ TABLE4FLAGS ?= -samples 5 -timing model
 # distributed coordinator/worker smoke, the observability smokes (phase
 # traces + Prometheus /metrics), and the streaming-telemetry smoke (windowed
 # timeline artifacts from a 2-worker dist run, digest-exact vs single-process).
-check: lint build test race bench-gate fuzz-smoke live-smoke saturate-smoke dist-smoke phases-smoke timeline-smoke
+check: lint build test race bench-gate fuzz-smoke live-smoke clientpath-smoke saturate-smoke dist-smoke phases-smoke timeline-smoke
 
 # lint runs the always-available static checks (gofmt, go vet) and, when
 # installed, staticcheck. The toolchain image does not bundle staticcheck,
@@ -71,6 +71,26 @@ live-smoke:
 		echo "live-smoke: -pool changed the schedule digest: '$$d1' vs '$$d3'"; exit 1; fi; \
 	echo "live-smoke OK: schedule digest $$d1 reproducible across runs (incl. -pool)"
 
+# clientpath-smoke drives the client-side fast path end to end under the
+# race detector: a loopback run with the batching verification pool and
+# batched server encapsulation on (-verify-workers/-encap-batch) must
+# produce the same seeded schedule digest as an unpooled run, actually
+# route checks through the verify pool, and complete without failures.
+clientpath-smoke:
+	$(GO) build -race -o bin/pqbench-race ./cmd/pqbench
+	@d1=$$(bin/pqbench-race live -kem kyber768 -sig dilithium3 -rate 50 -duration 1s | \
+		sed -n 's/.*digest \([0-9a-f]*\).*/\1/p'); \
+	out=$$(bin/pqbench-race live -kem kyber768 -sig dilithium3 -rate 50 -duration 1s \
+		-verify-workers 2 -encap-batch 16 | tee /dev/stderr); \
+	d2=$$(echo "$$out" | sed -n 's/.*digest \([0-9a-f]*\).*/\1/p'); \
+	if [ -z "$$d1" ] || [ "$$d1" != "$$d2" ]; then \
+		echo "clientpath-smoke: batched run changed the schedule digest: '$$d1' vs '$$d2'"; exit 1; fi; \
+	if ! echo "$$out" | grep -q '^verify pool: 2 workers, [1-9]'; then \
+		echo "clientpath-smoke: verify pool saw no traffic"; exit 1; fi; \
+	if ! echo "$$out" | grep -q 'failed 0,'; then \
+		echo "clientpath-smoke: batched run had handshake failures"; exit 1; fi; \
+	echo "clientpath-smoke OK: schedule digest $$d1 identical with verify/encap batching on"
+
 # saturate-smoke runs a short `pqbench saturate` ladder (sharded accept,
 # split-schedule dispatch, resumption on the shared ticket store) under the
 # race detector, twice, and checks the sweep digest — the fingerprint of
@@ -124,7 +144,7 @@ timeline-smoke:
 # they move for a bad one.
 bench:
 	$(GO) build -o bin/pqbench ./cmd/pqbench
-	bin/pqbench microbench -out BENCH_9.json
+	bin/pqbench microbench -out BENCH_10.json
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
 # bench-gate compares a fresh short microbench run against the newest

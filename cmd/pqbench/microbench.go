@@ -21,6 +21,7 @@ import (
 	"pqtls/internal/live"
 	"pqtls/internal/loadgen"
 	"pqtls/internal/obs"
+	"pqtls/internal/sig"
 	"pqtls/internal/tls13"
 )
 
@@ -114,8 +115,12 @@ func kernelBenchmarks() []namedBench {
 			panic(err)
 		}
 		add(p.Name+"/encap", func(b *testing.B) {
+			// The allocation-free path the zero-alloc handshake rides; gated
+			// at exactly 0 allocs/op.
+			ct := make([]byte, p.CiphertextSize())
+			ss := make([]byte, p.SharedSecretSize())
 			for i := 0; i < b.N; i++ {
-				if _, _, err := p.Encapsulate(drbg, pk); err != nil {
+				if err := p.EncapsulateInto(drbg, pk, ct, ss); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -141,6 +146,26 @@ func kernelBenchmarks() []namedBench {
 		drbg := benchStream("microbench/kyber768-batch")
 		for i := 0; i < b.N; i++ {
 			if _, _, err := mlkem.Kyber768.GenerateKeyBatch(drbg, 16); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("kyber768/encap-batch16", func(b *testing.B) {
+		// One op = 16 encapsulations through the multi-sponge batched path
+		// the encap pool uses; divide by 16 for the per-share cost next to
+		// kyber768/encap.
+		drbg := benchStream("microbench/kyber768-encap-batch")
+		pk, _, err := mlkem.Kyber768.GenerateKey(drbg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pks := make([][]byte, 16)
+		for j := range pks {
+			pks[j] = pk
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := mlkem.Kyber768.EncapBatch(drbg, pks); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -191,6 +216,23 @@ func kernelBenchmarks() []namedBench {
 			for i := 0; i < b.N; i++ {
 				if !verifyKey.Verify(msg, sig) {
 					b.Fatal("verify failed")
+				}
+			}
+		})
+		add("dilithium3/verify-batch16", func(b *testing.B) {
+			// One op = 16 verifications through the interleaved multi-sponge
+			// batch pass the verify pool uses; divide by 16 for the per-check
+			// cost next to dilithium3/verify-cached.
+			msgs := make([][]byte, 16)
+			sigs := make([][]byte, 16)
+			for j := range msgs {
+				msgs[j], sigs[j] = msg, sig
+			}
+			for i := 0; i < b.N; i++ {
+				for _, ok := range verifyKey.VerifyBatch(msgs, sigs) {
+					if !ok {
+						b.Fatal("verify failed")
+					}
 				}
 			}
 		})
@@ -273,6 +315,36 @@ func kernelBenchmarks() []namedBench {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+
+	{
+		// Verify-pool round trip: Submit + Wait through a 2-worker batching
+		// verification pool over the cached dilithium3 context, driven by
+		// concurrent submitters so the batch path actually engages — the
+		// latency a connection goroutine observes for its CertificateVerify
+		// check on a loaded client.
+		s := sig.MustByName("dilithium3")
+		drbg := benchStream("microbench/verifypool")
+		pub, priv, err := s.GenerateKey(drbg)
+		if err != nil {
+			panic(err)
+		}
+		sigBytes, err := s.Sign(priv, msg)
+		if err != nil {
+			panic(err)
+		}
+		pool := loadgen.NewVerifyPool(2, 16, 0)
+		add("loadgen/verifypool", func(b *testing.B) {
+			b.SetParallelism(4)
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if !pool.VerifyCV(s, pub, msg, sigBytes) {
+						b.Error("verify failed")
+						return
+					}
+				}
+			})
 		})
 	}
 
@@ -422,7 +494,7 @@ func runMicrobench(args []string) error {
 	short := fs.Bool("short", false, "fast pass: 100ms per kernel, no live run (allocs/op still exact)")
 	withLive := fs.Bool("live", true, "measure live loopback handshakes/sec for the headline suite")
 	rate := fs.Float64("rate", 200, "live offered load (handshakes/second)")
-	poolRate := fs.Float64("pool-rate", 800, "offered load for the precompute-enabled live probe")
+	poolRate := fs.Float64("pool-rate", 900, "offered load for the precompute-enabled live probe (just past this host's pooled knee; deep overload only measures queue drain)")
 	duration := fs.Duration("duration", 4*time.Second, "live schedule span")
 	fs.Parse(args)
 
@@ -457,9 +529,10 @@ func runMicrobench(args []string) error {
 			return fmt.Errorf("live measurement: %w", err)
 		}
 		// The pooled probe runs the whole precompute subsystem — key-share
-		// factory, amortized client caches, 2-worker sign pool — at a
-		// higher offered load, since the point of the subsystem is to lift
-		// the server's ceiling, not its behaviour at the baseline rate.
+		// factory, amortized client caches, 2-worker sign pool, batched
+		// server encapsulation, batched client verification — at a higher
+		// offered load, since the point of the subsystem is to lift the
+		// server's ceiling, not its behaviour at the baseline rate.
 		pr, err := liveThroughput("kyber768", "dilithium3", *poolRate, *duration, true)
 		if err != nil {
 			return fmt.Errorf("live measurement (pool): %w", err)
@@ -522,6 +595,7 @@ func liveThroughput(kemName, sigName string, rate float64, duration time.Duratio
 	var shutdown func(time.Duration) error
 	if pooled {
 		srvOpts.SignWorkers = 2
+		srvOpts.EncapBatch = 16
 		srvOpts.MaxConns = 256
 		workers = runtime.GOMAXPROCS(0)
 		ss, err := live.ServeSharded("127.0.0.1:0", srvOpts, workers)
@@ -564,6 +638,9 @@ func liveThroughput(kemName, sigName string, rate float64, duration time.Duratio
 		defer keyPool.StopFactory()
 		runOpts.KeyShares = keyPool
 		runOpts.Amortize = true
+		vp := loadgen.NewVerifyPool(2, 16, 0)
+		defer vp.Close()
+		runOpts.VerifyPool = vp
 		// Discarded warm-up pass against the same server before the clock
 		// matters: fills the key-share factory, sizes the GC heap, and warms
 		// the shard runtimes — the steady state a saturate ladder reaches on

@@ -83,18 +83,20 @@ func (p *Params) deriveKey(zeta [32]byte) (pk, sk []byte) {
 	rho, rhoPrime, key := seeds[:32], seeds[32:96], seeds[96:128]
 
 	a := p.expandA(rho)
+	smp := getSampleScratch()
 	s1 := make([]poly, p.L)
 	s2 := make([]poly, p.K)
 	for i := range s1 {
 		st := p.exp.Stream256(rhoPrime, uint16(i))
-		sampleEta(&s1[i], st, p.Eta)
+		sampleEta(&s1[i], st, p.Eta, &smp.eta)
 		putStream(st)
 	}
 	for i := range s2 {
 		st := p.exp.Stream256(rhoPrime, uint16(p.L+i))
-		sampleEta(&s2[i], st, p.Eta)
+		sampleEta(&s2[i], st, p.Eta, &smp.eta)
 		putStream(st)
 	}
+	putSampleScratch(smp)
 
 	// t = A*s1 + s2.
 	s1Hat := make([]poly, p.L)
@@ -158,6 +160,8 @@ func (p *Params) unpackEta(s *poly, in []byte) {
 // per-element stream loop.
 func (p *Params) expandA(rho []byte) []poly {
 	a := make([]poly, p.K*p.L)
+	smp := getSampleScratch()
+	defer putSampleScratch(smp)
 	if _, ok := p.exp.(shakeExpander); ok {
 		var seeds [56][34]byte // K·L <= 56 seeds of rho || nonce16le
 		var inputs [56][]byte
@@ -174,7 +178,7 @@ func (p *Params) expandA(rho []byte) []poly {
 		}
 		m := sha3.NewMultiShake128(inputs[:kl])
 		for idx := range a {
-			sampleUniform(&a[idx], m.Stream(idx))
+			sampleUniform(&a[idx], m.Stream(idx), &smp.uni)
 		}
 		sha3.PutMultiXOF(m)
 		return a
@@ -182,7 +186,7 @@ func (p *Params) expandA(rho []byte) []poly {
 	for i := 0; i < p.K; i++ {
 		for j := 0; j < p.L; j++ {
 			st := p.exp.Stream128(rho, uint16(i<<8|j))
-			sampleUniform(&a[i*p.L+j], st)
+			sampleUniform(&a[i*p.L+j], st, &smp.uni)
 			putStream(st)
 		}
 	}
@@ -202,27 +206,32 @@ func (p *Params) Sign(sk, msg []byte) ([]byte, error) {
 }
 
 // sign runs the deterministic rejection loop against the precomputed key.
-// All scratch is call-local, so one SigningKey can sign concurrently.
+// All scratch comes from a pool shared across keys, so one SigningKey can
+// sign concurrently and the only per-call allocation is the returned
+// signature.
 func (k *SigningKey) sign(msg []byte) ([]byte, error) {
 	p := k.p
 	aMont, s1Hat, s2Hat, t0Hat := k.aMont, k.s1Hat, k.s2Hat, k.t0Hat
-	mu := sha3.ShakeSum256(64, k.tr[:], msg)
-	rhoPrime := sha3.ShakeSum256(64, k.key[:], mu)
+	s := getSignScratch()
+	defer putSignScratch(s)
+	mu, rhoPrime := s.mu[:], s.rhoPrime[:]
+	sha3.ShakeSum256Into(mu, k.tr[:], msg)
+	sha3.ShakeSum256Into(rhoPrime, k.key[:], mu)
 
-	// Rejection-loop scratch, allocated once: each iteration re-derives or
-	// zeroes what it needs.
-	y := make([]poly, p.L)
-	yHat := make([]poly, p.L)
-	w := make([]poly, p.K)
-	w1 := make([]poly, p.K)
-	z := make([]poly, p.L)
-	hints := make([]poly, p.K)
-	w1Packed := make([]byte, 0, p.K*N*int(p.W1Bits)/8)
+	// Rejection-loop scratch, borrowed from the pool: each iteration
+	// re-derives or zeroes what it needs.
+	y := s.y[:p.L]
+	yHat := s.yHat[:p.L]
+	w := s.w[:p.K]
+	w1 := s.w1[:p.K]
+	z := s.z[:p.L]
+	hints := s.hints[:p.K]
+	w1Packed := s.w1Packed[:0]
 	for kappa := uint16(0); ; kappa += uint16(p.L) {
 		// Sample the mask vector y and compute w = A*y.
 		for i := range y {
 			st := p.exp.Stream256(rhoPrime, kappa+uint16(i))
-			sampleMask(&y[i], st, p.Gamma1, p.Gamma1Bits)
+			sampleMask(&y[i], st, p.Gamma1, p.Gamma1Bits, &s.smp.mask)
 			putStream(st)
 			yHat[i] = y[i]
 			yHat[i].ntt()
@@ -236,8 +245,10 @@ func (k *SigningKey) sign(msg []byte) ([]byte, error) {
 			}
 			w1Packed = packBitsInto(w1Packed, &w1[i], p.W1Bits, func(c int32) uint32 { return uint32(c) })
 		}
-		cTilde := sha3.ShakeSum256(32, mu, w1Packed)
-		c := sampleInBall(cTilde, p.Tau)
+		cTilde := s.cTilde[:]
+		sha3.ShakeSum256Into(cTilde, mu, w1Packed)
+		var c poly
+		sampleInBallInto(&c, cTilde, p.Tau, &s.smp.ball)
 		cHat := c
 		cHat.ntt()
 		// One Montgomery lift of c per iteration pays for every c·{s1,s2,t0}
@@ -302,7 +313,7 @@ func (k *SigningKey) sign(msg []byte) ([]byte, error) {
 				return uint32(g1 - centered(c))
 			})
 		}
-		sig = append(sig, p.packHints(hints)...)
+		sig = p.packHintsInto(sig, hints)
 		return sig, nil
 	}
 }
@@ -314,9 +325,13 @@ func abs32(x int32) int32 {
 	return x
 }
 
-// packHints encodes hint positions into omega+K bytes.
-func (p *Params) packHints(h []poly) []byte {
-	out := make([]byte, p.Omega+p.K)
+// packHintsInto encodes hint positions into omega+K bytes appended to dst,
+// which must have capacity for them (signature buffers are pre-sized).
+func (p *Params) packHintsInto(dst []byte, h []poly) []byte {
+	out := dst[len(dst) : len(dst)+p.Omega+p.K]
+	for i := range out {
+		out[i] = 0
+	}
 	idx := 0
 	for i := range h {
 		for n := 0; n < N; n++ {
@@ -327,23 +342,26 @@ func (p *Params) packHints(h []poly) []byte {
 		}
 		out[p.Omega+i] = byte(idx)
 	}
-	return out
+	return dst[:len(dst)+p.Omega+p.K]
 }
 
-// unpackHints decodes the hint section, returning false on malformed input.
-func (p *Params) unpackHints(in []byte) ([]poly, bool) {
-	h := make([]poly, p.K)
+// unpackHintsInto decodes the hint section into the caller-lent h (length
+// K, zeroed here), returning false on malformed input.
+func (p *Params) unpackHintsInto(h []poly, in []byte) bool {
+	for i := range h {
+		h[i] = poly{}
+	}
 	idx := 0
 	for i := 0; i < p.K; i++ {
 		end := int(in[p.Omega+i])
 		if end < idx || end > p.Omega {
-			return nil, false
+			return false
 		}
 		prev := -1
 		for ; idx < end; idx++ {
 			pos := int(in[idx])
 			if pos <= prev { // positions must strictly increase
-				return nil, false
+				return false
 			}
 			prev = pos
 			h[i][pos] = 1
@@ -351,10 +369,10 @@ func (p *Params) unpackHints(in []byte) ([]poly, bool) {
 	}
 	for ; idx < p.Omega; idx++ {
 		if in[idx] != 0 { // unused slots must be zero
-			return nil, false
+			return false
 		}
 	}
-	return h, true
+	return true
 }
 
 // Verify reports whether sig is a valid signature of msg under pk. Callers
@@ -369,16 +387,36 @@ func (p *Params) Verify(pk, msg, sig []byte) bool {
 	return k.Verify(msg, sig)
 }
 
-// verify checks one signature against the precomputed key. All scratch is
-// call-local, so one VerifyKey can verify concurrently.
+// verify checks one signature against the precomputed key. All scratch
+// comes from a pool shared across keys, so one VerifyKey can verify
+// concurrently and the call does not allocate.
 func (k *VerifyKey) verify(msg, sig []byte) bool {
+	s := getVerifyScratch()
+	defer putVerifyScratch(s)
+	p := k.p
+	z := s.z[:p.L]
+	hints := s.hints[:p.K]
+	if !k.parseSignature(z, hints, sig) {
+		return false
+	}
+	cTilde := sig[:32]
+	sha3.ShakeSum256Into(s.mu[:], k.tr[:], msg)
+	var c poly
+	sampleInBallInto(&c, cTilde, p.Tau, &s.smp.ball)
+	w1Packed := k.recomputeW1(s.w1Packed[:0], z, hints, &c)
+	sha3.ShakeSum256Into(s.want[:], s.mu[:], w1Packed)
+	return subtle.ConstantTimeCompare(cTilde, s.want[:]) == 1
+}
+
+// parseSignature unpacks z (with norm checks) and the hint vector into the
+// caller-lent slices, reporting whether the signature is well-formed. On
+// success z holds the response vector in the normal domain.
+func (k *VerifyKey) parseSignature(z, hints []poly, sig []byte) bool {
 	p := k.p
 	if len(sig) != p.SignatureSize() {
 		return false
 	}
-	cTilde := sig[:32]
 	zLen := N * int(p.Gamma1Bits) / 8
-	z := make([]poly, p.L)
 	g1 := p.Gamma1
 	for i := range z {
 		unpackBits(&z[i], sig[32+zLen*i:32+zLen*(i+1)], p.Gamma1Bits, func(t uint32) int32 {
@@ -388,27 +426,23 @@ func (k *VerifyKey) verify(msg, sig []byte) bool {
 			return false
 		}
 	}
-	hints, ok := p.unpackHints(sig[32+zLen*p.L:])
-	if !ok {
-		return false
-	}
+	return p.unpackHintsInto(hints, sig[32+zLen*p.L:])
+}
 
-	mu := sha3.ShakeSum256(64, k.tr[:], msg)
-	c := sampleInBall(cTilde, p.Tau)
-	cHat := c
-	cHat.ntt()
-	cHatMont := cHat
+// recomputeW1 runs the verifier's lattice half: NTT z in place, compute
+// each row of A·z − c·(t1·2^D), undo the hint, and append the packed w1
+// to dst. The challenge c is consumed in the normal domain.
+func (k *VerifyKey) recomputeW1(dst []byte, z, hints []poly, c *poly) []byte {
+	p := k.p
+	cHatMont := *c
+	cHatMont.ntt()
 	cHatMont.toMont()
-
-	zHat := make([]poly, p.L)
-	for i := range zHat {
-		zHat[i] = z[i]
-		zHat[i].ntt()
+	for i := range z {
+		z[i].ntt()
 	}
-	w1Packed := make([]byte, 0, p.K*N*int(p.W1Bits)/8)
 	for i := 0; i < p.K; i++ {
 		var az poly
-		polyDotMont(&az, k.aMont[i*p.L:(i+1)*p.L], zHat)
+		polyDotMont(&az, k.aMont[i*p.L:(i+1)*p.L], z)
 		// az - c * (t1 * 2^D), with NTT(t1 * 2^D) precomputed on the key.
 		var ct1 poly
 		polyMulMont(&ct1, &cHatMont, &k.t1ShiftHat[i])
@@ -418,10 +452,9 @@ func (k *VerifyKey) verify(msg, sig []byte) bool {
 		for n := 0; n < N; n++ {
 			w1[n] = useHint(hints[i][n], az[n], p.Gamma2)
 		}
-		w1Packed = packBitsInto(w1Packed, &w1, p.W1Bits, func(c int32) uint32 { return uint32(c) })
+		dst = packBitsInto(dst, &w1, p.W1Bits, func(c int32) uint32 { return uint32(c) })
 	}
-	want := sha3.ShakeSum256(32, mu, w1Packed)
-	return subtle.ConstantTimeCompare(cTilde, want) == 1
+	return dst
 }
 
 // ErrBadKey reports malformed key material.

@@ -1,0 +1,5 @@
+//go:build !race
+
+package mldsa
+
+const raceEnabled = false

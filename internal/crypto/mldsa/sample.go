@@ -72,8 +72,9 @@ func (r streamReader) Read(p []byte) (int, error) {
 }
 
 // sampleUniform rejection-samples coefficients < Q from 23-bit candidates.
-func sampleUniform(p *poly, r io.Reader) {
-	var buf [168]byte
+// The caller lends the block buffer (via sampleScratch) so the read through
+// the io.Reader interface doesn't force a heap allocation.
+func sampleUniform(p *poly, r io.Reader, buf *[168]byte) {
 	i := 0
 	for i < N {
 		if _, err := io.ReadFull(r, buf[:]); err != nil {
@@ -90,8 +91,7 @@ func sampleUniform(p *poly, r io.Reader) {
 }
 
 // sampleEta rejection-samples coefficients in [-eta, eta] from nibbles.
-func sampleEta(p *poly, r io.Reader, eta int32) {
-	var buf [136]byte
+func sampleEta(p *poly, r io.Reader, eta int32, buf *[136]byte) {
 	i := 0
 	for i < N {
 		if _, err := io.ReadFull(r, buf[:]); err != nil {
@@ -122,12 +122,11 @@ func sampleEta(p *poly, r io.Reader, eta int32) {
 }
 
 // sampleMask draws coefficients uniform in (-gamma1, gamma1] packed in
-// gamma1Bits bits each. The read buffer lives on the stack (640 bytes
-// covers the widest packing, gamma1Bits = 20): this runs once per mask
-// coefficient vector inside the signing rejection loop, so it must not
-// allocate.
-func sampleMask(p *poly, r io.Reader, gamma1 int32, gamma1Bits uint) {
-	var buf [N * 20 / 8]byte
+// gamma1Bits bits each. This runs once per mask coefficient vector inside
+// the signing rejection loop, so the read buffer is lent by the caller
+// (640 bytes covers the widest packing, gamma1Bits = 20) and the call
+// must not allocate.
+func sampleMask(p *poly, r io.Reader, gamma1 int32, gamma1Bits uint, buf *[N * 20 / 8]byte) {
 	b := buf[:N*int(gamma1Bits)/8]
 	if _, err := io.ReadFull(r, b); err != nil {
 		panic("mldsa: stream read: " + err.Error())
@@ -139,20 +138,45 @@ func sampleMask(p *poly, r io.Reader, gamma1 int32, gamma1Bits uint) {
 
 // sampleInBall derives the sparse ternary challenge polynomial from seed.
 func sampleInBall(seed []byte, tau int) poly {
+	var c poly
+	s := getSampleScratch()
+	sampleInBallInto(&c, seed, tau, &s.ball)
+	putSampleScratch(s)
+	return c
+}
+
+// sampleInBallInto is sampleInBall expanding the seed through a pooled
+// SHAKE256 state, writing the challenge into c with all staging in the
+// caller-lent buffer.
+func sampleInBallInto(c *poly, seed []byte, tau int, buf *[16]byte) {
 	x := sha3.NewShake256()
-	defer sha3.PutXOF(x)
 	x.Write(seed)
-	var signBuf [8]byte
-	x.Read(signBuf[:])
+	sampleInBallStream(c, x, tau, buf)
+	sha3.PutXOF(x)
+}
+
+// sampleInBallStream runs the in-ball rejection sampler against an
+// already-positioned challenge stream — a single SHAKE256 over the seed,
+// or one lane of a MultiXOF batch expanding many challenges at once. The
+// consumed byte sequence (8 sign bytes, then one byte per rejection step)
+// is identical either way, which is what pins the batch verifier's
+// decisions to the sequential ones.
+func sampleInBallStream(c *poly, r io.Reader, tau int, buf *[16]byte) {
+	signBuf := buf[:8]
+	if _, err := io.ReadFull(r, signBuf); err != nil {
+		panic("mldsa: stream read: " + err.Error())
+	}
 	signs := uint64(0)
 	for i, b := range signBuf {
 		signs |= uint64(b) << (8 * i)
 	}
-	var c poly
-	var b [1]byte
+	*c = poly{}
+	b := buf[8:9]
 	for i := N - tau; i < N; i++ {
 		for {
-			x.Read(b[:])
+			if _, err := io.ReadFull(r, b); err != nil {
+				panic("mldsa: stream read: " + err.Error())
+			}
 			if int(b[0]) <= i {
 				break
 			}
@@ -166,7 +190,6 @@ func sampleInBall(seed []byte, tau int) poly {
 		}
 		signs >>= 1
 	}
-	return c
 }
 
 // packBitsInto serializes f(coeff) (width bits each), appending to dst.

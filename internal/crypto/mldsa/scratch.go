@@ -1,0 +1,67 @@
+package mldsa
+
+import "sync"
+
+// maxK/maxL are dilithium5's matrix dimensions, the largest of any set;
+// the pooled scratch is sized for them so one pool serves all six sets.
+const (
+	maxK = 8
+	maxL = 7
+	// maxW1Packed covers the widest packed w1 vector (dilithium5:
+	// 8·256·4/8 = 1024; dilithium2's 4·256·6/8 = 768 fits).
+	maxW1Packed = 1024
+)
+
+// sampleScratch holds the stream-read staging buffers of the rejection
+// samplers. Reading through the io.Reader interface makes the destination
+// buffer escape, so a stack array would heap-allocate on every call; the
+// samplers borrow these pooled arrays instead.
+type sampleScratch struct {
+	uni  [168]byte        // sampleUniform: one SHAKE128 block
+	eta  [136]byte        // sampleEta: one SHAKE256 block
+	mask [N * 20 / 8]byte // sampleMask: widest packing (gamma1Bits = 20)
+	ball [16]byte         // sampleInBall: 8 sign bytes + 1 rejection byte
+}
+
+var samplePool = sync.Pool{New: func() any { return new(sampleScratch) }}
+
+func getSampleScratch() *sampleScratch  { return samplePool.Get().(*sampleScratch) }
+func putSampleScratch(s *sampleScratch) { samplePool.Put(s) }
+
+// signScratch is the working set of one signing rejection loop. Pooling it
+// removes every per-call allocation of SigningKey.Sign except the returned
+// signature itself. Buffers come back dirty; sign re-derives or truncates
+// everything it reads.
+type signScratch struct {
+	y, yHat, z   [maxL]poly
+	w, w1, hints [maxK]poly
+	mu, rhoPrime [64]byte
+	cTilde       [32]byte
+	w1Packed     []byte
+	smp          sampleScratch
+}
+
+var signPool = sync.Pool{New: func() any {
+	return &signScratch{w1Packed: make([]byte, 0, maxW1Packed)}
+}}
+
+func getSignScratch() *signScratch  { return signPool.Get().(*signScratch) }
+func putSignScratch(s *signScratch) { signPool.Put(s) }
+
+// verifyScratch is the working set of one verification. Pooling it keeps
+// VerifyKey.Verify allocation-free.
+type verifyScratch struct {
+	z        [maxL]poly
+	hints    [maxK]poly
+	mu       [64]byte
+	want     [32]byte
+	smp      sampleScratch
+	w1Packed []byte
+}
+
+var verifyPool = sync.Pool{New: func() any {
+	return &verifyScratch{w1Packed: make([]byte, 0, maxW1Packed)}
+}}
+
+func getVerifyScratch() *verifyScratch  { return verifyPool.Get().(*verifyScratch) }
+func putVerifyScratch(s *verifyScratch) { verifyPool.Put(s) }

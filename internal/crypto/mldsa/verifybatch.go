@@ -1,0 +1,105 @@
+package mldsa
+
+import (
+	"crypto/subtle"
+
+	"pqtls/internal/crypto/sha3"
+)
+
+// VerifyBatch checks n (msg, sig) pairs under this key, returning one
+// accept/reject decision per pair. Decisions are identical to n sequential
+// Verify calls — the per-pair parsing, norm checks, challenge expansion,
+// and lattice recomputation are the same code — but the SHAKE-based sets
+// amortize the symmetric work across the batch: one multi-sponge pass for
+// the n mu hashes, one for the n challenge expansions, and one for the n
+// final w1 hashes, on top of the matrix expansion already amortized by the
+// VerifyKey itself. Pairs that fail parsing or the norm checks are
+// rejected up front and excluded from the batched passes (their hashes are
+// never needed). The *_aes sets fall back to the sequential path.
+func (k *VerifyKey) VerifyBatch(msgs, sigs [][]byte) []bool {
+	if len(msgs) != len(sigs) {
+		panic("mldsa: VerifyBatch called with mismatched msgs/sigs lengths")
+	}
+	n := len(msgs)
+	res := make([]bool, n)
+	if n == 0 {
+		return res
+	}
+	p := k.p
+	if _, ok := p.exp.(shakeExpander); !ok {
+		for i := range msgs {
+			res[i] = k.Verify(msgs[i], sigs[i])
+		}
+		return res
+	}
+
+	// Parse every signature first; survivors join the batched passes.
+	zAll := make([]poly, n*p.L)
+	hintAll := make([]poly, n*p.K)
+	live := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if k.parseSignature(zAll[i*p.L:(i+1)*p.L], hintAll[i*p.K:(i+1)*p.K], sigs[i]) {
+			live = append(live, i)
+		}
+	}
+	if len(live) == 0 {
+		return res
+	}
+
+	// Batch mu_j = SHAKE256(64, tr || msg_j). Each multi-sponge stream
+	// absorbs one contiguous input, so tr||msg is staged per survivor.
+	muInLen := 0
+	for _, i := range live {
+		muInLen += 32 + len(msgs[i])
+	}
+	muIn := make([]byte, 0, muInLen)
+	muInRefs := make([][]byte, len(live))
+	muBuf := make([]byte, 64*len(live))
+	muRefs := make([][]byte, len(live))
+	for j, i := range live {
+		start := len(muIn)
+		muIn = append(muIn, k.tr[:]...)
+		muIn = append(muIn, msgs[i]...)
+		muInRefs[j] = muIn[start:]
+		muRefs[j] = muBuf[64*j : 64*(j+1)]
+	}
+	sha3.ShakeSum256Batch(muRefs, muInRefs)
+
+	// Batch the challenge expansions: one SHAKE256 lane per c-tilde, with
+	// the in-ball rejection sampler squeezing each lane exactly as the
+	// sequential verifier squeezes its solo sponge.
+	ctRefs := make([][]byte, len(live))
+	for j, i := range live {
+		ctRefs[j] = sigs[i][:32]
+	}
+	cs := make([]poly, len(live))
+	var ballBuf [16]byte
+	m := sha3.NewMultiShake256(ctRefs)
+	for j := range cs {
+		sampleInBallStream(&cs[j], m.Stream(j), p.Tau, &ballBuf)
+	}
+	sha3.PutMultiXOF(m)
+
+	// Per-pair lattice work, staging mu_j || w1Packed_j contiguously so
+	// the final hash batches over single-slice inputs.
+	w1Len := p.K * N * int(p.W1Bits) / 8
+	wantIn := make([]byte, 0, len(live)*(64+w1Len))
+	wantInRefs := make([][]byte, len(live))
+	for j, i := range live {
+		start := len(wantIn)
+		wantIn = append(wantIn, muRefs[j]...)
+		wantIn = k.recomputeW1(wantIn, zAll[i*p.L:(i+1)*p.L], hintAll[i*p.K:(i+1)*p.K], &cs[j])
+		wantInRefs[j] = wantIn[start:]
+	}
+	wantBuf := make([]byte, 32*len(live))
+	wantRefs := make([][]byte, len(live))
+	for j := range wantRefs {
+		wantRefs[j] = wantBuf[32*j : 32*(j+1)]
+	}
+	sha3.ShakeSum256Batch(wantRefs, wantInRefs)
+
+	for j, i := range live {
+		res[i] = subtle.ConstantTimeCompare(sigs[i][:32], wantRefs[j]) == 1
+	}
+	return res
+}

@@ -1,0 +1,201 @@
+package mldsa
+
+import (
+	"testing"
+
+	"pqtls/internal/crypto/sha3"
+)
+
+func batchDRBG(seed string) sha3.XOF {
+	x := sha3.NewShake256()
+	x.Write([]byte(seed))
+	return x
+}
+
+// TestVerifyBatchMatchesSequential is the differential test pinning the
+// batch verifier to the sequential one: 2500 (msg, sig) trials per SHAKE
+// set — a mix of valid signatures, bit-flipped c-tilde/z/hint mutations,
+// cross-message swaps, and malformed hint encodings — must produce exactly
+// the same accept/reject decisions from VerifyBatch as from Verify.
+func TestVerifyBatchMatchesSequential(t *testing.T) {
+	sets := []*Params{Dilithium2, Dilithium3, Dilithium5}
+	trialsPerSet := 2500 / len(sets) // 2500+ trials across the sets
+	if testing.Short() {
+		trialsPerSet = 120
+	}
+	batchSize := 10
+	for _, p := range sets {
+		rng := batchDRBG("verify-batch/" + p.Name)
+		pk, sk, err := p.GenerateKey(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		signer, err := p.NewSigningKey(sk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vk, err := p.NewVerifyKey(pk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mut := batchDRBG("mutations/" + p.Name)
+		var mb [3]byte
+		for trial := 0; trial < trialsPerSet; trial += batchSize {
+			msgs := make([][]byte, batchSize)
+			sigs := make([][]byte, batchSize)
+			for i := 0; i < batchSize; i++ {
+				msg := make([]byte, 8+((trial+i)%57))
+				rng.Read(msg)
+				sig, err := signer.Sign(msg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Leave ~40% of the signatures valid; mutate the rest in
+				// ways that exercise every reject path.
+				switch i % 5 {
+				case 1: // flip a bit in c-tilde: challenge mismatch
+					mut.Read(mb[:])
+					sig[int(mb[0])%32] ^= 1 << (mb[1] % 8)
+				case 2: // flip a bit somewhere in z: norm or hash mismatch
+					mut.Read(mb[:])
+					zOff := 32 + (int(mb[0])|int(mb[1])<<8)%(len(sig)-32-p.Omega-p.K)
+					sig[zOff] ^= 1 << (mb[2] % 8)
+				case 3: // corrupt the hint section: often malformed
+					mut.Read(mb[:])
+					sig[len(sig)-1-int(mb[0])%(p.Omega+p.K)] ^= 0xFF
+				case 4:
+					if i > 0 { // valid signature, wrong message
+						msg = msgs[i-1]
+					}
+				}
+				msgs[i], sigs[i] = msg, sig
+			}
+			want := make([]bool, batchSize)
+			for i := range msgs {
+				want[i] = vk.Verify(msgs[i], sigs[i])
+			}
+			got := vk.VerifyBatch(msgs, sigs)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s trial %d item %d: VerifyBatch=%v, Verify=%v",
+						p.Name, trial, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestVerifyBatchAESFallback checks the sequential fallback of the *_aes
+// sets agrees with Verify.
+func TestVerifyBatchAESFallback(t *testing.T) {
+	p := Dilithium3AES
+	rng := batchDRBG("verify-batch-aes")
+	pk, sk, err := p.GenerateKey(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vk, err := p.NewVerifyKey(pk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := make([][]byte, 4)
+	sigs := make([][]byte, 4)
+	for i := range msgs {
+		msgs[i] = []byte{byte(i), 1, 2, 3}
+		sigs[i], err = p.Sign(sk, msgs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	sigs[2][40] ^= 1
+	got := vk.VerifyBatch(msgs, sigs)
+	for i := range msgs {
+		if want := vk.Verify(msgs[i], sigs[i]); got[i] != want {
+			t.Fatalf("item %d: VerifyBatch=%v, Verify=%v", i, got[i], want)
+		}
+	}
+}
+
+// TestVerifyBatchEmptyAndMismatch pins the edge-case contract.
+func TestVerifyBatchEmptyAndMismatch(t *testing.T) {
+	rng := batchDRBG("verify-batch-edge")
+	pk, _, err := Dilithium3.GenerateKey(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vk, err := Dilithium3.NewVerifyKey(pk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := vk.VerifyBatch(nil, nil); len(res) != 0 {
+		t.Fatalf("empty batch returned %d results", len(res))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched lengths did not panic")
+		}
+	}()
+	vk.VerifyBatch(make([][]byte, 2), make([][]byte, 1))
+}
+
+// TestVerifyCachedZeroAlloc pins the pooled-scratch contract of the
+// sequential cached verifier (the client-side per-handshake cost).
+func TestVerifyCachedZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation defeats escape analysis; allocs gated by bench-gate")
+	}
+	rng := batchDRBG("verify-zero-alloc")
+	pk, sk, err := Dilithium3.GenerateKey(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := Dilithium3.Sign(sk, []byte("hot path"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vk, err := Dilithium3.NewVerifyKey(pk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if !vk.Verify([]byte("hot path"), sig) {
+			t.Fatal("valid signature rejected")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("cached Verify allocates %v times per op, want 0", allocs)
+	}
+}
+
+func BenchmarkDilithium3VerifyBatch16(b *testing.B) {
+	rng := batchDRBG("bench-verify-batch")
+	pk, sk, err := Dilithium3.GenerateKey(rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	signer, err := Dilithium3.NewSigningKey(sk)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vk, err := Dilithium3.NewVerifyKey(pk)
+	if err != nil {
+		b.Fatal(err)
+	}
+	msgs := make([][]byte, 16)
+	sigs := make([][]byte, 16)
+	for i := range msgs {
+		msgs[i] = []byte{byte(i), 0xAB}
+		if sigs[i], err = signer.Sign(msgs[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := vk.VerifyBatch(msgs, sigs)
+		for j := range res {
+			if !res[j] {
+				b.Fatal("valid signature rejected")
+			}
+		}
+	}
+}

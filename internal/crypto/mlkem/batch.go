@@ -86,7 +86,7 @@ func (p *Params) deriveKeyFromParts(seed *[64]byte, g []byte, prf [][]byte) (pk,
 	w := p.getWork()
 	defer p.putWork(w)
 	a, s, e, t := w.mat, w.vec1, w.vec2, w.vec3
-	p.expandMatrix(a, rho, false)
+	p.expandMatrix(a, rho, false, w)
 	for i := range s {
 		sampleCBD(&s[i], prf[i], p.Eta1)
 		s[i].ntt()
@@ -122,4 +122,134 @@ func (p *Params) deriveKeyFromParts(seed *[64]byte, g []byte, prf [][]byte) (pk,
 	sk = append(sk, make([]byte, 32)...) // H(pk), batch-filled by the caller
 	sk = append(sk, seed[32:]...)
 	return pk, sk, sk[len(sk)-64 : len(sk)-32]
+}
+
+// EncapBatch encapsulates against n public keys at once. The result is
+// byte-identical to n sequential Encapsulate calls on the same rng — the
+// 32-byte messages are read in the same order and expanded with the same
+// derivation — but the SHAKE-based sets amortize the symmetric work across
+// the batch: one multi-sponge pass each for the n H(m), H(pk), G, H(ct),
+// and KDF hashes and one for the (2k+1)n noise PRFs. The lattice half
+// (matrix expansion, NTTs, packing) stays per-message. The 90s (AES)
+// variants fall back to the sequential path.
+//
+// All public keys are validated before any randomness is consumed, so a
+// batch that errors reads nothing from rng (the sequential loop would have
+// consumed 32 bytes per message preceding the bad key).
+func (p *Params) EncapBatch(rng io.Reader, pks [][]byte) (cts, sss [][]byte, err error) {
+	n := len(pks)
+	if n == 0 {
+		return nil, nil, nil
+	}
+	for i, pk := range pks {
+		if len(pk) != p.PublicKeySize() {
+			return nil, nil, fmt.Errorf("mlkem: public key %d of %d is %d bytes, want %d",
+				i, n, len(pk), p.PublicKeySize())
+		}
+	}
+	if rng == nil {
+		rng = rand.Reader
+	}
+	cts = make([][]byte, n)
+	sss = make([][]byte, n)
+	ctBuf := make([]byte, n*p.CiphertextSize())
+	ssBuf := make([]byte, n*32)
+	for i := range cts {
+		cts[i] = ctBuf[i*p.CiphertextSize() : (i+1)*p.CiphertextSize()]
+		sss[i] = ssBuf[32*i : 32*(i+1)]
+	}
+	if !p.isShake() {
+		for i := range pks {
+			if err := p.EncapsulateInto(rng, pks[i], cts[i], sss[i]); err != nil {
+				return nil, nil, err
+			}
+		}
+		return cts, sss, nil
+	}
+
+	// Read all n messages up front — identical rng consumption to n
+	// sequential Encapsulate calls, each of which reads exactly 32 bytes
+	// and nothing else.
+	ms := make([]byte, 32*n)
+	if _, err := io.ReadFull(rng, ms); err != nil {
+		return nil, nil, fmt.Errorf("mlkem: reading messages: %w", err)
+	}
+	mRefs := make([][]byte, n)
+	for i := range mRefs {
+		mRefs[i] = ms[32*i : 32*(i+1)]
+	}
+	// m_i = H(m_i), hashed in place: the batch one-shot absorbs every
+	// input before squeezing any output.
+	sha3.Sum256Batch(mRefs, mRefs)
+
+	// h_i = H(pk_i).
+	hBuf := make([]byte, 32*n)
+	hRefs := make([][]byte, n)
+	for i := range hRefs {
+		hRefs[i] = hBuf[32*i : 32*(i+1)]
+	}
+	sha3.Sum256Batch(hRefs, pks)
+
+	// (kBar_i, r_i) = G(m_i || h_i); each stream absorbs one contiguous
+	// input slice, so the pairs are staged back to back.
+	gIn := make([]byte, 64*n)
+	gInRefs := make([][]byte, n)
+	gBuf := make([]byte, 64*n)
+	gRefs := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		copy(gIn[64*i:], mRefs[i])
+		copy(gIn[64*i+32:], hRefs[i])
+		gInRefs[i] = gIn[64*i : 64*(i+1)]
+		gRefs[i] = gBuf[64*i : 64*(i+1)]
+	}
+	sha3.Sum512Batch(gRefs, gInRefs)
+
+	// The 2k+1 noise PRFs per message — SHAKE256(r_i || nonce) — in one
+	// pass. Stream lengths differ when Eta1 != Eta2 (kyber512); the batch
+	// squeezer honors per-stream dst lengths.
+	per := 2*p.K + 1
+	itemLen := 64 * (p.Eta1*p.K + p.Eta2*(p.K+1))
+	prfIn := make([][]byte, n*per)
+	prfOut := make([][]byte, n*per)
+	prfSeed := make([]byte, 33*n*per)
+	prfBuf := make([]byte, n*itemLen)
+	off := 0
+	for i := 0; i < n; i++ {
+		r := gRefs[i][32:]
+		for nonce := 0; nonce < per; nonce++ {
+			idx := i*per + nonce
+			in := prfSeed[33*idx : 33*idx+33]
+			copy(in, r)
+			in[32] = byte(nonce)
+			prfIn[idx] = in
+			eta := p.Eta2
+			if nonce < p.K {
+				eta = p.Eta1
+			}
+			prfOut[idx] = prfBuf[off : off+64*eta]
+			off += 64 * eta
+		}
+	}
+	sha3.ShakeSum256Batch(prfOut, prfIn)
+
+	// Per-message lattice work: encrypt with the batch-expanded noise.
+	w := p.getWork()
+	for i := 0; i < n; i++ {
+		p.pkeEncryptParts(cts[i], pks[i], mRefs[i], prfOut[i*per:(i+1)*per], w)
+	}
+	p.putWork(w)
+
+	// hc_i = H(ct_i) lands directly after kBar_i so the final KDF input
+	// kBar_i || hc_i is already contiguous.
+	kdfIn := make([]byte, 64*n)
+	kdfInRefs := make([][]byte, n)
+	hcRefs := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		copy(kdfIn[64*i:], gRefs[i][:32])
+		kdfInRefs[i] = kdfIn[64*i : 64*(i+1)]
+		hcRefs[i] = kdfIn[64*i+32 : 64*(i+1)]
+	}
+	sha3.Sum256Batch(hcRefs, cts)
+	sha3.ShakeSum256Batch(sss, kdfInRefs)
+	return cts, sss, nil
 }

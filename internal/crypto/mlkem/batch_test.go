@@ -75,6 +75,130 @@ func TestGenerateKeyBatchKeysWork(t *testing.T) {
 	}
 }
 
+// TestEncapBatchMatchesSequential pins the batch-encaps contract: for
+// every parameter set (SHAKE and 90s/AES alike), EncapBatch over a DRBG
+// must produce byte-identical ciphertexts and shared secrets to sequential
+// Encapsulate calls consuming the same stream.
+func TestEncapBatchMatchesSequential(t *testing.T) {
+	sets := []*Params{Kyber512, Kyber768, Kyber1024, Kyber90s512, Kyber90s768, Kyber90s1024}
+	for _, p := range sets {
+		pks := make([][]byte, 0, 16)
+		keyRNG := drbgReader("encap-batch-keys/" + p.Name)
+		for i := 0; i < 16; i++ {
+			pk, _, err := p.GenerateKey(keyRNG)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pks = append(pks, pk)
+		}
+		for _, n := range []int{1, 2, 7, 16} {
+			seq := drbgReader(p.Name)
+			batch := drbgReader(p.Name)
+			wantCT := make([][]byte, n)
+			wantSS := make([][]byte, n)
+			for i := 0; i < n; i++ {
+				ct, ss, err := p.Encapsulate(seq, pks[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantCT[i], wantSS[i] = ct, ss
+			}
+			cts, sss, err := p.EncapBatch(batch, pks[:n])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(cts) != n || len(sss) != n {
+				t.Fatalf("%s n=%d: got %d/%d results", p.Name, n, len(cts), len(sss))
+			}
+			for i := 0; i < n; i++ {
+				if !bytes.Equal(cts[i], wantCT[i]) {
+					t.Fatalf("%s n=%d: ciphertext %d differs from sequential encaps", p.Name, n, i)
+				}
+				if !bytes.Equal(sss[i], wantSS[i]) {
+					t.Fatalf("%s n=%d: shared secret %d differs from sequential encaps", p.Name, n, i)
+				}
+			}
+		}
+	}
+}
+
+// TestEncapBatchSecretsDecapsulate round-trips every batched ciphertext
+// through the matching private key.
+func TestEncapBatchSecretsDecapsulate(t *testing.T) {
+	rng := drbgReader("encap-batch-roundtrip")
+	pks, sks, err := Kyber768.GenerateKeyBatch(rng, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cts, sss, err := Kyber768.EncapBatch(rng, pks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cts {
+		ss, err := Kyber768.Decapsulate(sks[i], cts[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ss, sss[i]) {
+			t.Fatalf("key %d: decapsulated secret diverges from batch encaps", i)
+		}
+	}
+}
+
+// TestEncapBatchRejectsBadKey checks that a malformed key anywhere in the
+// batch fails the whole call without consuming randomness.
+func TestEncapBatchRejectsBadKey(t *testing.T) {
+	rng := drbgReader("encap-batch-badkey")
+	pk, _, err := Kyber768.GenerateKey(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make([]byte, 32)
+	probe := drbgReader("probe")
+	probe.Read(before)
+	bad := drbgReader("probe")
+	if _, _, err := Kyber768.EncapBatch(bad, [][]byte{pk, make([]byte, 10)}); err == nil {
+		t.Fatal("EncapBatch accepted a malformed public key")
+	}
+	after := make([]byte, 32)
+	bad.Read(after)
+	if !bytes.Equal(before, after) {
+		t.Fatal("EncapBatch consumed randomness before failing validation")
+	}
+}
+
+// TestEncapsulateIntoZeroAlloc pins the zero-alloc contract of the
+// SHAKE-set encapsulation hot path (the per-connection server cost).
+func TestEncapsulateIntoZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation defeats escape analysis; allocs gated by bench-gate")
+	}
+	rng := drbgReader("encap-zero-alloc")
+	pk, sk, err := Kyber768.GenerateKey(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := make([]byte, Kyber768.CiphertextSize())
+	ss := make([]byte, Kyber768.SharedSecretSize())
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := Kyber768.EncapsulateInto(rng, pk, ct, ss); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("EncapsulateInto allocates %v times per op, want 0", allocs)
+	}
+	ss2 := make([]byte, Kyber768.SharedSecretSize())
+	allocs = testing.AllocsPerRun(100, func() {
+		if err := Kyber768.DecapsulateInto(sk, ct, ss2); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("DecapsulateInto allocates %v times per op, want 0", allocs)
+	}
+}
+
 func BenchmarkKyber768KeygenBatch16(b *testing.B) {
 	rng := drbgReader("bench")
 	b.ReportAllocs()

@@ -1,0 +1,5 @@
+//go:build !race
+
+package mlkem
+
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package mlkem
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build. Instrumentation changes inlining and escape analysis, so
+// zero-alloc assertions only hold in normal builds (where the benchmark
+// gate also enforces them).
+const raceEnabled = true

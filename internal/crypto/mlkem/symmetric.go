@@ -126,8 +126,9 @@ func concat(data ...[]byte) []byte {
 
 // sampleUniform fills p with coefficients rejection-sampled from the XOF
 // stream (SampleNTT): consecutive 3-byte groups yield two 12-bit candidates.
-func sampleUniform(p *poly, r io.Reader) {
-	var buf [3 * 168]byte // one SHAKE128 block's worth of candidates
+// The caller lends buf (one SHAKE128 block's worth of candidates) so the
+// read through the io.Reader interface doesn't force a heap allocation.
+func sampleUniform(p *poly, r io.Reader, buf *[3 * 168]byte) {
 	i := 0
 	for i < N {
 		if _, err := io.ReadFull(r, buf[:]); err != nil {

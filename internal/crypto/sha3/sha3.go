@@ -246,6 +246,14 @@ func Sum512(data ...[]byte) [64]byte {
 	return out
 }
 
+// Sum256Into computes SHA3-256 over the concatenation of data into dst
+// (32 bytes) without allocating.
+func Sum256Into(dst []byte, data ...[]byte) { sumInto(136, 0x06, dst, data...) }
+
+// Sum512Into computes SHA3-512 over the concatenation of data into dst
+// (64 bytes) without allocating.
+func Sum512Into(dst []byte, data ...[]byte) { sumInto(72, 0x06, dst, data...) }
+
 // ShakeSum128Into squeezes len(dst) bytes of SHAKE128 over the
 // concatenation of data into dst without allocating.
 func ShakeSum128Into(dst []byte, data ...[]byte) { sumInto(168, 0x1F, dst, data...) }

@@ -1,0 +1,71 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"pqtls/internal/live"
+	"pqtls/internal/loadgen"
+	"pqtls/internal/tls13"
+)
+
+// TestCampaignDeterministicAcrossWorkersWithClientPath is the campaign
+// determinism guard for the client-side fast path: with a batching
+// verification pool and a batching encapsulation pool attached to every
+// sample, the workers=1 and workers=8 CSVs must stay byte-identical. This
+// pins RunHandshake's bypass for both hooks — pooled crypto draws on
+// crypto/rand and resolves in scheduling-dependent order, so it must never
+// reach a DRBG-pinned sample.
+func TestCampaignDeterministicAcrossWorkersWithClientPath(t *testing.T) {
+	t.Parallel()
+	vp := loadgen.NewVerifyPool(2, 8, 0)
+	defer vp.Close()
+	ep := live.NewEncapPool(2, 8, 0)
+	defer ep.Close()
+
+	csv := func(workers int) []byte {
+		specs := determinismGrid(workers)
+		for i := range specs {
+			specs[i].CVVerifier = vp
+			specs[i].Encapsulator = ep
+		}
+		results, err := runCampaignGrid(specs, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteLatenciesCSV(&buf, results); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	sequential := csv(1)
+	parallel := csv(8)
+	if !bytes.Equal(sequential, parallel) {
+		t.Errorf("pool-enabled campaign differs across workers:\n--- workers=1\n%s--- workers=8\n%s",
+			sequential, parallel)
+	}
+	// The pools must not have touched a single pinned sample: every campaign
+	// handshake verifies and encapsulates inline under the bypass.
+	if st := vp.Stats(); st.Verifies != 0 {
+		t.Errorf("modeled campaign routed %d verifications through the pool; bypass failed", st.Verifies)
+	}
+	if st := ep.Stats(); st.Encaps != 0 {
+		t.Errorf("modeled campaign routed %d encapsulations through the pool; bypass failed", st.Encaps)
+	}
+
+	// An unpinned run with the same pools does route through both.
+	if _, err := RunHandshake(RunOptions{
+		KEM: "kyber512", Sig: "dilithium2", Link: ScenarioTestbed,
+		Buffer: tls13.BufferImmediate, Seed: 3,
+		CVVerifier: vp, Encapsulator: ep,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if st := vp.Stats(); st.Verifies != 1 {
+		t.Errorf("unpinned run did not use the verify pool (verifies=%d)", st.Verifies)
+	}
+	if st := ep.Stats(); st.Encaps != 1 {
+		t.Errorf("unpinned run did not use the encap pool (encaps=%d)", st.Encaps)
+	}
+}

@@ -32,3 +32,35 @@ func seqKeyBatch(k KEM, rng io.Reader, n int) (pubs, privs [][]byte, err error) 
 	}
 	return pubs, privs, nil
 }
+
+// BatchEncapsulator is implemented by KEMs whose encapsulation amortizes
+// symmetric work across a batch of public keys (ML-KEM batches its
+// H/G/PRF/KDF hashes through one multi-sponge pass). Batched output is
+// byte-identical to the same number of sequential Encapsulate calls on the
+// same rng.
+type BatchEncapsulator interface {
+	EncapsulateBatch(rng io.Reader, pubs [][]byte) (cts, sss [][]byte, err error)
+}
+
+// EncapsulateBatch encapsulates against each public key in pubs, batched
+// when the KEM supports it and by sequential Encapsulate calls otherwise.
+func EncapsulateBatch(k KEM, rng io.Reader, pubs [][]byte) (cts, sss [][]byte, err error) {
+	if be, ok := k.(BatchEncapsulator); ok {
+		return be.EncapsulateBatch(rng, pubs)
+	}
+	return seqEncapsBatch(k, rng, pubs)
+}
+
+func seqEncapsBatch(k KEM, rng io.Reader, pubs [][]byte) (cts, sss [][]byte, err error) {
+	cts = make([][]byte, 0, len(pubs))
+	sss = make([][]byte, 0, len(pubs))
+	for _, pub := range pubs {
+		ct, ss, err := k.Encapsulate(rng, pub)
+		if err != nil {
+			return nil, nil, err
+		}
+		cts = append(cts, ct)
+		sss = append(sss, ss)
+	}
+	return cts, sss, nil
+}

@@ -1,0 +1,53 @@
+package kem
+
+import (
+	"bytes"
+	"testing"
+
+	"pqtls/internal/crypto/sha3"
+)
+
+func batchDRBG(seed string) sha3.XOF {
+	x := sha3.NewShake256()
+	x.Write([]byte(seed))
+	return x
+}
+
+// TestEncapsulateBatchMatchesSequential checks the helper across the three
+// dispatch paths: a KEM with a native batched encapsulation (kyber768), a
+// classical KEM without one (p256), and a hybrid (p256_kyber768) — all
+// must be byte-identical to sequential Encapsulate calls on the same rng.
+func TestEncapsulateBatchMatchesSequential(t *testing.T) {
+	for _, name := range []string{"kyber768", "p256", "p256_kyber512"} {
+		k := MustByName(name)
+		pubs := make([][]byte, 6)
+		keyRNG := batchDRBG("encaps-batch-keys/" + name)
+		for i := range pubs {
+			pub, _, err := k.GenerateKey(keyRNG)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pubs[i] = pub
+		}
+		seq := batchDRBG("encaps-batch/" + name)
+		batch := batchDRBG("encaps-batch/" + name)
+		wantCT := make([][]byte, len(pubs))
+		wantSS := make([][]byte, len(pubs))
+		for i, pub := range pubs {
+			ct, ss, err := k.Encapsulate(seq, pub)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantCT[i], wantSS[i] = ct, ss
+		}
+		cts, sss, err := EncapsulateBatch(k, batch, pubs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range pubs {
+			if !bytes.Equal(cts[i], wantCT[i]) || !bytes.Equal(sss[i], wantSS[i]) {
+				t.Fatalf("%s: batched encapsulation %d differs from sequential", name, i)
+			}
+		}
+	}
+}

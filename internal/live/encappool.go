@@ -1,0 +1,210 @@
+package live
+
+import (
+	"crypto/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pqtls/internal/kem"
+	"pqtls/internal/tls13"
+)
+
+// EncapPool batches the server side's KEM encapsulations across concurrent
+// connections. Every accepted handshake encapsulates against the client's
+// key share; under load many of those sit in flight at once, and Kyber's
+// encapsulation is dominated by Keccak work a kem.BatchEncapsulator can
+// run through one multi-sponge pass. Connection goroutines submit their
+// share and park on a future; worker goroutines collect submissions into
+// batches, flushing when a batch fills or a microsecond-scale latency
+// bound expires.
+//
+// EncapPool implements tls13.Encapsulator, so it plugs directly into
+// tls13.Config.Encapsulator. The tls13 server only consults the hook when
+// Config.Rand is nil — a DRBG-pinned handshake must consume its configured
+// randomness stream exactly, so pooled encapsulations (which draw from
+// crypto/rand) never reach it.
+type EncapPool struct {
+	jobs  chan *encapJob
+	wg    sync.WaitGroup
+	batch int
+	wait  time.Duration
+
+	encaps  atomic.Uint64
+	batches atomic.Uint64
+	batched atomic.Uint64
+	errs    atomic.Uint64
+
+	mu     sync.RWMutex
+	closed bool
+}
+
+// encapJob is one pending encapsulation against pub under k.
+type encapJob struct {
+	k      kem.KEM
+	pub    []byte
+	done   chan struct{}
+	ct, ss []byte
+	err    error
+}
+
+// NewEncapPool starts workers goroutines batching encapsulations. batch
+// bounds shares per flush (0 = 16); wait is the latency bound a partially
+// filled batch waits for stragglers (0 = 200µs).
+func NewEncapPool(workers, batch int, wait time.Duration) *EncapPool {
+	if workers <= 0 {
+		workers = 1
+	}
+	if batch <= 0 {
+		batch = 16
+	}
+	if wait <= 0 {
+		wait = 200 * time.Microsecond
+	}
+	p := &EncapPool{
+		jobs:  make(chan *encapJob, 4*batch*workers),
+		batch: batch,
+		wait:  wait,
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Encapsulate implements tls13.Encapsulator: submit the share and wait for
+// its batch to flush. After Close the encapsulation runs inline on the
+// caller — always correct, only the amortization is gone.
+func (p *EncapPool) Encapsulate(k kem.KEM, pub []byte) (ct, ss []byte, err error) {
+	j := &encapJob{k: k, pub: pub, done: make(chan struct{})}
+	// Send under the read lock so Close's write lock cannot close(p.jobs)
+	// between the closed check and the send (same discipline as SignPool).
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		p.encaps.Add(1)
+		return k.Encapsulate(rand.Reader, pub)
+	}
+	p.jobs <- j
+	p.mu.RUnlock()
+	<-j.done
+	return j.ct, j.ss, j.err
+}
+
+// worker gathers one batch at a time: the first job blocks indefinitely,
+// then stragglers are collected until the batch fills or the latency bound
+// expires.
+func (p *EncapPool) worker() {
+	defer p.wg.Done()
+	batch := make([]*encapJob, 0, p.batch)
+	for {
+		j, ok := <-p.jobs
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], j)
+		deadline := time.NewTimer(p.wait)
+	gather:
+		for len(batch) < p.batch {
+			select {
+			case j2, ok := <-p.jobs:
+				if !ok {
+					break gather
+				}
+				batch = append(batch, j2)
+			case <-deadline.C:
+				break gather
+			}
+		}
+		deadline.Stop()
+		p.flush(batch)
+	}
+}
+
+// flush resolves one gathered batch, grouping by KEM (a server runtime
+// only ever submits one, so the common case is a single group) and running
+// each group through kem.EncapsulateBatch — the multi-sponge path for
+// schemes that have one, sequential otherwise.
+func (p *EncapPool) flush(batch []*encapJob) {
+	groups := make(map[string][]*encapJob, 1)
+	for _, j := range batch {
+		groups[j.k.Name()] = append(groups[j.k.Name()], j)
+	}
+	for _, g := range groups {
+		if len(g) == 1 {
+			j := g[0]
+			j.ct, j.ss, j.err = j.k.Encapsulate(rand.Reader, j.pub)
+			p.account(1, j.err != nil)
+			close(j.done)
+			continue
+		}
+		pubs := make([][]byte, len(g))
+		for i, j := range g {
+			pubs[i] = j.pub
+		}
+		cts, sss, err := kem.EncapsulateBatch(g[0].k, rand.Reader, pubs)
+		if err != nil {
+			// A batch error names no item; fall back to per-item
+			// encapsulation so one malformed share cannot fail its batchmates.
+			for _, j := range g {
+				j.ct, j.ss, j.err = j.k.Encapsulate(rand.Reader, j.pub)
+				p.account(1, j.err != nil)
+				close(j.done)
+			}
+			continue
+		}
+		p.batches.Add(1)
+		p.batched.Add(uint64(len(g)))
+		for i, j := range g {
+			j.ct, j.ss = cts[i], sss[i]
+			p.account(1, false)
+			close(j.done)
+		}
+	}
+}
+
+func (p *EncapPool) account(n uint64, failed bool) {
+	p.encaps.Add(n)
+	if failed {
+		p.errs.Add(n)
+	}
+}
+
+// Close stops accepting work, lets the workers drain everything already
+// queued, and waits for them to exit. Futures submitted before Close all
+// resolve; Encapsulate afterwards runs inline. Idempotent.
+func (p *EncapPool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.jobs)
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// EncapPoolStats is a snapshot of a pool's counters.
+type EncapPoolStats struct {
+	Encaps  uint64 // encapsulations produced (batched + inline)
+	Batches uint64 // EncapsulateBatch calls issued
+	Batched uint64 // encapsulations that went through a batched call
+	Errors  uint64 // encapsulation errors propagated to handshakes
+	Depth   int    // jobs currently queued (not yet picked up)
+}
+
+// Stats returns a point-in-time snapshot.
+func (p *EncapPool) Stats() EncapPoolStats {
+	return EncapPoolStats{
+		Encaps:  p.encaps.Load(),
+		Batches: p.batches.Load(),
+		Batched: p.batched.Load(),
+		Errors:  p.errs.Load(),
+		Depth:   len(p.jobs),
+	}
+}
+
+// compile-time hook check
+var _ tls13.Encapsulator = (*EncapPool)(nil)

@@ -1,0 +1,215 @@
+package loadgen
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pqtls/internal/sig"
+	"pqtls/internal/tls13"
+)
+
+// VerifyPool batches the client side's CertificateVerify checks across
+// concurrent handshakes. A load-generation pool holding hundreds of
+// in-flight connections to the same server verifies the same Dilithium key
+// over and over; each check spends most of its time in SHAKE expansions
+// that a sig.BatchVerifier can interleave through one multi-sponge pass.
+// Connection goroutines submit their check and park on a future; worker
+// goroutines collect submissions into batches, flushing when a batch fills
+// or when a microsecond-scale latency bound expires — under load batches
+// fill instantly, at low rates the bound caps the added latency to well
+// under the verify itself.
+//
+// VerifyPool implements tls13.CVVerifier, so it plugs directly into
+// tls13.Config.CVVerifier. The tls13 client only consults the hook when
+// Config.Rand is nil, which keeps pooled results out of DRBG-pinned
+// handshakes — the same bypass invariant the key-share factory follows.
+type VerifyPool struct {
+	cache *sig.VerifierCache
+	jobs  chan *verifyJob
+	wg    sync.WaitGroup
+	batch int
+	wait  time.Duration
+
+	verifies atomic.Uint64
+	batches  atomic.Uint64
+	batched  atomic.Uint64
+	singles  atomic.Uint64
+
+	mu     sync.RWMutex
+	closed bool
+}
+
+// verifyJob is one pending CertificateVerify check. bv is non-nil when the
+// cached verifier supports batching; v always works.
+type verifyJob struct {
+	v        sig.Verifier
+	bv       sig.BatchVerifier
+	msg, sig []byte
+	done     chan struct{}
+	ok       bool
+}
+
+// NewVerifyPool starts workers goroutines batching verifications. batch
+// bounds items per flush (0 = 16); wait is the latency bound a partially
+// filled batch waits for stragglers (0 = 200µs). The pool keeps its own
+// verifier cache, so precomputed contexts are shared across every
+// connection that routes through it.
+func NewVerifyPool(workers, batch int, wait time.Duration) *VerifyPool {
+	if workers <= 0 {
+		workers = 1
+	}
+	if batch <= 0 {
+		batch = 16
+	}
+	if wait <= 0 {
+		wait = 200 * time.Microsecond
+	}
+	p := &VerifyPool{
+		cache: sig.NewVerifierCache(0),
+		jobs:  make(chan *verifyJob, 4*batch*workers),
+		batch: batch,
+		wait:  wait,
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// VerifyCV implements tls13.CVVerifier: submit the check and wait for its
+// batch to flush. After Close the check runs inline on the caller — the
+// decision is always correct, only the amortization is gone.
+func (p *VerifyPool) VerifyCV(scheme sig.Scheme, pub, msg, sigBytes []byte) bool {
+	v := p.cache.For(scheme, pub)
+	j := &verifyJob{v: v, msg: msg, sig: sigBytes, done: make(chan struct{})}
+	j.bv, _ = v.(sig.BatchVerifier)
+	// The send happens under the read lock so Close's write lock cannot
+	// close(p.jobs) between the closed check and the send (same discipline
+	// as live.SignPool).
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		p.singles.Add(1)
+		p.verifies.Add(1)
+		return v.Verify(msg, sigBytes)
+	}
+	p.jobs <- j
+	p.mu.RUnlock()
+	<-j.done
+	return j.ok
+}
+
+// worker gathers one batch at a time: the first job blocks indefinitely,
+// then stragglers are collected until the batch fills or the latency bound
+// expires.
+func (p *VerifyPool) worker() {
+	defer p.wg.Done()
+	batch := make([]*verifyJob, 0, p.batch)
+	for {
+		j, ok := <-p.jobs
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], j)
+		deadline := time.NewTimer(p.wait)
+	gather:
+		for len(batch) < p.batch {
+			select {
+			case j2, ok := <-p.jobs:
+				if !ok {
+					break gather
+				}
+				batch = append(batch, j2)
+			case <-deadline.C:
+				break gather
+			}
+		}
+		deadline.Stop()
+		p.flush(batch)
+	}
+}
+
+// flush resolves one gathered batch. Jobs sharing a batching verifier (the
+// cache hands every connection to the same server the same context, so the
+// interface values compare equal) go through one VerifyBatch call; the
+// rest verify individually.
+func (p *VerifyPool) flush(batch []*verifyJob) {
+	var groups map[sig.BatchVerifier][]*verifyJob
+	for _, j := range batch {
+		if j.bv == nil {
+			j.ok = j.v.Verify(j.msg, j.sig)
+			p.singles.Add(1)
+			p.verifies.Add(1)
+			close(j.done)
+			continue
+		}
+		if groups == nil {
+			groups = make(map[sig.BatchVerifier][]*verifyJob, 1)
+		}
+		groups[j.bv] = append(groups[j.bv], j)
+	}
+	for bv, g := range groups {
+		if len(g) == 1 {
+			g[0].ok = bv.Verify(g[0].msg, g[0].sig)
+			p.singles.Add(1)
+			p.verifies.Add(1)
+			close(g[0].done)
+			continue
+		}
+		msgs := make([][]byte, len(g))
+		sigs := make([][]byte, len(g))
+		for i, j := range g {
+			msgs[i], sigs[i] = j.msg, j.sig
+		}
+		res := bv.VerifyBatch(msgs, sigs)
+		p.batches.Add(1)
+		p.batched.Add(uint64(len(g)))
+		p.verifies.Add(uint64(len(g)))
+		for i, j := range g {
+			j.ok = res[i]
+			close(j.done)
+		}
+	}
+}
+
+// Close stops accepting work, lets the workers drain everything already
+// queued, and waits for them to exit. Futures submitted before Close all
+// resolve; VerifyCV afterwards verifies inline. Idempotent.
+func (p *VerifyPool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.jobs)
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// VerifyPoolStats is a snapshot of a pool's counters.
+type VerifyPoolStats struct {
+	Verifies uint64 // total decisions produced
+	Batches  uint64 // VerifyBatch calls issued
+	Batched  uint64 // decisions that went through a batched call
+	Singles  uint64 // decisions verified one at a time
+	Depth    int    // jobs currently queued (not yet picked up)
+	Cache    sig.VerifierCacheStats
+}
+
+// Stats returns a point-in-time snapshot.
+func (p *VerifyPool) Stats() VerifyPoolStats {
+	return VerifyPoolStats{
+		Verifies: p.verifies.Load(),
+		Batches:  p.batches.Load(),
+		Batched:  p.batched.Load(),
+		Singles:  p.singles.Load(),
+		Depth:    len(p.jobs),
+		Cache:    p.cache.Stats(),
+	}
+}
+
+// compile-time hook check
+var _ tls13.CVVerifier = (*VerifyPool)(nil)

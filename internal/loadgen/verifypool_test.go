@@ -1,0 +1,129 @@
+package loadgen
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"pqtls/internal/crypto/sha3"
+	"pqtls/internal/sig"
+)
+
+func verifyPoolDRBG(seed string) sha3.XOF {
+	x := sha3.NewShake256()
+	x.Write([]byte(seed))
+	return x
+}
+
+// TestVerifyPoolDecisions pins pooled decisions against direct
+// scheme.Verify for a mix of valid and corrupted signatures, across a
+// batching scheme (dilithium3) and a non-batching one (ecdsa-p256).
+func TestVerifyPoolDecisions(t *testing.T) {
+	for _, name := range []string{"dilithium3", "ecdsa-p256"} {
+		s := sig.MustByName(name)
+		pub, priv, err := s.GenerateKey(verifyPoolDRBG("vp-" + name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 24
+		msgs := make([][]byte, n)
+		sigs := make([][]byte, n)
+		want := make([]bool, n)
+		for i := 0; i < n; i++ {
+			msgs[i] = []byte{byte(i), 0x7E, byte(i * 3)}
+			if sigs[i], err = s.Sign(priv, msgs[i]); err != nil {
+				t.Fatal(err)
+			}
+			want[i] = true
+			if i%4 == 1 {
+				sigs[i][len(sigs[i])/3] ^= 1
+				want[i] = s.Verify(pub, msgs[i], sigs[i]) // almost surely false
+			}
+		}
+		p := NewVerifyPool(2, 8, 100*time.Microsecond)
+		got := make([]bool, n)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				got[i] = p.VerifyCV(s, pub, msgs[i], sigs[i])
+			}(i)
+		}
+		wg.Wait()
+		for i := 0; i < n; i++ {
+			if got[i] != want[i] {
+				t.Fatalf("%s item %d: pool=%v, direct=%v", name, i, got[i], want[i])
+			}
+		}
+		st := p.Stats()
+		if st.Verifies != n {
+			t.Fatalf("%s: %d verifies recorded, want %d", name, st.Verifies, n)
+		}
+		if name == "dilithium3" && st.Batched == 0 {
+			t.Fatalf("%s: 24 concurrent submits produced no batched verifies", name)
+		}
+		p.Close()
+		// After Close the check runs inline and stays correct.
+		if p.VerifyCV(s, pub, msgs[0], sigs[0]) != want[0] {
+			t.Fatalf("%s: post-Close inline verify wrong", name)
+		}
+	}
+}
+
+// TestVerifyPoolConcurrentClose races many submitters against Close (run
+// under -race). Every future submitted before Close must resolve with a
+// correct decision; submissions after Close fall back to inline verify —
+// either way no goroutine may hang or read a stale result.
+func TestVerifyPoolConcurrentClose(t *testing.T) {
+	s := sig.MustByName("dilithium2")
+	pub, priv, err := s.GenerateKey(verifyPoolDRBG("vp-close"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("close race")
+	sigBytes, err := s.Sign(priv, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), sigBytes...)
+	bad[40] ^= 1
+
+	p := NewVerifyPool(4, 4, 50*time.Microsecond)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if g%2 == 0 {
+					if !p.VerifyCV(s, pub, msg, sigBytes) {
+						t.Error("valid signature rejected")
+						return
+					}
+				} else {
+					if p.VerifyCV(s, pub, msg, bad) {
+						t.Error("corrupted signature accepted")
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		p.Close()
+		close(done)
+	}()
+	wg.Wait()
+	<-done
+	p.Close() // idempotent
+	st := p.Stats()
+	if st.Verifies != 16*20 {
+		t.Fatalf("%d verifies recorded, want %d", st.Verifies, 16*20)
+	}
+	if st.Depth != 0 {
+		t.Fatalf("queue not drained: depth %d", st.Depth)
+	}
+}

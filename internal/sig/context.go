@@ -1,6 +1,9 @@
 package sig
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Signer is a reusable signing context bound to one private key. For
 // schemes with expensive per-signature key expansion (Dilithium re-derives
@@ -14,6 +17,17 @@ type Signer interface {
 // Verifier is a reusable verification context bound to one public key.
 type Verifier interface {
 	Verify(msg, sig []byte) bool
+}
+
+// BatchVerifier is a Verifier that amortizes symmetric work across many
+// (msg, sig) pairs in one call (Dilithium's cached VerifyKey batches its
+// mu/challenge/w1 hashes through a multi-sponge pass). Decisions are
+// identical to calling Verify on each pair; the returned slice has one
+// entry per input pair. Detect support with a type assertion on the
+// Verifier returned by NewVerifier or VerifierCache.For.
+type BatchVerifier interface {
+	Verifier
+	VerifyBatch(msgs, sigs [][]byte) []bool
 }
 
 // contextScheme is implemented by schemes that provide precomputed
@@ -68,6 +82,10 @@ type VerifierCache struct {
 	mu  sync.Mutex
 	m   map[string]Verifier
 	cap int
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
 }
 
 // NewVerifierCache returns a cache bounded to capacity entries (<= 0 means
@@ -87,20 +105,44 @@ func (c *VerifierCache) For(s Scheme, pub []byte) Verifier {
 	c.mu.Lock()
 	if v, ok := c.m[key]; ok {
 		c.mu.Unlock()
+		c.hits.Add(1)
 		return v
 	}
 	c.mu.Unlock()
+	c.misses.Add(1)
 	// Build outside the lock: Dilithium context construction is ~100µs and
 	// must not serialize unrelated lookups.
 	v := NewVerifier(s, pub)
 	c.mu.Lock()
-	if len(c.m) >= c.cap {
+	if _, resident := c.m[key]; !resident && len(c.m) >= c.cap {
 		for k := range c.m {
 			delete(c.m, k)
 			break
 		}
+		c.evictions.Add(1)
 	}
 	c.m[key] = v
 	c.mu.Unlock()
 	return v
+}
+
+// VerifierCacheStats is a point-in-time view of the cache's counters.
+type VerifierCacheStats struct {
+	Hits      uint64 // lookups answered from the cache
+	Misses    uint64 // lookups that built a fresh context
+	Evictions uint64 // resident entries displaced by the size cap
+	Entries   int    // current resident count (≤ the cap)
+}
+
+// Stats returns the cache's counters and current size.
+func (c *VerifierCache) Stats() VerifierCacheStats {
+	c.mu.Lock()
+	n := len(c.m)
+	c.mu.Unlock()
+	return VerifierCacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   n,
+	}
 }

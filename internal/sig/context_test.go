@@ -85,3 +85,88 @@ func TestVerifierCache(t *testing.T) {
 		t.Fatal("rebuilt verifier rejects valid signature")
 	}
 }
+
+// TestVerifierCacheChurnStats is the churn regression test: a key
+// population far above the cap must keep the cache bounded while the
+// hit/miss/eviction counters account exactly for every lookup.
+func TestVerifierCacheChurnStats(t *testing.T) {
+	s := MustByName("dilithium2")
+	const cap = 4
+	c := NewVerifierCache(cap)
+	pubs := make([][]byte, 12)
+	for i := range pubs {
+		pub, _, err := s.GenerateKey(newDetReader("churn" + string(rune('A'+i))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pubs[i] = pub
+	}
+	// Three rounds over 12 keys against a 4-entry cache: every round churns
+	// the whole population through, so later rounds keep missing.
+	lookups := 0
+	for round := 0; round < 3; round++ {
+		for _, pub := range pubs {
+			if c.For(s, pub) == nil {
+				t.Fatal("nil verifier")
+			}
+			lookups++
+		}
+	}
+	st := c.Stats()
+	if st.Entries > cap {
+		t.Fatalf("cache grew to %d entries, capacity %d", st.Entries, cap)
+	}
+	if st.Hits+st.Misses != uint64(lookups) {
+		t.Fatalf("hits %d + misses %d != %d lookups", st.Hits, st.Misses, lookups)
+	}
+	if st.Misses < uint64(len(pubs)) {
+		t.Fatalf("only %d misses across %d distinct keys", st.Misses, len(pubs))
+	}
+	if st.Evictions == 0 {
+		t.Fatal("churn produced no evictions")
+	}
+	if st.Evictions != st.Misses-uint64(st.Entries) {
+		t.Fatalf("evictions %d != misses %d - entries %d", st.Evictions, st.Misses, st.Entries)
+	}
+}
+
+// TestBatchVerifierAssertion pins that the cached dilithium verifier
+// supports batch verification through the BatchVerifier interface and that
+// batched decisions match sequential ones.
+func TestBatchVerifierAssertion(t *testing.T) {
+	s := MustByName("dilithium3")
+	pub, priv, err := s.GenerateKey(newDetReader("batch-assert"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewVerifierCache(0)
+	v := c.For(s, pub)
+	bv, ok := v.(BatchVerifier)
+	if !ok {
+		t.Fatal("cached dilithium verifier does not implement BatchVerifier")
+	}
+	msgs := make([][]byte, 3)
+	sigs := make([][]byte, 3)
+	for i := range msgs {
+		msgs[i] = []byte{byte(i), 0xC3}
+		if sigs[i], err = s.Sign(priv, msgs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sigs[1][50] ^= 1
+	got := bv.VerifyBatch(msgs, sigs)
+	for i := range msgs {
+		if want := v.Verify(msgs[i], sigs[i]); got[i] != want {
+			t.Fatalf("item %d: VerifyBatch=%v, Verify=%v", i, got[i], want)
+		}
+	}
+	// Classical schemes must simply not satisfy the assertion.
+	e := MustByName("ecdsa-p256")
+	epub, _, err := e.GenerateKey(newDetReader("batch-assert-ec"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := NewVerifier(e, epub).(BatchVerifier); ok {
+		t.Fatal("classical verifier unexpectedly implements BatchVerifier")
+	}
+}

@@ -53,6 +53,28 @@ if [ -z "$d1" ] || [ "$d1" != "$d2" ]; then
     exit 1
 fi
 
+echo "==> clientpath smoke: batched verification + encapsulation under -race, digest matches unpooled"
+c1=$("$livedir/pqbench-race" live -kem kyber768 -sig dilithium3 -rate 50 -duration 1s |
+    sed -n 's/.*digest \([0-9a-f]*\).*/\1/p')
+cout=$("$livedir/pqbench-race" live -kem kyber768 -sig dilithium3 -rate 50 -duration 1s \
+    -verify-workers 2 -encap-batch 16 | tee /dev/stderr)
+c2=$(echo "$cout" | sed -n 's/.*digest \([0-9a-f]*\).*/\1/p')
+if [ -z "$c1" ] || [ "$c1" != "$c2" ]; then
+    rm -rf "$livedir"
+    echo "clientpath smoke: batched run changed the schedule digest: '$c1' vs '$c2'"
+    exit 1
+fi
+if ! echo "$cout" | grep -q '^verify pool: 2 workers, [1-9]'; then
+    rm -rf "$livedir"
+    echo "clientpath smoke: verify pool saw no traffic"
+    exit 1
+fi
+if ! echo "$cout" | grep -q 'failed 0,'; then
+    rm -rf "$livedir"
+    echo "clientpath smoke: batched run had handshake failures"
+    exit 1
+fi
+
 echo "==> saturate smoke: sharded accept + split-schedule dispatch under -race, sweep digest reproducible"
 s1=$("$livedir/pqbench-race" saturate -rate 40 -duration 1s -rungs 2 -shards 1,2 -resume |
     tee /dev/stderr | sed -n 's/.*sweep digest \([0-9a-f]*\).*/\1/p')
